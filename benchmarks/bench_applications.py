@@ -1,0 +1,101 @@
+"""Section 4.5 applications: CAD similarity retrieval and multi-database correspondence.
+
+Shape expectations: the near-miss CAD parts (fitting 26 of 27 allowances)
+rank directly behind the exact matches in the visual feedback result while
+a classical fixed-allowance query misses them entirely; approximate joins
+between two independent registries recover the true correspondences that an
+exact join cannot produce.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ScreenSpec, VisualFeedbackQuery
+from repro.analysis import hotspot_recall
+from repro.baselines import exact_query, top_k_indices, weighted_linear_ranking
+from repro.datasets import cad_parts_table, correspondence_databases
+from repro.datasets.cad import PARAMETER_NAMES
+from repro.query.expr import AndNode, PredicateLeaf
+from repro.query.joins import ApproximateJoinPredicate, JoinKind
+from repro.query.predicates import RangePredicate
+from repro.storage.cross_product import CrossProduct
+
+
+@pytest.fixture(scope="module")
+def cad_scenario():
+    return cad_parts_table(n_parts=3000, seed=31)
+
+
+@pytest.fixture(scope="module")
+def cad_condition(cad_scenario):
+    reference = cad_scenario.table.row(cad_scenario.reference_index)
+    return AndNode([
+        PredicateLeaf(RangePredicate.around(name, float(reference[name]),
+                                            float(cad_scenario.tolerances[i])))
+        for i, name in enumerate(PARAMETER_NAMES)
+    ])
+
+
+def test_cad_similarity_visual_feedback(benchmark, cad_scenario, cad_condition):
+    """27-parameter similarity query: near misses rank right behind exact matches."""
+    pipeline = VisualFeedbackQuery(cad_scenario.table, cad_condition,
+                                   screen=ScreenSpec(512, 512), percentage=0.05)
+
+    feedback = benchmark.pedantic(pipeline.execute, rounds=3, iterations=1)
+
+    n_exact = 1 + len(cad_scenario.exact_matches)
+    assert feedback.statistics.num_results == n_exact
+    front = feedback.display_order[: n_exact + len(cad_scenario.near_misses)]
+    recall = hotspot_recall(front, cad_scenario.near_misses)
+    assert recall >= 0.85
+    benchmark.extra_info["near_miss_recall"] = round(recall, 2)
+
+
+def test_cad_similarity_exact_query_misses(benchmark, cad_scenario, cad_condition):
+    """The classical fixed-allowance query returns only the perfect matches."""
+    rows = benchmark(exact_query, cad_scenario.table, cad_condition)
+    assert len(rows) == 1 + len(cad_scenario.exact_matches)
+    assert len(np.intersect1d(rows, cad_scenario.near_misses)) == 0
+
+
+def test_cad_similarity_ir_ranking_baseline(benchmark, cad_scenario):
+    """IR-style raw-distance ranking: scale-dominated, weaker near-miss recall."""
+    reference = cad_scenario.table.row(cad_scenario.reference_index)
+    predicates = [
+        RangePredicate.around(name, float(reference[name]), float(cad_scenario.tolerances[i]))
+        for i, name in enumerate(PARAMETER_NAMES)
+    ]
+
+    def rank():
+        scores = weighted_linear_ranking(cad_scenario.table, predicates)
+        return top_k_indices(scores, 1 + len(cad_scenario.exact_matches) + len(cad_scenario.near_misses))
+
+    top = benchmark(rank)
+    raw_recall = hotspot_recall(top, cad_scenario.near_misses)
+    benchmark.extra_info["near_miss_recall"] = round(raw_recall, 2)
+    assert 0.0 <= raw_recall <= 1.0
+
+
+def test_multidb_correspondence_spatial_join(benchmark):
+    """Approximately joining two registries on coordinates recovers the true pairs."""
+    scenario = correspondence_databases(n_stations=70, overlap_fraction=0.6,
+                                        coordinate_offset_m=40.0, seed=41)
+    registry_a = scenario.database.table("RegistryA")
+    registry_b = scenario.database.table("RegistryB")
+    product = CrossProduct(registry_a, registry_b, max_pairs=None)
+    pairs = product.to_table()
+    join = ApproximateJoinPredicate(("RegistryA.X", "RegistryA.Y"), ("RegistryB.X", "RegistryB.Y"),
+                                    JoinKind.WITHIN_DISTANCE, parameter=60.0)
+    pipeline = VisualFeedbackQuery(pairs, PredicateLeaf(join), percentage=0.05)
+
+    feedback = benchmark(pipeline.execute)
+
+    matched = {
+        (int(product.left_indices[i]), int(product.right_indices[i]))
+        for i in np.nonzero(feedback.overall.exact_mask)[0]
+    }
+    truth = {tuple(int(v) for v in pair) for pair in scenario.true_pairs}
+    recovered = len(matched & truth) / len(truth)
+    assert recovered >= 0.95
+    assert len(matched - truth) <= 3
+    benchmark.extra_info["recovered_pairs"] = round(recovered, 2)

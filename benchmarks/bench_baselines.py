@@ -1,0 +1,83 @@
+"""Baseline comparison: visual feedback vs. exact queries vs. cluster analysis.
+
+The paper's positioning (sections 1, 2.2, 6): exact queries oscillate
+between NULL results and floods; cluster analysis scales worse and is blind
+to single exceptional items; the visual feedback pipeline stays O(n log n)
+and surfaces hot spots among its most relevant answers.  These benchmarks
+measure all three on the same planted-hot-spot workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro import VisualFeedbackQuery, condition
+from repro.analysis import hotspot_recall
+from repro.baselines import (
+    classify_result_size,
+    cluster_outlier_scores,
+    exact_query,
+    result_size_profile,
+)
+from repro.datasets import planted_outliers
+
+N_ROWS = 40_000
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return planted_outliers(n_rows=N_ROWS, n_outliers=6, n_columns=4, seed=47, magnitude=7.0)
+
+
+def test_exact_query_null_and_flood(benchmark, scenario):
+    """A threshold sweep flips from flood to NULL with no useful middle ground."""
+    profile = benchmark(
+        result_size_profile,
+        scenario.table,
+        lambda threshold: condition("A0", ">", threshold),
+        [0.0, 2.0, 4.0, 6.0, 8.0, 10.0],
+    )
+    classes = [row["classification"] for row in profile]
+    assert classes[0] == "flood"
+    assert classes[-1] == "null"
+    benchmark.extra_info["profile"] = {row["parameter"]: row["results"] for row in profile}
+
+
+def test_visual_feedback_hotspot_recall(benchmark, scenario):
+    """Hot spots surface among the most relevant answers of per-attribute queries."""
+
+    def per_attribute_top():
+        tops = []
+        for column in scenario.table.column_names:
+            feedback = VisualFeedbackQuery(
+                scenario.table, f"{column} > 6.5 OR {column} < -6.5", percentage=0.001
+            ).execute()
+            tops.append(feedback.display_order[:20])
+        return np.concatenate(tops)
+
+    top = benchmark.pedantic(per_attribute_top, rounds=3, iterations=1)
+    recall = hotspot_recall(top, scenario.outlier_rows)
+    assert recall >= 0.8
+    benchmark.extra_info["recall"] = round(recall, 2)
+    benchmark.extra_info["inspected_items"] = int(len(top))
+
+
+def test_cluster_analysis_hotspot_recall_and_cost(benchmark, scenario):
+    """k-means outlier scoring: comparable recall but markedly higher runtime."""
+    data = np.column_stack(
+        [scenario.table.column(c) for c in scenario.table.column_names]
+    )
+
+    def cluster_top():
+        scores = cluster_outlier_scores(data, k=8, iterations=10, seed=1)
+        return np.argsort(scores)[::-1][:80]
+
+    top = benchmark.pedantic(cluster_top, rounds=2, iterations=1)
+    recall = hotspot_recall(top, scenario.outlier_rows)
+    benchmark.extra_info["recall"] = round(recall, 2)
+    assert 0.0 <= recall <= 1.0
+
+
+def test_exact_query_runtime_reference(benchmark, scenario):
+    """Runtime of one exact boolean query (the cheapest but least informative option)."""
+    rows = benchmark(exact_query, scenario.table, condition("A0", ">", 6.5))
+    assert classify_result_size(len(rows), N_ROWS) in ("null", "useful")

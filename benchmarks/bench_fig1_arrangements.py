@@ -1,0 +1,88 @@
+"""Figure 1: the normal (spiral) arrangement and the 2D arrangement.
+
+Fig. 1a shows the sorted relevance factors on a rectangular spiral (yellow
+centre, darker rings outward); Fig. 1b shows the 2D arrangement where the
+*direction* of two attributes' distances chooses the quadrant.  The
+benchmarks time both arrangements at realistic window sizes and assert the
+structural properties the figure illustrates.
+"""
+
+import numpy as np
+import pytest
+
+from repro import VisualFeedbackQuery
+from repro.vis.arrangement import spiral_arrangement, two_attribute_arrangement
+from repro.vis.colormap import VisDBColormap
+from repro.vis.spiral import rect_spiral_coords
+
+
+@pytest.fixture(scope="module")
+def feedback(env_db, fig4_query):
+    return VisualFeedbackQuery(env_db, fig4_query, percentage=0.4).execute()
+
+
+def test_fig1a_spiral_arrangement(benchmark, feedback):
+    """Normal arrangement: sorted relevance factors on a rectangular spiral."""
+    distances = feedback.ordered_distances(())
+    item_ids = feedback.display_order
+    side = int(np.ceil(np.sqrt(len(item_ids))))
+
+    window = benchmark(spiral_arrangement, distances, item_ids, side, side)
+
+    # Shape checks: the most relevant item sits in the centre, the centre is
+    # yellow (distance 0) and distances grow (weakly) towards the border.
+    centre = ((side - 1) // 2, (side - 1) // 2)
+    assert window.item_at(*centre) == item_ids[0]
+    assert window.distances[centre[1], centre[0]] == distances.min()
+    rings = rect_spiral_coords(side, side)
+    ring_distance = window.distances[rings[:, 1], rings[:, 0]]
+    placed = ring_distance[~np.isnan(ring_distance)]
+    assert np.all(np.diff(placed) >= 0.0)
+    benchmark.extra_info["items"] = int(len(item_ids))
+    benchmark.extra_info["yellow_pixels"] = int(window.yellow_region_size())
+
+
+def test_fig1a_rendering_to_rgb(benchmark, feedback):
+    """Colouring the arranged window with the VisDB colormap."""
+    distances = feedback.ordered_distances(())
+    item_ids = feedback.display_order
+    side = int(np.ceil(np.sqrt(len(item_ids))))
+    window = spiral_arrangement(distances, item_ids, side, side)
+    colormap = VisDBColormap()
+
+    rgb = benchmark(window.to_rgb, colormap)
+
+    assert rgb.shape == (side, side, 3)
+    # The centre pixel is yellow: red and green high, blue low.
+    centre = rgb[(side - 1) // 2, (side - 1) // 2]
+    assert centre[0] > 200 and centre[1] > 200 and centre[2] < 100
+
+
+def test_fig1b_2d_arrangement(benchmark, feedback):
+    """2D arrangement: quadrants by the sign of two attributes' distances."""
+    n = min(4000, len(feedback.display_order))
+    signed_a = feedback.ordered_signed_distances((0,))[:n]
+    signed_b = feedback.ordered_signed_distances((2,))[:n]
+    overall = feedback.ordered_distances(())[:n]
+    item_ids = feedback.display_order[:n]
+    side = int(np.ceil(np.sqrt(n))) + 2
+
+    window = benchmark(
+        two_attribute_arrangement, signed_a, signed_b, overall, item_ids, side, side
+    )
+
+    # Each item occupies at most one pixel (no overlays, unlike scatter plots).
+    placed = window.item_ids[window.item_ids >= 0]
+    assert len(placed) == len(np.unique(placed))
+    # Direction is preserved: items with negative first-attribute distance lie
+    # in the left half, positive ones in the right half.
+    placed_set = set(placed.tolist())
+    for index, item in enumerate(item_ids):
+        if int(item) not in placed_set or signed_a[index] == 0.0:
+            continue
+        x, _ = window.position_of_item(int(item))
+        if signed_a[index] < 0:
+            assert x < side // 2
+        elif signed_a[index] > 0:
+            assert x >= side // 2
+    benchmark.extra_info["placed_items"] = int(len(placed))

@@ -1,0 +1,73 @@
+"""Figure 2: reduction heuristics for unimodal vs. multi-peaked distance densities.
+
+Fig. 2 contrasts two density functions of distance values: for a unimodal
+density the α-quantile cut is fine; for a bimodal density it is better to
+display only the lower group, which the multi-peak heuristic achieves by
+cutting at the widest local gap.  The benchmarks time both heuristics and
+assert that the multi-peak cut indeed lands in the gap.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.reduction import (
+    ReductionMethod,
+    multipeak_cut,
+    select_by_quantile,
+    select_display_set,
+)
+from repro.datasets.random_data import bimodal_distances
+
+
+@pytest.fixture(scope="module")
+def unimodal():
+    rng = np.random.default_rng(1)
+    return np.abs(rng.normal(10.0, 4.0, 50_000))
+
+
+@pytest.fixture(scope="module")
+def bimodal():
+    return bimodal_distances(50_000, gap=90.0, seed=2, lower_fraction=0.55)
+
+
+def test_fig2a_quantile_cut_unimodal(benchmark, unimodal):
+    """α-quantile selection on a unimodal density (Fig. 2a)."""
+    p = 0.25
+    selected = benchmark(select_by_quantile, unimodal, p)
+    assert len(selected) == pytest.approx(p * len(unimodal), rel=0.02)
+    # The retained distances are exactly the smallest ones.
+    assert unimodal[selected].max() <= np.quantile(unimodal, p) + 1e-9
+
+
+def test_fig2b_multipeak_cut_bimodal(benchmark, bimodal):
+    """Multi-peak heuristic on a bimodal density (Fig. 2b): cut in the gap."""
+    sorted_distances = np.sort(bimodal)
+    n_lower = int(np.sum(bimodal < 50.0))
+    r_min, r_max = int(0.3 * len(bimodal)), int(0.9 * len(bimodal))
+
+    cut = benchmark(multipeak_cut, sorted_distances, r_min, r_max)
+
+    # The chosen cut coincides with the boundary of the lower group (± a sliver).
+    assert abs(cut - n_lower) <= 0.01 * len(bimodal)
+    benchmark.extra_info["cut"] = int(cut)
+    benchmark.extra_info["lower_group"] = int(n_lower)
+
+
+def test_fig2_quantile_vs_multipeak_on_bimodal(benchmark, bimodal):
+    """End-to-end display-set selection: the two heuristics differ on bimodal data."""
+    capacity = int(0.7 * len(bimodal)) * 2  # pixel budget, 1 predicate -> p = 0.7
+
+    def both():
+        quantile = select_display_set(bimodal, capacity, 1, method=ReductionMethod.QUANTILE)
+        multipeak = select_display_set(bimodal, capacity, 1, method=ReductionMethod.MULTIPEAK)
+        return quantile, multipeak
+
+    quantile, multipeak = benchmark(both)
+    # The quantile cut crosses well into the upper group; the multi-peak cut
+    # stops at the gap (at most a sliver of upper-group items at the boundary).
+    assert int(np.sum(bimodal[quantile] > 60.0)) > 1000
+    assert int(np.sum(bimodal[multipeak] > 60.0)) <= 5
+    n_lower = int(np.sum(bimodal < 50.0))
+    assert abs(len(multipeak) - n_lower) <= 5
+    benchmark.extra_info["quantile_selected"] = int(len(quantile))
+    benchmark.extra_info["multipeak_selected"] = int(len(multipeak))

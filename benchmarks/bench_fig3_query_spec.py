@@ -1,0 +1,74 @@
+"""Figure 3: the query specification window (GRADI-style incremental construction).
+
+Fig. 3 shows the environmental query being assembled: tables, result list,
+the OR of three selection predicates and the parameterised
+``with-time-diff(120)`` connection.  The benchmarks time the programmatic
+builder and the SQL-like parser producing the same query, and assert the
+resulting structure matches the figure.
+"""
+
+import pytest
+
+from repro import OrNode, QueryBuilder, condition
+from repro.query.joins import JoinKind
+from repro.query.parser import parse_query
+from repro.query.validation import validate_query
+
+
+def build_fig3_query(database):
+    return (
+        QueryBuilder("fig3", database)
+        .use_tables("Weather", "Air-Pollution")
+        .add_result("Weather.Temperature")
+        .add_result("Weather.Solar-Radiation")
+        .add_result("Weather.Humidity")
+        .add_result("Air-Pollution.Ozone")
+        .where(OrNode([
+            condition("Weather.Temperature", ">", 15.0),
+            condition("Weather.Solar-Radiation", ">", 600.0),
+            condition("Weather.Humidity", "<", 60.0),
+        ]))
+        .use_connection("Air-Pollution with-time-diff Weather", parameter=120)
+        .build()
+    )
+
+
+def test_fig3_builder(benchmark, env_db):
+    """Incremental (GRADI-like) construction of the Fig. 3 query."""
+    query = benchmark(build_fig3_query, env_db)
+    assert query.tables == ["Weather", "Air-Pollution"]
+    assert len(query.result_list) == 4
+    assert query.selection_predicate_count == 3
+    connection = query.connections[0]
+    assert connection.kind is JoinKind.TIME_DIFF and connection.parameter == 120.0
+    assert query.condition.describe() == (
+        "Weather.Temperature > 15 OR Weather.Solar-Radiation > 600 OR Weather.Humidity < 60"
+    )
+
+
+def test_fig3_sql_parser(benchmark, env_db):
+    """The same query expressed as SQL-like text."""
+    text = (
+        "SELECT Weather.Temperature, Weather.Solar-Radiation, Weather.Humidity, "
+        "Air-Pollution.Ozone FROM Weather, Air-Pollution "
+        "WHERE Weather.Temperature > 15 OR Weather.Solar-Radiation > 600 "
+        "OR Weather.Humidity < 60"
+    )
+    query = benchmark(parse_query, text)
+    assert query.selection_predicate_count == 3
+    validate_query(query, env_db)
+
+
+def test_fig3_weighted_specification(benchmark, env_db):
+    """Assigning weighting factors to condition boxes (the Tool Box workflow)."""
+
+    def build_with_weights():
+        query = build_fig3_query(env_db)
+        query.condition.find((0,)).with_weight(1.0)
+        query.condition.find((1,)).with_weight(0.7)
+        query.condition.find((2,)).with_weight(0.4)
+        return query
+
+    query = benchmark(build_with_weights)
+    weights = [query.condition.find((i,)).weight for i in range(3)]
+    assert weights == [1.0, 0.7, 0.4]

@@ -1,0 +1,75 @@
+"""Figure 5: visualization of the OR part with per-predicate windows and colour read-back.
+
+Fig. 5 is the drill-down into the OR box: its overall window (identical to
+the OR-part window of Fig. 4), one window per OR-connected predicate with
+the same item placement, and the colour-range read-back that explains the
+red region of the Humidity window (values around 71-73 % in the paper's
+real data).  The benchmarks time the drill-down, the colour-range
+projection and an interactive modification round-trip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.interact import SelectColorRange, SetThreshold, VisDBSession
+from repro.vis.layout import MultiWindowLayout
+from repro.vis.sliders import sliders_for_feedback
+
+
+@pytest.fixture(scope="module")
+def session(env_db, fig4_query):
+    layout = MultiWindowLayout(window_width=96, window_height=96)
+    return VisDBSession(env_db, fig4_query, layout=layout)
+
+
+def test_fig5_drill_down_windows(benchmark, session):
+    """Double-clicking the OR box: parent window + one window per predicate."""
+    windows = benchmark(session.drill_down, ())
+    assert set(windows) == {(), (0,), (1,), (2,)}
+    overall = session.windows()[()]
+    # The OR-part window equals the overall window of Fig. 4 (same arrangement).
+    np.testing.assert_array_equal(windows[()].distances, overall.distances)
+
+
+def test_fig5_color_range_readback(benchmark, session):
+    """'first/last of color': attribute values for a selected colour range."""
+    _, sliders = sliders_for_feedback(session.feedback)
+    humidity = next(s for s in sliders if s.attribute == "Humidity")
+
+    result = benchmark(humidity.first_last_of_color, 150.0, 255.0)
+
+    assert result is not None
+    low, high = result
+    # The red (distant) region of the Humidity window corresponds to humid items,
+    # i.e. values above the query threshold of 60 %.
+    assert low >= 60.0
+    assert high <= humidity.database_max
+    benchmark.extra_info["red_region_humidity"] = [round(low, 1), round(high, 1)]
+
+
+def test_fig5_color_range_projection(benchmark, session):
+    """Selecting a colour range highlights the same items in every window."""
+
+    def project():
+        session.apply(SelectColorRange((0,), 0.0, 40.0))
+        return session.selection
+
+    selection = benchmark(project)
+    assert selection is not None and len(selection) > 0
+    distances = session.feedback.node_feedback[(0,)].normalized_distances[selection]
+    assert np.all(distances <= 40.0)
+
+
+def test_fig5_interactive_modification_roundtrip(benchmark, env_db, fig4_query):
+    """One slider move with immediate recalculation (the paper's normal mode)."""
+
+    def modify_and_recalculate():
+        session = VisDBSession(env_db, fig4_query,
+                               layout=MultiWindowLayout(window_width=64, window_height=64))
+        before = session.statistics()["# of results"]
+        session.apply(SetThreshold((0,), 25.0))
+        after = session.statistics()["# of results"]
+        return before, after
+
+    before, after = benchmark.pedantic(modify_and_recalculate, rounds=3, iterations=1)
+    assert after <= before

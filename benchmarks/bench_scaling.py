@@ -1,0 +1,67 @@
+"""The complexity claim: O(n log n) query processing, dominated by sorting.
+
+Section 3: "For simple queries and standard distance functions the
+complexity is O(n log n) with n being the number of data items.  Obviously,
+query processing time is dominated by the time needed for sorting."  The
+benchmark sweeps n and asserts that the measured runtime grows close to
+linearithmically (far below quadratic).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import ScreenSpec, VisualFeedbackQuery
+from repro.datasets.random_data import uniform_table
+
+SIZES = [4_000, 16_000, 64_000]
+
+
+def _run_query(n: int) -> None:
+    table = uniform_table(n, {"a": (0.0, 1.0), "b": (0.0, 1.0), "c": (0.0, 1.0)}, seed=3)
+    VisualFeedbackQuery(table, "a > 0.9 AND b < 0.2 AND c > 0.5",
+                        screen=ScreenSpec(512, 512)).execute()
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_scaling_pipeline_runtime(benchmark, n):
+    """Pipeline runtime at increasing n (one benchmark entry per size)."""
+    benchmark.pedantic(_run_query, args=(n,), rounds=3, iterations=1)
+    benchmark.extra_info["n"] = n
+
+
+def test_scaling_is_near_linearithmic(benchmark):
+    """Direct check: runtime ratio between the largest and smallest n stays near n log n."""
+
+    def measure():
+        timings = {}
+        for n in (SIZES[0], SIZES[-1]):
+            start = time.perf_counter()
+            _run_query(n)
+            timings[n] = time.perf_counter() - start
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=2, iterations=1)
+    ratio = timings[SIZES[-1]] / max(timings[SIZES[0]], 1e-9)
+    size_ratio = SIZES[-1] / SIZES[0]
+    loglinear_ratio = size_ratio * np.log2(SIZES[-1]) / np.log2(SIZES[0])
+    # The measured growth should be much closer to n log n than to n^2
+    # (allowing generous constant-factor noise on shared CI machines).
+    assert ratio < 4.0 * loglinear_ratio
+    assert ratio < 0.5 * size_ratio ** 2
+    benchmark.extra_info["runtime_ratio"] = round(ratio, 2)
+    benchmark.extra_info["nlogn_ratio"] = round(loglinear_ratio, 2)
+
+
+def test_scaling_sorting_dominates(benchmark):
+    """Sorting accounts for a comparable order of time as the full distance pass."""
+    n = 200_000
+    rng = np.random.default_rng(0)
+    distances = rng.uniform(0.0, 255.0, n)
+
+    def sort_only():
+        return np.argsort(distances, kind="stable")
+
+    order = benchmark(sort_only)
+    assert len(order) == n

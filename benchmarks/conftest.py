@@ -1,0 +1,56 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one figure or claim of the paper (see the
+experiment index in DESIGN.md and the recorded outcomes in EXPERIMENTS.md).
+Shape assertions live next to the timings: a benchmark fails if the
+qualitative result the paper reports does not hold.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro import OrNode, QueryBuilder, condition  # noqa: E402
+from repro.datasets import environmental_database  # noqa: E402
+
+
+def fig3_or_condition():
+    """The OR part of the Fig. 3 query."""
+    return OrNode([
+        condition("Temperature", ">", 15.0),
+        condition("Solar-Radiation", ">", 600.0),
+        condition("Humidity", "<", 60.0),
+    ])
+
+
+@pytest.fixture(scope="session")
+def env_db():
+    """A mid-size environmental database (12,000 weather items, 3 stations)."""
+    return environmental_database(hours=4000, stations=3, seed=17)
+
+
+@pytest.fixture(scope="session")
+def fig4_query(env_db):
+    """The single-table part of the Fig. 3/4 query against the session database."""
+    return (
+        QueryBuilder("fig4", env_db)
+        .use_tables("Weather")
+        .add_result("Temperature")
+        .add_result("Solar-Radiation")
+        .add_result("Humidity")
+        .where(fig3_or_condition())
+        .build()
+    )
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(99)

@@ -1,0 +1,12 @@
+"""Repo-level pytest configuration.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (e.g. a fresh checkout without ``pip install -e .``).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

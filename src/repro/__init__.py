@@ -1,0 +1,63 @@
+"""VisDB reproduction: visual feedback queries for data mining of large databases.
+
+Reproduction of Keim, Kriegel & Seidl, "Supporting Data Mining of Large
+Databases by Visual Feedback Queries", ICDE 1994.
+
+Quickstart::
+
+    from repro import VisualFeedbackQuery, QueryBuilder, condition
+    from repro.datasets import environmental_database
+
+    db = environmental_database(hours=2000, seed=7)
+    query = (
+        QueryBuilder("hot-days", db)
+        .use_tables("Weather")
+        .where(condition("Temperature", ">", 25.0))
+        .build()
+    )
+    feedback = VisualFeedbackQuery(db, query, percentage=0.4).execute()
+    print(feedback.statistics.as_dict())
+"""
+
+from repro.core import (
+    PipelineConfig,
+    QueryFeedback,
+    ReductionMethod,
+    RelevanceScale,
+    ScreenSpec,
+    VisualFeedbackQuery,
+)
+from repro.query import (
+    AndNode,
+    NotNode,
+    OrNode,
+    PredicateLeaf,
+    Query,
+    QueryBuilder,
+    parse_query,
+)
+from repro.query.builder import between, condition
+from repro.storage import Database, Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "VisualFeedbackQuery",
+    "PipelineConfig",
+    "ScreenSpec",
+    "QueryFeedback",
+    "ReductionMethod",
+    "RelevanceScale",
+    "Query",
+    "QueryBuilder",
+    "parse_query",
+    "condition",
+    "between",
+    "AndNode",
+    "OrNode",
+    "NotNode",
+    "PredicateLeaf",
+    "Database",
+    "Table",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Analysis utilities: window metrics, hot-spot detection, lagged correlations.
+
+These helpers quantify what a user would read off the visualizations --
+how restrictive each predicate is, how large the yellow region is, which
+items stand out as exceptional -- so tests and benchmarks can assert on
+them, and so the examples can report findings numerically alongside the
+pixel images.
+"""
+
+from repro.analysis.metrics import (
+    window_statistics,
+    restrictiveness_ranking,
+    color_usage,
+    selectivity,
+)
+from repro.analysis.hotspots import exceptional_items, hotspot_recall, relevance_hotspots
+from repro.analysis.correlation import lagged_correlation, best_lag
+
+__all__ = [
+    "window_statistics",
+    "restrictiveness_ranking",
+    "color_usage",
+    "selectivity",
+    "exceptional_items",
+    "hotspot_recall",
+    "relevance_hotspots",
+    "lagged_correlation",
+    "best_lag",
+]

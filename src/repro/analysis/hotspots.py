@@ -1,0 +1,81 @@
+"""Hot-spot (single exceptional data item) detection.
+
+The paper defines hot spots as results with ``|D'| = 1`` or sufficiently
+small compared to ``|D|`` -- single exceptional data items -- and stresses
+that VisDB "allows the user to find results which, otherwise, would remain
+hidden in the database".  In the headless reproduction the "user looking at
+a colour spot in an area of different colour" is replaced by simple
+detectors over the same quantities the user would see.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import QueryFeedback
+from repro.storage.table import Table
+
+__all__ = ["exceptional_items", "hotspot_recall", "relevance_hotspots"]
+
+
+def exceptional_items(table: Table, columns: list[str], z_threshold: float = 6.0) -> np.ndarray:
+    """Row indices of items that are extreme in at least one of the columns.
+
+    Uses the modified z-score (median / MAD), which is robust against the
+    outliers it is trying to find.  ``z_threshold`` of 6 flags only very
+    clear exceptions, matching the "single exceptional values" notion.
+    """
+    if not columns:
+        raise ValueError("at least one column is required")
+    flagged = np.zeros(len(table), dtype=bool)
+    for column in columns:
+        values = np.asarray(table.column(column), dtype=float)
+        median = np.nanmedian(values)
+        mad = np.nanmedian(np.abs(values - median))
+        if mad == 0.0 or np.isnan(mad):
+            continue
+        modified_z = 0.6745 * (values - median) / mad
+        flagged |= np.abs(modified_z) > z_threshold
+    return np.nonzero(flagged)[0]
+
+
+def relevance_hotspots(feedback: QueryFeedback, path: tuple = (), max_items: int = 20,
+                       isolation_quantile: float = 0.99) -> np.ndarray:
+    """Items whose distance for ``path`` is strikingly different from their display
+    neighbours -- the "color spot in an area of different color" a user would click.
+
+    The displayed items are scanned in display order; an item is a hot spot
+    candidate when the absolute difference between its distance and the
+    median distance of its 8 neighbours in display order exceeds the
+    ``isolation_quantile`` of all such differences.  At most ``max_items``
+    (the most isolated ones) are returned, as table row indices.
+    """
+    distances = feedback.ordered_distances(path)
+    n = len(distances)
+    if n < 3:
+        return np.empty(0, dtype=np.intp)
+    window = 4
+    padded = np.pad(distances, window, mode="edge")
+    neighbour_median = np.empty(n)
+    for i in range(n):
+        neighbourhood = np.concatenate(
+            [padded[i:i + window], padded[i + window + 1:i + 2 * window + 1]]
+        )
+        neighbour_median[i] = np.median(neighbourhood)
+    isolation = np.abs(distances - neighbour_median)
+    threshold = np.quantile(isolation, isolation_quantile)
+    if threshold <= 0:
+        return np.empty(0, dtype=np.intp)
+    candidates = np.nonzero(isolation >= threshold)[0]
+    best = candidates[np.argsort(isolation[candidates])[::-1][:max_items]]
+    return feedback.display_order[best]
+
+
+def hotspot_recall(detected_rows: np.ndarray, planted_rows: np.ndarray) -> float:
+    """Fraction of planted hot spots present among the detected rows."""
+    planted_rows = np.asarray(planted_rows)
+    if len(planted_rows) == 0:
+        return 1.0
+    detected_rows = np.asarray(detected_rows)
+    found = np.intersect1d(detected_rows, planted_rows)
+    return float(len(found) / len(planted_rows))

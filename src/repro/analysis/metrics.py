@@ -1,0 +1,62 @@
+"""Quantitative metrics over query feedback and visualization windows."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import QueryFeedback
+from repro.query.expr import NodePath
+from repro.storage.table import Table
+
+__all__ = ["window_statistics", "restrictiveness_ranking", "color_usage", "selectivity"]
+
+
+def window_statistics(feedback: QueryFeedback) -> dict[str, dict[str, float]]:
+    """Per-window statistics: restrictiveness, yellow share, result count.
+
+    A thin wrapper around :meth:`QueryFeedback.window_summary` kept here so
+    analysis code has one import point for metrics.
+    """
+    return feedback.window_summary()
+
+
+def restrictiveness_ranking(feedback: QueryFeedback,
+                            paths: list[NodePath] | None = None) -> list[tuple[str, float]]:
+    """Predicates ordered from most to least restrictive (darkest to brightest window).
+
+    "By the visual color impression of the single screens, the user gets
+    information on how restrictive each of the selection predicates is."
+    """
+    if paths is None:
+        paths = [p for p in feedback.paths if p != ()]
+    ranked = [
+        (feedback.node_feedback[p].label, feedback.node_feedback[p].restrictiveness())
+        for p in paths
+    ]
+    return sorted(ranked, key=lambda pair: pair[1], reverse=True)
+
+
+def color_usage(feedback: QueryFeedback, path: NodePath = (), levels: int = 64) -> float:
+    """Fraction of distinct colour levels actually used by a window's distances.
+
+    A window using only a couple of levels conveys little information; the
+    normalization is designed to spread the displayed distances over the
+    whole colour scale.
+    """
+    if levels < 2:
+        raise ValueError("levels must be at least 2")
+    distances = feedback.ordered_distances(path)
+    if len(distances) == 0:
+        return 0.0
+    buckets = np.clip((distances / 255.0 * (levels - 1)).astype(int), 0, levels - 1)
+    return float(len(np.unique(buckets)) / levels)
+
+
+def selectivity(table: Table, mask: np.ndarray) -> float:
+    """Fraction of the table selected by a boolean mask (0 for an empty table)."""
+    mask = np.asarray(mask, dtype=bool)
+    if len(mask) != len(table):
+        raise ValueError("mask length must match the table length")
+    if len(table) == 0:
+        return 0.0
+    return float(np.mean(mask))

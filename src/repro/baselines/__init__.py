@@ -1,0 +1,25 @@
+"""Baseline approaches the paper positions VisDB against.
+
+* :mod:`~repro.baselines.boolean_query` -- traditional exact query
+  evaluation, which flips between NULL results and result floods.
+* :mod:`~repro.baselines.cluster` -- a k-means style cluster analysis, the
+  statistics route to finding structure (and its blind spot for single
+  exceptional items).
+* :mod:`~repro.baselines.ranking` -- an information-retrieval style weighted
+  linear ranking without VisDB's per-predicate normalization.
+"""
+
+from repro.baselines.boolean_query import exact_query, result_size_profile, classify_result_size
+from repro.baselines.cluster import kmeans, cluster_outlier_scores, clustering_hotspot_recall
+from repro.baselines.ranking import weighted_linear_ranking, top_k_indices
+
+__all__ = [
+    "exact_query",
+    "result_size_profile",
+    "classify_result_size",
+    "kmeans",
+    "cluster_outlier_scores",
+    "clustering_hotspot_recall",
+    "weighted_linear_ranking",
+    "top_k_indices",
+]

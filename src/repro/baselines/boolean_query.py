@@ -1,0 +1,67 @@
+"""Traditional exact (boolean) query evaluation.
+
+This is the baseline the introduction argues against: "The result for most
+queries will contain either less data than expected, sometimes even no
+answers, so-called 'NULL' results, or more data than expected, at least
+more than the user is willing to deal with."  The helpers here make that
+behaviour measurable so benchmarks can contrast it with the graceful
+degradation of visual feedback queries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.query.expr import QueryNode
+from repro.storage.table import Table
+
+__all__ = ["exact_query", "result_size_profile", "classify_result_size"]
+
+
+def exact_query(table: Table, condition: QueryNode) -> np.ndarray:
+    """Row indices exactly fulfilling the condition (classical SQL semantics)."""
+    mask = condition.exact_mask(table)
+    return np.nonzero(mask)[0]
+
+
+def classify_result_size(result_count: int, total: int, null_threshold: int = 0,
+                         flood_fraction: float = 0.2) -> str:
+    """Classify a result set as ``"null"``, ``"flood"`` or ``"useful"``.
+
+    ``null``: at most ``null_threshold`` answers; ``flood``: more than
+    ``flood_fraction`` of the database; otherwise ``useful``.
+    """
+    if result_count <= null_threshold:
+        return "null"
+    if total > 0 and result_count > flood_fraction * total:
+        return "flood"
+    return "useful"
+
+
+def result_size_profile(table: Table, condition_factory: Callable[[float], QueryNode],
+                        parameters: Sequence[float], null_threshold: int = 0,
+                        flood_fraction: float = 0.2) -> list[dict]:
+    """Sweep a query parameter and record how the exact result size behaves.
+
+    ``condition_factory`` maps a parameter value (e.g. a temperature
+    threshold) to a condition tree.  The returned rows contain the result
+    count and its null/flood/useful classification -- the "many queries may
+    be needed" phenomenon the paper motivates visual feedback with.
+    """
+    rows = []
+    total = len(table)
+    for parameter in parameters:
+        condition = condition_factory(parameter)
+        count = int(len(exact_query(table, condition)))
+        rows.append(
+            {
+                "parameter": parameter,
+                "results": count,
+                "classification": classify_result_size(
+                    count, total, null_threshold=null_threshold, flood_fraction=flood_fraction
+                ),
+            }
+        )
+    return rows

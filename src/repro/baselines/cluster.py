@@ -1,0 +1,82 @@
+"""Cluster-analysis baseline (k-means).
+
+The paper (section 2.2): "An exhaustive cluster analysis of multidimensional
+data ... is computationally intractable for large data sets" and
+"statistical methods do not help to find single exceptional data, so-called
+hot spots".  This module provides a straightforward k-means implementation
+so benchmarks can quantify both points against the visual-feedback
+pipeline: runtime scaling and hot-spot recall.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.table import Table
+
+__all__ = ["kmeans", "cluster_outlier_scores", "clustering_hotspot_recall"]
+
+
+def kmeans(data: np.ndarray, k: int, iterations: int = 25, seed: int = 0
+           ) -> tuple[np.ndarray, np.ndarray]:
+    """Plain Lloyd's k-means.
+
+    Returns ``(labels, centers)``.  Deterministic for a given seed; empty
+    clusters are re-seeded to the point farthest from its assigned centre.
+    """
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 2:
+        raise ValueError("data must be 2-dimensional (items x features)")
+    n = len(data)
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    rng = np.random.default_rng(seed)
+    centers = data[rng.choice(n, size=k, replace=False)].copy()
+    labels = np.zeros(n, dtype=int)
+    for iteration in range(iterations):
+        distances = np.linalg.norm(data[:, None, :] - centers[None, :, :], axis=2)
+        new_labels = np.argmin(distances, axis=1)
+        if iteration > 0 and np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+        for cluster in range(k):
+            members = data[labels == cluster]
+            if len(members) == 0:
+                assigned_distance = distances[np.arange(n), labels]
+                centers[cluster] = data[np.argmax(assigned_distance)]
+            else:
+                centers[cluster] = members.mean(axis=0)
+    return labels, centers
+
+
+def cluster_outlier_scores(data: np.ndarray, k: int = 8, iterations: int = 25,
+                           seed: int = 0) -> np.ndarray:
+    """Outlier score per item: distance to its assigned cluster centre."""
+    data = np.asarray(data, dtype=float)
+    labels, centers = kmeans(data, k=k, iterations=iterations, seed=seed)
+    return np.linalg.norm(data - centers[labels], axis=1)
+
+
+def clustering_hotspot_recall(table: Table, columns: list[str], planted_rows: np.ndarray,
+                              k: int = 8, top_fraction: float = 0.001, seed: int = 0) -> float:
+    """Fraction of planted hot spots found among the top-scored items by clustering.
+
+    ``top_fraction`` of the items with the largest distance to their cluster
+    centre are flagged as candidates; the recall of the planted rows among
+    them is returned.  Cluster analysis typically has to flag a large
+    fraction to catch single exceptional values, which is the contrast the
+    benchmarks draw.
+    """
+    planted_rows = np.asarray(planted_rows)
+    if len(planted_rows) == 0:
+        return 1.0
+    data = np.column_stack([table.column(c) for c in columns]).astype(float)
+    # Standardise so no single attribute dominates the Euclidean distance.
+    std = data.std(axis=0)
+    std[std == 0.0] = 1.0
+    data = (data - data.mean(axis=0)) / std
+    scores = cluster_outlier_scores(data, k=k, seed=seed)
+    n_flagged = max(1, int(round(top_fraction * len(table))))
+    flagged = np.argsort(scores)[::-1][:n_flagged]
+    found = np.intersect1d(flagged, planted_rows)
+    return float(len(found) / len(planted_rows))

@@ -1,0 +1,54 @@
+"""Information-retrieval style weighted ranking baseline.
+
+Ranking functions and weighted queries from IR (the paper cites Salton's
+work) produce a top-k list from a weighted sum of raw per-predicate
+distances.  Unlike the VisDB pipeline this baseline performs no
+per-predicate range reduction or normalization, so attributes on large
+scales (or containing a single extreme outlier) dominate the ranking -- the
+failure mode section 5.2 describes and fixes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.query.predicates import Predicate
+from repro.storage.table import Table
+
+__all__ = ["weighted_linear_ranking", "top_k_indices"]
+
+
+def weighted_linear_ranking(table: Table, predicates: Sequence[Predicate],
+                            weights: Sequence[float] | None = None) -> np.ndarray:
+    """Score per item: weighted sum of *raw* absolute predicate distances.
+
+    Lower scores mean better matches.  NaN distances (undefined) are
+    replaced by the largest finite distance of that predicate.
+    """
+    if not predicates:
+        raise ValueError("at least one predicate is required")
+    if weights is None:
+        weights = [1.0] * len(predicates)
+    weights = np.asarray(list(weights), dtype=float)
+    if len(weights) != len(predicates):
+        raise ValueError("weights must match the number of predicates")
+    scores = np.zeros(len(table), dtype=float)
+    for predicate, weight in zip(predicates, weights):
+        distances = np.asarray(predicate.distances(table), dtype=float)
+        finite = distances[np.isfinite(distances)]
+        fallback = float(finite.max()) if len(finite) else 0.0
+        distances = np.where(np.isfinite(distances), distances, fallback)
+        scores += weight * distances
+    return scores
+
+
+def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` best (lowest) scores, best first."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    scores = np.asarray(scores, dtype=float)
+    k = min(k, len(scores))
+    order = np.argsort(scores, kind="stable")
+    return order[:k]

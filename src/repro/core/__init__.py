@@ -1,0 +1,66 @@
+"""Core relevance engine: the paper's primary contribution.
+
+Pipeline (paper sections 3 and 5):
+
+1. For every selection predicate, compute application-dependent distances
+   (:mod:`repro.distance`, via the predicates of :mod:`repro.query`).
+2. Reduce the data considered per predicate (proportional to ``r/(n·w_j)``)
+   and normalize the remaining distances to a fixed range
+   (:mod:`repro.core.normalization`).
+3. Combine the normalized distances bottom-up over the query tree: weighted
+   arithmetic mean for ``AND``, weighted geometric mean for ``OR``
+   (:mod:`repro.core.combine`), re-normalizing between levels.
+4. Turn the final combined distance into relevance factors and choose the
+   subset of data items to display using the α-quantile or multi-peak
+   heuristics (:mod:`repro.core.reduction`, :mod:`repro.core.relevance`).
+5. Package everything into a :class:`~repro.core.result.QueryFeedback` that
+   the visualization layer arranges into pixel windows.
+
+:class:`~repro.core.pipeline.VisualFeedbackQuery` is the public entry point.
+"""
+
+from repro.core.normalization import (
+    NORMALIZED_MAX,
+    minmax_normalize,
+    reduced_normalization,
+    normalize_signed,
+)
+from repro.core.weights import WeightSet
+from repro.core.combine import combine_and, combine_or, CombinationRule
+from repro.core.reduction import (
+    display_fraction,
+    quantile_threshold,
+    select_by_quantile,
+    signed_quantile_window,
+    multipeak_cut,
+    ReductionMethod,
+)
+from repro.core.relevance import RelevanceEvaluator, relevance_factors, RelevanceScale
+from repro.core.result import NodeFeedback, QueryFeedback, FeedbackStatistics
+from repro.core.pipeline import VisualFeedbackQuery, ScreenSpec, PipelineConfig
+
+__all__ = [
+    "NORMALIZED_MAX",
+    "minmax_normalize",
+    "reduced_normalization",
+    "normalize_signed",
+    "WeightSet",
+    "combine_and",
+    "combine_or",
+    "CombinationRule",
+    "display_fraction",
+    "quantile_threshold",
+    "select_by_quantile",
+    "signed_quantile_window",
+    "multipeak_cut",
+    "ReductionMethod",
+    "RelevanceEvaluator",
+    "relevance_factors",
+    "RelevanceScale",
+    "NodeFeedback",
+    "QueryFeedback",
+    "FeedbackStatistics",
+    "VisualFeedbackQuery",
+    "ScreenSpec",
+    "PipelineConfig",
+]

@@ -1,0 +1,78 @@
+"""Combining per-predicate distances into a single distance (section 5.2).
+
+For each data item ``x_i`` with normalized per-child distances ``d_ij`` and
+child weights ``w_j``:
+
+* ``AND``-connected parts combine via the **weighted arithmetic mean**
+  ``sum_j w_j * d_ij`` -- every child contributes, so an item must be close
+  to *all* conjuncts to obtain a small combined distance;
+* ``OR``-connected parts combine via the **weighted geometric mean**
+  ``prod_j d_ij ** w_j`` -- a single exactly-fulfilled child (distance 0)
+  drives the combined distance to 0, matching disjunction semantics.
+
+Combined distances are re-normalized before being used as input to the next
+tree level (handled by the evaluator, not here).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["CombinationRule", "combine_and", "combine_or", "combine"]
+
+
+class CombinationRule(Enum):
+    """How a composite node combines its children's distances."""
+
+    AND = "and"
+    OR = "or"
+
+
+def _validate(child_distances: np.ndarray, weights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    matrix = np.asarray(child_distances, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("child_distances must be 2-dimensional (items x children)")
+    weight_array = np.asarray(weights, dtype=float)
+    if weight_array.shape != (matrix.shape[1],):
+        raise ValueError(
+            f"weights must have one entry per child ({matrix.shape[1]}), "
+            f"got shape {weight_array.shape}"
+        )
+    if np.any((weight_array < 0) | (weight_array > 1)):
+        raise ValueError("weights must lie in [0, 1]")
+    return matrix, weight_array
+
+
+def combine_and(child_distances: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Weighted arithmetic mean: ``sum_j w_j * d_ij`` per data item.
+
+    The paper's formula is the plain weighted sum (not divided by the weight
+    total); the subsequent re-normalization makes the scale irrelevant.
+    """
+    matrix, weight_array = _validate(child_distances, weights)
+    return matrix @ weight_array
+
+
+def combine_or(child_distances: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Weighted geometric mean: ``prod_j d_ij ** w_j`` per data item.
+
+    A child with weight 0 contributes a neutral factor of 1 (``0 ** 0 == 1``
+    under the NumPy convention), i.e. it is ignored -- which is exactly what
+    a zero weighting factor should mean.
+    """
+    matrix, weight_array = _validate(child_distances, weights)
+    # 0 ** w is fine for w > 0; numpy evaluates 0 ** 0 as 1 which is the
+    # desired neutral element for ignored children.
+    return np.prod(np.power(matrix, weight_array[None, :]), axis=1)
+
+
+def combine(rule: CombinationRule, child_distances: np.ndarray,
+            weights: np.ndarray) -> np.ndarray:
+    """Dispatch to :func:`combine_and` or :func:`combine_or`."""
+    if rule is CombinationRule.AND:
+        return combine_and(child_distances, weights)
+    if rule is CombinationRule.OR:
+        return combine_or(child_distances, weights)
+    raise ValueError(f"unsupported combination rule: {rule!r}")

@@ -1,0 +1,131 @@
+"""Distance normalization (paper section 5.2).
+
+Distances computed by different distance functions "may be in completely
+different orders of magnitude", so before they can be combined they are
+transformed linearly from their observed range ``[d_min, d_max]`` to a fixed
+range (``[0, 255]`` here, matching the paper's example).
+
+A plain min-max transformation is vulnerable to outliers: "a single data
+item with an exceptionally high or low value may cause a completely
+different transformation, even if the combined distance of this data item
+is too high to be displayed".  The paper's improved scheme first restricts
+the data considered per selection predicate to a number of items
+proportional to ``r / (n · w_j)`` (the less a predicate is weighted, the
+more of its distance range is kept) and only then normalizes over the
+remaining range.  Items beyond that range saturate at the maximum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "NORMALIZED_MAX",
+    "minmax_normalize",
+    "reduced_normalization",
+    "normalize_signed",
+]
+
+#: Upper end of the fixed normalization range used throughout the system.
+NORMALIZED_MAX = 255.0
+
+
+def minmax_normalize(distances: np.ndarray, target_max: float = NORMALIZED_MAX) -> np.ndarray:
+    """Linear transformation of ``[d_min, d_max]`` to ``[0, target_max]``.
+
+    * NaN distances (items for which no distance is defined, e.g. failing
+      negations) map to ``target_max``.
+    * If all finite distances are equal they map to 0 when that value is 0
+      ("all the data represent completely correct results" -> all yellow)
+      and to ``target_max`` otherwise (equally wrong everywhere).
+    """
+    if target_max <= 0:
+        raise ValueError("target_max must be positive")
+    distances = np.asarray(distances, dtype=float)
+    result = np.full(distances.shape, target_max, dtype=float)
+    finite = np.isfinite(distances)
+    if not np.any(finite):
+        return result
+    finite_values = distances[finite]
+    d_min = float(finite_values.min())
+    d_max = float(finite_values.max())
+    if d_max == d_min:
+        result[finite] = 0.0 if d_max == 0.0 else target_max
+        return result
+    result[finite] = (finite_values - d_min) / (d_max - d_min) * target_max
+    return result
+
+
+def reduced_normalization(distances: np.ndarray, weight: float, display_capacity: int,
+                          target_max: float = NORMALIZED_MAX) -> np.ndarray:
+    """The paper's outlier-robust normalization for one selection predicate.
+
+    Parameters
+    ----------
+    distances:
+        Absolute distances of all ``n`` data items for this predicate.
+    weight:
+        The predicate's weighting factor ``w_j`` in ``[0, 1]``.  Smaller
+        weights keep a larger share of the distance range, because "the less
+        a selection predicate is weighted, the higher is the probability
+        that data with a greater distance for this selection predicate are
+        needed".
+    display_capacity:
+        ``r`` -- the number of data items that can be displayed.
+
+    Returns
+    -------
+    Normalized distances in ``[0, target_max]``; items whose distance falls
+    outside the retained range saturate at ``target_max``.
+    """
+    if display_capacity <= 0:
+        raise ValueError("display_capacity must be positive")
+    if not 0.0 <= weight <= 1.0:
+        raise ValueError(f"weight must be in [0, 1], got {weight}")
+    distances = np.asarray(distances, dtype=float)
+    n = len(distances)
+    if n == 0:
+        return distances.copy()
+    finite = np.isfinite(distances)
+    if not np.any(finite):
+        return np.full(n, target_max, dtype=float)
+    # Number of items whose distances define the normalization range:
+    # proportional to r / w_j (inverse proportionality to the weight), but at
+    # least the display capacity itself and at most all items.
+    effective_weight = max(weight, 1e-6)
+    keep = int(np.clip(np.ceil(display_capacity / effective_weight), 1, n))
+    finite_values = distances[finite]
+    if keep >= len(finite_values):
+        d_max = float(finite_values.max())
+    else:
+        d_max = float(np.partition(finite_values, keep - 1)[keep - 1])
+    d_min = float(finite_values.min())
+    result = np.full(n, target_max, dtype=float)
+    if d_max == d_min:
+        result[finite] = 0.0 if d_max == 0.0 else target_max
+        return result
+    scaled = (distances[finite] - d_min) / (d_max - d_min) * target_max
+    result[finite] = np.clip(scaled, 0.0, target_max)
+    return result
+
+
+def normalize_signed(signed_distances: np.ndarray,
+                     target_max: float = NORMALIZED_MAX) -> np.ndarray:
+    """Normalize signed distances to ``[-target_max, target_max]`` preserving the sign.
+
+    Used by the 2D arrangement (Fig. 1b), which needs the direction of the
+    distance as well as its magnitude.  Positive and negative sides are
+    scaled by the same factor (the larger absolute bound) so that the
+    ordering of magnitudes is preserved across the sign boundary.
+    """
+    signed = np.asarray(signed_distances, dtype=float)
+    result = np.full(signed.shape, target_max, dtype=float)
+    finite = np.isfinite(signed)
+    if not np.any(finite):
+        return result
+    bound = float(np.max(np.abs(signed[finite])))
+    if bound == 0.0:
+        result[finite] = 0.0
+        return result
+    result[finite] = signed[finite] / bound * target_max
+    return result

@@ -1,0 +1,60 @@
+"""Weighting factors for selection predicates.
+
+"The relative importance of the multiple selection predicates is highly
+user and query dependent [and] can only be solved by user interaction":
+weighting factors ``w_j in [0, 1]`` express the order of importance.  The
+weights live on the query-tree nodes; :class:`WeightSet` is the convenience
+view used by the interactive session (the "weight" row below the sliders in
+Fig. 4/5) to read and write them by node path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.query.expr import NodePath, QueryNode
+
+__all__ = ["WeightSet"]
+
+
+class WeightSet:
+    """Read/write view of the weighting factors of a query tree."""
+
+    def __init__(self, root: QueryNode):
+        self._root = root
+
+    def __getitem__(self, path: NodePath) -> float:
+        return self._root.find(tuple(path)).weight
+
+    def __setitem__(self, path: NodePath, weight: float) -> None:
+        self._root.find(tuple(path)).with_weight(weight)
+
+    def __iter__(self) -> Iterator[NodePath]:
+        for path, _ in self._root.iter_nodes():
+            yield path
+
+    def leaf_weights(self) -> dict[NodePath, float]:
+        """Weights of all predicate leaves, keyed by node path."""
+        return {path: leaf.weight for path, leaf in self._root.iter_leaves()}
+
+    def set_many(self, weights: Mapping[NodePath, float]) -> None:
+        """Assign several weighting factors at once."""
+        for path, weight in weights.items():
+            self[path] = weight
+
+    def reset(self, weight: float = 1.0) -> None:
+        """Set every node's weight to the same value (default: all equally important)."""
+        for path, node in self._root.iter_nodes():
+            node.with_weight(weight)
+
+    def normalized_leaf_weights(self) -> dict[NodePath, float]:
+        """Leaf weights rescaled so the largest weight is exactly 1.
+
+        Handy when the user has dragged all sliders down: relative
+        importance is what matters for the combination formulas.
+        """
+        weights = self.leaf_weights()
+        largest = max(weights.values(), default=1.0)
+        if largest <= 0:
+            return {path: 1.0 for path in weights}
+        return {path: w / largest for path, w in weights.items()}

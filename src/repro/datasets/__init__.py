@@ -1,0 +1,44 @@
+"""Synthetic datasets standing in for the paper's real-world databases.
+
+The paper's examples use an environmental-monitoring database (weather and
+air-pollution measurement series, about 68k data items in Fig. 4), a large
+geographical database, a CAD database of 3D parts with 27 describing
+parameters, and pairs of independent databases to be joined approximately.
+None of those datasets are available, so this package generates synthetic
+equivalents that preserve the properties the paper's figures depend on:
+diurnal structure, the time-lagged temperature/ozone correlation, planted
+exceptional values (hot spots), near-miss similar parts and fuzzy
+correspondences between independent databases.
+"""
+
+from repro.datasets.environmental import (
+    generate_weather,
+    generate_air_pollution,
+    environmental_database,
+    paper_scale_database,
+)
+from repro.datasets.geography import make_stations
+from repro.datasets.cad import cad_parts_table, reference_part, CadScenario
+from repro.datasets.multidb import correspondence_databases
+from repro.datasets.random_data import (
+    uniform_table,
+    normal_table,
+    bimodal_distances,
+    planted_outliers,
+)
+
+__all__ = [
+    "generate_weather",
+    "generate_air_pollution",
+    "environmental_database",
+    "paper_scale_database",
+    "make_stations",
+    "cad_parts_table",
+    "reference_part",
+    "CadScenario",
+    "correspondence_databases",
+    "uniform_table",
+    "normal_table",
+    "bimodal_distances",
+    "planted_outliers",
+]

@@ -1,0 +1,112 @@
+"""Synthetic CAD parts database for the similarity-retrieval application.
+
+Section 4.5: "In a CAD database of 3D-parts, it is not obvious how
+similarity can be formally described.  Usually, there are quite many
+parameters (in a concrete application in mechanical engineering we had 27
+parameters) describing the parts ... the user might miss a part that
+exactly fits in all except one parameter and just misses to fulfill the
+allowance of that single parameter."
+
+The generator produces parts drawn from a handful of design families (so
+there *are* similar parts to find), plus explicit "near miss" parts that
+match a chosen reference part within tolerance on all but exactly one
+parameter -- the case where classical fixed-allowance queries fail and
+approximate answers shine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.storage.table import Table
+
+__all__ = ["CadScenario", "cad_parts_table", "reference_part"]
+
+#: Parameter names: a plausible mix of geometric and material properties.
+PARAMETER_NAMES = tuple(f"P{i:02d}" for i in range(1, 28))
+
+
+@dataclass
+class CadScenario:
+    """A generated CAD database plus the ground truth needed by benchmarks."""
+
+    table: Table
+    #: Row index of the reference part similarity queries are issued against.
+    reference_index: int
+    #: Row indices of parts matching the reference within tolerance on all parameters.
+    exact_matches: np.ndarray
+    #: Row indices of parts matching on all but exactly one parameter.
+    near_misses: np.ndarray
+    #: Per-parameter tolerance (allowance) used to define a "match".
+    tolerances: np.ndarray = field(repr=False)
+
+
+def cad_parts_table(n_parts: int = 5000, n_families: int = 12, n_near_misses: int = 25,
+                    n_exact: int = 15, seed: int = 0,
+                    tolerance_fraction: float = 0.05) -> CadScenario:
+    """Generate the CAD parts table and its similarity ground truth.
+
+    Parameters
+    ----------
+    n_parts:
+        Total number of parts (rows).
+    n_families:
+        Number of design families (clusters) the bulk of the parts belong to.
+    n_near_misses:
+        Number of planted parts that fit the reference part in 26 of the 27
+        parameters and miss the allowance on exactly one.
+    n_exact:
+        Number of planted parts fitting the reference in all parameters.
+    tolerance_fraction:
+        Allowance per parameter, as a fraction of that parameter's scale.
+    """
+    if n_parts < n_near_misses + n_exact + 1:
+        raise ValueError("n_parts too small for the requested planted parts")
+    rng = np.random.default_rng(seed)
+    n_params = len(PARAMETER_NAMES)
+    # Family prototypes live on different scales per parameter (mm, degrees, counts...).
+    scales = rng.uniform(1.0, 200.0, n_params)
+    prototypes = rng.uniform(0.2, 1.0, (n_families, n_params)) * scales[None, :]
+    family_of_part = rng.integers(0, n_families, n_parts)
+    values = prototypes[family_of_part] * rng.normal(1.0, 0.08, (n_parts, n_params))
+
+    tolerances = tolerance_fraction * scales
+    reference_index = 0
+    reference_values = values[reference_index].copy()
+
+    # Plant exact matches: within a third of the tolerance on every parameter.
+    exact_rows = np.arange(1, 1 + n_exact)
+    jitter = rng.uniform(-1.0, 1.0, (n_exact, n_params)) * (tolerances / 3.0)
+    values[exact_rows] = reference_values[None, :] + jitter
+
+    # Plant near misses: within tolerance everywhere except one parameter,
+    # which misses the allowance by between 1.2x and 2.5x the tolerance.
+    near_rows = np.arange(1 + n_exact, 1 + n_exact + n_near_misses)
+    jitter = rng.uniform(-1.0, 1.0, (n_near_misses, n_params)) * (tolerances / 3.0)
+    values[near_rows] = reference_values[None, :] + jitter
+    miss_parameter = rng.integers(0, n_params, n_near_misses)
+    miss_sign = rng.choice([-1.0, 1.0], n_near_misses)
+    miss_amount = rng.uniform(1.2, 2.5, n_near_misses) * tolerances[miss_parameter]
+    values[near_rows, miss_parameter] = (
+        reference_values[miss_parameter] + miss_sign * miss_amount
+    )
+
+    columns = {"PartId": np.arange(n_parts, dtype=float)}
+    for j, name in enumerate(PARAMETER_NAMES):
+        columns[name] = values[:, j]
+    table = Table("CadParts", columns)
+    return CadScenario(
+        table=table,
+        reference_index=reference_index,
+        exact_matches=exact_rows,
+        near_misses=near_rows,
+        tolerances=tolerances,
+    )
+
+
+def reference_part(scenario: CadScenario) -> dict[str, float]:
+    """Parameter values of the scenario's reference part (the similarity query)."""
+    row = scenario.table.row(scenario.reference_index)
+    return {name: float(row[name]) for name in PARAMETER_NAMES}

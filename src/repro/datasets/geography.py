@@ -1,0 +1,46 @@
+"""Measurement-station locations for the environmental scenario."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.table import Table
+
+__all__ = ["make_stations"]
+
+_STATION_NAMES = (
+    "Nord", "Sued", "Ost", "West", "Zentrum", "Hafen", "Flughafen", "Wald",
+    "Industrie", "Vorstadt", "Altstadt", "Uferpark", "Messegelaende", "Uni",
+    "Klinikum", "Stadion",
+)
+
+
+def make_stations(n_stations: int, seed: int = 0, region_size_m: float = 20_000.0,
+                  table_name: str = "Locations") -> Table:
+    """Generate measurement stations scattered over a square region.
+
+    Columns: ``Location`` (integer id), ``Name``, ``X`` / ``Y`` (metres from
+    the region origin) and ``Altitude`` (metres above sea level).  Station
+    coordinates are drawn uniformly; altitudes follow a mild gradient plus
+    noise so spatial predicates have some structure to find.
+    """
+    if n_stations < 1:
+        raise ValueError("n_stations must be at least 1")
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.0, region_size_m, n_stations)
+    y = rng.uniform(0.0, region_size_m, n_stations)
+    altitude = 500.0 + 0.01 * x + rng.normal(0.0, 15.0, n_stations)
+    names = [
+        _STATION_NAMES[i % len(_STATION_NAMES)] + ("" if i < len(_STATION_NAMES) else f"-{i}")
+        for i in range(n_stations)
+    ]
+    return Table(
+        table_name,
+        {
+            "Location": np.arange(n_stations, dtype=float),
+            "Name": names,
+            "X": x,
+            "Y": y,
+            "Altitude": altitude,
+        },
+    )

@@ -1,0 +1,118 @@
+"""Two independent databases with fuzzy correspondences.
+
+Section 4.5: "Another example for an interesting application of our system
+are multi-database systems where it is often a problem to find
+corresponding data items in multiple independent databases.  If a distance
+function for the two attributes to be joined can be defined, our system
+will help the user to identify closely related data items of the two
+databases and to find adequate parameters for approximately joining the
+databases."
+
+The generator creates two station registries describing (partly) the same
+physical stations: registry B uses different ids, slightly offset
+coordinates and misspelled names, so an exact join finds (almost) nothing
+while approximate joins on coordinates or names recover the true pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.storage.database import Database
+from repro.storage.table import Table
+
+__all__ = ["CorrespondenceScenario", "correspondence_databases"]
+
+_BASE_NAMES = (
+    "Hauptbahnhof", "Marienplatz", "Sendlinger Tor", "Olympiazentrum", "Garching",
+    "Pasing", "Moosach", "Giesing", "Laim", "Neuperlach", "Freimann", "Solln",
+    "Obermenzing", "Trudering", "Aubing", "Feldmoching", "Ramersdorf", "Bogenhausen",
+)
+
+
+def _misspell(name: str, rng: np.random.Generator) -> str:
+    """Introduce a small typo (swap, drop or duplicate one character)."""
+    if len(name) < 4:
+        return name
+    kind = rng.integers(0, 3)
+    position = int(rng.integers(1, len(name) - 1))
+    if kind == 0:  # swap two adjacent characters
+        chars = list(name)
+        chars[position], chars[position - 1] = chars[position - 1], chars[position]
+        return "".join(chars)
+    if kind == 1:  # drop a character
+        return name[:position] + name[position + 1:]
+    return name[:position] + name[position] + name[position:]  # duplicate
+
+
+@dataclass
+class CorrespondenceScenario:
+    """Two registries plus the ground-truth correspondence pairs."""
+
+    database: Database
+    #: Array of (row in RegistryA, row in RegistryB) true correspondences.
+    true_pairs: np.ndarray
+    #: Coordinate offset (metres) applied to registry B.
+    coordinate_offset_m: float
+
+
+def correspondence_databases(n_stations: int = 60, overlap_fraction: float = 0.7,
+                             coordinate_offset_m: float = 35.0, seed: int = 0) -> CorrespondenceScenario:
+    """Generate two registries of measurement stations with fuzzy overlap.
+
+    ``overlap_fraction`` of registry A's stations also appear in registry B
+    (with new ids, offset coordinates and typo'd names); the remaining B
+    entries are unrelated stations.
+    """
+    if not 0.0 < overlap_fraction <= 1.0:
+        raise ValueError("overlap_fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    names_a = [
+        _BASE_NAMES[i % len(_BASE_NAMES)] + ("" if i < len(_BASE_NAMES) else f" {i}")
+        for i in range(n_stations)
+    ]
+    x_a = rng.uniform(0.0, 30_000.0, n_stations)
+    y_a = rng.uniform(0.0, 30_000.0, n_stations)
+    registry_a = Table(
+        "RegistryA",
+        {
+            "StationId": np.arange(n_stations, dtype=float),
+            "Name": names_a,
+            "X": x_a,
+            "Y": y_a,
+        },
+    )
+
+    n_overlap = int(round(overlap_fraction * n_stations))
+    overlap_rows = rng.choice(n_stations, size=n_overlap, replace=False)
+    n_extra = n_stations - n_overlap
+    names_b: list[str] = []
+    x_b = np.empty(n_overlap + n_extra)
+    y_b = np.empty(n_overlap + n_extra)
+    for position, row in enumerate(overlap_rows):
+        names_b.append(_misspell(names_a[row], rng))
+        angle = rng.uniform(0.0, 2.0 * np.pi)
+        x_b[position] = x_a[row] + coordinate_offset_m * np.cos(angle)
+        y_b[position] = y_a[row] + coordinate_offset_m * np.sin(angle)
+    for position in range(n_overlap, n_overlap + n_extra):
+        names_b.append(f"Station-{position + 1000}")
+        x_b[position] = rng.uniform(0.0, 30_000.0)
+        y_b[position] = rng.uniform(0.0, 30_000.0)
+    registry_b = Table(
+        "RegistryB",
+        {
+            "Code": 1000.0 + np.arange(n_overlap + n_extra, dtype=float),
+            "Name": names_b,
+            "X": x_b,
+            "Y": y_b,
+        },
+    )
+    database = Database("correspondence", [registry_a, registry_b])
+    true_pairs = np.stack([overlap_rows, np.arange(n_overlap)], axis=1)
+    return CorrespondenceScenario(
+        database=database,
+        true_pairs=true_pairs,
+        coordinate_offset_m=coordinate_offset_m,
+    )

@@ -1,0 +1,60 @@
+"""Distance functions for the approximate evaluation of selection predicates.
+
+The paper (section 3): "The distance functions are datatype and application
+dependent and must be provided by the application.  Examples for distance
+functions are the numerical difference (for metric types), distance matrices
+(for ordinal and nominal types), lexicographical, character-wise, substring
+or phonetic difference (for strings) and so on."
+
+This package implements all of those, plus the temporal and spatial
+distances needed by the environmental example's approximate joins and the
+multi-attribute combinators (Euclidean, L_p, Mahalanobis) mentioned for
+special applications in section 5.2.
+"""
+
+from repro.distance.base import DistanceFunction, DistanceRegistry, default_registry
+from repro.distance.numeric import (
+    absolute_difference,
+    signed_difference,
+    relative_difference,
+    cyclic_difference,
+)
+from repro.distance.strings import (
+    lexicographic_distance,
+    character_distance,
+    substring_distance,
+    edit_distance,
+    phonetic_distance,
+    soundex,
+)
+from repro.distance.matrix import DistanceMatrix, ordinal_distance
+from repro.distance.temporal import time_difference, lagged_time_difference, time_of_day_difference
+from repro.distance.spatial import euclidean_2d, manhattan_2d, haversine_km
+from repro.distance.combinators import euclidean_combination, lp_combination, mahalanobis_combination
+
+__all__ = [
+    "DistanceFunction",
+    "DistanceRegistry",
+    "default_registry",
+    "absolute_difference",
+    "signed_difference",
+    "relative_difference",
+    "cyclic_difference",
+    "lexicographic_distance",
+    "character_distance",
+    "substring_distance",
+    "edit_distance",
+    "phonetic_distance",
+    "soundex",
+    "DistanceMatrix",
+    "ordinal_distance",
+    "time_difference",
+    "lagged_time_difference",
+    "time_of_day_difference",
+    "euclidean_2d",
+    "manhattan_2d",
+    "haversine_km",
+    "euclidean_combination",
+    "lp_combination",
+    "mahalanobis_combination",
+]

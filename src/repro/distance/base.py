@@ -1,0 +1,105 @@
+"""Distance-function protocol and registry.
+
+A *distance function* maps a data value and a query reference value to a
+non-negative (or signed) float; zero means "the value fulfils the query
+reference exactly".  VisDB is application independent precisely because
+these functions are pluggable: the registry lets applications register their
+own functions per datatype or per attribute and lets the pipeline pick a
+sensible default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+import numpy as np
+
+from repro.query.schema import Attribute, DataType
+
+__all__ = ["DistanceFunction", "DistanceRegistry", "default_registry"]
+
+
+class DistanceFunction(Protocol):
+    """Callable protocol: ``distance(value, reference) -> float``.
+
+    Implementations may also accept NumPy arrays for ``value`` and return
+    arrays (all built-in numeric distances do), but scalar operation is the
+    minimum contract.
+    """
+
+    def __call__(self, value: Any, reference: Any) -> float:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class DistanceRegistry:
+    """Registry resolving distance functions by attribute name or datatype.
+
+    Resolution order: exact attribute-name registration, then datatype
+    registration, then the numeric default (absolute difference).
+    """
+
+    by_attribute: dict[str, Callable] = field(default_factory=dict)
+    by_datatype: dict[DataType, Callable] = field(default_factory=dict)
+
+    def register_attribute(self, attribute_name: str, function: Callable) -> None:
+        """Register a distance function for one specific attribute."""
+        self.by_attribute[attribute_name] = function
+
+    def register_datatype(self, datatype: DataType, function: Callable) -> None:
+        """Register a distance function for every attribute of a datatype."""
+        self.by_datatype[datatype] = function
+
+    def resolve(self, attribute: Attribute | str) -> Callable:
+        """Return the distance function to use for ``attribute``."""
+        from repro.distance.numeric import absolute_difference
+
+        if isinstance(attribute, str):
+            if attribute in self.by_attribute:
+                return self.by_attribute[attribute]
+            return absolute_difference
+        if attribute.name in self.by_attribute:
+            return self.by_attribute[attribute.name]
+        if attribute.datatype in self.by_datatype:
+            return self.by_datatype[attribute.datatype]
+        return self._default_for(attribute.datatype)
+
+    @staticmethod
+    def _default_for(datatype: DataType) -> Callable:
+        from repro.distance.numeric import absolute_difference
+        from repro.distance.strings import edit_distance
+        from repro.distance.temporal import time_difference
+
+        if datatype is DataType.STRING:
+            return edit_distance
+        if datatype is DataType.DATETIME:
+            return time_difference
+        return absolute_difference
+
+    def copy(self) -> "DistanceRegistry":
+        """Return an independent copy of the registry."""
+        return DistanceRegistry(dict(self.by_attribute), dict(self.by_datatype))
+
+
+def default_registry() -> DistanceRegistry:
+    """Return a registry pre-populated with the standard datatype defaults."""
+    from repro.distance.numeric import absolute_difference
+    from repro.distance.strings import edit_distance
+    from repro.distance.temporal import time_difference
+
+    registry = DistanceRegistry()
+    registry.register_datatype(DataType.NUMERIC, absolute_difference)
+    registry.register_datatype(DataType.ORDINAL, absolute_difference)
+    registry.register_datatype(DataType.STRING, edit_distance)
+    registry.register_datatype(DataType.DATETIME, time_difference)
+    return registry
+
+
+def as_array_distance(function: Callable) -> Callable[[np.ndarray, Any], np.ndarray]:
+    """Lift a scalar distance function to operate element-wise on arrays."""
+
+    def vectorised(values: np.ndarray, reference: Any) -> np.ndarray:
+        return np.array([float(function(v, reference)) for v in values], dtype=float)
+
+    return vectorised

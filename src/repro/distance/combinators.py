@@ -1,0 +1,78 @@
+"""Multi-attribute distance combinators.
+
+Section 5.2 of the paper: "for special applications other specific distance
+functions such as the Euclidean, L_p or the Mahalanobis distance in
+n-dimensional space may be used to combine the values of multiple
+attributes."  These combinators take a matrix of per-attribute (already
+normalized) distances, one row per data item and one column per attribute,
+plus per-attribute weights, and return one combined distance per item.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["euclidean_combination", "lp_combination", "mahalanobis_combination"]
+
+
+def _validate(distance_matrix: np.ndarray, weights: np.ndarray | None) -> tuple[np.ndarray, np.ndarray]:
+    matrix = np.asarray(distance_matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("distance_matrix must be 2-dimensional (items x attributes)")
+    if weights is None:
+        weight_array = np.ones(matrix.shape[1], dtype=float)
+    else:
+        weight_array = np.asarray(weights, dtype=float)
+        if weight_array.shape != (matrix.shape[1],):
+            raise ValueError(
+                f"weights must have one entry per attribute "
+                f"({matrix.shape[1]}), got shape {weight_array.shape}"
+            )
+        if np.any(weight_array < 0):
+            raise ValueError("weights must be non-negative")
+    return matrix, weight_array
+
+
+def euclidean_combination(distance_matrix, weights=None) -> np.ndarray:
+    """Weighted Euclidean combination: ``sqrt(sum_j w_j * d_ij^2)``."""
+    matrix, weight_array = _validate(distance_matrix, weights)
+    return np.sqrt(np.sum(weight_array[None, :] * matrix ** 2, axis=1))
+
+
+def lp_combination(distance_matrix, weights=None, p: float = 2.0) -> np.ndarray:
+    """Weighted L_p combination: ``(sum_j w_j * d_ij^p)^(1/p)``.
+
+    ``p = 1`` is the weighted city-block distance; ``p -> inf`` approaches
+    the maximum coordinate (use a large ``p`` to approximate it).
+    """
+    if p <= 0:
+        raise ValueError("p must be positive")
+    matrix, weight_array = _validate(distance_matrix, weights)
+    return np.power(np.sum(weight_array[None, :] * np.abs(matrix) ** p, axis=1), 1.0 / p)
+
+
+def mahalanobis_combination(distance_matrix, covariance=None) -> np.ndarray:
+    """Mahalanobis combination using the (estimated) covariance of the distances.
+
+    When ``covariance`` is omitted it is estimated from the distance matrix
+    itself; a small ridge keeps the inverse well defined for degenerate
+    (constant) attributes.
+    """
+    matrix = np.asarray(distance_matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("distance_matrix must be 2-dimensional (items x attributes)")
+    n_attributes = matrix.shape[1]
+    if covariance is None:
+        if matrix.shape[0] < 2:
+            covariance = np.eye(n_attributes)
+        else:
+            covariance = np.cov(matrix, rowvar=False)
+            covariance = np.atleast_2d(covariance)
+    covariance = np.asarray(covariance, dtype=float)
+    if covariance.shape != (n_attributes, n_attributes):
+        raise ValueError(
+            f"covariance must be {n_attributes}x{n_attributes}, got {covariance.shape}"
+        )
+    ridge = 1e-9 * np.eye(n_attributes)
+    inverse = np.linalg.inv(covariance + ridge)
+    return np.sqrt(np.einsum("ij,jk,ik->i", matrix, inverse, matrix).clip(min=0.0))

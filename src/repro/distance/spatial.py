@@ -1,0 +1,48 @@
+"""Spatial distance functions for location-related approximate joins.
+
+The environmental example joins weather and air-pollution measurements
+``at-same-location``; when the stations are close by but not identical an
+approximate spatial join (graded by the distance between the stations) is
+what recovers the intended matches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["euclidean_2d", "manhattan_2d", "haversine_km"]
+
+_EARTH_RADIUS_KM = 6371.0
+
+
+def euclidean_2d(point, reference):
+    """Euclidean distance between 2D points.
+
+    ``point`` may be a single ``(x, y)`` pair or an ``(n, 2)`` array;
+    ``reference`` is a single ``(x, y)`` pair.
+    """
+    points = np.atleast_2d(np.asarray(point, dtype=float))
+    ref = np.asarray(reference, dtype=float)
+    distances = np.hypot(points[:, 0] - ref[0], points[:, 1] - ref[1])
+    return distances if distances.size > 1 else float(distances[0])
+
+
+def manhattan_2d(point, reference):
+    """Manhattan (city-block) distance between 2D points."""
+    points = np.atleast_2d(np.asarray(point, dtype=float))
+    ref = np.asarray(reference, dtype=float)
+    distances = np.abs(points[:, 0] - ref[0]) + np.abs(points[:, 1] - ref[1])
+    return distances if distances.size > 1 else float(distances[0])
+
+
+def haversine_km(point, reference):
+    """Great-circle distance in kilometres between (latitude, longitude) pairs."""
+    points = np.atleast_2d(np.asarray(point, dtype=float))
+    ref = np.asarray(reference, dtype=float)
+    lat1, lon1 = np.radians(points[:, 0]), np.radians(points[:, 1])
+    lat2, lon2 = np.radians(ref[0]), np.radians(ref[1])
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    a = np.sin(dlat / 2.0) ** 2 + np.cos(lat1) * np.cos(lat2) * np.sin(dlon / 2.0) ** 2
+    distances = 2.0 * _EARTH_RADIUS_KM * np.arcsin(np.sqrt(a))
+    return distances if distances.size > 1 else float(distances[0])

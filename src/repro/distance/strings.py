@@ -1,0 +1,129 @@
+"""String distance functions: lexicographical, character-wise, substring,
+edit (Levenshtein) and phonetic (Soundex) differences.
+
+These are the string distances the paper enumerates for approximate string
+predicates and for approximately joining independent databases on textual
+keys (names with typos, differing spellings of the same station, ...).
+All functions return 0.0 for identical inputs and grow with dissimilarity.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "lexicographic_distance",
+    "character_distance",
+    "substring_distance",
+    "edit_distance",
+    "soundex",
+    "phonetic_distance",
+]
+
+
+def lexicographic_distance(value: str, reference: str) -> float:
+    """Distance based on the first differing character position.
+
+    Strings sharing a long common prefix are close; the distance is
+    ``1 / (p + 1)`` scaled into ``(0, 1]`` where ``p`` is the length of the
+    common prefix, and exactly 0 for equal strings.
+    """
+    if value == reference:
+        return 0.0
+    prefix = 0
+    for a, b in zip(value, reference):
+        if a != b:
+            break
+        prefix += 1
+    return 1.0 / (prefix + 1)
+
+
+def character_distance(value: str, reference: str) -> float:
+    """Character-wise (Hamming-like) difference.
+
+    Counts positions where the characters differ; length differences count
+    fully.  This is the "character-wise difference" of the paper.
+    """
+    shorter, longer = sorted((value, reference), key=len)
+    mismatches = sum(1 for a, b in zip(shorter, longer) if a != b)
+    return float(mismatches + (len(longer) - len(shorter)))
+
+
+def _longest_common_substring(value: str, reference: str) -> int:
+    if not value or not reference:
+        return 0
+    previous = [0] * (len(reference) + 1)
+    best = 0
+    for i in range(1, len(value) + 1):
+        current = [0] * (len(reference) + 1)
+        for j in range(1, len(reference) + 1):
+            if value[i - 1] == reference[j - 1]:
+                current[j] = previous[j - 1] + 1
+                if current[j] > best:
+                    best = current[j]
+        previous = current
+    return best
+
+
+def substring_distance(value: str, reference: str) -> float:
+    """Distance based on the longest common substring.
+
+    ``1 - lcs / max(len)``: 0 when one string equals the other, close to 1
+    when they share no run of characters.
+    """
+    if value == reference:
+        return 0.0
+    longest = max(len(value), len(reference))
+    if longest == 0:
+        return 0.0
+    return 1.0 - _longest_common_substring(value, reference) / longest
+
+
+def edit_distance(value: str, reference: str) -> float:
+    """Levenshtein edit distance (insertions, deletions, substitutions)."""
+    if value == reference:
+        return 0.0
+    if not value:
+        return float(len(reference))
+    if not reference:
+        return float(len(value))
+    previous = list(range(len(reference) + 1))
+    for i, a in enumerate(value, start=1):
+        current = [i] + [0] * len(reference)
+        for j, b in enumerate(reference, start=1):
+            insert_cost = current[j - 1] + 1
+            delete_cost = previous[j] + 1
+            substitute_cost = previous[j - 1] + (a != b)
+            current[j] = min(insert_cost, delete_cost, substitute_cost)
+        previous = current
+    return float(previous[-1])
+
+
+_SOUNDEX_CODES = {
+    **dict.fromkeys("BFPV", "1"),
+    **dict.fromkeys("CGJKQSXZ", "2"),
+    **dict.fromkeys("DT", "3"),
+    **dict.fromkeys("L", "4"),
+    **dict.fromkeys("MN", "5"),
+    **dict.fromkeys("R", "6"),
+}
+
+
+def soundex(value: str) -> str:
+    """Classic four-character Soundex code of a word (empty input -> ``"0000"``)."""
+    letters = [c for c in value.upper() if c.isalpha()]
+    if not letters:
+        return "0000"
+    first = letters[0]
+    code = [first]
+    previous = _SOUNDEX_CODES.get(first, "")
+    for letter in letters[1:]:
+        digit = _SOUNDEX_CODES.get(letter, "")
+        if digit and digit != previous:
+            code.append(digit)
+        if letter not in "HW":
+            previous = digit
+    return (("".join(code)) + "000")[:4]
+
+
+def phonetic_distance(value: str, reference: str) -> float:
+    """Phonetic difference: edit distance between the Soundex codes (0..4)."""
+    return edit_distance(soundex(value), soundex(reference))

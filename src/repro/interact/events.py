@@ -1,0 +1,103 @@
+"""Modification events of the interactive session.
+
+Each event corresponds to one of the interactions described in section 4.3:
+moving a slider (changing the query range of a predicate), changing a
+weighting factor, changing the percentage of data displayed, selecting a
+tuple or a colour range, switching auto-recalculation on or off, and
+double-clicking an operator box to drill down into a query subpart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.query.expr import NodePath
+
+__all__ = [
+    "SessionEvent",
+    "SetQueryRange",
+    "SetThreshold",
+    "SetWeight",
+    "SetPercentageDisplayed",
+    "SelectTuple",
+    "SelectColorRange",
+    "ClearSelection",
+    "ToggleAutoRecalculate",
+    "DrillDown",
+]
+
+
+class SessionEvent:
+    """Marker base class for all session events."""
+
+
+@dataclass(frozen=True)
+class SetQueryRange(SessionEvent):
+    """Move both ends of a range slider: ``low <= attribute <= high``."""
+
+    path: NodePath
+    low: float
+    high: float
+
+
+@dataclass(frozen=True)
+class SetThreshold(SessionEvent):
+    """Change the threshold of a one-sided comparison predicate."""
+
+    path: NodePath
+    value: float
+
+
+@dataclass(frozen=True)
+class SetWeight(SessionEvent):
+    """Change the weighting factor of the query part at ``path``."""
+
+    path: NodePath
+    weight: float
+
+
+@dataclass(frozen=True)
+class SetPercentageDisplayed(SessionEvent):
+    """Change the percentage of the data being displayed (0 < value <= 1)."""
+
+    percentage: float
+
+
+@dataclass(frozen=True)
+class SelectTuple(SessionEvent):
+    """Select the data item at a display rank to highlight it in every window."""
+
+    rank: int
+
+
+@dataclass(frozen=True)
+class SelectColorRange(SessionEvent):
+    """Select a colour (normalized distance) range in one window's slider.
+
+    Only the data items whose distance for ``path`` lies inside the range
+    stay highlighted/displayed in all other windows -- the "projection of
+    the visual representation to specific color ranges".
+    """
+
+    path: NodePath
+    distance_low: float
+    distance_high: float
+
+
+@dataclass(frozen=True)
+class ClearSelection(SessionEvent):
+    """Clear any tuple or colour-range selection."""
+
+
+@dataclass(frozen=True)
+class ToggleAutoRecalculate(SessionEvent):
+    """Switch between immediate recalculation and recalculation on demand."""
+
+    enabled: bool
+
+
+@dataclass(frozen=True)
+class DrillDown(SessionEvent):
+    """Open the visualization of an inner operator box (double click in Fig. 5)."""
+
+    path: NodePath

@@ -1,0 +1,69 @@
+"""Undo/redo history over query condition states."""
+
+from __future__ import annotations
+
+import copy
+
+from repro.query.expr import QueryNode
+
+__all__ = ["QueryHistory"]
+
+
+class QueryHistory:
+    """A bounded undo/redo stack of query condition snapshots.
+
+    Every modification of the query pushes a deep copy of the condition
+    tree; :meth:`undo` and :meth:`redo` walk the stack.  This supports the
+    exploratory usage pattern of VisDB where the user tries many slight
+    variations of a query and wants to return to an earlier one.
+    """
+
+    def __init__(self, initial: QueryNode, max_depth: int = 100):
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self._past: list[QueryNode] = []
+        self._future: list[QueryNode] = []
+        self._present = copy.deepcopy(initial)
+        self.max_depth = max_depth
+
+    @property
+    def present(self) -> QueryNode:
+        """The current condition snapshot (a private deep copy)."""
+        return self._present
+
+    def push(self, condition: QueryNode) -> None:
+        """Record a new state; clears the redo stack."""
+        self._past.append(self._present)
+        if len(self._past) > self.max_depth:
+            self._past.pop(0)
+        self._present = copy.deepcopy(condition)
+        self._future.clear()
+
+    def undo(self) -> QueryNode:
+        """Return to the previous state (raises if there is none)."""
+        if not self._past:
+            raise IndexError("nothing to undo")
+        self._future.append(self._present)
+        self._present = self._past.pop()
+        return self._present
+
+    def redo(self) -> QueryNode:
+        """Re-apply the most recently undone state (raises if there is none)."""
+        if not self._future:
+            raise IndexError("nothing to redo")
+        self._past.append(self._present)
+        self._present = self._future.pop()
+        return self._present
+
+    @property
+    def can_undo(self) -> bool:
+        """True if :meth:`undo` would succeed."""
+        return bool(self._past)
+
+    @property
+    def can_redo(self) -> bool:
+        """True if :meth:`redo` would succeed."""
+        return bool(self._future)
+
+    def __len__(self) -> int:
+        return len(self._past) + 1 + len(self._future)

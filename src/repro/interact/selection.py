@@ -1,0 +1,56 @@
+"""Selections: colour-range projection and cross-window highlighting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import QueryFeedback
+from repro.query.expr import NodePath
+from repro.vis.window import VisualizationWindow
+
+__all__ = ["items_in_color_range", "highlight_positions", "selected_tuple_values"]
+
+
+def items_in_color_range(feedback: QueryFeedback, path: NodePath,
+                         distance_low: float, distance_high: float) -> np.ndarray:
+    """Table row indices of displayed items whose distance for ``path`` is in range.
+
+    This implements "to focus on sets of data items with a specific color,
+    it is possible to select some color range in one of the sliders to get
+    only those data items displayed that have the selected color for the
+    considered attribute".
+    """
+    if distance_low > distance_high:
+        distance_low, distance_high = distance_high, distance_low
+    distances = feedback.ordered_distances(path)
+    mask = (distances >= distance_low) & (distances <= distance_high)
+    return feedback.display_order[mask]
+
+
+def highlight_positions(windows: dict[NodePath, VisualizationWindow],
+                        item_ids: np.ndarray) -> dict[NodePath, list[tuple[int, int]]]:
+    """Pixel positions of the given items in every window.
+
+    Because all windows share the same item placement, the selected items
+    appear at identical positions; this helper returns them explicitly so a
+    front-end (or a test) can verify the correspondence.
+    """
+    item_ids = np.asarray(item_ids)
+    positions: dict[NodePath, list[tuple[int, int]]] = {}
+    for path, window in windows.items():
+        found: list[tuple[int, int]] = []
+        for item in item_ids:
+            position = window.position_of_item(int(item))
+            if position is not None:
+                found.append(position)
+        positions[path] = found
+    return positions
+
+
+def selected_tuple_values(feedback: QueryFeedback, rank: int,
+                          attributes: list[str] | None = None) -> dict[str, object]:
+    """Attribute values of the item at ``rank`` (the "selected tuple" row)."""
+    values = feedback.selected_tuple(rank)
+    if attributes is None:
+        return values
+    return {a: values[a] for a in attributes if a in values}

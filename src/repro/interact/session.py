@@ -1,0 +1,241 @@
+"""The interactive VisDB session: apply modifications, get new feedback.
+
+:class:`VisDBSession` is the headless counterpart of the "Visualization and
+Query Modification" window: it owns the current query, applies modification
+events (slider moves, weight changes, percentage changes, selections),
+re-runs the pipeline -- immediately when auto-recalculation is on, lazily
+otherwise -- and hands out visualization windows and sliders.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.pipeline import PipelineConfig, VisualFeedbackQuery
+from repro.core.result import QueryFeedback
+from repro.interact.events import (
+    ClearSelection,
+    DrillDown,
+    SelectColorRange,
+    SelectTuple,
+    SessionEvent,
+    SetPercentageDisplayed,
+    SetQueryRange,
+    SetThreshold,
+    SetWeight,
+    ToggleAutoRecalculate,
+)
+from repro.interact.history import QueryHistory
+from repro.interact.selection import items_in_color_range
+from repro.query.builder import Query
+from repro.query.expr import NodePath, PredicateLeaf, QueryNode
+from repro.query.predicates import AttributePredicate, RangePredicate
+from repro.storage.database import Database
+from repro.storage.table import Table
+from repro.vis.layout import MultiWindowLayout
+from repro.vis.sliders import OverallSpectrum, Slider, sliders_for_feedback
+from repro.vis.window import VisualizationWindow
+
+__all__ = ["VisDBSession"]
+
+
+class VisDBSession:
+    """A scripted interactive session over one query.
+
+    Parameters
+    ----------
+    source:
+        Database or table queried against.
+    query:
+        Initial query (anything :class:`VisualFeedbackQuery` accepts).
+    config:
+        Pipeline configuration.
+    layout:
+        Multi-window layout used for rendering (small windows by default).
+    auto_recalculate:
+        If True (the paper's "normal mode") every modification triggers a
+        re-execution; otherwise :meth:`recalculate` must be called
+        explicitly ("auto recalculate off" for large databases).
+    """
+
+    def __init__(self, source: Database | Table, query, config: PipelineConfig | None = None,
+                 layout: MultiWindowLayout | None = None, auto_recalculate: bool = True):
+        self._pipeline = VisualFeedbackQuery(source, query, config)
+        self.source = source
+        self.layout = layout or MultiWindowLayout()
+        self.auto_recalculate = auto_recalculate
+        self._dirty = True
+        self._feedback: QueryFeedback | None = None
+        self.selection: np.ndarray | None = None
+        if self.query.condition is None:
+            raise ValueError("the query needs a condition to start a VisDB session")
+        self.history = QueryHistory(self.query.condition)
+        self.recalculations = 0
+        if auto_recalculate:
+            self.recalculate()
+
+    # ------------------------------------------------------------------ #
+    # State access
+    # ------------------------------------------------------------------ #
+    @property
+    def query(self) -> Query:
+        """The current query (its condition tree is mutated by events)."""
+        return self._pipeline.query
+
+    @property
+    def condition(self) -> QueryNode:
+        """The user-level condition tree."""
+        return self.query.condition
+
+    @property
+    def feedback(self) -> QueryFeedback:
+        """The latest feedback; triggers a recalculation if the state is dirty."""
+        if self._feedback is None or (self._dirty and self.auto_recalculate):
+            return self.recalculate()
+        if self._feedback is None:
+            raise RuntimeError("no feedback available; call recalculate() first")
+        return self._feedback
+
+    @property
+    def is_dirty(self) -> bool:
+        """True if the query changed since the last recalculation."""
+        return self._dirty
+
+    def _feedback_path(self, path: NodePath) -> NodePath:
+        """Translate a user-condition path to the effective feedback path.
+
+        When the query uses connections, the pipeline wraps the condition as
+        child 0 of an AND node together with the join predicates.
+        """
+        if self.query.connections and self.query.condition is not None:
+            return (0,) + tuple(path)
+        return tuple(path)
+
+    # ------------------------------------------------------------------ #
+    # Recalculation
+    # ------------------------------------------------------------------ #
+    def recalculate(self) -> QueryFeedback:
+        """Re-run the pipeline for the current query state."""
+        self._feedback = self._pipeline.execute()
+        self._dirty = False
+        self.recalculations += 1
+        return self._feedback
+
+    def _modified(self) -> None:
+        self.history.push(self.condition)
+        self._dirty = True
+        if self.auto_recalculate:
+            self.recalculate()
+
+    # ------------------------------------------------------------------ #
+    # Event application
+    # ------------------------------------------------------------------ #
+    def apply(self, event: SessionEvent) -> QueryFeedback | None:
+        """Apply one modification event; returns fresh feedback when recalculated."""
+        if isinstance(event, SetQueryRange):
+            self._set_query_range(event.path, event.low, event.high)
+        elif isinstance(event, SetThreshold):
+            self._set_threshold(event.path, event.value)
+        elif isinstance(event, SetWeight):
+            self.condition.find(tuple(event.path)).with_weight(event.weight)
+            self._modified()
+        elif isinstance(event, SetPercentageDisplayed):
+            self._pipeline = VisualFeedbackQuery(
+                self.source, self.query, self._pipeline.config.with_(percentage=event.percentage)
+            )
+            self._dirty = True
+            if self.auto_recalculate:
+                self.recalculate()
+        elif isinstance(event, SelectTuple):
+            self.selection = np.array([self.feedback.item_at_rank(event.rank)])
+        elif isinstance(event, SelectColorRange):
+            self.selection = items_in_color_range(
+                self.feedback, self._feedback_path(event.path),
+                event.distance_low, event.distance_high,
+            )
+        elif isinstance(event, ClearSelection):
+            self.selection = None
+        elif isinstance(event, ToggleAutoRecalculate):
+            self.auto_recalculate = event.enabled
+        elif isinstance(event, DrillDown):
+            # Drill-down is a view operation; it does not change the query.
+            return None
+        else:
+            raise TypeError(f"unsupported event type: {type(event).__name__}")
+        return self._feedback if not self._dirty else None
+
+    def _leaf_at(self, path: NodePath) -> PredicateLeaf:
+        node = self.condition.find(tuple(path))
+        if not isinstance(node, PredicateLeaf):
+            raise TypeError(f"node at path {path!r} is not a predicate leaf")
+        return node
+
+    def _set_query_range(self, path: NodePath, low: float, high: float) -> None:
+        leaf = self._leaf_at(path)
+        predicate = leaf.predicate
+        if isinstance(predicate, RangePredicate):
+            leaf.predicate = predicate.with_range(low, high)
+        elif isinstance(predicate, AttributePredicate):
+            leaf.predicate = RangePredicate(predicate.attribute, low, high)
+        else:
+            raise TypeError(
+                f"predicate {predicate.describe()!r} does not support a range slider"
+            )
+        self._modified()
+
+    def _set_threshold(self, path: NodePath, value: float) -> None:
+        leaf = self._leaf_at(path)
+        predicate = leaf.predicate
+        if not isinstance(predicate, AttributePredicate):
+            raise TypeError(
+                f"predicate {predicate.describe()!r} has no single threshold to move"
+            )
+        leaf.predicate = AttributePredicate(predicate.attribute, predicate.operator, float(value))
+        self._modified()
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    def windows(self, independent: bool = False) -> dict[NodePath, VisualizationWindow]:
+        """The overall window plus one window per top-level query part."""
+        return self.layout.windows(self.feedback, independent=independent)
+
+    def drill_down(self, path: NodePath) -> dict[NodePath, VisualizationWindow]:
+        """Windows for an inner operator box (the Fig. 5 view of the OR part)."""
+        return self.layout.subpart_windows(self.feedback, self._feedback_path(path))
+
+    def render(self) -> np.ndarray:
+        """Compose the current windows (highlighting any selection) into an RGB image."""
+        return self.layout.compose(self.windows(), highlight_items=self.selection)
+
+    def sliders(self) -> tuple[OverallSpectrum, list[Slider]]:
+        """The overall spectrum and one slider per predicate."""
+        return sliders_for_feedback(self.feedback)
+
+    def statistics(self) -> Mapping[str, object]:
+        """The counters of the query modification part as a dictionary."""
+        return self.feedback.statistics.as_dict()
+
+    # ------------------------------------------------------------------ #
+    # History
+    # ------------------------------------------------------------------ #
+    def undo(self) -> QueryFeedback | None:
+        """Restore the previous query state."""
+        restored = self.history.undo()
+        self._replace_condition(restored)
+        return self._feedback if not self._dirty else None
+
+    def redo(self) -> QueryFeedback | None:
+        """Re-apply the most recently undone query state."""
+        restored = self.history.redo()
+        self._replace_condition(restored)
+        return self._feedback if not self._dirty else None
+
+    def _replace_condition(self, condition: QueryNode) -> None:
+        self.query.condition = copy.deepcopy(condition)
+        self._dirty = True
+        if self.auto_recalculate:
+            self.recalculate()

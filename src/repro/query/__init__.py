@@ -1,0 +1,74 @@
+"""Query model: schema, predicates, boolean expression trees, joins and parsing.
+
+This package implements the query side of VisDB.  A query is
+
+* a set of tables (possibly connected by declared *connections* / joins),
+* a result list (projection with optional aggregates), and
+* a condition: a weighted boolean expression tree over selection
+  predicates, approximate joins and nested subqueries.
+
+The tree structure matters because the relevance engine combines distances
+bottom-up using the weighted arithmetic mean for ``AND`` nodes and the
+weighted geometric mean for ``OR`` nodes, and because the user can open a
+separate visualization window for any subpart of the expression.
+"""
+
+from repro.query.schema import Attribute, DataType, TableSchema, infer_schema
+from repro.query.predicates import (
+    ComparisonOperator,
+    Predicate,
+    AttributePredicate,
+    RangePredicate,
+    SetMembershipPredicate,
+    StringMatchPredicate,
+    NoDistanceWarning,
+)
+from repro.query.expr import (
+    QueryNode,
+    PredicateLeaf,
+    AndNode,
+    OrNode,
+    NotNode,
+    SubqueryNode,
+)
+from repro.query.joins import Connection, JoinKind, ApproximateJoinPredicate
+from repro.query.nested import ExistsPredicate, InPredicate
+from repro.query.builder import Query, QueryBuilder, ResultColumn, Aggregate
+from repro.query.aggregates import evaluate_result_list, project
+from repro.query.parser import parse_query, QueryParseError
+from repro.query.validation import validate_query, QueryValidationError
+
+__all__ = [
+    "Attribute",
+    "DataType",
+    "TableSchema",
+    "infer_schema",
+    "ComparisonOperator",
+    "Predicate",
+    "AttributePredicate",
+    "RangePredicate",
+    "SetMembershipPredicate",
+    "StringMatchPredicate",
+    "NoDistanceWarning",
+    "QueryNode",
+    "PredicateLeaf",
+    "AndNode",
+    "OrNode",
+    "NotNode",
+    "SubqueryNode",
+    "Connection",
+    "JoinKind",
+    "ApproximateJoinPredicate",
+    "ExistsPredicate",
+    "InPredicate",
+    "Query",
+    "QueryBuilder",
+    "ResultColumn",
+    "Aggregate",
+    "evaluate_result_list",
+    "project",
+    "parse_query",
+    "QueryParseError",
+    "validate_query",
+    "QueryValidationError",
+]

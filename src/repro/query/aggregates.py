@@ -1,0 +1,98 @@
+"""Evaluation of the result list (projection and aggregate operators).
+
+The query specification interface lets the user move attributes and the
+aggregate operators ``avg``, ``sum``, ``max``, ``min`` and ``count`` into
+the Result List.  The visualization itself works on the condition part, but
+once the user has focused on an interesting subset (the exact results, the
+displayed items, or a colour-range selection) the result list says which
+values to report for it.  :func:`evaluate_result_list` computes exactly
+that.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.query.builder import Aggregate, ResultColumn
+from repro.storage.table import Table
+
+__all__ = ["evaluate_result_list", "project"]
+
+
+def _resolve_column(table: Table, attribute: str) -> np.ndarray:
+    """Resolve a possibly qualified attribute against a (possibly prefixed) table."""
+    if table.has_column(attribute):
+        return table.column(attribute)
+    matches = [c for c in table.column_names if c.endswith(f".{attribute}")]
+    if len(matches) == 1:
+        return table.column(matches[0])
+    if not matches:
+        raise KeyError(f"result-list attribute {attribute!r} not found in the result table")
+    raise KeyError(
+        f"result-list attribute {attribute!r} is ambiguous; candidates: {', '.join(matches)}"
+    )
+
+
+def _aggregate(values: np.ndarray, aggregate: Aggregate) -> float:
+    numeric = np.asarray(values, dtype=float) if values.dtype.kind == "f" else None
+    if aggregate is Aggregate.COUNT:
+        return float(len(values))
+    if numeric is None:
+        raise TypeError(f"aggregate {aggregate.value!r} requires a numeric attribute")
+    finite = numeric[np.isfinite(numeric)]
+    if len(finite) == 0:
+        return float("nan")
+    if aggregate is Aggregate.AVG:
+        return float(finite.mean())
+    if aggregate is Aggregate.SUM:
+        return float(finite.sum())
+    if aggregate is Aggregate.MAX:
+        return float(finite.max())
+    if aggregate is Aggregate.MIN:
+        return float(finite.min())
+    raise ValueError(f"unsupported aggregate: {aggregate!r}")
+
+
+def project(table: Table, result_list: Sequence[ResultColumn],
+            rows: np.ndarray | None = None) -> Table:
+    """Plain projection: the non-aggregated result-list attributes for ``rows``.
+
+    ``rows`` defaults to all rows of the table.  Aggregated columns are
+    skipped (they do not produce one value per row).
+    """
+    if rows is None:
+        rows = np.arange(len(table))
+    columns: dict[str, np.ndarray] = {}
+    for result in result_list:
+        if result.aggregate is not None:
+            continue
+        columns[result.attribute] = _resolve_column(table, result.attribute)[rows]
+    if not columns:
+        raise ValueError("the result list contains no plain (non-aggregated) attributes")
+    return Table("result", columns)
+
+
+def evaluate_result_list(table: Table, result_list: Sequence[ResultColumn],
+                         rows: np.ndarray | None = None) -> dict[str, Any]:
+    """Evaluate every result-list entry over the selected ``rows``.
+
+    Non-aggregated attributes yield the projected value arrays; aggregated
+    entries yield a single number.  Keys are the result-column descriptions
+    (``"Temperature"``, ``"avg(Ozone)"``, ...), matching the Result List
+    window.
+    """
+    if not result_list:
+        raise ValueError("the result list is empty")
+    if rows is None:
+        rows = np.arange(len(table))
+    rows = np.asarray(rows, dtype=np.intp)
+    output: dict[str, Any] = {}
+    for result in result_list:
+        values = _resolve_column(table, result.attribute)[rows]
+        if result.aggregate is None:
+            output[result.describe()] = values
+        else:
+            output[result.describe()] = _aggregate(values, result.aggregate)
+    return output

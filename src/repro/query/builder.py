@@ -1,0 +1,249 @@
+"""Incremental query construction (a programmatic stand-in for GRADI).
+
+The original VisDB prototype uses the GRAphical Database Interface (GRADI)
+for query specification: the user selects tables, drags attributes into the
+result list, builds the condition from Condition/Subquery boxes connected
+with the Tool Box operators, drops in named connections and finally assigns
+weighting factors.  :class:`QueryBuilder` supports exactly that incremental
+style in code; :class:`Query` is the finished artefact handed to the
+relevance pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Sequence
+
+from repro.query.expr import AndNode, NotNode, OrNode, PredicateLeaf, QueryNode
+from repro.query.joins import Connection
+from repro.query.predicates import (
+    AttributePredicate,
+    ComparisonOperator,
+    Predicate,
+    RangePredicate,
+)
+
+__all__ = ["Aggregate", "ResultColumn", "Query", "QueryBuilder", "condition", "between"]
+
+
+class Aggregate(Enum):
+    """Aggregate operators available in the result list."""
+
+    AVG = "avg"
+    SUM = "sum"
+    MAX = "max"
+    MIN = "min"
+    COUNT = "count"
+
+
+@dataclass(frozen=True)
+class ResultColumn:
+    """One entry of the result list (projection), optionally aggregated."""
+
+    attribute: str
+    aggregate: Aggregate | None = None
+
+    def describe(self) -> str:
+        """Rendering used in the Result List window."""
+        if self.aggregate is None:
+            return self.attribute
+        return f"{self.aggregate.value}({self.attribute})"
+
+
+@dataclass
+class Query:
+    """A complete query: tables, result list, condition tree and connections."""
+
+    name: str
+    tables: list[str]
+    result_list: list[ResultColumn] = field(default_factory=list)
+    condition: QueryNode | None = None
+    connections: list[Connection] = field(default_factory=list)
+
+    @property
+    def selection_predicate_count(self) -> int:
+        """The paper's ``#sp``: number of predicate leaves in the condition."""
+        return self.condition.leaf_count() if self.condition is not None else 0
+
+    def top_level_parts(self) -> list[QueryNode]:
+        """The children of the root operator (one visualization window each).
+
+        For a single-predicate condition the condition itself is the only
+        part.  Join conditions added via connections become additional
+        windows in the pipeline, not here.
+        """
+        if self.condition is None:
+            return []
+        if self.condition.is_leaf:
+            return [self.condition]
+        return list(self.condition.children)
+
+    def part(self, path: tuple[int, ...]) -> QueryNode:
+        """Return the subexpression at ``path`` (the "double-clicked" box)."""
+        if self.condition is None:
+            raise ValueError("query has no condition")
+        return self.condition.find(path)
+
+    def describe(self) -> str:
+        """Readable one-line rendering of the whole query."""
+        select = ", ".join(c.describe() for c in self.result_list) or "*"
+        text = f"SELECT {select} FROM {', '.join(self.tables)}"
+        if self.condition is not None:
+            text += f" WHERE {self.condition.describe()}"
+        for connection in self.connections:
+            text += f" [{connection.describe()}]"
+        return text
+
+
+def condition(attribute: str, operator: str, value: float, weight: float = 1.0,
+              label: str | None = None) -> PredicateLeaf:
+    """Build a single Condition box: ``attribute <operator> value``."""
+    op = ComparisonOperator(operator)
+    return PredicateLeaf(AttributePredicate(attribute, op, float(value)),
+                         weight=weight, label=label)
+
+
+def between(attribute: str, low: float, high: float, weight: float = 1.0,
+            label: str | None = None) -> PredicateLeaf:
+    """Build a range Condition box: ``low <= attribute <= high``."""
+    return PredicateLeaf(RangePredicate(attribute, low, high), weight=weight, label=label)
+
+
+class QueryBuilder:
+    """Fluent, incremental query construction.
+
+    Example
+    -------
+    The environmental query of Fig. 3::
+
+        query = (
+            QueryBuilder("ozone-correlation", database)
+            .use_tables("Weather", "Air-Pollution")
+            .add_result("Weather.Temperature")
+            .add_result("Weather.Solar-Radiation")
+            .add_result("Weather.Humidity")
+            .add_result("Air-Pollution.Ozone")
+            .where(
+                OrNode([
+                    condition("Weather.Temperature", ">", 15.0),
+                    condition("Weather.Solar-Radiation", ">", 600.0),
+                    condition("Weather.Humidity", "<", 60.0),
+                ])
+            )
+            .use_connection("Air-Pollution with-time-diff Weather", parameter=120)
+            .build()
+        )
+    """
+
+    def __init__(self, name: str = "query", database=None):
+        self.name = name
+        self._database = database
+        self._tables: list[str] = []
+        self._result_list: list[ResultColumn] = []
+        self._condition: QueryNode | None = None
+        self._connections: list[Connection] = []
+
+    # -- tables and projection ------------------------------------------ #
+    def use_tables(self, *table_names: str) -> "QueryBuilder":
+        """Select the tables to be used in the query."""
+        for name in table_names:
+            if self._database is not None and name not in self._database:
+                raise KeyError(f"database has no table {name!r}")
+            if name not in self._tables:
+                self._tables.append(name)
+        return self
+
+    def add_result(self, attribute: str, aggregate: Aggregate | str | None = None) -> "QueryBuilder":
+        """Move an attribute (optionally aggregated) into the Result List."""
+        if isinstance(aggregate, str):
+            aggregate = Aggregate(aggregate.lower())
+        self._result_list.append(ResultColumn(attribute, aggregate))
+        return self
+
+    # -- condition ------------------------------------------------------- #
+    @staticmethod
+    def _as_node(part: QueryNode | Predicate) -> QueryNode:
+        if isinstance(part, QueryNode):
+            return part
+        return PredicateLeaf(part)
+
+    def where(self, part: QueryNode | Predicate) -> "QueryBuilder":
+        """Set the condition (replacing any previously specified condition)."""
+        self._condition = self._as_node(part)
+        return self
+
+    def and_where(self, part: QueryNode | Predicate) -> "QueryBuilder":
+        """Combine the current condition with ``part`` using AND."""
+        node = self._as_node(part)
+        if self._condition is None:
+            self._condition = node
+        elif isinstance(self._condition, AndNode):
+            self._condition.add(node)
+        else:
+            self._condition = AndNode([self._condition, node])
+        return self
+
+    def or_where(self, part: QueryNode | Predicate) -> "QueryBuilder":
+        """Combine the current condition with ``part`` using OR."""
+        node = self._as_node(part)
+        if self._condition is None:
+            self._condition = node
+        elif isinstance(self._condition, OrNode):
+            self._condition.add(node)
+        else:
+            self._condition = OrNode([self._condition, node])
+        return self
+
+    def not_where(self, part: QueryNode | Predicate) -> "QueryBuilder":
+        """AND-combine the negation of ``part`` (simplified where possible)."""
+        node = NotNode(self._as_node(part))
+        try:
+            node = node.simplify()
+        except ValueError:
+            pass
+        return self.and_where(node)
+
+    def weight(self, path: Sequence[int], value: float) -> "QueryBuilder":
+        """Assign a weighting factor to the condition part at ``path``."""
+        if self._condition is None:
+            raise ValueError("no condition specified yet")
+        self._condition.find(tuple(path)).with_weight(value)
+        return self
+
+    # -- connections ----------------------------------------------------- #
+    def use_connection(self, connection: Connection | str,
+                       parameter: float | None = None) -> "QueryBuilder":
+        """Add a declared connection (join) to the query, binding its parameter."""
+        if isinstance(connection, str):
+            if self._database is None:
+                raise ValueError("a database is required to look up connections by key")
+            connection = self._database.connection(connection)
+        if parameter is not None:
+            connection = connection.bind(parameter)
+        self._connections.append(connection)
+        for table_name in (connection.left_table, connection.right_table):
+            if table_name not in self._tables:
+                self._tables.append(table_name)
+        return self
+
+    # -- finalisation ----------------------------------------------------- #
+    def build(self) -> Query:
+        """Produce the finished :class:`Query`.
+
+        If a database was supplied, the query is validated against it.
+        """
+        if not self._tables:
+            raise ValueError("no tables selected; call use_tables() first")
+        query = Query(
+            name=self.name,
+            tables=list(self._tables),
+            result_list=list(self._result_list),
+            condition=self._condition,
+            connections=list(self._connections),
+        )
+        if self._database is not None:
+            from repro.query.validation import validate_query
+
+            validate_query(query, self._database)
+        return query

@@ -1,0 +1,222 @@
+"""Connections (named joins) and approximate join predicates.
+
+VisDB treats join conditions like any other selection predicate: the data
+items of the cross product that *approximately* fulfil the join condition
+are retained and coloured by their join distance.  This is what makes the
+time- and location-related joins of the environmental example work even
+when the two measurement series use different sampling grids or close-by
+(but not identical) station locations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.query.predicates import Predicate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.table import Table
+
+__all__ = ["JoinKind", "Connection", "ApproximateJoinPredicate"]
+
+
+class JoinKind(Enum):
+    """The kinds of join conditions distinguished by the paper (section 4.4)."""
+
+    #: ``a1 = a2`` -- classical equi join; distance is the signed difference.
+    EQUI = "equi"
+    #: ``|t1 - t2| = c`` -- e.g. ``with-time-diff(120)``; distance is
+    #: ``|t1 - t2| - c`` (how far the observed lag misses the hypothesised one).
+    TIME_DIFF = "time-diff"
+    #: Spatial proximity ``dist(p1, p2) <= c`` -- e.g. ``at-same-location`` /
+    #: ``with-distance(m)``; distance is how far the points exceed ``c``.
+    WITHIN_DISTANCE = "within-distance"
+    #: Non-equi join ``a1 < a2``; distance is ``a1 - a2`` where violated.
+    NON_EQUI = "non-equi"
+    #: Parametrised join ``a1 - a2 < c``; distance is ``(a1 - a2) - c`` where violated.
+    PARAMETRIC = "parametric"
+
+
+@dataclass(frozen=True)
+class Connection:
+    """A designer-declared, possibly parameterised join between two tables.
+
+    Connections appear in the query specification interface under names
+    such as ``Air-Pollution with-time-diff(min) Weather``; the user binds
+    the parameter (e.g. 120 minutes) when using them in a query.
+
+    ``left_attribute`` / ``right_attribute`` are single column names, except
+    for :data:`JoinKind.WITHIN_DISTANCE` joins where they may be ``(x, y)``
+    coordinate column pairs.
+    """
+
+    name: str
+    left_table: str
+    right_table: str
+    left_attribute: str | tuple[str, str]
+    right_attribute: str | tuple[str, str]
+    kind: JoinKind = JoinKind.EQUI
+    parameter: float | None = None
+    tolerance: float = 0.0
+
+    @property
+    def key(self) -> str:
+        """Identifier shown in the Connections window, e.g.
+        ``'Air-Pollution with-time-diff Weather'``."""
+        return f"{self.left_table} {self.name} {self.right_table}"
+
+    @property
+    def is_parameterised(self) -> bool:
+        """True if the join takes a numeric parameter (time diff, distance)."""
+        return self.kind in (JoinKind.TIME_DIFF, JoinKind.WITHIN_DISTANCE, JoinKind.PARAMETRIC)
+
+    def bind(self, parameter: float) -> "Connection":
+        """Return a copy with the parameter bound (``with-time-diff(120)``)."""
+        if not self.is_parameterised:
+            raise ValueError(f"connection {self.key!r} takes no parameter")
+        return replace(self, parameter=float(parameter))
+
+    def describe(self) -> str:
+        """Label used for the join's visualization window."""
+        if self.is_parameterised and self.parameter is not None:
+            return f"{self.left_table} {self.name}({self.parameter:g}) {self.right_table}"
+        return self.key
+
+    def to_predicate(self, left_prefix: str | None = None,
+                     right_prefix: str | None = None) -> "ApproximateJoinPredicate":
+        """Build the approximate join predicate over a prefixed cross-product table.
+
+        ``left_prefix``/``right_prefix`` default to the table names, matching
+        the column naming of :meth:`repro.storage.CrossProduct.to_table`.
+        """
+        left_prefix = left_prefix if left_prefix is not None else self.left_table
+        right_prefix = right_prefix if right_prefix is not None else self.right_table
+
+        def qualify(prefix: str, attribute: str | tuple[str, str]):
+            if isinstance(attribute, tuple):
+                return tuple(f"{prefix}.{a}" for a in attribute)
+            return f"{prefix}.{attribute}"
+
+        if self.is_parameterised and self.parameter is None:
+            raise ValueError(
+                f"connection {self.key!r} needs a bound parameter; call .bind(value) first"
+            )
+        return ApproximateJoinPredicate(
+            left_column=qualify(left_prefix, self.left_attribute),
+            right_column=qualify(right_prefix, self.right_attribute),
+            kind=self.kind,
+            parameter=self.parameter,
+            tolerance=self.tolerance,
+            label=self.describe(),
+        )
+
+
+@dataclass(repr=False)
+class ApproximateJoinPredicate(Predicate):
+    """A join condition evaluated as a predicate over a (cross-product) table.
+
+    The predicate references fully qualified column names of the derived
+    table (``'Weather.DateTime'``, ``'Air-Pollution.DateTime'``, ...).  The
+    distance semantics per :class:`JoinKind` are documented on the enum.
+    """
+
+    left_column: str | tuple[str, str]
+    right_column: str | tuple[str, str]
+    kind: JoinKind = JoinKind.EQUI
+    parameter: float | None = None
+    tolerance: float = 0.0
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind in (JoinKind.TIME_DIFF, JoinKind.WITHIN_DISTANCE, JoinKind.PARAMETRIC):
+            if self.parameter is None:
+                raise ValueError(f"{self.kind.value} join requires a parameter")
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        paired = isinstance(self.left_column, tuple)
+        if paired != isinstance(self.right_column, tuple):
+            raise ValueError("left and right columns must both be names or both be pairs")
+        if paired and self.kind is not JoinKind.WITHIN_DISTANCE:
+            raise ValueError("coordinate-pair columns are only valid for WITHIN_DISTANCE joins")
+
+    # Predicate protocol ------------------------------------------------- #
+    @property
+    def attribute(self) -> str:  # type: ignore[override]
+        """Primary attribute for slider purposes (the left join column)."""
+        if isinstance(self.left_column, tuple):
+            return self.left_column[0]
+        return self.left_column
+
+    def _raw_signed(self, table: "Table") -> np.ndarray:
+        if self.kind is JoinKind.WITHIN_DISTANCE:
+            lx, ly = (np.asarray(table.column(c), dtype=float) for c in self.left_column)
+            rx, ry = (np.asarray(table.column(c), dtype=float) for c in self.right_column)
+            separation = np.hypot(lx - rx, ly - ry)
+            return separation - float(self.parameter)
+        left = np.asarray(table.column(self.left_column), dtype=float)
+        right = np.asarray(table.column(self.right_column), dtype=float)
+        if self.kind is JoinKind.EQUI:
+            return left - right
+        if self.kind is JoinKind.TIME_DIFF:
+            return np.abs(left - right) - float(self.parameter)
+        if self.kind is JoinKind.NON_EQUI:
+            return left - right
+        # PARAMETRIC: a1 - a2 < c
+        return (left - right) - float(self.parameter)
+
+    def exact_mask(self, table: "Table") -> np.ndarray:
+        raw = self._raw_signed(table)
+        if self.kind in (JoinKind.EQUI, JoinKind.TIME_DIFF):
+            return np.abs(raw) <= self.tolerance
+        # WITHIN_DISTANCE, NON_EQUI and PARAMETRIC are one-sided conditions.
+        return raw <= self.tolerance if self.kind is not JoinKind.NON_EQUI else raw < 0
+
+    def signed_distances(self, table: "Table") -> np.ndarray:
+        raw = self._raw_signed(table)
+        fulfilled = self.exact_mask(table)
+        return np.where(fulfilled, 0.0, raw)
+
+    @property
+    def supports_direction(self) -> bool:
+        return self.kind in (JoinKind.EQUI, JoinKind.NON_EQUI, JoinKind.PARAMETRIC)
+
+    def describe(self) -> str:
+        if self.label:
+            return self.label
+        left = "/".join(self.left_column) if isinstance(self.left_column, tuple) else self.left_column
+        right = "/".join(self.right_column) if isinstance(self.right_column, tuple) else self.right_column
+        if self.kind is JoinKind.EQUI:
+            return f"{left} = {right}"
+        if self.kind is JoinKind.TIME_DIFF:
+            return f"|{left} - {right}| = {self.parameter:g}"
+        if self.kind is JoinKind.WITHIN_DISTANCE:
+            return f"dist({left}, {right}) <= {self.parameter:g}"
+        if self.kind is JoinKind.NON_EQUI:
+            return f"{left} < {right}"
+        return f"{left} - {right} < {self.parameter:g}"
+
+    def inverse_partner_count_distance(self, table: "Table") -> np.ndarray:
+        """Distance variant from the paper: the inverse of the number of join partners.
+
+        "if the user is only interested in one relation and in the number of
+        join partners that each data item of this relation has with another
+        relation, the user might use the inverse of that number as the
+        distance."  Items with no partner get ``inf``.
+        """
+        mask = self.exact_mask(table)
+        left_key = self.attribute
+        left_values = table.column(left_key)
+        counts: dict[float, int] = {}
+        for value, fulfilled in zip(left_values, mask):
+            if fulfilled:
+                counts[value] = counts.get(value, 0) + 1
+        result = np.empty(len(table), dtype=float)
+        for i, value in enumerate(left_values):
+            count = counts.get(value, 0)
+            result[i] = math.inf if count == 0 else 1.0 / count
+        return result

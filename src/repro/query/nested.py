@@ -1,0 +1,151 @@
+"""Nested subqueries (EXISTS / IN) with approximate-join semantics.
+
+The paper (section 4.4) visualises a nested subquery from the point of view
+of the outer relation: an outer data item is coloured yellow if the subquery
+condition is fulfilled for it, and otherwise with "the colour corresponding
+to the distance of the data item most closely fulfilling the subquery
+condition", i.e. the minimum combined distance over an approximate join of
+the inner and outer relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.query.expr import QueryNode
+from repro.query.joins import JoinKind
+from repro.query.predicates import Predicate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.table import Table
+
+__all__ = ["ExistsPredicate", "InPredicate"]
+
+
+def _combined_inner_distances(inner_table: "Table", condition: QueryNode | None) -> np.ndarray:
+    """Unweighted combined distance of the inner condition per inner row.
+
+    The inner condition contributes additively to the join distance when
+    ranking "the data item most closely fulfilling the subquery condition".
+    Rows fulfilling the condition contribute zero.
+    """
+    if condition is None:
+        return np.zeros(len(inner_table), dtype=float)
+    total = np.zeros(len(inner_table), dtype=float)
+    for _, leaf in condition.iter_leaves():
+        distances = leaf.predicate.distances(inner_table)
+        distances = np.where(np.isnan(distances), np.nanmax(distances[np.isfinite(distances)],
+                                                            initial=1.0), distances)
+        total += distances
+    return total
+
+
+@dataclass(repr=False)
+class ExistsPredicate(Predicate):
+    """``EXISTS (SELECT ... FROM inner WHERE inner.attr ~ outer.attr AND ...)``.
+
+    Parameters
+    ----------
+    attribute:
+        Outer join attribute (column of the table under evaluation).
+    inner_table:
+        The inner relation.
+    inner_attribute:
+        Join attribute of the inner relation.
+    inner_condition:
+        Optional additional condition on the inner relation.
+    kind:
+        Join kind linking outer and inner attribute (default equi join).
+    parameter, tolerance:
+        Parameters of the join, as for :class:`ApproximateJoinPredicate`.
+    chunk_size:
+        Number of outer rows processed per vectorised block.
+    """
+
+    attribute: str
+    inner_table: "Table"
+    inner_attribute: str
+    inner_condition: QueryNode | None = None
+    kind: JoinKind = JoinKind.EQUI
+    parameter: float | None = None
+    tolerance: float = 0.0
+    chunk_size: int = 2048
+    _inner_cache: dict = field(default_factory=dict, compare=False)
+
+    def _inner_values_and_penalty(self) -> tuple[np.ndarray, np.ndarray]:
+        if "values" not in self._inner_cache:
+            self._inner_cache["values"] = np.asarray(
+                self.inner_table.column(self.inner_attribute), dtype=float
+            )
+            self._inner_cache["penalty"] = _combined_inner_distances(
+                self.inner_table, self.inner_condition
+            )
+        return self._inner_cache["values"], self._inner_cache["penalty"]
+
+    def _pair_distance(self, outer: np.ndarray, inner: np.ndarray) -> np.ndarray:
+        """|outer x inner| distance matrix chunk according to the join kind."""
+        diff = outer[:, None] - inner[None, :]
+        if self.kind is JoinKind.EQUI:
+            return np.abs(diff)
+        if self.kind is JoinKind.TIME_DIFF:
+            return np.abs(np.abs(diff) - float(self.parameter or 0.0))
+        if self.kind is JoinKind.NON_EQUI:
+            return np.where(diff < 0, 0.0, diff)
+        if self.kind is JoinKind.PARAMETRIC:
+            excess = diff - float(self.parameter or 0.0)
+            return np.where(excess < 0, 0.0, excess)
+        raise ValueError(f"unsupported join kind for nested subqueries: {self.kind}")
+
+    def signed_distances(self, table: "Table") -> np.ndarray:
+        outer_values = np.asarray(table.column(self.attribute), dtype=float)
+        inner_values, penalty = self._inner_values_and_penalty()
+        if len(inner_values) == 0:
+            return np.full(len(table), np.nan)
+        result = np.empty(len(table), dtype=float)
+        for start in range(0, len(outer_values), self.chunk_size):
+            stop = start + self.chunk_size
+            block = self._pair_distance(outer_values[start:stop], inner_values)
+            result[start:stop] = np.min(block + penalty[None, :], axis=1)
+        result = np.where(np.isnan(outer_values), np.nan, result)
+        return result
+
+    def exact_mask(self, table: "Table") -> np.ndarray:
+        distances = self.signed_distances(table)
+        return np.where(np.isnan(distances), False, np.abs(distances) <= self.tolerance)
+
+    @property
+    def supports_direction(self) -> bool:
+        return False
+
+    def describe(self) -> str:
+        inner = self.inner_table.name
+        condition = ""
+        if self.inner_condition is not None:
+            condition = f" AND {self.inner_condition.describe()}"
+        return (
+            f"EXISTS ({inner}.{self.inner_attribute} ~ {self.attribute}{condition})"
+        )
+
+
+@dataclass(repr=False)
+class InPredicate(ExistsPredicate):
+    """``outer.attr IN (SELECT inner.attr FROM inner WHERE ...)``.
+
+    Semantically an :class:`ExistsPredicate` with an equi join on the two
+    attributes; kept as its own class so queries read like the SQL they
+    represent.
+    """
+
+    def __post_init__(self) -> None:
+        if self.kind is not JoinKind.EQUI:
+            raise ValueError("IN subqueries always use an equi join on the selected attribute")
+
+    def describe(self) -> str:
+        inner = self.inner_table.name
+        condition = ""
+        if self.inner_condition is not None:
+            condition = f" WHERE {self.inner_condition.describe()}"
+        return f"{self.attribute} IN (SELECT {self.inner_attribute} FROM {inner}{condition})"

@@ -1,0 +1,262 @@
+"""A small SQL-like text front-end for query specification.
+
+The paper notes that "for the purpose of query specification, the user may
+also use traditional query languages such as SQL"; this module provides
+that path.  The accepted grammar::
+
+    query       := SELECT result_list FROM table_list [WHERE expression]
+    result_list := result ("," result)*          | "*"
+    result      := [AGG "("] identifier [")"]
+    expression  := and_expr (OR and_expr)*
+    and_expr    := unary (AND unary)*
+    unary       := NOT unary | "(" expression ")" | comparison
+    comparison  := identifier op literal        [WEIGHT number]
+                 | identifier BETWEEN number AND number [WEIGHT number]
+                 | identifier IN "(" literal ("," literal)* ")" [WEIGHT number]
+    op          := "=" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+
+Identifiers may be qualified (``Weather.Temperature``) and may contain
+dashes, matching the attribute names of the environmental example
+(``Solar-Radiation``).  ``WEIGHT w`` attaches a weighting factor to the
+preceding predicate.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.query.builder import Aggregate, Query, ResultColumn
+from repro.query.expr import AndNode, NotNode, OrNode, PredicateLeaf, QueryNode
+from repro.query.predicates import (
+    AttributePredicate,
+    ComparisonOperator,
+    RangePredicate,
+    SetMembershipPredicate,
+    StringMatchPredicate,
+)
+
+__all__ = ["parse_query", "parse_condition", "QueryParseError"]
+
+
+class QueryParseError(ValueError):
+    """Raised when the query text cannot be parsed."""
+
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<string>'[^']*')
+  | (?P<number>-?\d+(\.\d+)?([eE][-+]?\d+)?)
+  | (?P<op><=|>=|!=|<>|=|<|>)
+  | (?P<punct>[(),*])
+  | (?P<word>[A-Za-z_][A-Za-z0-9_\-\.#]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "and", "or", "not", "between", "in", "weight",
+    "avg", "sum", "max", "min", "count",
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+
+    @property
+    def lowered(self) -> str:
+        return self.text.lower()
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        if text[position].isspace():
+            position += 1
+            continue
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            raise QueryParseError(f"unexpected character {text[position]!r} at offset {position}")
+        kind = match.lastgroup or "word"
+        tokens.append(_Token(kind, match.group()))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token helpers --------------------------------------------------- #
+    def _peek(self) -> _Token | None:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QueryParseError("unexpected end of query")
+        self._position += 1
+        return token
+
+    def _accept_word(self, word: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "word" and token.lowered == word:
+            self._position += 1
+            return True
+        return False
+
+    def _expect_word(self, word: str) -> None:
+        if not self._accept_word(word):
+            found = self._peek().text if self._peek() else "end of query"
+            raise QueryParseError(f"expected {word.upper()!r}, found {found!r}")
+
+    def _accept_punct(self, punct: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "punct" and token.text == punct:
+            self._position += 1
+            return True
+        return False
+
+    def _expect_punct(self, punct: str) -> None:
+        if not self._accept_punct(punct):
+            found = self._peek().text if self._peek() else "end of query"
+            raise QueryParseError(f"expected {punct!r}, found {found!r}")
+
+    def _identifier(self) -> str:
+        token = self._next()
+        if token.kind != "word" or token.lowered in _KEYWORDS:
+            raise QueryParseError(f"expected an identifier, found {token.text!r}")
+        return token.text
+
+    def _literal(self) -> float | str:
+        token = self._next()
+        if token.kind == "number":
+            return float(token.text)
+        if token.kind == "string":
+            return token.text[1:-1]
+        raise QueryParseError(f"expected a literal value, found {token.text!r}")
+
+    def _number(self) -> float:
+        token = self._next()
+        if token.kind != "number":
+            raise QueryParseError(f"expected a number, found {token.text!r}")
+        return float(token.text)
+
+    # -- grammar --------------------------------------------------------- #
+    def parse_query(self, name: str) -> Query:
+        self._expect_word("select")
+        result_list = self._parse_result_list()
+        self._expect_word("from")
+        tables = [self._identifier()]
+        while self._accept_punct(","):
+            tables.append(self._identifier())
+        condition: QueryNode | None = None
+        if self._accept_word("where"):
+            condition = self.parse_expression()
+        if self._peek() is not None:
+            raise QueryParseError(f"unexpected trailing input at {self._peek().text!r}")
+        return Query(name=name, tables=tables, result_list=result_list, condition=condition)
+
+    def _parse_result_list(self) -> list[ResultColumn]:
+        if self._accept_punct("*"):
+            return []
+        results = [self._parse_result_column()]
+        while self._accept_punct(","):
+            results.append(self._parse_result_column())
+        return results
+
+    def _parse_result_column(self) -> ResultColumn:
+        token = self._peek()
+        if token is not None and token.kind == "word" and token.lowered in (
+            "avg", "sum", "max", "min", "count",
+        ):
+            aggregate = Aggregate(self._next().lowered)
+            self._expect_punct("(")
+            attribute = self._identifier()
+            self._expect_punct(")")
+            return ResultColumn(attribute, aggregate)
+        return ResultColumn(self._identifier())
+
+    def parse_expression(self) -> QueryNode:
+        parts = [self._parse_and_expr()]
+        while self._accept_word("or"):
+            parts.append(self._parse_and_expr())
+        if len(parts) == 1:
+            return parts[0]
+        return OrNode(parts)
+
+    def _parse_and_expr(self) -> QueryNode:
+        parts = [self._parse_unary()]
+        while self._accept_word("and"):
+            parts.append(self._parse_unary())
+        if len(parts) == 1:
+            return parts[0]
+        return AndNode(parts)
+
+    def _parse_unary(self) -> QueryNode:
+        if self._accept_word("not"):
+            inner = self._parse_unary()
+            node = NotNode(inner)
+            try:
+                return node.simplify()
+            except ValueError:
+                return node
+        if self._accept_punct("("):
+            expression = self.parse_expression()
+            self._expect_punct(")")
+            return expression
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> QueryNode:
+        attribute = self._identifier()
+        if self._accept_word("between"):
+            low = self._number()
+            self._expect_word("and")
+            high = self._number()
+            leaf = PredicateLeaf(RangePredicate(attribute, low, high))
+        elif self._accept_word("in"):
+            self._expect_punct("(")
+            members = [self._literal()]
+            while self._accept_punct(","):
+                members.append(self._literal())
+            self._expect_punct(")")
+            leaf = PredicateLeaf(SetMembershipPredicate(attribute, tuple(members)))
+        else:
+            token = self._next()
+            if token.kind != "op":
+                raise QueryParseError(f"expected a comparison operator, found {token.text!r}")
+            operator_text = "!=" if token.text == "<>" else token.text
+            value = self._literal()
+            if isinstance(value, str):
+                if operator_text != "=":
+                    raise QueryParseError(
+                        f"string comparisons only support '=', found {operator_text!r}"
+                    )
+                leaf = PredicateLeaf(StringMatchPredicate(attribute, value))
+            else:
+                leaf = PredicateLeaf(
+                    AttributePredicate(attribute, ComparisonOperator(operator_text), value)
+                )
+        if self._accept_word("weight"):
+            leaf.with_weight(self._number())
+        return leaf
+
+
+def parse_query(text: str, name: str = "query") -> Query:
+    """Parse a full ``SELECT ... FROM ... WHERE ...`` statement into a :class:`Query`."""
+    return _Parser(_tokenize(text)).parse_query(name)
+
+
+def parse_condition(text: str) -> QueryNode:
+    """Parse just a condition expression (the part after ``WHERE``)."""
+    parser = _Parser(_tokenize(text))
+    expression = parser.parse_expression()
+    if parser._peek() is not None:
+        raise QueryParseError(f"unexpected trailing input at {parser._peek().text!r}")
+    return expression

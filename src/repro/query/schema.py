@@ -1,0 +1,118 @@
+"""Schema description: datatypes, attributes and table schemas.
+
+VisDB's distance functions are "datatype and application dependent"; the
+schema layer records the datatype of each attribute so the pipeline can
+select a sensible default distance function (numerical difference for
+metric types, distance matrices for ordinal/nominal types, string distances
+for text, and so on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Sequence
+
+from repro.storage.table import Table
+
+__all__ = ["DataType", "Attribute", "TableSchema", "infer_schema"]
+
+
+class DataType(Enum):
+    """Datatypes distinguished by the distance-function machinery."""
+
+    NUMERIC = "numeric"
+    ORDINAL = "ordinal"
+    NOMINAL = "nominal"
+    STRING = "string"
+    DATETIME = "datetime"
+    LOCATION = "location"
+
+    @property
+    def is_metric(self) -> bool:
+        """True for types where numerical difference is meaningful."""
+        return self in (DataType.NUMERIC, DataType.DATETIME)
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """Description of a single attribute (column) of a table.
+
+    Attributes
+    ----------
+    name:
+        Column name.
+    datatype:
+        One of :class:`DataType`.
+    unit:
+        Optional physical unit, for display only (e.g. ``"°C"``).
+    domain:
+        Optional ``(min, max)`` of the valid domain, used by sliders as the
+        outer bounds shown to the user.
+    values:
+        For ordinal/nominal attributes, the ordered list of possible values.
+    """
+
+    name: str
+    datatype: DataType = DataType.NUMERIC
+    unit: str | None = None
+    domain: tuple[float, float] | None = None
+    values: tuple[Any, ...] | None = None
+
+    def qualified(self, table_name: str) -> str:
+        """Return ``table.attribute`` notation."""
+        return f"{table_name}.{self.name}"
+
+
+@dataclass
+class TableSchema:
+    """Schema of a table: its name plus its attributes in order."""
+
+    name: str
+    attributes: list[Attribute] = field(default_factory=list)
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up an attribute by name."""
+        for attribute in self.attributes:
+            if attribute.name == name:
+                return attribute
+        raise KeyError(f"table {self.name!r} has no attribute {name!r}")
+
+    def has_attribute(self, name: str) -> bool:
+        """Return True if the schema contains ``name``."""
+        return any(a.name == name for a in self.attributes)
+
+    @property
+    def attribute_names(self) -> list[str]:
+        """Names of all attributes."""
+        return [a.name for a in self.attributes]
+
+    def add(self, attribute: Attribute) -> None:
+        """Append an attribute (name must be unique)."""
+        if self.has_attribute(attribute.name):
+            raise ValueError(f"attribute {attribute.name!r} already defined")
+        self.attributes.append(attribute)
+
+
+def infer_schema(table: Table, overrides: Sequence[Attribute] = ()) -> TableSchema:
+    """Derive a schema from a table's stored columns.
+
+    Numeric columns become ``NUMERIC`` attributes with the observed min/max
+    as their domain; object columns become ``STRING``.  ``overrides`` may
+    supply richer attribute descriptions (units, ordinal value lists, ...).
+    """
+    override_map = {a.name: a for a in overrides}
+    schema = TableSchema(table.name)
+    for column_name in table.column_names:
+        if column_name in override_map:
+            schema.add(override_map[column_name])
+            continue
+        if table.is_numeric(column_name):
+            stats = table.stats(column_name)
+            domain = None
+            if stats.minimum is not None and stats.maximum is not None:
+                domain = (float(stats.minimum), float(stats.maximum))
+            schema.add(Attribute(column_name, DataType.NUMERIC, domain=domain))
+        else:
+            schema.add(Attribute(column_name, DataType.STRING))
+    return schema

@@ -1,0 +1,84 @@
+"""Validation of queries against a database schema."""
+
+from __future__ import annotations
+
+from repro.query.builder import Query
+from repro.query.expr import PredicateLeaf
+from repro.query.joins import ApproximateJoinPredicate
+from repro.query.nested import ExistsPredicate
+from repro.storage.database import Database
+
+__all__ = ["QueryValidationError", "validate_query", "resolve_attribute"]
+
+
+class QueryValidationError(ValueError):
+    """Raised when a query references unknown tables/attributes or is malformed."""
+
+
+def resolve_attribute(attribute: str, query: Query, database: Database) -> tuple[str, str]:
+    """Resolve an attribute reference to ``(table, column)``.
+
+    Qualified names (``Weather.Temperature``) must name a table used by the
+    query; bare names must occur in exactly one of the query's tables.
+    """
+    if "." in attribute:
+        table_name, column = attribute.split(".", 1)
+        if table_name not in query.tables:
+            raise QueryValidationError(
+                f"attribute {attribute!r} references table {table_name!r} "
+                f"which is not part of the query (tables: {', '.join(query.tables)})"
+            )
+        if not database.table(table_name).has_column(column):
+            raise QueryValidationError(
+                f"table {table_name!r} has no column {column!r}"
+            )
+        return table_name, column
+    owners = [t for t in query.tables if database.table(t).has_column(attribute)]
+    if not owners:
+        raise QueryValidationError(
+            f"attribute {attribute!r} not found in any query table "
+            f"({', '.join(query.tables)})"
+        )
+    if len(owners) > 1:
+        raise QueryValidationError(
+            f"attribute {attribute!r} is ambiguous; it occurs in tables "
+            f"{', '.join(owners)} -- qualify it as 'Table.{attribute}'"
+        )
+    return owners[0], attribute
+
+
+def validate_query(query: Query, database: Database) -> None:
+    """Check a query against the database; raise :class:`QueryValidationError` if invalid."""
+    if not query.tables:
+        raise QueryValidationError("query uses no tables")
+    for table_name in query.tables:
+        if table_name not in database:
+            raise QueryValidationError(f"database has no table {table_name!r}")
+    for result in query.result_list:
+        resolve_attribute(result.attribute, query, database)
+    if query.condition is not None:
+        for path, leaf in query.condition.iter_leaves():
+            predicate = leaf.predicate
+            if isinstance(predicate, (ApproximateJoinPredicate, ExistsPredicate)):
+                # Join/nested predicates reference derived-table columns that
+                # only exist after the pipeline builds the cross product.
+                continue
+            table_name, column = resolve_attribute(predicate.attribute, query, database)
+            table = database.table(table_name)
+            needs_numeric = not hasattr(predicate, "target")
+            if needs_numeric and not table.is_numeric(column):
+                raise QueryValidationError(
+                    f"predicate {predicate.describe()!r} needs a numeric column, "
+                    f"but {table_name}.{column} is not numeric"
+                )
+    for connection in query.connections:
+        for table_name in (connection.left_table, connection.right_table):
+            if table_name not in query.tables:
+                raise QueryValidationError(
+                    f"connection {connection.key!r} references table {table_name!r} "
+                    "which is not part of the query"
+                )
+        if connection.is_parameterised and connection.parameter is None:
+            raise QueryValidationError(
+                f"connection {connection.key!r} needs a parameter; bind it when adding"
+            )

@@ -1,0 +1,165 @@
+"""Incremental query prefetch cache.
+
+The VisDB paper's conclusions describe the intended optimisation for
+interactive query modification: "retrieve more data than necessary in the
+beginning and retrieve only the additional portion of the data that is
+needed for a slightly modified query later on".  :class:`PrefetchCache`
+implements exactly that policy for conjunctive range regions: every fetch
+widens the requested attribute ranges by a margin, and later queries that
+fall inside a cached region are answered from the cache without touching
+the underlying table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.storage.table import Table
+
+__all__ = ["PrefetchCache", "CachedRegion"]
+
+Range = tuple[float | None, float | None]
+
+
+def _contains(outer: Range, inner: Range) -> bool:
+    """Return True if the ``outer`` range contains the ``inner`` range."""
+    out_lo, out_hi = outer
+    in_lo, in_hi = inner
+    lo_ok = out_lo is None or (in_lo is not None and in_lo >= out_lo)
+    hi_ok = out_hi is None or (in_hi is not None and in_hi <= out_hi)
+    return lo_ok and hi_ok
+
+
+@dataclass
+class CachedRegion:
+    """A cached superset of a query region.
+
+    Attributes
+    ----------
+    ranges:
+        The widened per-attribute ranges actually fetched.
+    row_indices:
+        Indices (into the base table) of the rows inside ``ranges``.
+    """
+
+    ranges: dict[str, Range]
+    row_indices: np.ndarray
+    hits: int = 0
+
+    def covers(self, ranges: Mapping[str, Range]) -> bool:
+        """Return True if this region contains the requested query box."""
+        for column, requested in ranges.items():
+            cached = self.ranges.get(column)
+            if cached is None:
+                # The cached region did not constrain this attribute at all,
+                # which means it contains every value of it.
+                continue
+            if not _contains(cached, requested):
+                return False
+        # Attributes constrained in the cache but unconstrained in the request
+        # mean the request is *wider* than the cache -> not covered.
+        for column, cached in self.ranges.items():
+            if column not in ranges and cached != (None, None):
+                return False
+        return True
+
+
+@dataclass
+class PrefetchCache:
+    """Cache of widened range-query results over a single table.
+
+    Parameters
+    ----------
+    table:
+        The base table queried against.
+    margin:
+        Fractional widening applied to every finite bound when fetching,
+        e.g. ``0.25`` widens a ``[10, 20]`` range to ``[7.5, 22.5]``.
+    max_regions:
+        Maximum number of cached regions kept (oldest evicted first).
+    """
+
+    table: Table
+    margin: float = 0.25
+    max_regions: int = 8
+    _regions: list[CachedRegion] = field(default_factory=list)
+    fetches: int = 0
+    cache_hits: int = 0
+
+    def _widen(self, ranges: Mapping[str, Range]) -> dict[str, Range]:
+        widened: dict[str, Range] = {}
+        for column, (low, high) in ranges.items():
+            if low is None and high is None:
+                widened[column] = (None, None)
+                continue
+            stats = self.table.stats(column)
+            lo = stats.minimum if low is None else low
+            hi = stats.maximum if high is None else high
+            width = max(hi - lo, 1e-12)
+            pad = width * self.margin
+            widened[column] = (
+                None if low is None else lo - pad,
+                None if high is None else hi + pad,
+            )
+        return widened
+
+    def _scan(self, ranges: Mapping[str, Range]) -> np.ndarray:
+        keep = np.ones(len(self.table), dtype=bool)
+        for column, (low, high) in ranges.items():
+            values = self.table.column(column)
+            if low is not None:
+                keep &= values >= low
+            if high is not None:
+                keep &= values <= high
+        return np.nonzero(keep)[0]
+
+    def query(self, ranges: Mapping[str, Range]) -> np.ndarray:
+        """Return row indices matching the conjunctive range query.
+
+        The result is exact; the cache only changes *where* the candidate
+        rows come from (a cached superset vs. a fresh table scan).
+        """
+        ranges = dict(ranges)
+        for region in self._regions:
+            if region.covers(ranges):
+                region.hits += 1
+                self.cache_hits += 1
+                return self._filter(region.row_indices, ranges)
+        widened = self._widen(ranges)
+        rows = self._scan(widened)
+        self.fetches += 1
+        self._regions.append(CachedRegion(ranges=widened, row_indices=rows))
+        if len(self._regions) > self.max_regions:
+            self._regions.pop(0)
+        return self._filter(rows, ranges)
+
+    def _filter(self, candidate_rows: np.ndarray, ranges: Mapping[str, Range]) -> np.ndarray:
+        if len(candidate_rows) == 0:
+            return candidate_rows
+        keep = np.ones(len(candidate_rows), dtype=bool)
+        for column, (low, high) in ranges.items():
+            values = self.table.column(column)[candidate_rows]
+            if low is not None:
+                keep &= values >= low
+            if high is not None:
+                keep &= values <= high
+        return candidate_rows[keep]
+
+    @property
+    def region_count(self) -> int:
+        """Number of regions currently cached."""
+        return len(self._regions)
+
+    def hit_rate(self) -> float:
+        """Fraction of queries answered from the cache."""
+        total = self.fetches + self.cache_hits
+        return self.cache_hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop all cached regions and statistics."""
+        self._regions.clear()
+        self.fetches = 0
+        self.cache_hits = 0

@@ -1,0 +1,73 @@
+"""CSV import/export for tables with simple type inference."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.storage.table import Table
+
+__all__ = ["read_csv", "write_csv"]
+
+
+def _try_float(value: str) -> float | None:
+    try:
+        return float(value)
+    except ValueError:
+        return None
+
+
+def read_csv(path: str | Path, table_name: str | None = None,
+             delimiter: str = ",") -> Table:
+    """Read a CSV file (with a header row) into a :class:`Table`.
+
+    Columns where every non-empty value parses as a float become numeric
+    columns (empty cells become NaN); everything else is kept as strings.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"CSV file {path} is empty") from None
+        raw_rows = [row for row in reader if row]
+    columns: dict[str, list] = {name: [] for name in header}
+    for row in raw_rows:
+        if len(row) != len(header):
+            raise ValueError(
+                f"CSV row has {len(row)} fields, expected {len(header)}: {row!r}"
+            )
+        for name, cell in zip(header, row):
+            columns[name].append(cell)
+    converted: dict[str, list] = {}
+    for name, cells in columns.items():
+        parsed = [_try_float(c) if c != "" else None for c in cells]
+        if all(p is not None or c == "" for p, c in zip(parsed, cells)):
+            converted[name] = [np.nan if p is None else p for p in parsed]
+        else:
+            converted[name] = cells
+    return Table(table_name or path.stem, converted)
+
+
+def write_csv(table: Table, path: str | Path, delimiter: str = ",",
+              columns: Sequence[str] | None = None) -> None:
+    """Write a table to a CSV file with a header row."""
+    path = Path(path)
+    names = list(columns) if columns is not None else table.column_names
+    arrays = [table.column(c) for c in names]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(names)
+        for i in range(len(table)):
+            row = []
+            for array in arrays:
+                value = array[i]
+                if isinstance(value, float) and np.isnan(value):
+                    row.append("")
+                else:
+                    row.append(value)
+            writer.writerow(row)

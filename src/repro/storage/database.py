@@ -1,0 +1,130 @@
+"""A database is a named collection of tables plus declared *connections*.
+
+In the VisDB query specification interface (derived from GRADI), joins are
+not typed out by the user: the database designer declares named, possibly
+parameterised *connections* such as ``Air-Pollution at-same-location Weather``
+or ``Air-Pollution with-time-diff(min) Weather`` which then appear in the
+Connections window and can be dropped into a query.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.storage.table import Table
+
+__all__ = ["Database"]
+
+
+class Database:
+    """Container for tables and designer-declared connections.
+
+    Parameters
+    ----------
+    name:
+        Display name of the database (the first thing the user selects when
+        starting the VisDB system).
+    tables:
+        Optional initial tables.
+    """
+
+    def __init__(self, name: str, tables: Iterable[Table] = ()):  # noqa: D107
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._connections: dict[str, "Connection"] = {}
+        for table in tables:
+            self.add_table(table)
+
+    # ------------------------------------------------------------------ #
+    # Tables
+    # ------------------------------------------------------------------ #
+    def add_table(self, table: Table) -> None:
+        """Register a table; the name must be unique within the database."""
+        if table.name in self._tables:
+            raise ValueError(f"table {table.name!r} already exists in database {self.name!r}")
+        self._tables[table.name] = table
+
+    def replace_table(self, table: Table) -> None:
+        """Replace an existing table of the same name (or add it)."""
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(
+                f"database {self.name!r} has no table {name!r}; "
+                f"available: {', '.join(self._tables) or '(none)'}"
+            ) from None
+
+    def __contains__(self, table_name: str) -> bool:
+        return table_name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    @property
+    def table_names(self) -> list[str]:
+        """Names of all registered tables."""
+        return list(self._tables)
+
+    def total_rows(self) -> int:
+        """Total number of data items over all tables."""
+        return sum(len(t) for t in self._tables.values())
+
+    # ------------------------------------------------------------------ #
+    # Connections (named joins)
+    # ------------------------------------------------------------------ #
+    def register_connection(self, connection: "Connection") -> None:
+        """Declare a named join between two tables of this database."""
+        for table_name in (connection.left_table, connection.right_table):
+            if table_name not in self._tables:
+                raise KeyError(
+                    f"connection {connection.name!r} references unknown table {table_name!r}"
+                )
+        self._connections[connection.key] = connection
+
+    def connection(self, key: str) -> "Connection":
+        """Look up a connection by its key (``'<left> <name> <right>'``)."""
+        try:
+            return self._connections[key]
+        except KeyError:
+            raise KeyError(
+                f"database {self.name!r} has no connection {key!r}; "
+                f"available: {', '.join(self._connections) or '(none)'}"
+            ) from None
+
+    def connections_for(self, table_names: Iterable[str]) -> list["Connection"]:
+        """Return all connections that involve at least one of ``table_names``.
+
+        This mirrors the Connections window of the query specification
+        interface: "all 'connections' involving at least one of the selected
+        tables will appear".
+        """
+        wanted = set(table_names)
+        return [
+            c for c in self._connections.values()
+            if c.left_table in wanted or c.right_table in wanted
+        ]
+
+    @property
+    def connection_keys(self) -> list[str]:
+        """Keys of all declared connections."""
+        return list(self._connections)
+
+    # ------------------------------------------------------------------ #
+    # Schema summary
+    # ------------------------------------------------------------------ #
+    def describe(self) -> Mapping[str, list[str]]:
+        """Return a mapping table name -> column names (the attribute lists
+        shown in the query specification window)."""
+        return {name: table.column_names for name, table in self._tables.items()}
+
+
+# Imported late to avoid a circular import: Connection lives with the query
+# model but is registered on the database like the paper describes.
+from repro.query.joins import Connection  # noqa: E402  (intentional late import)

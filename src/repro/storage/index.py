@@ -1,0 +1,175 @@
+"""Indexes supporting range queries over one or several attributes.
+
+The paper's conclusions note that "multidimensional data structures that
+support range queries on multiple attributes will be essential to improve
+query performance".  Two index types are provided:
+
+* :class:`SortedIndex` -- a sorted-column index answering one-attribute
+  range queries in O(log n + k).
+* :class:`GridIndex` -- a simple grid file over several numeric attributes
+  answering conjunctive range queries by scanning only candidate cells.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.storage.table import Table
+
+__all__ = ["SortedIndex", "GridIndex"]
+
+
+class SortedIndex:
+    """Sorted index on one numeric column of a table.
+
+    Parameters
+    ----------
+    table:
+        The indexed table.
+    column_name:
+        Name of a numeric column.
+    """
+
+    def __init__(self, table: Table, column_name: str):
+        if not table.is_numeric(column_name):
+            raise TypeError(f"column {column_name!r} is not numeric; cannot build a sorted index")
+        self.table = table
+        self.column_name = column_name
+        values = table.column(column_name)
+        self._order = np.argsort(values, kind="stable")
+        self._sorted_values = values[self._order]
+
+    def __len__(self) -> int:
+        return len(self._sorted_values)
+
+    def range_query(self, low: float | None, high: float | None) -> np.ndarray:
+        """Return row indices with ``low <= value <= high`` (either bound optional)."""
+        lo_pos = 0 if low is None else int(np.searchsorted(self._sorted_values, low, side="left"))
+        hi_pos = (
+            len(self._sorted_values)
+            if high is None
+            else int(np.searchsorted(self._sorted_values, high, side="right"))
+        )
+        return np.sort(self._order[lo_pos:hi_pos])
+
+    def nearest(self, value: float, k: int = 1) -> np.ndarray:
+        """Return the row indices of the ``k`` values closest to ``value``.
+
+        Useful for approximate point queries ("the data item most closely
+        fulfilling the condition").
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        distances = np.abs(self._sorted_values - value)
+        best = np.argsort(distances, kind="stable")[:k]
+        return self._order[best]
+
+    def minimum(self) -> float:
+        """Smallest indexed value."""
+        if len(self._sorted_values) == 0:
+            raise ValueError("index is empty")
+        return float(self._sorted_values[0])
+
+    def maximum(self) -> float:
+        """Largest indexed value."""
+        if len(self._sorted_values) == 0:
+            raise ValueError("index is empty")
+        return float(self._sorted_values[-1])
+
+
+class GridIndex:
+    """A grid (multidimensional histogram) index over numeric attributes.
+
+    Each indexed attribute's domain is split into ``bins_per_dimension``
+    equi-width cells; every row is assigned to one grid cell.  A conjunctive
+    range query touches only the cells that overlap the query box, so for
+    selective queries far fewer rows are inspected than a full scan.
+    """
+
+    def __init__(self, table: Table, column_names: Sequence[str], bins_per_dimension: int = 16):
+        if bins_per_dimension < 1:
+            raise ValueError("bins_per_dimension must be at least 1")
+        if not column_names:
+            raise ValueError("GridIndex needs at least one column")
+        for c in column_names:
+            if not table.is_numeric(c):
+                raise TypeError(f"column {c!r} is not numeric; cannot build a grid index")
+        self.table = table
+        self.column_names = list(column_names)
+        self.bins = bins_per_dimension
+        self._mins = np.array([table.stats(c).minimum for c in column_names], dtype=float)
+        self._maxs = np.array([table.stats(c).maximum for c in column_names], dtype=float)
+        widths = np.where(self._maxs > self._mins, self._maxs - self._mins, 1.0)
+        self._widths = widths
+        # Cell id per row: row-major over the per-dimension bin numbers.
+        cell_ids = np.zeros(len(table), dtype=np.int64)
+        for c in column_names:
+            cell_ids *= bins_per_dimension
+            cell_ids += self._bin_numbers(table.column(c), c)
+        order = np.argsort(cell_ids, kind="stable")
+        self._sorted_rows = order
+        self._sorted_cells = cell_ids[order]
+
+    def _bin_numbers(self, values: np.ndarray, column_name: str) -> np.ndarray:
+        dim = self.column_names.index(column_name)
+        scaled = (values - self._mins[dim]) / self._widths[dim]
+        return np.clip((scaled * self.bins).astype(np.int64), 0, self.bins - 1)
+
+    def _bin_range(self, column_name: str, low: float | None, high: float | None) -> tuple[int, int]:
+        dim = self.column_names.index(column_name)
+        lo_val = self._mins[dim] if low is None else low
+        hi_val = self._maxs[dim] if high is None else high
+        lo_bin = int(np.clip(np.floor((lo_val - self._mins[dim]) / self._widths[dim] * self.bins),
+                             0, self.bins - 1))
+        hi_bin = int(np.clip(np.floor((hi_val - self._mins[dim]) / self._widths[dim] * self.bins),
+                             0, self.bins - 1))
+        return lo_bin, hi_bin
+
+    def candidate_rows(self, ranges: Mapping[str, tuple[float | None, float | None]]) -> np.ndarray:
+        """Return row indices in grid cells overlapping the query box.
+
+        ``ranges`` maps column name to an (inclusive) ``(low, high)`` pair;
+        columns not mentioned are unconstrained.  The result is a superset
+        of the exact answer (cell granularity), so callers re-check the
+        predicate on the candidates.
+        """
+        per_dim_bins: list[np.ndarray] = []
+        for c in self.column_names:
+            low, high = ranges.get(c, (None, None))
+            lo_bin, hi_bin = self._bin_range(c, low, high)
+            per_dim_bins.append(np.arange(lo_bin, hi_bin + 1, dtype=np.int64))
+        # Build all touched cell ids via a meshgrid over per-dimension bins.
+        mesh = np.meshgrid(*per_dim_bins, indexing="ij")
+        cells = np.zeros_like(mesh[0], dtype=np.int64)
+        for m in mesh:
+            cells = cells * self.bins + m
+        wanted = np.unique(cells.ravel())
+        # Locate each wanted cell in the sorted cell array.
+        starts = np.searchsorted(self._sorted_cells, wanted, side="left")
+        ends = np.searchsorted(self._sorted_cells, wanted, side="right")
+        pieces = [self._sorted_rows[s:e] for s, e in zip(starts, ends) if e > s]
+        if not pieces:
+            return np.empty(0, dtype=np.intp)
+        return np.sort(np.concatenate(pieces))
+
+    def range_query(self, ranges: Mapping[str, tuple[float | None, float | None]]) -> np.ndarray:
+        """Exact conjunctive range query: candidates filtered by the actual bounds."""
+        candidates = self.candidate_rows(ranges)
+        if len(candidates) == 0:
+            return candidates
+        keep = np.ones(len(candidates), dtype=bool)
+        for c, (low, high) in ranges.items():
+            values = self.table.column(c)[candidates]
+            if low is not None:
+                keep &= values >= low
+            if high is not None:
+                keep &= values <= high
+        return candidates[keep]
+
+    def selectivity(self, ranges: Mapping[str, tuple[float | None, float | None]]) -> float:
+        """Fraction of rows matched by the range query (0 if the table is empty)."""
+        if len(self.table) == 0:
+            return 0.0
+        return len(self.range_query(ranges)) / len(self.table)

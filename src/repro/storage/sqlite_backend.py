@@ -1,0 +1,139 @@
+"""SQLite persistence for tables and databases.
+
+The original VisDB prototype interfaced with a conventional relational
+DBMS.  This module provides the equivalent glue: a :class:`Database` (or a
+single :class:`Table`) can be stored in and loaded from a SQLite file, and
+arbitrary SQL can be evaluated to produce new tables (useful for comparing
+the visual-feedback pipeline with exact SQL execution).
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.storage.database import Database
+from repro.storage.table import Table
+
+__all__ = [
+    "save_table",
+    "load_table",
+    "save_database",
+    "load_database",
+    "query_to_table",
+    "connect",
+]
+
+_IDENTIFIER = re.compile(r"[^A-Za-z0-9_]")
+
+
+def _quote(name: str) -> str:
+    """Quote an identifier for SQLite, normalising characters it dislikes."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _sql_column_name(name: str) -> str:
+    """SQLite-safe column name (dots and dashes become underscores)."""
+    return _IDENTIFIER.sub("_", name)
+
+
+def connect(path: str | Path | None = None) -> sqlite3.Connection:
+    """Open (or create) a SQLite database; ``None`` gives an in-memory DB."""
+    return sqlite3.connect(":memory:" if path is None else str(path))
+
+
+def save_table(table: Table, conn: sqlite3.Connection, if_exists: str = "replace") -> None:
+    """Write a table into SQLite under its own name.
+
+    ``if_exists`` is ``"replace"`` (drop and recreate) or ``"fail"``.
+    """
+    if if_exists not in ("replace", "fail"):
+        raise ValueError("if_exists must be 'replace' or 'fail'")
+    sql_name = _quote(table.name)
+    cursor = conn.cursor()
+    existing = cursor.execute(
+        "SELECT name FROM sqlite_master WHERE type='table' AND name=?", (table.name,)
+    ).fetchone()
+    if existing:
+        if if_exists == "fail":
+            raise ValueError(f"table {table.name!r} already exists in the SQLite database")
+        cursor.execute(f"DROP TABLE {sql_name}")
+    column_defs = []
+    sql_columns = []
+    for c in table.column_names:
+        kind = "REAL" if table.is_numeric(c) else "TEXT"
+        sql_col = _sql_column_name(c)
+        sql_columns.append(sql_col)
+        column_defs.append(f"{_quote(sql_col)} {kind}")
+    cursor.execute(f"CREATE TABLE {sql_name} ({', '.join(column_defs)})")
+    placeholders = ", ".join("?" for _ in sql_columns)
+    arrays = [table.column(c) for c in table.column_names]
+    rows = []
+    for i in range(len(table)):
+        row = []
+        for array in arrays:
+            value = array[i]
+            if isinstance(value, float) and np.isnan(value):
+                row.append(None)
+            elif isinstance(value, (np.floating, np.integer)):
+                row.append(float(value))
+            else:
+                row.append(value)
+        rows.append(tuple(row))
+    cursor.executemany(f"INSERT INTO {sql_name} VALUES ({placeholders})", rows)
+    conn.commit()
+
+
+def load_table(conn: sqlite3.Connection, table_name: str) -> Table:
+    """Read a whole SQLite table back into a :class:`Table`."""
+    return query_to_table(conn, f"SELECT * FROM {_quote(table_name)}", table_name=table_name)
+
+
+def query_to_table(conn: sqlite3.Connection, sql: str, table_name: str = "result",
+                   parameters: Iterable = ()) -> Table:
+    """Run arbitrary SQL and convert the result set into a :class:`Table`."""
+    cursor = conn.execute(sql, tuple(parameters))
+    names = [d[0] for d in cursor.description]
+    rows = cursor.fetchall()
+    columns: dict[str, list] = {name: [] for name in names}
+    for row in rows:
+        for name, value in zip(names, row):
+            columns[name].append(np.nan if value is None else value)
+    return Table(table_name, columns)
+
+
+def save_database(database: Database, path: str | Path) -> None:
+    """Persist every table of a database into one SQLite file."""
+    conn = connect(path)
+    try:
+        for table in database:
+            save_table(table, conn)
+    finally:
+        conn.close()
+
+
+def load_database(path: str | Path, name: str | None = None) -> Database:
+    """Load every table from a SQLite file into a fresh database.
+
+    Declared connections are not stored in SQLite; callers re-register them
+    after loading (they are part of the schema design, not the data).
+    """
+    path = Path(path)
+    conn = connect(path)
+    try:
+        names = [
+            row[0]
+            for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type='table' ORDER BY name"
+            )
+        ]
+        database = Database(name or path.stem)
+        for table_name in names:
+            database.add_table(load_table(conn, table_name))
+        return database
+    finally:
+        conn.close()

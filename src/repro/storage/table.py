@@ -1,0 +1,262 @@
+"""An in-memory column-store table built on NumPy arrays.
+
+The table is the unit of data that VisDB queries operate on.  Columns are
+stored as NumPy arrays (``float64`` for numeric data, ``object`` for strings)
+which keeps distance calculations vectorised -- the paper's efficiency
+argument rests on the whole pipeline being O(n log n), dominated by sorting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Table", "ColumnStats"]
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary statistics for a single column.
+
+    The VisDB sliders display the minimum and maximum of each attribute in
+    the database "to give the user a feeling for useful query values".
+    """
+
+    name: str
+    count: int
+    minimum: Any
+    maximum: Any
+    mean: float | None
+    is_numeric: bool
+
+
+def _as_column(values: Sequence[Any] | np.ndarray) -> np.ndarray:
+    """Convert an arbitrary sequence to a storage column array."""
+    if isinstance(values, np.ndarray):
+        if values.ndim != 1:
+            raise ValueError("columns must be one-dimensional")
+        if values.dtype.kind in "iufb":
+            return values.astype(np.float64, copy=True)
+        return values.astype(object, copy=True)
+    values = list(values)
+    if not values:
+        return np.empty(0, dtype=np.float64)
+    if all(isinstance(v, (int, float, np.integer, np.floating, bool)) or v is None
+           for v in values):
+        return np.array(
+            [np.nan if v is None else float(v) for v in values], dtype=np.float64
+        )
+    return np.array(values, dtype=object)
+
+
+class Table:
+    """A named, immutable-length collection of equally sized columns.
+
+    Parameters
+    ----------
+    name:
+        Table name as it appears in queries (e.g. ``"Weather"``).
+    columns:
+        Mapping from column name to a sequence of values.  Numeric columns
+        are stored as ``float64``; everything else as Python objects.
+    """
+
+    def __init__(self, name: str, columns: Mapping[str, Sequence[Any] | np.ndarray]):
+        self.name = name
+        self._columns: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for col_name, values in columns.items():
+            array = _as_column(values)
+            if length is None:
+                length = len(array)
+            elif len(array) != length:
+                raise ValueError(
+                    f"column {col_name!r} has length {len(array)}, expected {length}"
+                )
+            self._columns[col_name] = array
+        self._length = length if length is not None else 0
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_rows(cls, name: str, rows: Iterable[Mapping[str, Any]],
+                  column_names: Sequence[str] | None = None) -> "Table":
+        """Build a table from an iterable of row dictionaries."""
+        rows = list(rows)
+        if column_names is None:
+            if not rows:
+                raise ValueError("cannot infer columns from an empty row list")
+            column_names = list(rows[0].keys())
+        columns = {c: [row.get(c) for row in rows] for c in column_names}
+        return cls(name, columns)
+
+    @classmethod
+    def empty(cls, name: str, column_names: Sequence[str]) -> "Table":
+        """Create a table with the given columns and zero rows."""
+        return cls(name, {c: np.empty(0, dtype=np.float64) for c in column_names})
+
+    # ------------------------------------------------------------------ #
+    # Basic protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._columns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, {self._length} rows, {len(self._columns)} columns)"
+
+    @property
+    def column_names(self) -> list[str]:
+        """Names of all columns, in insertion order."""
+        return list(self._columns)
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the raw column array for ``name``.
+
+        The returned array is the stored array; callers must not mutate it.
+        """
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"available: {', '.join(self._columns) or '(none)'}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        """Return ``True`` if a column called ``name`` exists."""
+        return name in self._columns
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Return row ``index`` as a plain dictionary.
+
+        Used by the interaction layer when the user selects a tuple and asks
+        for its attribute values ("selected tuple" field in Fig. 4/5).
+        """
+        if not -self._length <= index < self._length:
+            raise IndexError(f"row index {index} out of range for {self._length} rows")
+        return {name: col[index] for name, col in self._columns.items()}
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate over all rows as dictionaries."""
+        for i in range(self._length):
+            yield self.row(i)
+
+    # ------------------------------------------------------------------ #
+    # Derivation
+    # ------------------------------------------------------------------ #
+    def take(self, indices: Sequence[int] | np.ndarray, name: str | None = None) -> "Table":
+        """Return a new table containing the rows at ``indices`` (in order)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        columns = {c: col[idx] for c, col in self._columns.items()}
+        return Table(name or self.name, columns)
+
+    def select(self, mask: np.ndarray, name: str | None = None) -> "Table":
+        """Return a new table with the rows where ``mask`` is true."""
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != self._length:
+            raise ValueError("mask length does not match table length")
+        return self.take(np.nonzero(mask)[0], name=name)
+
+    def head(self, n: int = 5) -> "Table":
+        """Return the first ``n`` rows as a new table."""
+        return self.take(np.arange(min(n, self._length)))
+
+    def sort_by(self, column_name: str, descending: bool = False) -> "Table":
+        """Return a copy of the table sorted by one column."""
+        order = np.argsort(self.column(column_name), kind="stable")
+        if descending:
+            order = order[::-1]
+        return self.take(order)
+
+    def with_column(self, name: str, values: Sequence[Any] | np.ndarray) -> "Table":
+        """Return a new table with an extra (or replaced) column."""
+        array = _as_column(values)
+        if len(array) != self._length:
+            raise ValueError(
+                f"new column {name!r} has length {len(array)}, expected {self._length}"
+            )
+        columns = dict(self._columns)
+        columns[name] = array
+        return Table(self.name, columns)
+
+    def renamed(self, name: str) -> "Table":
+        """Return the same table under a different name (columns are shared)."""
+        new = Table.__new__(Table)
+        new.name = name
+        new._columns = self._columns
+        new._length = self._length
+        return new
+
+    def with_prefix(self, prefix: str) -> "Table":
+        """Return a table whose columns are renamed ``prefix + '.' + name``.
+
+        Used when forming cross products for approximate joins so that
+        attribute references such as ``Weather.DateTime`` stay unambiguous.
+        """
+        columns = {f"{prefix}.{c}": col for c, col in self._columns.items()}
+        return Table(self.name, columns)
+
+    @staticmethod
+    def concat(name: str, tables: Sequence["Table"]) -> "Table":
+        """Concatenate tables that share the same column set."""
+        if not tables:
+            raise ValueError("cannot concatenate an empty list of tables")
+        column_names = tables[0].column_names
+        for t in tables[1:]:
+            if t.column_names != column_names:
+                raise ValueError("all tables must share the same columns to concat")
+        columns = {
+            c: np.concatenate([t.column(c) for t in tables]) for c in column_names
+        }
+        return Table(name, columns)
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def is_numeric(self, column_name: str) -> bool:
+        """Return ``True`` if the column holds numeric (float) data."""
+        return self.column(column_name).dtype.kind == "f"
+
+    def stats(self, column_name: str) -> ColumnStats:
+        """Return min/max/mean statistics for a column.
+
+        NaN values (missing measurements) are ignored for numeric columns.
+        """
+        col = self.column(column_name)
+        if len(col) == 0:
+            return ColumnStats(column_name, 0, None, None, None, self.is_numeric(column_name))
+        if self.is_numeric(column_name):
+            finite = col[~np.isnan(col)]
+            if len(finite) == 0:
+                return ColumnStats(column_name, len(col), None, None, None, True)
+            return ColumnStats(
+                name=column_name,
+                count=len(col),
+                minimum=float(finite.min()),
+                maximum=float(finite.max()),
+                mean=float(finite.mean()),
+                is_numeric=True,
+            )
+        ordered = sorted(str(v) for v in col)
+        return ColumnStats(
+            name=column_name,
+            count=len(col),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            mean=None,
+            is_numeric=False,
+        )
+
+    def to_rows(self) -> list[dict[str, Any]]:
+        """Materialise the whole table as a list of row dictionaries."""
+        return list(self.rows())
+
+    def to_columns(self) -> dict[str, np.ndarray]:
+        """Return a shallow copy of the column mapping."""
+        return dict(self._columns)

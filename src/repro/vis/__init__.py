@@ -1,0 +1,54 @@
+"""Pixel-oriented visualization: colormaps, arrangements, windows and rendering.
+
+This package turns a :class:`~repro.core.result.QueryFeedback` into the
+pixel images of the paper:
+
+* :mod:`~repro.vis.colormap` -- the VisDB colour scale (yellow over green,
+  blue and red to almost black) and a greyscale alternative, plus a
+  just-noticeable-difference estimate.
+* :mod:`~repro.vis.spiral` -- rectangular spiral coordinates.
+* :mod:`~repro.vis.arrangement` -- the normal (spiral) arrangement of
+  Fig. 1a, position-preserving per-predicate windows, and the 2D
+  arrangement of Fig. 1b for signed distances.
+* :mod:`~repro.vis.window` / :mod:`~repro.vis.layout` -- single windows and
+  the composed multi-window layout of Figs. 4/5.
+* :mod:`~repro.vis.sliders` -- the query modification sliders with their
+  colour spectra and value read-outs.
+* :mod:`~repro.vis.render` -- PPM/PNG export (no external imaging library).
+* :mod:`~repro.vis.ascii_art` -- terminal-friendly previews.
+"""
+
+from repro.vis.colormap import VisDBColormap, GrayscaleColormap, jnd_count
+from repro.vis.spiral import rect_spiral_coords, spiral_positions
+from repro.vis.window import VisualizationWindow
+from repro.vis.arrangement import (
+    spiral_arrangement,
+    window_for_node,
+    two_attribute_arrangement,
+)
+from repro.vis.layout import MultiWindowLayout
+from repro.vis.sliders import Slider, sliders_for_feedback, OverallSpectrum
+from repro.vis.render import write_ppm, write_png, upscale, save_window
+from repro.vis.ascii_art import ascii_render, ascii_colorbar
+
+__all__ = [
+    "VisDBColormap",
+    "GrayscaleColormap",
+    "jnd_count",
+    "rect_spiral_coords",
+    "spiral_positions",
+    "VisualizationWindow",
+    "spiral_arrangement",
+    "window_for_node",
+    "two_attribute_arrangement",
+    "MultiWindowLayout",
+    "Slider",
+    "sliders_for_feedback",
+    "OverallSpectrum",
+    "write_ppm",
+    "write_png",
+    "upscale",
+    "save_window",
+    "ascii_render",
+    "ascii_colorbar",
+]

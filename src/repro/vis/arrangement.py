@@ -1,0 +1,225 @@
+"""Arrangements of data items in visualization windows.
+
+Three arrangements from the paper:
+
+* **Spiral (normal) arrangement** (Fig. 1a): the displayed items, sorted by
+  relevance, are placed on a rectangular spiral with the most relevant item
+  at the window centre.
+* **Position-preserving per-predicate windows**: the per-predicate windows
+  use *the same* placement as the overall window -- only the colours differ
+  -- so pixels in the same position refer to the same data item.
+* **2D arrangement** (Fig. 1b): two attributes with signed distances are
+  assigned to the axes; the sign of the distances decides the quadrant
+  (left/right for the first attribute, bottom/top for the second) and
+  within each quadrant items grow outward from the window centre sorted by
+  relevance.  Exact answers sit in the middle.
+
+Items can occupy 1, 4 (2x2) or 16 (4x4) pixels; the arrangement is computed
+on a block grid and expanded.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.result import QueryFeedback
+from repro.query.expr import NodePath
+from repro.vis.spiral import spiral_positions
+from repro.vis.window import VisualizationWindow
+
+__all__ = [
+    "spiral_arrangement",
+    "window_for_node",
+    "two_attribute_arrangement",
+    "block_factor",
+]
+
+
+def block_factor(pixels_per_item: int) -> int:
+    """Side length of the pixel block per item (1, 2 or 4)."""
+    if pixels_per_item not in (1, 4, 16):
+        raise ValueError("pixels_per_item must be 1, 4 or 16")
+    return int(round(math.sqrt(pixels_per_item)))
+
+
+def _expand(grid: np.ndarray, factor: int) -> np.ndarray:
+    """Replicate every cell of ``grid`` into a ``factor x factor`` pixel block."""
+    if factor == 1:
+        return grid
+    return np.kron(grid, np.ones((factor, factor), dtype=grid.dtype))
+
+
+def spiral_arrangement(distances: np.ndarray, item_ids: np.ndarray, width: int, height: int,
+                       pixels_per_item: int = 1, title: str = "overall result",
+                       sort: bool = False) -> VisualizationWindow:
+    """Place items (already in display order) on the rectangular spiral.
+
+    Parameters
+    ----------
+    distances:
+        Normalized distances of the displayed items, *in display order*
+        (most relevant first).  For the overall result window this sequence
+        is non-decreasing; per-predicate windows pass their own distances in
+        the same item order to keep positions aligned.
+    item_ids:
+        Table row indices corresponding to ``distances``.
+    width, height:
+        Window size in pixels.
+    pixels_per_item:
+        1, 4 or 16 pixels per data item.
+    sort:
+        If True, sort the items by distance before placing them (used when a
+        query part is examined independently of the overall result).
+    """
+    distances = np.asarray(distances, dtype=float)
+    item_ids = np.asarray(item_ids, dtype=np.intp)
+    if distances.shape != item_ids.shape:
+        raise ValueError("distances and item_ids must have the same length")
+    if sort:
+        order = np.argsort(distances, kind="stable")
+        distances = distances[order]
+        item_ids = item_ids[order]
+    factor = block_factor(pixels_per_item)
+    block_width, block_height = width // factor, height // factor
+    capacity = block_width * block_height
+    if len(distances) > capacity:
+        raise ValueError(
+            f"{len(distances)} items do not fit into a {width}x{height} window "
+            f"with {pixels_per_item} pixels per item (capacity {capacity})"
+        )
+    distance_grid = np.full((block_height, block_width), np.nan)
+    id_grid = np.full((block_height, block_width), -1, dtype=np.intp)
+    positions = spiral_positions(len(distances), block_width, block_height)
+    distance_grid[positions[:, 1], positions[:, 0]] = distances
+    id_grid[positions[:, 1], positions[:, 0]] = item_ids
+    return VisualizationWindow(
+        title=title,
+        distances=_expand(distance_grid, factor),
+        item_ids=_expand(id_grid, factor),
+        metadata={"arrangement": "spiral", "pixels_per_item": pixels_per_item},
+    )
+
+
+def window_for_node(feedback: QueryFeedback, path: NodePath, width: int, height: int,
+                    pixels_per_item: int = 1, independent: bool = False) -> VisualizationWindow:
+    """Build the visualization window for one node of the query tree.
+
+    By default the item placement is the one of the overall result (sorted
+    by overall relevance), so windows correspond position-by-position.  With
+    ``independent=True`` the node is examined on its own and its items are
+    re-sorted by the node's own distances (the paper's option to "get the
+    data items arranged according to the relevance factors calculated for
+    the query part only").
+    """
+    node = feedback.node_feedback[path]
+    distances = feedback.ordered_distances(path)
+    item_ids = feedback.display_order
+    # When the window is smaller than the displayed set, show the most relevant
+    # items that fit ("presenting as many data items as fit on the screen").
+    factor = block_factor(pixels_per_item)
+    capacity = (width // factor) * (height // factor)
+    if len(item_ids) > capacity:
+        distances = distances[:capacity]
+        item_ids = item_ids[:capacity]
+    return spiral_arrangement(
+        distances,
+        item_ids,
+        width,
+        height,
+        pixels_per_item=pixels_per_item,
+        title=node.label,
+        sort=independent,
+    )
+
+
+def _quadrant_fill(quadrant_width: int, quadrant_height: int,
+                   inner_corner: tuple[int, int]) -> np.ndarray:
+    """All cell positions of one quadrant, ordered outward from its inner corner.
+
+    Cells are ordered by Chebyshev distance from the corner adjoining the
+    window centre (ties broken by Euclidean distance), so the most relevant
+    items of the quadrant sit next to the yellow centre region.
+    """
+    xs, ys = np.meshgrid(np.arange(quadrant_width), np.arange(quadrant_height))
+    corner_x, corner_y = inner_corner
+    cheb = np.maximum(np.abs(xs - corner_x), np.abs(ys - corner_y)).ravel()
+    euclid = np.hypot(xs - corner_x, ys - corner_y).ravel()
+    cell_order = np.lexsort((euclid, cheb))
+    return np.stack([xs.ravel()[cell_order], ys.ravel()[cell_order]], axis=1)
+
+
+def two_attribute_arrangement(signed_a: np.ndarray, signed_b: np.ndarray,
+                              overall_distances: np.ndarray, item_ids: np.ndarray,
+                              width: int, height: int,
+                              title: str = "2D arrangement") -> VisualizationWindow:
+    """The Fig. 1b arrangement: quadrants by distance direction, colours by distance.
+
+    Parameters
+    ----------
+    signed_a, signed_b:
+        Signed distances of the two attributes assigned to the x and y axis
+        (display order).  Negative ``signed_a`` goes left, positive right;
+        negative ``signed_b`` bottom, positive top.
+    overall_distances:
+        Normalized combined distances used for the colour and the outward
+        ordering inside each quadrant.
+    item_ids:
+        Table row indices, aligned with the distance arrays.
+    """
+    signed_a = np.asarray(signed_a, dtype=float)
+    signed_b = np.asarray(signed_b, dtype=float)
+    overall = np.asarray(overall_distances, dtype=float)
+    item_ids = np.asarray(item_ids, dtype=np.intp)
+    if not (len(signed_a) == len(signed_b) == len(overall) == len(item_ids)):
+        raise ValueError("all input arrays must have the same length")
+    if len(overall) > width * height:
+        raise ValueError("more items than pixels; reduce the displayed set first")
+    half_width, half_height = width // 2, height // 2
+    distance_grid = np.full((height, width), np.nan)
+    id_grid = np.full((height, width), -1, dtype=np.intp)
+
+    exact = (signed_a == 0.0) & (signed_b == 0.0)
+    # Exact answers form the yellow centre: a small spiral around the middle.
+    exact_indices = np.nonzero(exact)[0]
+    centre_capacity = min(len(exact_indices), width * height)
+    if centre_capacity:
+        positions = spiral_positions(centre_capacity, width, height)
+        chosen = exact_indices[np.argsort(overall[exact_indices], kind="stable")][:centre_capacity]
+        distance_grid[positions[:, 1], positions[:, 0]] = overall[chosen]
+        id_grid[positions[:, 1], positions[:, 0]] = item_ids[chosen]
+
+    # Quadrants: (x side, y side) -> (x offset, y offset, inner corner).
+    # Positive y ("top") is the upper half of the image (small row index).
+    quadrant_specs = {
+        (False, True): (0, 0, (half_width - 1, half_height - 1)),            # left / top
+        (True, True): (half_width, 0, (0, half_height - 1)),                 # right / top
+        (False, False): (0, half_height, (half_width - 1, 0)),               # left / bottom
+        (True, False): (half_width, half_height, (0, 0)),                    # right / bottom
+    }
+    remaining = np.nonzero(~exact)[0]
+    for (positive_a, positive_b), (x_offset, y_offset, corner) in quadrant_specs.items():
+        in_quadrant = remaining[
+            ((signed_a[remaining] > 0) == positive_a)
+            & ((signed_b[remaining] > 0) == positive_b)
+        ]
+        if len(in_quadrant) == 0:
+            continue
+        in_quadrant = in_quadrant[np.argsort(overall[in_quadrant], kind="stable")]
+        quadrant_width = width - half_width if x_offset else half_width
+        quadrant_height = height - half_height if y_offset else half_height
+        coords = _quadrant_fill(quadrant_width, quadrant_height, corner)
+        # Skip cells already used by the central exact-answer region and fill
+        # the remaining cells outward; items that do not fit are dropped.
+        free = id_grid[coords[:, 1] + y_offset, coords[:, 0] + x_offset] < 0
+        coords = coords[free][: len(in_quadrant)]
+        placed = in_quadrant[: len(coords)]
+        distance_grid[coords[:, 1] + y_offset, coords[:, 0] + x_offset] = overall[placed]
+        id_grid[coords[:, 1] + y_offset, coords[:, 0] + x_offset] = item_ids[placed]
+    return VisualizationWindow(
+        title=title,
+        distances=distance_grid,
+        item_ids=id_grid,
+        metadata={"arrangement": "2d"},
+    )

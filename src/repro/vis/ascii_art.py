@@ -1,0 +1,56 @@
+"""ASCII previews of visualization windows for terminals and logs.
+
+Useful for the examples and benchmark harnesses: even without an image
+viewer the characteristic structure of the windows (yellow centre region,
+darker rings of approximate answers) is visible at a glance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.normalization import NORMALIZED_MAX
+from repro.vis.window import VisualizationWindow
+
+__all__ = ["ascii_render", "ascii_colorbar"]
+
+#: Characters from "exact answer" to "most distant"; a space marks empty pixels.
+DEFAULT_CHARSET = "@%#*+=-:. "
+
+
+def ascii_render(window: VisualizationWindow, charset: str = DEFAULT_CHARSET,
+                 max_width: int = 100, target_max: float = NORMALIZED_MAX) -> str:
+    """Render a window as ASCII art (one character per (downsampled) pixel).
+
+    Distance 0 maps to the first character of ``charset`` (dense), the
+    maximum distance to the last non-space character, empty pixels to a
+    space.  Windows wider than ``max_width`` are downsampled by integer
+    striding.
+    """
+    if len(charset) < 2:
+        raise ValueError("charset needs at least two characters")
+    stride = max(1, int(np.ceil(window.width / max_width)))
+    distances = window.distances[::stride, ::stride]
+    items = window.item_ids[::stride, ::stride]
+    levels = len(charset) - 1
+    with np.errstate(invalid="ignore"):
+        indices = np.clip(
+            (distances / target_max * (levels - 1)).astype(float), 0, levels - 1
+        )
+    lines = []
+    for y in range(distances.shape[0]):
+        row_chars = []
+        for x in range(distances.shape[1]):
+            if items[y, x] < 0 or not np.isfinite(distances[y, x]):
+                row_chars.append(" ")
+            else:
+                row_chars.append(charset[int(indices[y, x])])
+        lines.append("".join(row_chars))
+    return "\n".join(lines)
+
+
+def ascii_colorbar(length: int = 40, charset: str = DEFAULT_CHARSET) -> str:
+    """A one-line legend showing the distance-to-character mapping."""
+    levels = len(charset) - 1
+    positions = np.linspace(0, levels - 1, length).astype(int)
+    return "exact [" + "".join(charset[p] for p in positions) + "] distant"

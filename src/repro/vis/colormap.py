@@ -1,0 +1,169 @@
+"""Colormaps for relevance/distance visualization.
+
+Section 4.2: "we found experimentally that for our application, a colormap
+with quite constant saturation, an increasing luminosity (intensity) and a
+hue (colour) ranging from yellow over green, blue and red to almost black
+is a good choice to depict the distance from the correct answers" and "the
+main task ... is to find a path through colour space that maximizes the
+number of JNDs".
+
+:class:`VisDBColormap` implements that path; :class:`GrayscaleColormap` is
+the ablation alternative the paper argues against (fewer JNDs);
+:func:`jnd_count` estimates the number of just-noticeable differences along
+a colormap using the CIE76 colour difference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.normalization import NORMALIZED_MAX
+
+__all__ = ["VisDBColormap", "GrayscaleColormap", "jnd_count", "hsv_to_rgb", "srgb_to_lab"]
+
+
+def hsv_to_rgb(hue: np.ndarray, saturation: np.ndarray, value: np.ndarray) -> np.ndarray:
+    """Vectorised HSV -> RGB conversion (hue in degrees, s/v in [0, 1]).
+
+    Returns floats in [0, 1] with shape ``hue.shape + (3,)``.
+    """
+    hue = np.asarray(hue, dtype=float) % 360.0
+    saturation = np.clip(np.asarray(saturation, dtype=float), 0.0, 1.0)
+    value = np.clip(np.asarray(value, dtype=float), 0.0, 1.0)
+    sector = hue / 60.0
+    i = np.floor(sector).astype(int) % 6
+    f = sector - np.floor(sector)
+    p = value * (1.0 - saturation)
+    q = value * (1.0 - saturation * f)
+    t = value * (1.0 - saturation * (1.0 - f))
+    r = np.choose(i, [value, q, p, p, t, value])
+    g = np.choose(i, [t, value, value, q, p, p])
+    b = np.choose(i, [p, p, t, value, value, q])
+    return np.stack([r, g, b], axis=-1)
+
+
+class VisDBColormap:
+    """The VisDB colour scale: distance 0 = bright yellow, max = almost black.
+
+    The hue runs 60° (yellow) -> 120° (green) -> 240° (blue) -> 360°/0° (red)
+    while the value (brightness) decreases towards almost black and the
+    saturation stays roughly constant, following the paper's description.
+
+    Parameters
+    ----------
+    target_max:
+        The distance value mapped to the darkest colour (255 by default).
+    saturation:
+        Constant saturation of the colour path.
+    min_value:
+        Brightness at the far ("almost black") end.
+    """
+
+    #: Hue anchors (degrees) at fractions 0, 1/3, 2/3, 1 of the distance range.
+    _HUE_ANCHORS = (60.0, 120.0, 240.0, 355.0)
+
+    def __init__(self, target_max: float = NORMALIZED_MAX, saturation: float = 0.9,
+                 min_value: float = 0.12):
+        if target_max <= 0:
+            raise ValueError("target_max must be positive")
+        if not 0.0 <= saturation <= 1.0:
+            raise ValueError("saturation must be in [0, 1]")
+        if not 0.0 <= min_value < 1.0:
+            raise ValueError("min_value must be in [0, 1)")
+        self.target_max = float(target_max)
+        self.saturation = float(saturation)
+        self.min_value = float(min_value)
+
+    def _hue(self, fraction: np.ndarray) -> np.ndarray:
+        anchors = np.linspace(0.0, 1.0, len(self._HUE_ANCHORS))
+        return np.interp(fraction, anchors, self._HUE_ANCHORS)
+
+    def __call__(self, distances: np.ndarray) -> np.ndarray:
+        """Map normalized distances to RGB uint8 colours.
+
+        NaN distances (no data / undefined) render as black.
+        """
+        distances = np.asarray(distances, dtype=float)
+        fraction = np.clip(distances / self.target_max, 0.0, 1.0)
+        nan_mask = ~np.isfinite(fraction)
+        fraction = np.where(nan_mask, 1.0, fraction)
+        hue = self._hue(fraction)
+        value = 1.0 - (1.0 - self.min_value) * fraction
+        saturation = np.full_like(fraction, self.saturation)
+        rgb = hsv_to_rgb(hue, saturation, value)
+        rgb[nan_mask] = 0.0
+        return (rgb * 255.0 + 0.5).astype(np.uint8)
+
+    def exact_color(self) -> tuple[int, int, int]:
+        """The colour of exactly fulfilling items (bright yellow)."""
+        r, g, b = self(np.array([0.0]))[0]
+        return int(r), int(g), int(b)
+
+    def sample(self, steps: int = 256) -> np.ndarray:
+        """Uniformly sampled colours along the whole scale (``steps`` x 3 uint8)."""
+        if steps < 2:
+            raise ValueError("steps must be at least 2")
+        return self(np.linspace(0.0, self.target_max, steps))
+
+
+class GrayscaleColormap:
+    """Grey-scale alternative: bright (white) for exact answers, dark for distant ones.
+
+    Used as the ablation baseline: "the advantage of colour over grey scales
+    is that the number of just noticeable differences (JNDs) is much higher".
+    """
+
+    def __init__(self, target_max: float = NORMALIZED_MAX, min_value: float = 0.05):
+        self.target_max = float(target_max)
+        self.min_value = float(min_value)
+
+    def __call__(self, distances: np.ndarray) -> np.ndarray:
+        distances = np.asarray(distances, dtype=float)
+        fraction = np.clip(distances / self.target_max, 0.0, 1.0)
+        fraction = np.where(np.isfinite(fraction), fraction, 1.0)
+        value = 1.0 - (1.0 - self.min_value) * fraction
+        grey = (value * 255.0 + 0.5).astype(np.uint8)
+        return np.stack([grey, grey, grey], axis=-1)
+
+    def sample(self, steps: int = 256) -> np.ndarray:
+        """Uniformly sampled colours along the whole scale."""
+        return self(np.linspace(0.0, self.target_max, steps))
+
+
+def srgb_to_lab(rgb: np.ndarray) -> np.ndarray:
+    """Convert sRGB (uint8 or 0..1 float) to CIE L*a*b* (D65 white point)."""
+    rgb = np.asarray(rgb, dtype=float)
+    if rgb.max() > 1.0:
+        rgb = rgb / 255.0
+    # Linearise sRGB.
+    linear = np.where(rgb <= 0.04045, rgb / 12.92, ((rgb + 0.055) / 1.055) ** 2.4)
+    matrix = np.array(
+        [
+            [0.4124564, 0.3575761, 0.1804375],
+            [0.2126729, 0.7151522, 0.0721750],
+            [0.0193339, 0.1191920, 0.9503041],
+        ]
+    )
+    xyz = linear @ matrix.T
+    white = np.array([0.95047, 1.0, 1.08883])
+    ratio = xyz / white
+    epsilon, kappa = 0.008856, 903.3
+    f = np.where(ratio > epsilon, np.cbrt(ratio), (kappa * ratio + 16.0) / 116.0)
+    lightness = 116.0 * f[..., 1] - 16.0
+    a = 500.0 * (f[..., 0] - f[..., 1])
+    b = 200.0 * (f[..., 1] - f[..., 2])
+    return np.stack([lightness, a, b], axis=-1)
+
+
+def jnd_count(colormap, steps: int = 256, jnd_threshold: float = 2.3) -> float:
+    """Estimate the number of just-noticeable differences along a colormap.
+
+    The path length in CIE L*a*b* space (CIE76 ΔE summed over consecutive
+    samples) divided by the ΔE that counts as one JND (≈2.3).  The VisDB
+    colour path yields several times more JNDs than a grey ramp, which is
+    the paper's argument for using colour.
+    """
+    samples = colormap.sample(steps).astype(float)
+    lab = srgb_to_lab(samples)
+    deltas = np.linalg.norm(np.diff(lab, axis=0), axis=1)
+    return float(np.sum(deltas) / jnd_threshold)

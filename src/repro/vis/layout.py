@@ -1,0 +1,141 @@
+"""The multi-window layout of the query visualization (Figs. 4 and 5).
+
+The visualization part of the VisDB window shows the *overall result* in
+the upper left and one window per (top-level) selection predicate next to
+it, all using the same item placement.  :class:`MultiWindowLayout` builds
+those windows from a :class:`~repro.core.result.QueryFeedback` and can
+compose them -- with margins and an optional colour-scale strip -- into one
+RGB canvas that can be written to a PPM/PNG file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.result import QueryFeedback
+from repro.query.expr import NodePath
+from repro.vis.arrangement import window_for_node
+from repro.vis.colormap import VisDBColormap
+from repro.vis.window import VisualizationWindow
+
+__all__ = ["MultiWindowLayout"]
+
+
+@dataclass
+class MultiWindowLayout:
+    """Builds and composes the overall + per-predicate windows.
+
+    Parameters
+    ----------
+    window_width, window_height:
+        Size of each individual window in pixels.
+    pixels_per_item:
+        1, 4 or 16 pixels per data item.
+    colormap:
+        Colormap used when composing RGB output (VisDB scale by default).
+    margin:
+        Gap in pixels between windows in the composed canvas.
+    """
+
+    window_width: int = 128
+    window_height: int = 128
+    pixels_per_item: int = 1
+    colormap: object = field(default_factory=VisDBColormap)
+    margin: int = 4
+
+    # ------------------------------------------------------------------ #
+    def windows(self, feedback: QueryFeedback,
+                paths: list[NodePath] | None = None,
+                include_overall: bool = True,
+                independent: bool = False) -> dict[NodePath, VisualizationWindow]:
+        """Build the visualization windows for the given node paths.
+
+        By default: the overall result (path ``()``) plus every top-level
+        part of the query -- the layout of Fig. 4.  Passing the children of
+        an inner node reproduces the "double click on the OR box" view of
+        Fig. 5.
+        """
+        if paths is None:
+            paths = feedback.top_level_paths()
+        selected: list[NodePath] = []
+        if include_overall:
+            selected.append(())
+        selected.extend(p for p in paths if p != ())
+        return {
+            path: window_for_node(
+                feedback,
+                path,
+                self.window_width,
+                self.window_height,
+                pixels_per_item=self.pixels_per_item,
+                independent=independent and path != (),
+            )
+            for path in selected
+        }
+
+    def subpart_windows(self, feedback: QueryFeedback, parent: NodePath) -> dict[NodePath, VisualizationWindow]:
+        """Windows for the children of an inner operator box (Fig. 5).
+
+        The parent's own window plays the role of the "overall result of the
+        corresponding query part" in the upper left.
+        """
+        children = sorted(
+            p for p in feedback.node_feedback if len(p) == len(parent) + 1 and p[: len(parent)] == parent
+        )
+        windows = {parent: window_for_node(
+            feedback, parent, self.window_width, self.window_height,
+            pixels_per_item=self.pixels_per_item,
+        )}
+        for path in children:
+            windows[path] = window_for_node(
+                feedback, path, self.window_width, self.window_height,
+                pixels_per_item=self.pixels_per_item,
+            )
+        return windows
+
+    # ------------------------------------------------------------------ #
+    def compose(self, windows: dict[NodePath, VisualizationWindow],
+                columns: int | None = None,
+                highlight_items: np.ndarray | None = None,
+                background: tuple[int, int, int] = (40, 40, 40)) -> np.ndarray:
+        """Compose several windows into a single RGB image (uint8).
+
+        Windows are placed left-to-right, top-to-bottom in path order with
+        the overall result first, mirroring the screen layout of Fig. 4.
+        """
+        if not windows:
+            raise ValueError("no windows to compose")
+        ordered = [windows[p] for p in sorted(windows, key=lambda p: (len(p), p))]
+        n = len(ordered)
+        if columns is None:
+            columns = int(np.ceil(np.sqrt(n)))
+        rows = int(np.ceil(n / columns))
+        tile_h = self.window_height + self.margin
+        tile_w = self.window_width + self.margin
+        canvas = np.full(
+            (rows * tile_h + self.margin, columns * tile_w + self.margin, 3),
+            background,
+            dtype=np.uint8,
+        )
+        for index, window in enumerate(ordered):
+            row, col = divmod(index, columns)
+            y = self.margin + row * tile_h
+            x = self.margin + col * tile_w
+            rgb = window.to_rgb(self.colormap, highlight_items=highlight_items)
+            canvas[y:y + window.height, x:x + window.width] = rgb
+        return canvas
+
+    def render(self, feedback: QueryFeedback,
+               highlight_items: np.ndarray | None = None) -> np.ndarray:
+        """Convenience: build the default windows and compose them."""
+        return self.compose(self.windows(feedback), highlight_items=highlight_items)
+
+    # ------------------------------------------------------------------ #
+    def item_capacity(self) -> int:
+        """How many data items one window of this layout can show."""
+        from repro.vis.arrangement import block_factor
+
+        factor = block_factor(self.pixels_per_item)
+        return (self.window_width // factor) * (self.window_height // factor)

@@ -1,0 +1,94 @@
+"""Image export: PPM and PNG writers (no external imaging library).
+
+The original system drew directly to an X11 display; here the pixel buffers
+are written to files so the figures can be inspected and compared.  PNG
+encoding uses only the standard library (``zlib`` + ``struct``).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_ppm", "write_png", "upscale", "save_window"]
+
+
+def _as_rgb_array(image: np.ndarray) -> np.ndarray:
+    image = np.asarray(image)
+    if image.ndim == 2:
+        image = np.stack([image] * 3, axis=-1)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError("image must be HxW (grey) or HxWx3 (RGB)")
+    if image.dtype != np.uint8:
+        image = np.clip(image, 0, 255).astype(np.uint8)
+    return image
+
+
+def write_ppm(image: np.ndarray, path: str | Path) -> Path:
+    """Write an RGB image to a binary PPM (P6) file."""
+    image = _as_rgb_array(image)
+    path = Path(path)
+    height, width = image.shape[:2]
+    with path.open("wb") as handle:
+        handle.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        handle.write(image.tobytes())
+    return path
+
+
+def write_png(image: np.ndarray, path: str | Path) -> Path:
+    """Write an RGB image to a PNG file (8-bit, no alpha)."""
+    image = _as_rgb_array(image)
+    path = Path(path)
+    height, width = image.shape[:2]
+
+    def chunk(kind: bytes, payload: bytes) -> bytes:
+        return (
+            struct.pack(">I", len(payload))
+            + kind
+            + payload
+            + struct.pack(">I", zlib.crc32(kind + payload) & 0xFFFFFFFF)
+        )
+
+    header = struct.pack(">IIBBBBB", width, height, 8, 2, 0, 0, 0)
+    # Each scanline is prefixed with filter type 0 (None).
+    raw = b"".join(b"\x00" + image[row].tobytes() for row in range(height))
+    payload = (
+        b"\x89PNG\r\n\x1a\n"
+        + chunk(b"IHDR", header)
+        + chunk(b"IDAT", zlib.compress(raw, level=6))
+        + chunk(b"IEND", b"")
+    )
+    path.write_bytes(payload)
+    return path
+
+
+def upscale(image: np.ndarray, factor: int) -> np.ndarray:
+    """Nearest-neighbour upscaling (each pixel becomes a ``factor x factor`` block)."""
+    if factor < 1:
+        raise ValueError("factor must be at least 1")
+    image = np.asarray(image)
+    if factor == 1:
+        return image
+    scaled = np.repeat(np.repeat(image, factor, axis=0), factor, axis=1)
+    return scaled
+
+
+def save_window(window, path: str | Path, colormap=None, scale: int = 1,
+                highlight_items: np.ndarray | None = None) -> Path:
+    """Render a :class:`~repro.vis.window.VisualizationWindow` and save it.
+
+    The file format is chosen from the suffix (``.png`` or ``.ppm``).
+    """
+    from repro.vis.colormap import VisDBColormap
+
+    colormap = colormap or VisDBColormap()
+    rgb = upscale(window.to_rgb(colormap, highlight_items=highlight_items), scale)
+    path = Path(path)
+    if path.suffix.lower() == ".png":
+        return write_png(rgb, path)
+    if path.suffix.lower() == ".ppm":
+        return write_ppm(rgb, path)
+    raise ValueError(f"unsupported image format: {path.suffix!r} (use .png or .ppm)")

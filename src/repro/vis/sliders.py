@@ -1,0 +1,194 @@
+"""Slider models for the query modification part of the VisDB window.
+
+Every selection predicate has a slider whose colour spectrum "is just a
+different arrangement of the coloured distances and corresponds to the
+distribution of distances for the corresponding attribute".  Inside the
+slider the lowest/highest *displayed* attribute values are shown; outside
+it the database minimum/maximum; below it the number of results, the
+selected tuple, the first/last value of a selected colour range, the query
+range and the weighting factor.  :class:`Slider` captures all of that for
+the scripted interaction layer and for rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.result import QueryFeedback
+from repro.query.expr import NodePath, PredicateLeaf
+from repro.query.predicates import AttributePredicate, RangePredicate
+
+__all__ = ["Slider", "OverallSpectrum", "sliders_for_feedback"]
+
+
+@dataclass
+class Slider:
+    """Query-modification slider for one selection predicate."""
+
+    path: NodePath
+    attribute: str
+    label: str
+    #: Minimum / maximum of the attribute over the whole database table.
+    database_min: float
+    database_max: float
+    #: Lowest / highest attribute value among the *displayed* data items.
+    displayed_min: float
+    displayed_max: float
+    #: Current query range (black lines in the slider); None for one-sided predicates.
+    query_low: float | None
+    query_high: float | None
+    #: Weighting factor of the predicate.
+    weight: float
+    #: Number of data items exactly fulfilling the predicate.
+    result_count: int
+    #: Attribute values of the displayed items, sorted ascending.
+    sorted_values: np.ndarray = field(repr=False)
+    #: Normalized distances aligned with ``sorted_values``.
+    sorted_distances: np.ndarray = field(repr=False)
+
+    # ------------------------------------------------------------------ #
+    def color_spectrum(self, length: int = 64) -> np.ndarray:
+        """Normalized distances resampled to ``length`` buckets along the value axis.
+
+        This is the colour spectrum drawn inside the slider: position along
+        the slider corresponds to the attribute value, colour to the
+        distance of the items with that value.
+        """
+        if length <= 0:
+            raise ValueError("length must be positive")
+        if len(self.sorted_values) == 0:
+            return np.full(length, np.nan)
+        positions = np.linspace(0, len(self.sorted_values) - 1, length).astype(int)
+        return self.sorted_distances[positions]
+
+    def first_last_of_color(self, distance_low: float, distance_high: float) -> tuple[float, float] | None:
+        """Attribute values of the first/last displayed item within a colour range.
+
+        The user "may choose a specific color or color range in any of the
+        sliders to get the corresponding values of the attribute in the
+        'first' and 'last of color' fields".  Returns None when no displayed
+        item falls into the range.
+        """
+        if distance_low > distance_high:
+            distance_low, distance_high = distance_high, distance_low
+        mask = (self.sorted_distances >= distance_low) & (self.sorted_distances <= distance_high)
+        if not np.any(mask):
+            return None
+        values = self.sorted_values[mask]
+        return float(values[0]), float(values[-1])
+
+    def items_of_color(self, distance_low: float, distance_high: float) -> np.ndarray:
+        """Boolean mask (over the sorted displayed items) for a colour range."""
+        if distance_low > distance_high:
+            distance_low, distance_high = distance_high, distance_low
+        return (self.sorted_distances >= distance_low) & (self.sorted_distances <= distance_high)
+
+    def as_row(self) -> dict[str, Any]:
+        """The slider's numeric read-outs as a flat dictionary (Fig. 4/5 rows)."""
+        return {
+            "attribute": self.attribute,
+            "min": self.database_min,
+            "max": self.database_max,
+            "first": self.displayed_min,
+            "last": self.displayed_max,
+            "# of results": self.result_count,
+            "query low": self.query_low,
+            "query high": self.query_high,
+            "weight": self.weight,
+        }
+
+
+@dataclass
+class OverallSpectrum:
+    """The colour spectrum and counters for the overall result (left of Fig. 4/5).
+
+    The combined distance values "have no inherent meaning", so no attribute
+    values are attached -- only the number of objects, the number displayed,
+    the percentage and the number of results.
+    """
+
+    num_objects: int
+    num_displayed: int
+    percentage_displayed: float
+    num_results: int
+    sorted_distances: np.ndarray = field(repr=False)
+
+    def color_spectrum(self, length: int = 64) -> np.ndarray:
+        """Normalized combined distances resampled to ``length`` buckets."""
+        if len(self.sorted_distances) == 0:
+            return np.full(length, np.nan)
+        positions = np.linspace(0, len(self.sorted_distances) - 1, length).astype(int)
+        return self.sorted_distances[positions]
+
+
+def _query_range(leaf: PredicateLeaf) -> tuple[float | None, float | None]:
+    predicate = leaf.predicate
+    if isinstance(predicate, RangePredicate):
+        return predicate.low, predicate.high
+    if isinstance(predicate, AttributePredicate):
+        operator = predicate.operator.value
+        if operator in (">", ">="):
+            return predicate.value, None
+        if operator in ("<", "<="):
+            return None, predicate.value
+        return predicate.value, predicate.value
+    return None, None
+
+
+def sliders_for_feedback(feedback: QueryFeedback,
+                         paths: list[NodePath] | None = None) -> tuple[OverallSpectrum, list[Slider]]:
+    """Build the overall spectrum plus one slider per predicate leaf.
+
+    ``paths`` restricts the sliders to specific leaves (e.g. the children of
+    the OR part in Fig. 5); by default every leaf of the query gets one.
+    """
+    table = feedback.table
+    sliders: list[Slider] = []
+    leaf_paths = paths
+    if leaf_paths is None:
+        leaf_paths = [p for p in feedback.paths if feedback.node_feedback[p].is_leaf]
+    for path in leaf_paths:
+        node = feedback.node_feedback[path]
+        # Recover the predicate leaf to read its attribute / query range.
+        attribute = None
+        query_low = query_high = None
+        leaf = feedback.extra.get("condition_nodes", {}).get(path)
+        if isinstance(leaf, PredicateLeaf):
+            attribute = getattr(leaf.predicate, "attribute", None)
+            query_low, query_high = _query_range(leaf)
+        if attribute is None:
+            attribute = node.label.split(" ")[0]
+        if not table.has_column(attribute) or not table.is_numeric(attribute):
+            continue
+        values = feedback.ordered_values(attribute).astype(float)
+        distances = feedback.ordered_distances(path)
+        order = np.argsort(values, kind="stable")
+        stats = table.stats(attribute)
+        sliders.append(
+            Slider(
+                path=path,
+                attribute=attribute,
+                label=node.label,
+                database_min=float(stats.minimum),
+                database_max=float(stats.maximum),
+                displayed_min=float(values.min()) if len(values) else float("nan"),
+                displayed_max=float(values.max()) if len(values) else float("nan"),
+                query_low=query_low,
+                query_high=query_high,
+                weight=node.weight,
+                result_count=node.result_count,
+                sorted_values=values[order],
+                sorted_distances=distances[order],
+            )
+        )
+    overall = OverallSpectrum(
+        num_objects=feedback.statistics.num_objects,
+        num_displayed=feedback.statistics.num_displayed,
+        percentage_displayed=feedback.statistics.percentage_displayed,
+        num_results=feedback.statistics.num_results,
+        sorted_distances=np.sort(feedback.ordered_distances(())),
+    )
+    return overall, sliders

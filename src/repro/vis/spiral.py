@@ -1,0 +1,88 @@
+"""Rectangular spiral coordinates.
+
+The overall result window arranges the sorted relevance factors "with the
+highest relevance factors centered in the middle of the window" and the
+approximate answers "rectangular spiral-shaped around this region".  This
+module generates that ordering of pixel positions: position 0 is the centre
+of the window, subsequent positions walk outwards along a rectangular
+spiral until the whole window is covered.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["rect_spiral_coords", "spiral_positions", "rank_grid"]
+
+
+@lru_cache(maxsize=64)
+def _spiral_cache(width: int, height: int) -> tuple[np.ndarray, np.ndarray]:
+    """Spiral coordinates (x, y) covering a width x height window, centre first."""
+    if width <= 0 or height <= 0:
+        raise ValueError("window dimensions must be positive")
+    cx, cy = (width - 1) // 2, (height - 1) // 2
+    total = width * height
+    xs = np.empty(total, dtype=np.intp)
+    ys = np.empty(total, dtype=np.intp)
+    count = 0
+    x, y = cx, cy
+    if 0 <= x < width and 0 <= y < height:
+        xs[count], ys[count] = x, y
+        count += 1
+    # Walk the classic rectangular spiral: step lengths 1, 1, 2, 2, 3, 3, ...
+    # alternating direction right, down, left, up; positions outside the
+    # window are skipped but the walk continues until the window is full.
+    directions = ((1, 0), (0, 1), (-1, 0), (0, -1))
+    step_length = 1
+    direction_index = 0
+    while count < total:
+        for _ in range(2):
+            dx, dy = directions[direction_index]
+            for _ in range(step_length):
+                x += dx
+                y += dy
+                if 0 <= x < width and 0 <= y < height:
+                    xs[count], ys[count] = x, y
+                    count += 1
+                    if count == total:
+                        break
+            direction_index = (direction_index + 1) % 4
+            if count == total:
+                break
+        step_length += 1
+    return xs.copy(), ys.copy()
+
+
+def rect_spiral_coords(width: int, height: int) -> np.ndarray:
+    """Return an ``(width*height, 2)`` array of (x, y) positions, centre first."""
+    xs, ys = _spiral_cache(int(width), int(height))
+    return np.stack([xs, ys], axis=1)
+
+
+def spiral_positions(n: int, width: int, height: int) -> np.ndarray:
+    """First ``n`` spiral positions of a ``width x height`` window.
+
+    Raises ``ValueError`` if more positions are requested than the window has
+    pixels -- the caller is responsible for reducing the data first.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if n > width * height:
+        raise ValueError(
+            f"cannot place {n} items in a {width}x{height} window ({width * height} pixels)"
+        )
+    return rect_spiral_coords(width, height)[:n]
+
+
+def rank_grid(width: int, height: int) -> np.ndarray:
+    """Inverse mapping: a ``height x width`` array of spiral ranks per pixel.
+
+    ``rank_grid(w, h)[y, x]`` is the display rank whose pixel lands at
+    ``(x, y)``; useful for hit-testing (which data item did the user click?).
+    """
+    coords = rect_spiral_coords(width, height)
+    grid = np.empty((height, width), dtype=np.intp)
+    grid[coords[:, 1], coords[:, 0]] = np.arange(len(coords))
+    return grid

@@ -1,0 +1,106 @@
+"""A single visualization window: a pixel grid of distances and item ids."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["VisualizationWindow"]
+
+
+@dataclass
+class VisualizationWindow:
+    """Pixel-level contents of one visualization window.
+
+    Attributes
+    ----------
+    title:
+        Window label (the predicate description or "overall result").
+    distances:
+        ``height x width`` float array of normalized distances; NaN marks
+        pixels without a data item.
+    item_ids:
+        ``height x width`` integer array of table row indices; -1 marks
+        empty pixels.  Pixels of the same data item (when an item occupies
+        4 or 16 pixels) share the id.
+    """
+
+    title: str
+    distances: np.ndarray
+    item_ids: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.distances = np.asarray(self.distances, dtype=float)
+        self.item_ids = np.asarray(self.item_ids, dtype=np.intp)
+        if self.distances.shape != self.item_ids.shape:
+            raise ValueError("distances and item_ids must have the same shape")
+        if self.distances.ndim != 2:
+            raise ValueError("window arrays must be 2-dimensional")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def height(self) -> int:
+        """Window height in pixels."""
+        return self.distances.shape[0]
+
+    @property
+    def width(self) -> int:
+        """Window width in pixels."""
+        return self.distances.shape[1]
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of pixels showing a data item."""
+        return float(np.mean(self.item_ids >= 0))
+
+    def item_count(self) -> int:
+        """Number of distinct data items represented in the window."""
+        ids = self.item_ids[self.item_ids >= 0]
+        return int(len(np.unique(ids)))
+
+    # ------------------------------------------------------------------ #
+    def to_rgb(self, colormap, background: tuple[int, int, int] = (20, 20, 20),
+               highlight_items: np.ndarray | None = None,
+               highlight_color: tuple[int, int, int] = (255, 255, 255)) -> np.ndarray:
+        """Render the window to an ``height x width x 3`` uint8 image.
+
+        ``highlight_items`` is an optional array of table row indices whose
+        pixels are drawn in ``highlight_color`` -- the cross-window
+        highlighting of a selected tuple or colour range.
+        """
+        rgb = colormap(self.distances)
+        empty = self.item_ids < 0
+        rgb[empty] = np.array(background, dtype=np.uint8)
+        if highlight_items is not None and len(highlight_items) > 0:
+            mask = np.isin(self.item_ids, np.asarray(highlight_items))
+            rgb[mask] = np.array(highlight_color, dtype=np.uint8)
+        return rgb
+
+    def position_of_item(self, row_index: int) -> tuple[int, int] | None:
+        """(x, y) of the first pixel showing ``row_index``, or None if absent."""
+        matches = np.argwhere(self.item_ids == row_index)
+        if len(matches) == 0:
+            return None
+        y, x = matches[0]
+        return int(x), int(y)
+
+    def item_at(self, x: int, y: int) -> int | None:
+        """Table row index shown at pixel (x, y), or None for empty pixels."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise IndexError(f"pixel ({x}, {y}) outside a {self.width}x{self.height} window")
+        item = int(self.item_ids[y, x])
+        return None if item < 0 else item
+
+    def yellow_region_size(self) -> int:
+        """Number of pixels with distance exactly 0 (the yellow centre region)."""
+        with np.errstate(invalid="ignore"):
+            return int(np.sum(self.distances == 0.0))
+
+    def mean_distance(self) -> float:
+        """Mean normalized distance over occupied pixels (window brightness proxy)."""
+        occupied = self.item_ids >= 0
+        if not np.any(occupied):
+            return float("nan")
+        return float(np.nanmean(self.distances[occupied]))

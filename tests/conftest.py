@@ -1,0 +1,70 @@
+"""Shared fixtures: small deterministic tables, databases and queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database, OrNode, QueryBuilder, Table, condition
+from repro.datasets import environmental_database
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def weather_table(rng) -> Table:
+    """A small single-table weather sample with known structure."""
+    n = 2000
+    temperature = rng.normal(15.0, 8.0, n)
+    solar = np.clip(rng.normal(400.0, 250.0, n), 0.0, None)
+    humidity = np.clip(95.0 - 1.5 * (temperature - 5.0) + rng.normal(0.0, 8.0, n), 5.0, 100.0)
+    ozone = np.clip(10.0 + 0.05 * solar + rng.normal(0.0, 5.0, n), 0.0, None)
+    return Table(
+        "Weather",
+        {
+            "Temperature": temperature,
+            "Solar-Radiation": solar,
+            "Humidity": humidity,
+            "Ozone": ozone,
+            "Station": rng.integers(0, 4, n).astype(float),
+        },
+    )
+
+
+@pytest.fixture()
+def weather_db(weather_table) -> Database:
+    return Database("env", [weather_table])
+
+
+@pytest.fixture()
+def or_condition():
+    """The Fig. 3 OR part: T > 15 OR Solar > 600 OR Humidity < 60."""
+    return OrNode(
+        [
+            condition("Temperature", ">", 15.0),
+            condition("Solar-Radiation", ">", 600.0),
+            condition("Humidity", "<", 60.0),
+        ]
+    )
+
+
+@pytest.fixture()
+def or_query(weather_db, or_condition):
+    return (
+        QueryBuilder("fig3-or", weather_db)
+        .use_tables("Weather")
+        .add_result("Temperature")
+        .add_result("Solar-Radiation")
+        .add_result("Humidity")
+        .where(or_condition)
+        .build()
+    )
+
+
+@pytest.fixture(scope="session")
+def small_env_db() -> Database:
+    """A small but complete environmental database (two joined tables)."""
+    return environmental_database(hours=200, stations=2, seed=7)

@@ -1,0 +1,193 @@
+"""Tests for the baselines and the analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro import OrNode, Table, VisualFeedbackQuery, condition
+from repro.analysis import (
+    best_lag,
+    color_usage,
+    exceptional_items,
+    hotspot_recall,
+    lagged_correlation,
+    relevance_hotspots,
+    restrictiveness_ranking,
+    selectivity,
+    window_statistics,
+)
+from repro.baselines import (
+    classify_result_size,
+    cluster_outlier_scores,
+    clustering_hotspot_recall,
+    exact_query,
+    kmeans,
+    result_size_profile,
+    top_k_indices,
+    weighted_linear_ranking,
+)
+from repro.datasets import planted_outliers
+from repro.query.predicates import AttributePredicate, ComparisonOperator
+
+
+# -- boolean baseline --------------------------------------------------------- #
+def test_exact_query_matches_mask(weather_table):
+    tree = condition("Temperature", ">", 25.0)
+    rows = exact_query(weather_table, tree)
+    assert len(rows) == int(np.sum(weather_table.column("Temperature") > 25.0))
+
+
+def test_classify_result_size():
+    assert classify_result_size(0, 1000) == "null"
+    assert classify_result_size(500, 1000) == "flood"
+    assert classify_result_size(50, 1000) == "useful"
+
+
+def test_result_size_profile_shows_null_and_flood(weather_table):
+    profile = result_size_profile(
+        weather_table,
+        lambda threshold: condition("Temperature", ">", threshold),
+        parameters=[-100.0, 60.0],
+    )
+    assert profile[0]["classification"] == "flood"
+    assert profile[1]["classification"] == "null"
+
+
+# -- clustering baseline --------------------------------------------------------- #
+def test_kmeans_separates_obvious_clusters():
+    rng = np.random.default_rng(0)
+    data = np.concatenate([rng.normal(0.0, 0.3, (100, 2)), rng.normal(10.0, 0.3, (100, 2))])
+    labels, centers = kmeans(data, k=2, seed=1)
+    assert len(np.unique(labels)) == 2
+    # Points in the same blob share a label.
+    assert len(np.unique(labels[:100])) == 1
+    assert len(np.unique(labels[100:])) == 1
+    assert centers.shape == (2, 2)
+
+
+def test_kmeans_validation():
+    with pytest.raises(ValueError):
+        kmeans(np.zeros((5, 2)), k=10)
+    with pytest.raises(ValueError):
+        kmeans(np.zeros(5), k=1)
+
+
+def test_cluster_outlier_scores_rank_outliers_high():
+    scenario = planted_outliers(n_rows=2000, n_outliers=4, seed=2, magnitude=12.0)
+    data = np.column_stack([scenario.table.column(c) for c in scenario.table.column_names])
+    scores = cluster_outlier_scores(data, k=4, seed=0)
+    top = np.argsort(scores)[::-1][:20]
+    assert len(np.intersect1d(top, scenario.outlier_rows)) >= 3
+
+
+def test_clustering_hotspot_recall_bounds():
+    scenario = planted_outliers(n_rows=1000, n_outliers=3, seed=3)
+    recall = clustering_hotspot_recall(
+        scenario.table, list(scenario.table.column_names), scenario.outlier_rows,
+        top_fraction=0.01,
+    )
+    assert 0.0 <= recall <= 1.0
+    assert clustering_hotspot_recall(scenario.table, ["A0"], np.array([])) == 1.0
+
+
+# -- ranking baseline --------------------------------------------------------------- #
+def test_weighted_linear_ranking_scale_sensitivity():
+    """Without normalization, the attribute on the larger scale dominates."""
+    table = Table("T", {"small": [0.0, 1.0, 2.0], "large": [0.0, 1000.0, 500.0]})
+    predicates = [
+        AttributePredicate("small", ComparisonOperator.EQ, 0.0),
+        AttributePredicate("large", ComparisonOperator.EQ, 0.0),
+    ]
+    scores = weighted_linear_ranking(table, predicates)
+    # Row 2 is better on "large" despite being worse on "small" -> ranked above row 1.
+    assert scores[2] < scores[1]
+
+
+def test_weighted_linear_ranking_validation_and_topk():
+    table = Table("T", {"a": [3.0, 1.0, 2.0]})
+    predicate = AttributePredicate("a", ComparisonOperator.EQ, 0.0)
+    scores = weighted_linear_ranking(table, [predicate])
+    np.testing.assert_array_equal(top_k_indices(scores, 2), [1, 2])
+    with pytest.raises(ValueError):
+        weighted_linear_ranking(table, [])
+    with pytest.raises(ValueError):
+        weighted_linear_ranking(table, [predicate], weights=[1.0, 2.0])
+    with pytest.raises(ValueError):
+        top_k_indices(scores, 0)
+
+
+# -- analysis: metrics ----------------------------------------------------------------- #
+def test_window_statistics_and_restrictiveness(weather_table):
+    tree = OrNode([condition("Temperature", ">", 38.0), condition("Humidity", "<", 95.0)])
+    feedback = VisualFeedbackQuery(weather_table, tree).execute()
+    stats = window_statistics(feedback)
+    assert set(stats) == {tree.describe(), "Temperature > 38", "Humidity < 95"}
+    ranking = restrictiveness_ranking(feedback)
+    assert ranking[0][0] == "Temperature > 38"  # rarest condition = most restrictive
+
+
+def test_color_usage_range(weather_table):
+    feedback = VisualFeedbackQuery(weather_table, "Temperature > 38").execute()
+    usage = color_usage(feedback)
+    assert 0.0 < usage <= 1.0
+    with pytest.raises(ValueError):
+        color_usage(feedback, levels=1)
+
+
+def test_selectivity(weather_table):
+    mask = weather_table.column("Temperature") > 15.0
+    assert selectivity(weather_table, mask) == pytest.approx(np.mean(mask))
+    with pytest.raises(ValueError):
+        selectivity(weather_table, np.array([True]))
+
+
+# -- analysis: hot spots ------------------------------------------------------------------ #
+def test_exceptional_items_finds_planted_outliers():
+    scenario = planted_outliers(n_rows=5000, n_outliers=5, seed=11, magnitude=9.0)
+    detected = exceptional_items(scenario.table, list(scenario.table.column_names))
+    assert hotspot_recall(detected, scenario.outlier_rows) == 1.0
+    assert len(detected) < 50  # does not flag half the table
+    with pytest.raises(ValueError):
+        exceptional_items(scenario.table, [])
+
+
+def test_hotspot_recall_edge_cases():
+    assert hotspot_recall(np.array([1, 2]), np.array([])) == 1.0
+    assert hotspot_recall(np.array([]), np.array([5])) == 0.0
+
+
+def test_relevance_hotspots_finds_isolated_item(weather_table):
+    feedback = VisualFeedbackQuery(
+        weather_table, "Temperature > 20 AND Humidity < 70", percentage=0.5
+    ).execute()
+    hotspots = relevance_hotspots(feedback, (0,), max_items=10)
+    assert len(hotspots) <= 10
+    tiny = VisualFeedbackQuery(
+        Table("T", {"a": [1.0, 2.0]}), "a > 0"
+    ).execute()
+    assert len(relevance_hotspots(tiny, ())) == 0
+
+
+# -- analysis: correlations --------------------------------------------------------------- #
+def test_lagged_correlation_identifies_shift():
+    rng = np.random.default_rng(0)
+    x = rng.normal(0.0, 1.0, 500)
+    y = np.roll(x, 3) + rng.normal(0.0, 0.1, 500)
+    lag, correlation = best_lag(x, y, lags=range(0, 6))
+    assert lag == 3
+    assert correlation > 0.9
+
+
+def test_lagged_correlation_negative_lag_and_nan():
+    x = np.arange(10.0)
+    correlations = lagged_correlation(x, x, lags=[-2, 0, 20])
+    assert correlations[0] == pytest.approx(1.0)
+    assert np.isnan(correlations[20])
+    with pytest.raises(ValueError):
+        lagged_correlation(x, x[:5], lags=[0])
+    with pytest.raises(ValueError):
+        best_lag(x, x, lags=[50])
+
+
+def test_lagged_correlation_constant_series_is_nan():
+    constant = np.ones(50)
+    assert np.isnan(lagged_correlation(constant, constant, lags=[0])[0])

@@ -1,0 +1,158 @@
+"""Unit tests for normalization (5.2) and distance combination (AND/OR means)."""
+
+import numpy as np
+import pytest
+
+from repro.core.combine import CombinationRule, combine, combine_and, combine_or
+from repro.core.normalization import (
+    NORMALIZED_MAX,
+    minmax_normalize,
+    normalize_signed,
+    reduced_normalization,
+)
+
+
+# -- min-max normalization -------------------------------------------------- #
+def test_minmax_maps_to_fixed_range():
+    normalized = minmax_normalize(np.array([0.0, 5.0, 10.0]))
+    np.testing.assert_allclose(normalized, [0.0, 127.5, 255.0])
+
+
+def test_minmax_all_zero_distances_stay_yellow():
+    np.testing.assert_allclose(minmax_normalize(np.zeros(5)), np.zeros(5))
+
+
+def test_minmax_all_equal_nonzero_is_maximal():
+    np.testing.assert_allclose(minmax_normalize(np.full(4, 7.0)), np.full(4, 255.0))
+
+
+def test_minmax_nan_maps_to_max():
+    normalized = minmax_normalize(np.array([0.0, np.nan, 2.0]))
+    assert normalized[1] == NORMALIZED_MAX
+
+
+def test_minmax_all_nan():
+    np.testing.assert_allclose(minmax_normalize(np.full(3, np.nan)), np.full(3, 255.0))
+
+
+def test_minmax_invalid_target():
+    with pytest.raises(ValueError):
+        minmax_normalize(np.array([1.0]), target_max=0.0)
+
+
+# -- reduced (outlier-robust) normalization ---------------------------------- #
+def test_reduced_normalization_outlier_robustness():
+    """A single extreme outlier must not flatten the rest of the scale.
+
+    This is the paper's motivating example for the improved normalization: a
+    plain min-max transform would push all regular distances into a tiny
+    fraction of the colour range.
+    """
+    distances = np.concatenate([np.linspace(0.0, 10.0, 100), [10_000.0]])
+    plain = minmax_normalize(distances)
+    robust = reduced_normalization(distances, weight=1.0, display_capacity=50)
+    # Plain normalization squashes the regular values below 1/255 of the range.
+    assert plain[:100].max() < 1.0
+    # The robust scheme spreads them over most of the range and saturates the outlier.
+    assert robust[:100].max() > 200.0
+    assert robust[-1] == NORMALIZED_MAX
+
+
+def test_reduced_normalization_small_weight_keeps_wider_range():
+    distances = np.linspace(0.0, 100.0, 1000)
+    strong = reduced_normalization(distances, weight=1.0, display_capacity=100)
+    weak = reduced_normalization(distances, weight=0.1, display_capacity=100)
+    # With a small weight, more items define the range, so fewer saturate at max.
+    assert np.sum(weak == NORMALIZED_MAX) < np.sum(strong == NORMALIZED_MAX)
+
+
+def test_reduced_normalization_monotone():
+    distances = np.sort(np.random.default_rng(0).uniform(0, 50, 500))
+    normalized = reduced_normalization(distances, weight=0.8, display_capacity=100)
+    assert np.all(np.diff(normalized) >= -1e-12)
+
+
+def test_reduced_normalization_validation():
+    with pytest.raises(ValueError):
+        reduced_normalization(np.array([1.0]), weight=1.0, display_capacity=0)
+    with pytest.raises(ValueError):
+        reduced_normalization(np.array([1.0]), weight=1.5, display_capacity=10)
+
+
+def test_reduced_normalization_empty_and_all_nan():
+    assert len(reduced_normalization(np.empty(0), 1.0, 10)) == 0
+    np.testing.assert_allclose(
+        reduced_normalization(np.full(3, np.nan), 1.0, 10), np.full(3, 255.0)
+    )
+
+
+def test_reduced_normalization_constant_distances():
+    np.testing.assert_allclose(reduced_normalization(np.zeros(5), 1.0, 10), np.zeros(5))
+    np.testing.assert_allclose(reduced_normalization(np.full(5, 3.0), 1.0, 10), np.full(5, 255.0))
+
+
+# -- signed normalization ------------------------------------------------------ #
+def test_normalize_signed_preserves_sign_and_scale():
+    normalized = normalize_signed(np.array([-10.0, 0.0, 5.0]))
+    np.testing.assert_allclose(normalized, [-255.0, 0.0, 127.5])
+
+
+def test_normalize_signed_all_zero():
+    np.testing.assert_allclose(normalize_signed(np.zeros(3)), np.zeros(3))
+
+
+def test_normalize_signed_nan():
+    normalized = normalize_signed(np.array([np.nan, 1.0]))
+    assert normalized[0] == NORMALIZED_MAX
+
+
+# -- combination ---------------------------------------------------------------- #
+def test_combine_and_is_weighted_sum():
+    matrix = np.array([[0.0, 10.0], [20.0, 10.0]])
+    np.testing.assert_allclose(combine_and(matrix, np.array([1.0, 0.5])), [5.0, 25.0])
+
+
+def test_combine_or_exact_child_wins():
+    matrix = np.array([[0.0, 200.0], [100.0, 200.0]])
+    combined = combine_or(matrix, np.array([1.0, 1.0]))
+    assert combined[0] == 0.0      # one fulfilled predicate -> overall fulfilled
+    assert combined[1] > 0.0
+
+
+def test_combine_or_zero_weight_is_neutral():
+    matrix = np.array([[0.0, 123.0]])
+    combined = combine_or(matrix, np.array([0.0, 1.0]))
+    # The zero-weighted first child contributes a neutral factor of 1.
+    np.testing.assert_allclose(combined, [123.0])
+
+
+def test_combine_and_or_ordering_semantics():
+    """AND punishes any bad conjunct; OR forgives it if another is satisfied."""
+    matrix = np.array([[0.0, 255.0]])
+    weights = np.array([1.0, 1.0])
+    assert combine_and(matrix, weights)[0] > 0.0
+    assert combine_or(matrix, weights)[0] == 0.0
+
+
+def test_combine_dispatch_and_validation():
+    matrix = np.array([[1.0, 2.0]])
+    weights = np.array([1.0, 1.0])
+    np.testing.assert_allclose(combine(CombinationRule.AND, matrix, weights),
+                               combine_and(matrix, weights))
+    np.testing.assert_allclose(combine(CombinationRule.OR, matrix, weights),
+                               combine_or(matrix, weights))
+    with pytest.raises(ValueError):
+        combine_and(np.zeros(3), weights)
+    with pytest.raises(ValueError):
+        combine_and(matrix, np.array([1.0]))
+    with pytest.raises(ValueError):
+        combine_and(matrix, np.array([2.0, 1.0]))
+
+
+def test_weighting_shifts_combined_distances():
+    """Down-weighting a predicate reduces its influence on the AND combination."""
+    matrix = np.array([[200.0, 10.0], [10.0, 200.0]])
+    balanced = combine_and(matrix, np.array([1.0, 1.0]))
+    first_downweighted = combine_and(matrix, np.array([0.1, 1.0]))
+    assert balanced[0] == pytest.approx(balanced[1])
+    assert first_downweighted[0] < first_downweighted[1]

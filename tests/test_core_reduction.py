@@ -1,0 +1,167 @@
+"""Unit tests for the display-reduction heuristics (paper section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.reduction import (
+    ReductionMethod,
+    display_fraction,
+    multipeak_cut,
+    quantile_threshold,
+    select_by_quantile,
+    select_display_set,
+    signed_quantile_window,
+)
+from repro.datasets.random_data import bimodal_distances
+
+
+# -- display fraction --------------------------------------------------------- #
+def test_display_fraction_formula():
+    # r = 1000 pixels, n = 100 items, 4 selection predicates -> p = 1000/(100*5) = 2 -> clipped to 1
+    assert display_fraction(1000, 100, 4) == 1.0
+    # r = 1000, n = 10_000, #sp = 3 -> 1000 / 40_000 = 0.025
+    assert display_fraction(1000, 10_000, 3) == pytest.approx(0.025)
+
+
+def test_display_fraction_validation():
+    with pytest.raises(ValueError):
+        display_fraction(0, 10, 1)
+    with pytest.raises(ValueError):
+        display_fraction(10, 10, -1)
+    assert display_fraction(10, 0, 2) == 1.0
+
+
+# -- quantile selection --------------------------------------------------------- #
+def test_quantile_threshold_and_selection():
+    distances = np.arange(100.0)
+    threshold = quantile_threshold(distances, 0.25)
+    assert threshold == pytest.approx(24.75)
+    selected = select_by_quantile(distances, 0.25)
+    assert len(selected) == 25
+    assert distances[selected].max() <= threshold
+
+
+def test_select_by_quantile_skips_nan():
+    distances = np.array([0.0, np.nan, 1.0, 2.0])
+    selected = select_by_quantile(distances, 1.0)
+    assert 1 not in selected
+    assert len(selected) == 3
+
+
+def test_quantile_threshold_validation():
+    with pytest.raises(ValueError):
+        quantile_threshold(np.array([1.0]), 1.5)
+    assert np.isnan(quantile_threshold(np.array([np.nan]), 0.5))
+    assert len(select_by_quantile(np.array([np.nan]), 0.5)) == 0
+
+
+# -- signed window ---------------------------------------------------------------- #
+def test_signed_quantile_window_brackets_zero():
+    rng = np.random.default_rng(1)
+    signed = np.concatenate([rng.uniform(-100, 0, 700), rng.uniform(0, 100, 300)])
+    selected = signed_quantile_window(signed, p=0.2)
+    values = signed[selected]
+    # The retained window must contain values on both sides of (or at) zero.
+    assert values.min() <= 0.0 <= values.max()
+    assert len(selected) <= 0.3 * len(signed)
+
+
+def test_signed_quantile_window_all_positive():
+    signed = np.linspace(1.0, 100.0, 100)
+    selected = signed_quantile_window(signed, p=0.1)
+    # alpha0 = 0: window starts at the smallest distances.
+    assert signed[selected].min() == 1.0
+
+
+def test_signed_quantile_window_validation_and_empty():
+    with pytest.raises(ValueError):
+        signed_quantile_window(np.array([1.0]), p=2.0)
+    assert len(signed_quantile_window(np.array([np.nan]), p=0.5)) == 0
+
+
+# -- multi-peak heuristic ----------------------------------------------------------- #
+def test_multipeak_cut_finds_the_gap():
+    """For a bimodal distance density the cut must fall between the two groups."""
+    distances = np.sort(bimodal_distances(2000, gap=80.0, seed=3, lower_fraction=0.4))
+    n_lower = int(np.sum(distances < 40.0))
+    cut = multipeak_cut(distances, r_min=int(0.2 * 2000), r_max=int(0.9 * 2000))
+    assert abs(cut - n_lower) <= 0.05 * 2000
+
+
+def test_multipeak_cut_respects_bounds():
+    distances = np.sort(np.random.default_rng(0).uniform(0, 1, 500))
+    cut = multipeak_cut(distances, r_min=100, r_max=200)
+    assert 100 <= cut <= 200
+
+
+def test_multipeak_cut_edge_cases():
+    assert multipeak_cut(np.empty(0), 1, 10) == 0
+    assert multipeak_cut(np.array([1.0]), 1, 1) == 1
+    with pytest.raises(ValueError):
+        multipeak_cut(np.array([2.0, 1.0]), 1, 2)  # not sorted
+    with pytest.raises(ValueError):
+        multipeak_cut(np.array([1.0, 2.0]), 1, 2, z=0)
+
+
+def test_multipeak_incremental_matches_bruteforce():
+    rng = np.random.default_rng(7)
+    distances = np.sort(rng.uniform(0, 100, 300))
+    r_min, r_max, z = 50, 250, 10
+
+    def brute_force():
+        best_rank, best_score = r_min, -np.inf
+        for rank in range(r_min, r_max + 1):
+            i = rank - 1
+            lo, hi = max(i - z, 0), min(i + z + 1, len(distances))
+            score = float(np.sum(np.abs(distances[i] - distances[lo:hi])))
+            if score > best_score:
+                best_rank, best_score = rank, score
+        return best_rank
+
+    assert multipeak_cut(distances, r_min, r_max, z=z) == brute_force()
+
+
+# -- select_display_set -------------------------------------------------------------- #
+def test_select_display_set_percentage():
+    distances = np.arange(1000.0)
+    selected = select_display_set(distances, capacity=100, n_selection_predicates=2,
+                                  percentage=0.1)
+    assert len(selected) == 100
+    assert distances[selected].max() == 99.0
+
+
+def test_select_display_set_percentage_requires_value():
+    with pytest.raises(ValueError):
+        select_display_set(np.arange(10.0), 10, 1, method=ReductionMethod.PERCENTAGE)
+    with pytest.raises(ValueError):
+        select_display_set(np.arange(10.0), 10, 1, percentage=1.5)
+
+
+def test_select_display_set_quantile_respects_budget():
+    distances = np.random.default_rng(0).uniform(0, 1, 10_000)
+    selected = select_display_set(distances, capacity=1000, n_selection_predicates=3,
+                                  method=ReductionMethod.QUANTILE)
+    # p = 1000/(10000*4) = 0.025 -> about 250 items
+    assert 200 <= len(selected) <= 320
+
+
+def test_select_display_set_multipeak_cuts_lower_group():
+    # 60% of the distances form a low group; the capacity-derived target lands
+    # near that group size, and the multi-peak heuristic snaps the cut to the gap.
+    distances = bimodal_distances(4000, gap=100.0, seed=5, lower_fraction=0.6)
+    selected = select_display_set(distances, capacity=9600, n_selection_predicates=3,
+                                  method=ReductionMethod.MULTIPEAK)
+    # The cut must land in the gap between the two groups: essentially all of
+    # the lower group is kept, essentially nothing of the upper group.
+    n_lower = int(np.sum(distances < 60.0))
+    assert abs(len(selected) - n_lower) <= 2
+    assert int(np.sum(distances[selected] >= 60.0)) <= 2
+
+
+def test_select_display_set_empty_input():
+    assert len(select_display_set(np.empty(0), 10, 1)) == 0
+
+
+def test_select_display_set_unknown_method():
+    with pytest.raises(ValueError):
+        select_display_set(np.arange(10.0), 10, 1, method="bogus")

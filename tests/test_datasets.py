@@ -1,0 +1,157 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import best_lag
+from repro.datasets import (
+    bimodal_distances,
+    cad_parts_table,
+    correspondence_databases,
+    environmental_database,
+    generate_air_pollution,
+    generate_weather,
+    make_stations,
+    normal_table,
+    planted_outliers,
+    uniform_table,
+)
+from repro.datasets.cad import PARAMETER_NAMES, reference_part
+from repro.datasets.environmental import WeatherSpec
+
+
+# -- stations -------------------------------------------------------------- #
+def test_make_stations_columns_and_determinism():
+    a = make_stations(6, seed=3)
+    b = make_stations(6, seed=3)
+    assert len(a) == 6
+    assert set(a.column_names) == {"Location", "Name", "X", "Y", "Altitude"}
+    np.testing.assert_array_equal(a.column("X"), b.column("X"))
+    with pytest.raises(ValueError):
+        make_stations(0)
+
+
+# -- weather / pollution ------------------------------------------------------ #
+def test_generate_weather_shape_and_ranges():
+    spec = WeatherSpec(hours=300, stations=3, seed=1)
+    weather, meta = generate_weather(spec)
+    assert len(weather) == 300 * 3
+    assert np.all(weather.column("Humidity") <= 100.0)
+    assert np.all(weather.column("Solar-Radiation") >= 0.0)
+    assert len(meta["hotspots"]) == round(0.001 * len(weather))
+
+
+def test_weather_deterministic_per_seed():
+    spec = WeatherSpec(hours=100, stations=2, seed=9)
+    a, _ = generate_weather(spec)
+    b, _ = generate_weather(spec)
+    np.testing.assert_array_equal(a.column("Temperature"), b.column("Temperature"))
+
+
+def test_weather_diurnal_cycle_present():
+    spec = WeatherSpec(hours=24 * 20, stations=1, seed=0, hotspot_rate=0.0)
+    weather, _ = generate_weather(spec)
+    time_of_day = weather.column("DateTime") % (24 * 60)
+    afternoon = weather.column("Temperature")[(time_of_day >= 13 * 60) & (time_of_day <= 15 * 60)]
+    night = weather.column("Temperature")[(time_of_day >= 2 * 60) & (time_of_day <= 4 * 60)]
+    assert afternoon.mean() > night.mean() + 3.0
+
+
+def test_pollution_ozone_lag_recoverable():
+    spec = WeatherSpec(hours=24 * 30, stations=1, seed=2, hotspot_rate=0.0,
+                       ozone_lag_minutes=120.0)
+    weather, _ = generate_weather(spec)
+    pollution, meta = generate_air_pollution(spec)
+    assert meta["lag_minutes"] == 120.0
+    lag, correlation = best_lag(weather.column("Temperature"), pollution.column("Ozone"),
+                                lags=range(0, 6))
+    assert lag == 2  # two hourly samples = the planted 2-hour lag
+    assert correlation > 0.6
+
+
+def test_pollution_offset_grid():
+    spec = WeatherSpec(hours=50, stations=1, seed=0)
+    pollution, _ = generate_air_pollution(spec, time_offset_minutes=30.0)
+    assert pollution.column("DateTime")[0] == 30.0
+
+
+def test_environmental_database_structure(small_env_db):
+    assert set(small_env_db.table_names) == {"Weather", "Air-Pollution", "Locations"}
+    keys = small_env_db.connection_keys
+    assert "Air-Pollution with-time-diff Weather" in keys
+    assert "Air-Pollution at-same-location Weather" in keys
+    assert small_env_db.metadata["ozone_lag_minutes"] == 120.0
+
+
+def test_paper_scale_row_count():
+    # Do not generate the full 68k-row database here; just check the arithmetic
+    # that paper_scale_database relies on.
+    assert 8547 * 8 == 68376
+
+
+# -- CAD ------------------------------------------------------------------------ #
+def test_cad_scenario_structure():
+    scenario = cad_parts_table(n_parts=600, seed=4)
+    assert len(scenario.table) == 600
+    assert all(name in scenario.table for name in PARAMETER_NAMES)
+    assert len(PARAMETER_NAMES) == 27
+    reference = reference_part(scenario)
+    assert len(reference) == 27
+
+
+def test_cad_near_misses_match_all_but_one_parameter():
+    scenario = cad_parts_table(n_parts=600, seed=4)
+    reference = np.array([scenario.table.column(p)[scenario.reference_index]
+                          for p in PARAMETER_NAMES])
+    for row in scenario.near_misses:
+        values = np.array([scenario.table.column(p)[row] for p in PARAMETER_NAMES])
+        violations = np.sum(np.abs(values - reference) > scenario.tolerances)
+        assert violations == 1
+    for row in scenario.exact_matches:
+        values = np.array([scenario.table.column(p)[row] for p in PARAMETER_NAMES])
+        assert np.all(np.abs(values - reference) <= scenario.tolerances)
+
+
+def test_cad_too_small_rejected():
+    with pytest.raises(ValueError):
+        cad_parts_table(n_parts=10, n_near_misses=20, n_exact=20)
+
+
+# -- multi-database --------------------------------------------------------------- #
+def test_correspondence_scenario():
+    scenario = correspondence_databases(n_stations=40, overlap_fraction=0.5, seed=8)
+    a = scenario.database.table("RegistryA")
+    b = scenario.database.table("RegistryB")
+    assert len(a) == 40 and len(b) == 40
+    assert len(scenario.true_pairs) == 20
+    # Corresponding stations are close in space but not identical.
+    row_a, row_b = scenario.true_pairs[0]
+    dx = a.column("X")[row_a] - b.column("X")[row_b]
+    dy = a.column("Y")[row_a] - b.column("Y")[row_b]
+    assert 0.0 < np.hypot(dx, dy) <= scenario.coordinate_offset_m + 1e-6
+    with pytest.raises(ValueError):
+        correspondence_databases(overlap_fraction=0.0)
+
+
+# -- random data -------------------------------------------------------------------- #
+def test_uniform_and_normal_tables():
+    uniform = uniform_table(100, {"a": (0.0, 1.0)}, seed=1)
+    assert np.all((uniform.column("a") >= 0.0) & (uniform.column("a") <= 1.0))
+    normal = normal_table(500, {"b": (10.0, 2.0)}, seed=1)
+    assert abs(normal.column("b").mean() - 10.0) < 0.5
+
+
+def test_bimodal_distances_has_gap():
+    distances = bimodal_distances(1000, gap=60.0, seed=0)
+    assert np.sum((distances > 25.0) & (distances < 45.0)) < 20
+    with pytest.raises(ValueError):
+        bimodal_distances(10, gap=0.0)
+
+
+def test_planted_outliers_are_extreme():
+    scenario = planted_outliers(n_rows=2000, n_outliers=3, seed=6, magnitude=10.0)
+    data = np.column_stack([scenario.table.column(c) for c in scenario.table.column_names])
+    extremes = np.max(np.abs(data), axis=1)
+    assert np.all(extremes[scenario.outlier_rows] > 5.0)
+    with pytest.raises(ValueError):
+        planted_outliers(n_rows=5, n_outliers=10)

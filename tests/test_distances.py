@@ -1,0 +1,215 @@
+"""Unit tests for the distance-function library."""
+
+import numpy as np
+import pytest
+
+from repro.distance import (
+    DistanceMatrix,
+    absolute_difference,
+    character_distance,
+    cyclic_difference,
+    default_registry,
+    edit_distance,
+    euclidean_2d,
+    euclidean_combination,
+    haversine_km,
+    lagged_time_difference,
+    lexicographic_distance,
+    lp_combination,
+    mahalanobis_combination,
+    manhattan_2d,
+    ordinal_distance,
+    phonetic_distance,
+    relative_difference,
+    signed_difference,
+    soundex,
+    substring_distance,
+    time_difference,
+    time_of_day_difference,
+)
+from repro.distance.base import DistanceRegistry, as_array_distance
+from repro.query.schema import Attribute, DataType
+
+
+# -- numeric -------------------------------------------------------------- #
+def test_signed_and_absolute_difference():
+    np.testing.assert_allclose(signed_difference([1.0, 5.0], 3.0), [-2.0, 2.0])
+    np.testing.assert_allclose(absolute_difference([1.0, 5.0], 3.0), [2.0, 2.0])
+
+
+def test_relative_difference():
+    np.testing.assert_allclose(relative_difference([90.0, 110.0], 100.0), [0.1, 0.1])
+    np.testing.assert_allclose(relative_difference([2.0], 0.0), [2.0])  # fallback
+
+
+def test_cyclic_difference_wraps():
+    np.testing.assert_allclose(cyclic_difference([350.0], 10.0), [20.0])
+    np.testing.assert_allclose(cyclic_difference([180.0], 0.0), [180.0])
+    with pytest.raises(ValueError):
+        cyclic_difference([0.0], 0.0, period=0.0)
+
+
+# -- strings --------------------------------------------------------------- #
+def test_string_distances_zero_for_equal():
+    for function in (lexicographic_distance, character_distance, substring_distance,
+                     edit_distance, phonetic_distance):
+        assert function("Munich", "Munich") == 0.0
+
+
+def test_lexicographic_distance_prefix_sensitivity():
+    assert lexicographic_distance("Munich", "Munchen") < lexicographic_distance("Munich", "Berlin")
+
+
+def test_character_distance_counts_mismatches_and_length():
+    assert character_distance("abc", "abd") == 1.0
+    assert character_distance("abc", "abcdef") == 3.0
+
+
+def test_substring_distance_range():
+    assert substring_distance("abcdef", "cde") < substring_distance("abcdef", "xyz")
+    assert 0.0 <= substring_distance("abc", "xyz") <= 1.0
+    assert substring_distance("", "") == 0.0
+
+
+def test_edit_distance_known_values():
+    assert edit_distance("kitten", "sitting") == 3.0
+    assert edit_distance("", "abc") == 3.0
+    assert edit_distance("abc", "") == 3.0
+
+
+def test_soundex_codes():
+    assert soundex("Robert") == "R163"
+    assert soundex("Rupert") == "R163"
+    assert soundex("") == "0000"
+    assert phonetic_distance("Robert", "Rupert") == 0.0
+    assert phonetic_distance("Robert", "Miller") > 0.0
+
+
+# -- matrices --------------------------------------------------------------- #
+def test_distance_matrix_symmetry_and_default():
+    matrix = DistanceMatrix({("rain", "drizzle"): 1.0, ("rain", "sun"): 4.0})
+    assert matrix("drizzle", "rain") == 1.0
+    assert matrix("sun", "sun") == 0.0
+    assert matrix("fog", "sun") == 4.0  # default = largest declared distance
+    np.testing.assert_allclose(matrix.pairwise(["rain", "fog"], "sun"), [4.0, 4.0])
+    assert {"rain", "drizzle", "sun"} <= matrix.known_values
+
+
+def test_distance_matrix_negative_rejected():
+    with pytest.raises(ValueError):
+        DistanceMatrix({("a", "b"): -1.0})
+
+
+def test_distance_matrix_from_ordering():
+    matrix = DistanceMatrix.from_ordering(["low", "medium", "high"])
+    assert matrix("low", "high") == 2.0
+    assert matrix("low", "medium") == 1.0
+    assert matrix("low", "unknown") == 3.0
+
+
+def test_ordinal_distance_function():
+    distance = ordinal_distance(["cold", "mild", "warm", "hot"])
+    assert distance("cold", "hot") == 3.0
+    assert distance("mild", "mild") == 0.0
+    assert distance("mild", "unknown") == 4.0
+
+
+# -- temporal / spatial ------------------------------------------------------ #
+def test_time_difference_and_lag():
+    np.testing.assert_allclose(time_difference([120.0], 0.0), [120.0])
+    np.testing.assert_allclose(lagged_time_difference([120.0], 0.0, lag=120.0), [0.0])
+    np.testing.assert_allclose(lagged_time_difference([60.0], 0.0, lag=120.0), [60.0])
+
+
+def test_time_of_day_difference_wraps_midnight():
+    late = 23.5 * 60
+    early = 0.5 * 60
+    assert time_of_day_difference(late, early) == pytest.approx(60.0)
+
+
+def test_euclidean_and_manhattan_2d():
+    assert euclidean_2d((3.0, 4.0), (0.0, 0.0)) == pytest.approx(5.0)
+    assert manhattan_2d((3.0, 4.0), (0.0, 0.0)) == pytest.approx(7.0)
+    batch = euclidean_2d(np.array([[3.0, 4.0], [0.0, 0.0]]), (0.0, 0.0))
+    np.testing.assert_allclose(batch, [5.0, 0.0])
+
+
+def test_haversine_munich_berlin():
+    munich = (48.137, 11.575)
+    berlin = (52.520, 13.405)
+    distance = haversine_km(munich, berlin)
+    assert 450.0 < distance < 550.0
+    assert haversine_km(munich, munich) == pytest.approx(0.0, abs=1e-9)
+
+
+# -- combinators -------------------------------------------------------------- #
+def test_euclidean_combination():
+    matrix = np.array([[3.0, 4.0], [0.0, 0.0]])
+    np.testing.assert_allclose(euclidean_combination(matrix), [5.0, 0.0])
+    np.testing.assert_allclose(euclidean_combination(matrix, weights=[1.0, 0.0]), [3.0, 0.0])
+
+
+def test_lp_combination():
+    matrix = np.array([[3.0, 4.0]])
+    np.testing.assert_allclose(lp_combination(matrix, p=1.0), [7.0])
+    np.testing.assert_allclose(lp_combination(matrix, p=2.0), [5.0])
+    with pytest.raises(ValueError):
+        lp_combination(matrix, p=0.0)
+
+
+def test_mahalanobis_combination_whitens_scales():
+    rng = np.random.default_rng(0)
+    small = rng.normal(0.0, 1.0, 500)
+    large = rng.normal(0.0, 100.0, 500)
+    matrix = np.column_stack([small, large])
+    distances = mahalanobis_combination(matrix)
+    # With whitening, both attributes contribute comparably: correlation of the
+    # result with |small| should be similar to that with |large|.
+    corr_small = np.corrcoef(distances, np.abs(small))[0, 1]
+    corr_large = np.corrcoef(distances, np.abs(large))[0, 1]
+    assert abs(corr_small - corr_large) < 0.3
+
+
+def test_combinator_validation():
+    with pytest.raises(ValueError):
+        euclidean_combination(np.zeros(3))
+    with pytest.raises(ValueError):
+        euclidean_combination(np.zeros((3, 2)), weights=[1.0])
+    with pytest.raises(ValueError):
+        euclidean_combination(np.zeros((3, 2)), weights=[-1.0, 1.0])
+    with pytest.raises(ValueError):
+        mahalanobis_combination(np.zeros((3, 2)), covariance=np.eye(3))
+
+
+# -- registry ------------------------------------------------------------------ #
+def test_registry_resolution_order():
+    registry = default_registry()
+    numeric = Attribute("Temperature", DataType.NUMERIC)
+    string = Attribute("City", DataType.STRING)
+    assert registry.resolve(numeric) is absolute_difference
+    assert registry.resolve(string) is edit_distance
+    registry.register_attribute("Temperature", relative_difference)
+    assert registry.resolve(numeric) is relative_difference
+    assert registry.resolve("Temperature") is relative_difference
+    assert registry.resolve("Unknown") is absolute_difference
+
+
+def test_registry_datatype_registration_and_copy():
+    registry = DistanceRegistry()
+    registry.register_datatype(DataType.ORDINAL, character_distance)
+    attribute = Attribute("Grade", DataType.ORDINAL)
+    assert registry.resolve(attribute) is character_distance
+    clone = registry.copy()
+    clone.register_datatype(DataType.ORDINAL, edit_distance)
+    assert registry.resolve(attribute) is character_distance  # original untouched
+
+
+def test_registry_default_for_datetime_and_location():
+    registry = DistanceRegistry()
+    assert registry.resolve(Attribute("ts", DataType.DATETIME)) is time_difference
+    assert registry.resolve(Attribute("pos", DataType.LOCATION)) is absolute_difference
+
+
+def test_as_array_distance_lifts_scalar_functions():
+    vectorised = as_array_distance(edit_distance)
+    np.testing.assert_allclose(vectorised(np.array(["abc", "abd"], dtype=object), "abc"), [0.0, 1.0])

@@ -1,0 +1,232 @@
+"""End-to-end integration tests: the paper's scenarios run through the full stack."""
+
+import numpy as np
+import pytest
+
+from repro import OrNode, QueryBuilder, ScreenSpec, VisualFeedbackQuery, condition
+from repro.analysis import hotspot_recall, restrictiveness_ranking
+from repro.baselines import exact_query
+from repro.datasets import cad_parts_table, correspondence_databases, environmental_database
+from repro.datasets.cad import PARAMETER_NAMES
+from repro.interact import SetQueryRange, SetThreshold, SetWeight, VisDBSession
+from repro.query.builder import Query
+from repro.query.expr import PredicateLeaf
+from repro.query.joins import ApproximateJoinPredicate, JoinKind
+from repro.query.predicates import RangePredicate
+from repro.vis.layout import MultiWindowLayout
+from repro.vis.sliders import sliders_for_feedback
+
+
+def fig3_condition():
+    """Temperature > 15 OR Solar-Radiation > 600 OR Humidity < 60 (the OR part of Fig. 3)."""
+    return OrNode([
+        condition("Temperature", ">", 15.0),
+        condition("Solar-Radiation", ">", 600.0),
+        condition("Humidity", "<", 60.0),
+    ])
+
+
+def test_fig4_environmental_query_end_to_end(small_env_db):
+    """The Fig. 4 scenario: overall + per-predicate windows, counters and sliders."""
+    query = (
+        QueryBuilder("fig4", small_env_db)
+        .use_tables("Weather")
+        .add_result("Temperature")
+        .add_result("Solar-Radiation")
+        .add_result("Humidity")
+        .where(fig3_condition())
+        .build()
+    )
+    feedback = VisualFeedbackQuery(small_env_db, query, percentage=0.4).execute()
+    stats = feedback.statistics
+    weather_rows = len(small_env_db.table("Weather"))
+    assert stats.num_objects == weather_rows
+    assert stats.num_displayed == int(round(0.4 * weather_rows))
+    assert stats.num_results == int(
+        np.sum(fig3_condition().exact_mask(small_env_db.table("Weather")))
+    )
+    # Four windows: overall + three predicates, all with the same placement.
+    layout = MultiWindowLayout(window_width=32, window_height=32)
+    windows = layout.windows(feedback)
+    assert len(windows) == 4
+    overall = windows[()]
+    for window in windows.values():
+        np.testing.assert_array_equal(window.item_ids, overall.item_ids)
+    # Sliders show the query parameters of Fig. 5's modification part.
+    _, sliders = sliders_for_feedback(feedback)
+    parameters = {s.attribute: (s.query_low, s.query_high) for s in sliders}
+    assert parameters["Temperature"] == (15.0, None)
+    assert parameters["Solar-Radiation"] == (600.0, None)
+    assert parameters["Humidity"] == (None, 60.0)
+
+
+def test_fig5_or_part_drill_down(small_env_db):
+    """Double-clicking the OR box yields per-predicate windows with consistent placement."""
+    tree = fig3_condition()
+    query = QueryBuilder("fig5", small_env_db).use_tables("Weather").where(tree).build()
+    session = VisDBSession(small_env_db, query,
+                           layout=MultiWindowLayout(window_width=32, window_height=32))
+    windows = session.drill_down(())
+    assert set(windows) == {(), (0,), (1,), (2,)}
+    # The lower-left window of Fig. 4 (the OR part) is identical to the upper
+    # left window of Fig. 5 -- here: the parent window equals the overall one.
+    overall = session.windows()[()]
+    np.testing.assert_array_equal(windows[()].distances, overall.distances)
+
+
+def test_interactive_refinement_loop(small_env_db):
+    """A realistic explore-modify-explore loop changes the feedback sensibly."""
+    query = QueryBuilder("loop", small_env_db).use_tables("Weather").where(fig3_condition()).build()
+    session = VisDBSession(small_env_db, query)
+    initial = session.statistics()["# of results"]
+    session.apply(SetThreshold((0,), 25.0))      # make the temperature predicate stricter
+    stricter = session.statistics()["# of results"]
+    assert stricter <= initial
+    session.apply(SetQueryRange((2,), 40.0, 60.0))  # humidity becomes a band
+    session.apply(SetWeight((1,), 0.2))             # down-weight solar radiation
+    assert session.recalculations >= 4
+    ranking = restrictiveness_ranking(session.feedback)
+    assert len(ranking) == 3
+
+
+def test_time_lagged_join_recovers_2h_hypothesis(small_env_db):
+    """The approximate time-diff join ranks pairs ~120 minutes apart as best."""
+    query = (
+        QueryBuilder("join", small_env_db)
+        .use_tables("Weather", "Air-Pollution")
+        .where(condition("Weather.Temperature", ">", 10.0))
+        .use_connection("Air-Pollution with-time-diff Weather", parameter=120)
+        .build()
+    )
+    feedback = VisualFeedbackQuery(small_env_db, query, max_join_pairs=20_000,
+                                   percentage=0.2).execute()
+    join_path = feedback.top_level_paths()[-1]
+    label = feedback.node_feedback[join_path].label
+    assert "with-time-diff" in label
+    # Among the best-ranked pairs the observed |Δt| is close to 120 minutes.
+    top = feedback.display_order[:50]
+    dt = np.abs(
+        feedback.table.column("Weather.DateTime")[top]
+        - feedback.table.column("Air-Pollution.DateTime")[top]
+    )
+    assert np.median(np.abs(dt - 120.0)) <= 60.0
+
+
+def test_offset_grids_exact_join_fails_approximate_join_survives():
+    """Pollution sampled on a 30-minute-offset grid: equality joins return nothing."""
+    db = environmental_database(hours=100, stations=1, seed=5, pollution_time_offset=17.0)
+    weather = db.table("Weather")
+    pollution = db.table("Air-Pollution")
+    # Exact SQL-style equality join on time: empty.
+    weather_times = set(weather.column("DateTime").tolist())
+    matches = [t for t in pollution.column("DateTime") if t in weather_times]
+    assert len(matches) == 0
+    # Approximate join via the pipeline still produces a ranked result set.
+    query = (
+        QueryBuilder("approx", db)
+        .use_tables("Weather", "Air-Pollution")
+        .where(condition("Weather.Temperature", ">", -100.0))
+        .use_connection("Air-Pollution at-same-time-as Weather")
+        .build()
+    )
+    feedback = VisualFeedbackQuery(db, query, max_join_pairs=10_000, percentage=0.1).execute()
+    join_path = feedback.top_level_paths()[-1]
+    ordered = feedback.ordered_distances(join_path)
+    assert len(ordered) > 0
+    # The best pairs are the 17-minute-offset ones (distance 17 before normalization).
+    raw = np.abs(feedback.node_feedback[join_path].signed_distances[feedback.display_order])
+    assert raw.min() == pytest.approx(17.0)
+
+
+def test_hotspots_surface_in_the_most_relevant_items():
+    """Planted exceptional weather values appear among the top-ranked answers of a
+    hot-spot query, while the exact query with a naive threshold misses them or floods."""
+    db = environmental_database(hours=1000, stations=2, seed=13, hotspot_rate=0.002)
+    weather = db.table("Weather")
+    planted = db.metadata["weather_hotspots"]
+    query = QueryBuilder("hot", db).use_tables("Weather").where(
+        condition("Temperature", ">", 45.0)
+    ).build()
+    feedback = VisualFeedbackQuery(db, query, percentage=0.01).execute()
+    top = feedback.display_order[: max(2 * len(planted), 20)]
+    recall = hotspot_recall(top, planted)
+    assert recall >= 0.5
+    # The corresponding exact query at a slightly different threshold is a NULL result.
+    assert len(exact_query(weather, condition("Temperature", ">", 60.0))) == 0
+
+
+def test_cad_similarity_retrieval_finds_near_misses():
+    """Approximate answers recover the parts that miss exactly one allowance."""
+    scenario = cad_parts_table(n_parts=1500, seed=21)
+    reference_row = scenario.table.row(scenario.reference_index)
+    tree_parts = [
+        PredicateLeaf(RangePredicate.around(name, float(reference_row[name]),
+                                            float(scenario.tolerances[i])))
+        for i, name in enumerate(PARAMETER_NAMES)
+    ]
+    from repro.query.expr import AndNode
+
+    tree = AndNode(tree_parts)
+    feedback = VisualFeedbackQuery(scenario.table, tree,
+                                   screen=ScreenSpec(512, 512), percentage=0.05).execute()
+    # Exact answers: reference + planted exact matches.
+    assert feedback.statistics.num_results == 1 + len(scenario.exact_matches)
+    # The near misses rank directly behind the exact matches.
+    expected_front = 1 + len(scenario.exact_matches) + len(scenario.near_misses)
+    front = feedback.display_order[:expected_front]
+    assert hotspot_recall(front, scenario.near_misses) >= 0.9
+
+
+def test_multi_database_correspondence_via_spatial_join():
+    """Approximately joining two registries on coordinates recovers the true pairs."""
+    scenario = correspondence_databases(n_stations=40, overlap_fraction=0.5,
+                                        coordinate_offset_m=35.0, seed=3)
+    db = scenario.database
+    join = ApproximateJoinPredicate(
+        ("RegistryA.X", "RegistryA.Y"), ("RegistryB.X", "RegistryB.Y"),
+        JoinKind.WITHIN_DISTANCE, parameter=50.0,
+    )
+    query = Query("corr", ["RegistryA", "RegistryB"], condition=PredicateLeaf(join))
+    from repro.storage.cross_product import CrossProduct
+
+    product = CrossProduct(db.table("RegistryA"), db.table("RegistryB"), max_pairs=None)
+    feedback = VisualFeedbackQuery(product.to_table(), PredicateLeaf(join),
+                                   percentage=0.05).execute()
+    matched_pairs = {
+        (int(product.left_indices[i]), int(product.right_indices[i]))
+        for i in np.nonzero(feedback.overall.exact_mask)[0]
+    }
+    true_pairs = {tuple(int(v) for v in pair) for pair in scenario.true_pairs}
+    assert true_pairs <= matched_pairs
+    # No spurious matches beyond the planted correspondences (offset 35 m < 50 m threshold
+    # and unrelated stations are kilometres apart).
+    assert len(matched_pairs - true_pairs) <= 2
+
+
+def test_sql_text_round_trip_against_database(small_env_db):
+    """SQL-like text -> parser -> pipeline, matching the builder-constructed query."""
+    text = (
+        "SELECT Temperature, Humidity FROM Weather "
+        "WHERE Temperature > 15 OR Solar-Radiation > 600 OR Humidity < 60"
+    )
+    feedback_text = VisualFeedbackQuery(small_env_db, text, percentage=0.3).execute()
+    query = QueryBuilder("b", small_env_db).use_tables("Weather").where(fig3_condition()).build()
+    feedback_built = VisualFeedbackQuery(small_env_db, query, percentage=0.3).execute()
+    assert feedback_text.statistics == feedback_built.statistics
+    np.testing.assert_array_equal(feedback_text.display_order, feedback_built.display_order)
+
+
+def test_pipeline_scales_like_n_log_n():
+    """Doubling n must not blow up the runtime superlinearly (sanity check, not a benchmark)."""
+    import time
+
+    from repro.datasets.random_data import uniform_table
+
+    def runtime(n):
+        table = uniform_table(n, {"a": (0.0, 1.0), "b": (0.0, 1.0)}, seed=1)
+        start = time.perf_counter()
+        VisualFeedbackQuery(table, "a > 0.9 AND b < 0.1").execute()
+        return time.perf_counter() - start
+
+    small, large = runtime(20_000), runtime(80_000)
+    assert large < 12.0 * small + 0.05

@@ -1,0 +1,209 @@
+"""Tests for the interactive session layer: events, selections, history."""
+
+import numpy as np
+import pytest
+
+from repro import AndNode, OrNode, QueryBuilder, condition
+from repro.interact import (
+    ClearSelection,
+    DrillDown,
+    QueryHistory,
+    SelectColorRange,
+    SelectTuple,
+    SetPercentageDisplayed,
+    SetQueryRange,
+    SetThreshold,
+    SetWeight,
+    ToggleAutoRecalculate,
+    VisDBSession,
+    highlight_positions,
+    items_in_color_range,
+)
+from repro.interact.selection import selected_tuple_values
+from repro.query.builder import Query, between
+from repro.vis.layout import MultiWindowLayout
+
+
+@pytest.fixture()
+def session(weather_db, or_query):
+    layout = MultiWindowLayout(window_width=40, window_height=40)
+    return VisDBSession(weather_db, or_query, layout=layout)
+
+
+# -- basic session behaviour ------------------------------------------------ #
+def test_session_initial_feedback(session):
+    stats = session.statistics()
+    assert stats["# objects"] == 2000
+    assert session.recalculations == 1
+    assert not session.is_dirty
+
+
+def test_session_requires_condition(weather_db):
+    with pytest.raises(ValueError, match="condition"):
+        VisDBSession(weather_db, Query("q", ["Weather"]))
+
+
+def test_set_threshold_changes_results(session):
+    before = session.statistics()["# of results"]
+    session.apply(SetThreshold((0,), 30.0))
+    after = session.statistics()["# of results"]
+    assert after < before
+    assert session.recalculations == 2
+
+
+def test_set_query_range_replaces_predicate(session):
+    session.apply(SetQueryRange((2,), 40.0, 60.0))
+    slider = next(s for s in session.sliders()[1] if s.attribute == "Humidity")
+    assert slider.query_low == 40.0 and slider.query_high == 60.0
+
+
+def test_set_query_range_on_range_predicate(weather_db):
+    query = (
+        QueryBuilder("q", weather_db).use_tables("Weather")
+        .where(between("Humidity", 40.0, 60.0))
+        .build()
+    )
+    session = VisDBSession(weather_db, query)
+    session.apply(SetQueryRange((), 50.0, 55.0))
+    assert "50" in session.condition.describe()
+
+
+def test_set_weight_event(session):
+    session.apply(SetWeight((1,), 0.2))
+    assert session.condition.find((1,)).weight == 0.2
+
+
+def test_set_percentage_displayed(session):
+    session.apply(SetPercentageDisplayed(0.25))
+    assert session.statistics()["# displayed"] == 500
+
+
+def test_select_tuple_and_highlight(session):
+    session.apply(SelectTuple(0))
+    assert session.selection is not None and len(session.selection) == 1
+    windows = session.windows()
+    positions = highlight_positions(windows, session.selection)
+    # The selected item appears at the same pixel position in every window.
+    unique_positions = {tuple(p) for p in (tuple(v) for v in positions.values()) if p}
+    assert len(unique_positions) == 1
+    rendered = session.render()
+    assert rendered.ndim == 3
+
+
+def test_select_color_range_projection(session):
+    session.apply(SelectColorRange((0,), 0.0, 50.0))
+    selected = session.selection
+    assert selected is not None and len(selected) > 0
+    distances = session.feedback.node_feedback[(0,)].normalized_distances[selected]
+    assert np.all(distances <= 50.0)
+    session.apply(ClearSelection())
+    assert session.selection is None
+
+
+def test_toggle_auto_recalculate_defers_execution(session):
+    session.apply(ToggleAutoRecalculate(False))
+    recalculations = session.recalculations
+    session.apply(SetThreshold((0,), 20.0))
+    assert session.is_dirty
+    assert session.recalculations == recalculations
+    session.recalculate()
+    assert not session.is_dirty
+
+
+def test_drill_down_returns_subwindows(weather_db):
+    tree = AndNode([
+        condition("Temperature", ">", 10.0),
+        OrNode([condition("Humidity", "<", 60.0), condition("Solar-Radiation", ">", 600.0)]),
+    ])
+    query = QueryBuilder("q", weather_db).use_tables("Weather").where(tree).build()
+    session = VisDBSession(weather_db, query,
+                           layout=MultiWindowLayout(window_width=40, window_height=40))
+    windows = session.drill_down((1,))
+    # Parent OR window plus its two children.
+    assert set(windows) == {(1,), (1, 0), (1, 1)}
+    assert session.apply(DrillDown((1,))) is None
+
+
+def test_unsupported_event_and_leaf_errors(session):
+    with pytest.raises(TypeError):
+        session.apply("not an event")
+    with pytest.raises(TypeError):
+        session.apply(SetQueryRange((), 0.0, 1.0))  # root is an OR node, not a leaf
+    with pytest.raises(TypeError):
+        session._set_threshold((0,), "x") if False else session.apply(
+            SetThreshold((), 1.0)
+        )
+
+
+def test_undo_redo_roundtrip(session):
+    initial_results = session.statistics()["# of results"]
+    session.apply(SetThreshold((0,), 30.0))
+    modified_results = session.statistics()["# of results"]
+    session.undo()
+    assert session.statistics()["# of results"] == initial_results
+    session.redo()
+    assert session.statistics()["# of results"] == modified_results
+
+
+def test_session_windows_share_positions(session):
+    windows = session.windows()
+    overall = windows[()]
+    for path, window in windows.items():
+        np.testing.assert_array_equal(window.item_ids, overall.item_ids)
+
+
+# -- selection helpers -------------------------------------------------------- #
+def test_items_in_color_range_bounds_swapped(session):
+    feedback = session.feedback
+    a = items_in_color_range(feedback, (0,), 50.0, 0.0)
+    b = items_in_color_range(feedback, (0,), 0.0, 50.0)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_selected_tuple_values(session):
+    values = selected_tuple_values(session.feedback, 0, attributes=["Temperature"])
+    assert set(values) == {"Temperature"}
+
+
+# -- history ------------------------------------------------------------------- #
+def test_history_undo_redo_stack():
+    history = QueryHistory(condition("a", ">", 1.0))
+    history.push(condition("a", ">", 2.0))
+    history.push(condition("a", ">", 3.0))
+    assert history.can_undo and not history.can_redo
+    state = history.undo()
+    assert "2" in state.describe()
+    assert history.can_redo
+    state = history.redo()
+    assert "3" in state.describe()
+    history.undo()
+    history.undo()
+    assert not history.can_undo
+    with pytest.raises(IndexError):
+        history.undo()
+
+
+def test_history_push_clears_redo():
+    history = QueryHistory(condition("a", ">", 1.0))
+    history.push(condition("a", ">", 2.0))
+    history.undo()
+    history.push(condition("a", ">", 5.0))
+    assert not history.can_redo
+    with pytest.raises(IndexError):
+        history.redo()
+
+
+def test_history_bounded_depth():
+    history = QueryHistory(condition("a", ">", 0.0), max_depth=3)
+    for i in range(10):
+        history.push(condition("a", ">", float(i)))
+    assert len(history) <= 5
+    with pytest.raises(ValueError):
+        QueryHistory(condition("a", ">", 0.0), max_depth=0)
+
+
+def test_history_snapshots_are_isolated():
+    leaf = condition("a", ">", 1.0)
+    history = QueryHistory(leaf)
+    leaf.predicate.value = 99.0  # mutate the original after snapshotting
+    assert "1" in history.present.describe()

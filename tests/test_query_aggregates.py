@@ -1,0 +1,116 @@
+"""Tests for result-list evaluation (projection and aggregates)."""
+
+import numpy as np
+import pytest
+
+from repro import QueryBuilder, VisualFeedbackQuery, condition
+from repro.query.aggregates import evaluate_result_list, project
+from repro.query.builder import Aggregate, ResultColumn
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table(
+        "Weather",
+        {
+            "Temperature": [10.0, 20.0, 30.0, np.nan],
+            "Humidity": [80.0, 60.0, 40.0, 50.0],
+            "Station": ["a", "b", "a", "b"],
+        },
+    )
+
+
+def test_projection_selects_rows_and_columns(table):
+    result = project(table, [ResultColumn("Temperature"), ResultColumn("Humidity")],
+                     rows=np.array([0, 2]))
+    assert result.column_names == ["Temperature", "Humidity"]
+    np.testing.assert_allclose(result.column("Temperature"), [10.0, 30.0])
+
+
+def test_projection_requires_plain_columns(table):
+    with pytest.raises(ValueError):
+        project(table, [ResultColumn("Temperature", Aggregate.AVG)])
+
+
+def test_aggregates_over_all_rows(table):
+    values = evaluate_result_list(
+        table,
+        [
+            ResultColumn("Temperature", Aggregate.AVG),
+            ResultColumn("Temperature", Aggregate.MAX),
+            ResultColumn("Temperature", Aggregate.MIN),
+            ResultColumn("Humidity", Aggregate.SUM),
+            ResultColumn("Station", Aggregate.COUNT),
+        ],
+    )
+    assert values["avg(Temperature)"] == pytest.approx(20.0)  # NaN ignored
+    assert values["max(Temperature)"] == 30.0
+    assert values["min(Temperature)"] == 10.0
+    assert values["sum(Humidity)"] == pytest.approx(230.0)
+    assert values["count(Station)"] == 4.0
+
+
+def test_aggregate_over_row_subset(table):
+    values = evaluate_result_list(
+        table, [ResultColumn("Humidity", Aggregate.AVG)], rows=np.array([1, 2])
+    )
+    assert values["avg(Humidity)"] == pytest.approx(50.0)
+
+
+def test_mixed_projection_and_aggregate(table):
+    values = evaluate_result_list(
+        table, [ResultColumn("Humidity"), ResultColumn("Humidity", Aggregate.MIN)]
+    )
+    np.testing.assert_allclose(values["Humidity"], table.column("Humidity"))
+    assert values["min(Humidity)"] == 40.0
+
+
+def test_aggregate_on_string_column_rejected(table):
+    with pytest.raises(TypeError):
+        evaluate_result_list(table, [ResultColumn("Station", Aggregate.AVG)])
+
+
+def test_empty_result_list_rejected(table):
+    with pytest.raises(ValueError):
+        evaluate_result_list(table, [])
+
+
+def test_unknown_and_ambiguous_attributes():
+    prefixed = Table("X", {"A.DateTime": [1.0], "B.DateTime": [2.0]})
+    with pytest.raises(KeyError, match="ambiguous"):
+        evaluate_result_list(prefixed, [ResultColumn("DateTime")])
+    with pytest.raises(KeyError, match="not found"):
+        evaluate_result_list(prefixed, [ResultColumn("Missing")])
+
+
+def test_qualified_attribute_resolution_on_join_table():
+    prefixed = Table("X", {"Weather.Temperature": [10.0, 20.0]})
+    values = evaluate_result_list(prefixed, [ResultColumn("Temperature", Aggregate.MAX)])
+    assert values["max(Temperature)"] == 20.0
+
+
+def test_aggregate_of_empty_selection_is_nan(table):
+    values = evaluate_result_list(
+        table, [ResultColumn("Temperature", Aggregate.AVG)], rows=np.array([], dtype=int)
+    )
+    assert np.isnan(values["avg(Temperature)"])
+
+
+def test_result_list_of_exact_answers_end_to_end(weather_db):
+    """Typical flow: run the visual feedback query, report aggregates of the exact results."""
+    query = (
+        QueryBuilder("q", weather_db)
+        .use_tables("Weather")
+        .add_result("Temperature")
+        .add_result("Ozone", Aggregate.AVG)
+        .where(condition("Temperature", ">", 25.0))
+        .build()
+    )
+    feedback = VisualFeedbackQuery(weather_db, query).execute()
+    exact_rows = np.nonzero(feedback.overall.exact_mask)[0]
+    values = evaluate_result_list(feedback.table, query.result_list, rows=exact_rows)
+    assert len(values["Temperature"]) == feedback.statistics.num_results
+    assert values["avg(Ozone)"] == pytest.approx(
+        float(np.mean(feedback.table.column("Ozone")[exact_rows]))
+    )

@@ -1,0 +1,288 @@
+"""Unit tests for the query builder, the SQL-like parser and validation."""
+
+import pytest
+
+from repro.query.builder import Aggregate, Query, QueryBuilder, ResultColumn, between, condition
+from repro.query.expr import AndNode, OrNode, PredicateLeaf
+from repro.query.joins import Connection, JoinKind
+from repro.query.parser import QueryParseError, parse_condition, parse_query
+from repro.query.predicates import (
+    AttributePredicate,
+    ComparisonOperator,
+    RangePredicate,
+    SetMembershipPredicate,
+    StringMatchPredicate,
+)
+from repro.query.validation import QueryValidationError, resolve_attribute, validate_query
+from repro.storage.database import Database
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def db() -> Database:
+    weather = Table("Weather", {"DateTime": [0.0], "Temperature": [10.0], "Humidity": [50.0]})
+    pollution = Table("Air-Pollution", {"DateTime": [0.0], "Ozone": [40.0]})
+    database = Database("env", [weather, pollution])
+    database.register_connection(
+        Connection("with-time-diff", "Air-Pollution", "Weather", "DateTime", "DateTime",
+                   JoinKind.TIME_DIFF)
+    )
+    return database
+
+
+# -- builder -------------------------------------------------------------- #
+def test_builder_fig3_query(db):
+    query = (
+        QueryBuilder("fig3", db)
+        .use_tables("Weather", "Air-Pollution")
+        .add_result("Weather.Temperature")
+        .add_result("Air-Pollution.Ozone")
+        .where(OrNode([
+            condition("Weather.Temperature", ">", 15.0),
+            condition("Weather.Humidity", "<", 60.0),
+        ]))
+        .use_connection("Air-Pollution with-time-diff Weather", parameter=120)
+        .build()
+    )
+    assert query.tables == ["Weather", "Air-Pollution"]
+    assert query.selection_predicate_count == 2
+    assert len(query.connections) == 1
+    assert query.connections[0].parameter == 120.0
+    assert "with-time-diff" in query.describe()
+
+
+def test_builder_unknown_table_rejected(db):
+    with pytest.raises(KeyError):
+        QueryBuilder("q", db).use_tables("Nope")
+
+
+def test_builder_requires_tables():
+    with pytest.raises(ValueError, match="no tables"):
+        QueryBuilder("q").build()
+
+
+def test_builder_and_or_accumulation(db):
+    builder = (
+        QueryBuilder("q", db).use_tables("Weather")
+        .and_where(condition("Temperature", ">", 10.0))
+        .and_where(condition("Humidity", "<", 70.0))
+        .and_where(condition("Temperature", "<", 30.0))
+    )
+    query = builder.build()
+    assert isinstance(query.condition, AndNode)
+    assert query.selection_predicate_count == 3
+
+
+def test_builder_or_where_wraps(db):
+    query = (
+        QueryBuilder("q", db).use_tables("Weather")
+        .where(condition("Temperature", ">", 10.0))
+        .or_where(condition("Humidity", "<", 70.0))
+        .build()
+    )
+    assert isinstance(query.condition, OrNode)
+
+
+def test_builder_not_where_simplifies(db):
+    query = (
+        QueryBuilder("q", db).use_tables("Weather")
+        .not_where(condition("Temperature", ">", 10.0))
+        .build()
+    )
+    leaf = query.condition
+    assert isinstance(leaf, PredicateLeaf)
+    assert leaf.predicate.operator is ComparisonOperator.LE
+
+
+def test_builder_weight_by_path(db):
+    query = (
+        QueryBuilder("q", db).use_tables("Weather")
+        .where(AndNode([condition("Temperature", ">", 10.0), condition("Humidity", "<", 70.0)]))
+        .weight((1,), 0.25)
+        .build()
+    )
+    assert query.condition.find((1,)).weight == 0.25
+
+
+def test_builder_aggregates(db):
+    query = (
+        QueryBuilder("q", db).use_tables("Weather")
+        .add_result("Temperature", "avg")
+        .add_result("Humidity", Aggregate.MAX)
+        .where(condition("Temperature", ">", 0.0))
+        .build()
+    )
+    assert query.result_list[0].describe() == "avg(Temperature)"
+    assert query.result_list[1].aggregate is Aggregate.MAX
+
+
+def test_builder_connection_adds_tables(db):
+    query = (
+        QueryBuilder("q", db).use_tables("Weather")
+        .where(condition("Weather.Temperature", ">", 0.0))
+        .use_connection("Air-Pollution with-time-diff Weather", parameter=60)
+        .build()
+    )
+    assert set(query.tables) == {"Weather", "Air-Pollution"}
+
+
+def test_query_top_level_parts_and_part(db):
+    tree = OrNode([condition("Temperature", ">", 15.0), condition("Humidity", "<", 60.0)])
+    query = Query("q", ["Weather"], condition=tree)
+    assert len(query.top_level_parts()) == 2
+    assert query.part((0,)).describe() == "Temperature > 15"
+    single = Query("q", ["Weather"], condition=condition("Temperature", ">", 15.0))
+    assert len(single.top_level_parts()) == 1
+
+
+def test_query_part_without_condition():
+    with pytest.raises(ValueError):
+        Query("q", ["Weather"]).part(())
+
+
+# -- parser --------------------------------------------------------------- #
+def test_parse_full_query():
+    query = parse_query(
+        "SELECT Temperature, avg(Ozone) FROM Weather, Air-Pollution "
+        "WHERE Temperature > 15 OR Solar-Radiation > 600 OR Humidity < 60"
+    )
+    assert query.tables == ["Weather", "Air-Pollution"]
+    assert query.result_list[1] == ResultColumn("Ozone", Aggregate.AVG)
+    assert isinstance(query.condition, OrNode)
+    assert query.selection_predicate_count == 3
+
+
+def test_parse_star_projection():
+    query = parse_query("SELECT * FROM Weather WHERE Temperature > 0")
+    assert query.result_list == []
+
+
+def test_parse_precedence_and_binds_tighter():
+    tree = parse_condition("a > 1 OR b > 2 AND c > 3")
+    assert isinstance(tree, OrNode)
+    assert isinstance(tree.children[1], AndNode)
+
+
+def test_parse_parentheses():
+    tree = parse_condition("(a > 1 OR b > 2) AND c > 3")
+    assert isinstance(tree, AndNode)
+    assert isinstance(tree.children[0], OrNode)
+
+
+def test_parse_between_and_in():
+    tree = parse_condition("Humidity BETWEEN 40 AND 60 AND Station IN (1, 2, 3)")
+    leaves = [leaf.predicate for _, leaf in tree.iter_leaves()]
+    assert isinstance(leaves[0], RangePredicate)
+    assert isinstance(leaves[1], SetMembershipPredicate)
+
+
+def test_parse_weight_annotation():
+    tree = parse_condition("Temperature > 15 WEIGHT 0.25 AND Humidity < 60")
+    assert tree.children[0].weight == 0.25
+    assert tree.children[1].weight == 1.0
+
+
+def test_parse_string_equality():
+    tree = parse_condition("City = 'Munich'")
+    assert isinstance(tree.predicate, StringMatchPredicate)
+
+
+def test_parse_not_inverts():
+    tree = parse_condition("NOT Temperature > 15")
+    assert isinstance(tree, PredicateLeaf)
+    assert tree.predicate.operator is ComparisonOperator.LE
+
+
+def test_parse_not_composite_kept():
+    from repro.query.expr import NotNode
+
+    tree = parse_condition("NOT (a > 1 AND b > 2)")
+    assert isinstance(tree, NotNode)
+
+
+def test_parse_qualified_and_dashed_identifiers():
+    tree = parse_condition("Weather.Solar-Radiation > 600")
+    assert tree.predicate.attribute == "Weather.Solar-Radiation"
+
+
+def test_parse_negative_and_float_literals():
+    tree = parse_condition("t > -5.5")
+    assert tree.predicate.value == -5.5
+
+
+def test_parse_errors():
+    with pytest.raises(QueryParseError):
+        parse_query("FROM Weather")
+    with pytest.raises(QueryParseError):
+        parse_condition("a >")
+    with pytest.raises(QueryParseError):
+        parse_condition("a ! 3")
+    with pytest.raises(QueryParseError):
+        parse_condition("a > 1 extra")
+    with pytest.raises(QueryParseError):
+        parse_condition("City != 'x'")
+    with pytest.raises(QueryParseError):
+        parse_query("SELECT a FROM t WHERE a > 1 trailing")
+
+
+# -- validation ------------------------------------------------------------ #
+def test_validate_good_query(db):
+    query = parse_query("SELECT Temperature FROM Weather WHERE Temperature > 15")
+    validate_query(query, db)  # must not raise
+
+
+def test_validate_unknown_table(db):
+    query = parse_query("SELECT x FROM Nope WHERE x > 1")
+    with pytest.raises(QueryValidationError, match="no table"):
+        validate_query(query, db)
+
+
+def test_validate_unknown_attribute(db):
+    query = parse_query("SELECT Temperature FROM Weather WHERE Pressure > 15")
+    with pytest.raises(QueryValidationError, match="not found"):
+        validate_query(query, db)
+
+
+def test_validate_ambiguous_attribute(db):
+    query = parse_query("SELECT DateTime FROM Weather, Air-Pollution WHERE DateTime > 0")
+    with pytest.raises(QueryValidationError, match="ambiguous"):
+        validate_query(query, db)
+
+
+def test_validate_qualified_attribute_ok(db):
+    query = parse_query(
+        "SELECT Weather.DateTime FROM Weather, Air-Pollution WHERE Weather.DateTime > 0"
+    )
+    validate_query(query, db)
+
+
+def test_validate_unbound_connection(db):
+    connection = db.connection("Air-Pollution with-time-diff Weather")
+    query = Query("q", ["Weather", "Air-Pollution"],
+                  condition=condition("Weather.Temperature", ">", 0.0),
+                  connections=[connection])
+    with pytest.raises(QueryValidationError, match="parameter"):
+        validate_query(query, db)
+
+
+def test_resolve_attribute_variants(db):
+    query = parse_query("SELECT Temperature FROM Weather WHERE Temperature > 15")
+    assert resolve_attribute("Temperature", query, db) == ("Weather", "Temperature")
+    assert resolve_attribute("Weather.Humidity", query, db) == ("Weather", "Humidity")
+    with pytest.raises(QueryValidationError):
+        resolve_attribute("Air-Pollution.Ozone", query, db)  # table not in query
+
+
+def test_builder_validates_against_database(db):
+    with pytest.raises(QueryValidationError):
+        (
+            QueryBuilder("q", db).use_tables("Weather")
+            .where(condition("DoesNotExist", ">", 1.0))
+            .build()
+        )
+
+
+def test_between_helper():
+    leaf = between("Humidity", 40.0, 60.0, weight=0.5)
+    assert isinstance(leaf.predicate, RangePredicate)
+    assert leaf.weight == 0.5

@@ -1,0 +1,149 @@
+"""Unit tests for the weighted boolean expression tree."""
+
+import numpy as np
+import pytest
+
+from repro.query.builder import condition
+from repro.query.expr import AndNode, NotNode, OrNode, PredicateLeaf, SubqueryNode
+from repro.query.predicates import AttributePredicate, ComparisonOperator
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table("T", {"a": [1.0, 5.0, 10.0, 20.0], "b": [0.0, 1.0, 0.0, 1.0]})
+
+
+@pytest.fixture()
+def tree():
+    return AndNode(
+        [
+            condition("a", ">", 4.0),
+            OrNode([condition("a", "<", 15.0), condition("b", "=", 1.0)]),
+        ]
+    )
+
+
+def test_exact_mask_and(table):
+    node = AndNode([condition("a", ">", 4.0), condition("b", "=", 1.0)])
+    np.testing.assert_array_equal(node.exact_mask(table), [False, True, False, True])
+
+
+def test_exact_mask_or(table):
+    node = OrNode([condition("a", ">", 15.0), condition("b", "=", 1.0)])
+    np.testing.assert_array_equal(node.exact_mask(table), [False, True, False, True])
+
+
+def test_exact_mask_not(table):
+    node = NotNode(condition("a", ">", 4.0))
+    np.testing.assert_array_equal(node.exact_mask(table), [True, False, False, False])
+
+
+def test_nested_exact_mask(table, tree):
+    np.testing.assert_array_equal(tree.exact_mask(table), [False, True, True, True])
+
+
+def test_find_by_path(tree):
+    assert isinstance(tree.find(()), AndNode)
+    assert isinstance(tree.find((1,)), OrNode)
+    leaf = tree.find((1, 0))
+    assert isinstance(leaf, PredicateLeaf)
+    assert leaf.describe() == "a < 15"
+
+
+def test_find_invalid_path(tree):
+    with pytest.raises(IndexError):
+        tree.find((5,))
+    with pytest.raises(IndexError):
+        tree.find((0, 0))  # leaf has no children
+
+
+def test_iter_nodes_preorder(tree):
+    paths = [path for path, _ in tree.iter_nodes()]
+    assert paths == [(), (0,), (1,), (1, 0), (1, 1)]
+
+
+def test_iter_leaves_and_count(tree):
+    leaves = dict(tree.iter_leaves())
+    assert set(leaves) == {(0,), (1, 0), (1, 1)}
+    assert tree.leaf_count() == 3
+
+
+def test_depth(tree):
+    assert tree.depth() == 3
+    assert condition("a", ">", 1.0).depth() == 1
+
+
+def test_describe_nested(tree):
+    assert tree.describe() == "a > 4 AND (a < 15 OR b = 1)"
+
+
+def test_label_override():
+    leaf = condition("a", ">", 1.0, label="hot")
+    assert leaf.label == "hot"
+    assert condition("a", ">", 1.0).label == "a > 1"
+
+
+def test_weight_validation():
+    with pytest.raises(ValueError):
+        condition("a", ">", 1.0, weight=1.5)
+    with pytest.raises(ValueError):
+        condition("a", ">", 1.0).with_weight(-0.1)
+
+
+def test_with_weight_chainable():
+    leaf = condition("a", ">", 1.0).with_weight(0.5)
+    assert leaf.weight == 0.5
+
+
+def test_composite_requires_children():
+    with pytest.raises(ValueError):
+        AndNode([])
+
+
+def test_composite_add_and_replace(table):
+    node = OrNode([condition("a", ">", 15.0)])
+    node.add(condition("b", "=", 1.0))
+    assert node.leaf_count() == 2
+    node.replace_child(0, condition("a", ">", 100.0))
+    np.testing.assert_array_equal(node.exact_mask(table), [False, True, False, True])
+
+
+def test_child_weights():
+    node = AndNode([condition("a", ">", 1.0, weight=0.2), condition("a", "<", 5.0, weight=0.9)])
+    np.testing.assert_allclose(node.child_weights(), [0.2, 0.9])
+
+
+def test_not_simplify_inverts_comparison(table):
+    node = NotNode(condition("a", ">", 4.0), weight=0.7)
+    simplified = node.simplify()
+    assert isinstance(simplified, PredicateLeaf)
+    assert simplified.weight == 0.7
+    assert isinstance(simplified.predicate, AttributePredicate)
+    assert simplified.predicate.operator is ComparisonOperator.LE
+    np.testing.assert_array_equal(simplified.exact_mask(table), node.exact_mask(table))
+
+
+def test_not_simplify_composite_raises():
+    node = NotNode(AndNode([condition("a", ">", 1.0), condition("b", "=", 1.0)]))
+    with pytest.raises(ValueError, match="negation"):
+        node.simplify()
+
+
+def test_not_describe():
+    assert NotNode(condition("a", ">", 1.0)).describe() == "NOT a > 1"
+    inner = AndNode([condition("a", ">", 1.0), condition("b", "=", 0.0)])
+    assert NotNode(inner).describe().startswith("NOT (")
+
+
+def test_subquery_node(table):
+    node = SubqueryNode(
+        "custom",
+        distances=lambda t: np.asarray(t.column("a")) - 5.0,
+        exact=lambda t: np.asarray(t.column("a")) == 5.0,
+        weight=0.4,
+    )
+    np.testing.assert_array_equal(node.exact_mask(table), [False, True, False, False])
+    np.testing.assert_allclose(node.signed_distances(table), [-4.0, 0.0, 5.0, 15.0])
+    assert node.describe() == "custom"
+    assert node.is_leaf

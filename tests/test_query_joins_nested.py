@@ -1,0 +1,197 @@
+"""Unit tests for connections, approximate joins and nested subqueries."""
+
+import numpy as np
+import pytest
+
+from repro.query.builder import condition
+from repro.query.expr import AndNode
+from repro.query.joins import ApproximateJoinPredicate, Connection, JoinKind
+from repro.query.nested import ExistsPredicate, InPredicate
+from repro.storage.cross_product import CrossProduct
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def pair_table() -> Table:
+    """A small cross-product-like table with prefixed columns."""
+    return Table(
+        "W x A",
+        {
+            "W.DateTime": [0.0, 0.0, 60.0, 60.0, 120.0, 120.0],
+            "A.DateTime": [0.0, 120.0, 0.0, 120.0, 0.0, 120.0],
+            "W.Location": [1.0, 1.0, 2.0, 2.0, 1.0, 1.0],
+            "A.Location": [1.0, 2.0, 1.0, 2.0, 1.0, 2.0],
+            "W.X": [0.0, 0.0, 100.0, 100.0, 0.0, 0.0],
+            "W.Y": [0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            "A.X": [10.0, 500.0, 100.0, 90.0, 0.0, 300.0],
+            "A.Y": [0.0, 0.0, 5.0, 0.0, 0.0, 400.0],
+        },
+    )
+
+
+# -- Connection ---------------------------------------------------------- #
+def test_connection_key_and_describe():
+    connection = Connection("with-time-diff", "Air", "Weather", "DateTime", "DateTime",
+                            JoinKind.TIME_DIFF)
+    assert connection.key == "Air with-time-diff Weather"
+    bound = connection.bind(120)
+    assert bound.parameter == 120.0
+    assert "120" in bound.describe()
+
+
+def test_connection_bind_non_parameterised_rejected():
+    connection = Connection("at-same-location", "Air", "Weather", "Location", "Location")
+    with pytest.raises(ValueError):
+        connection.bind(5)
+
+
+def test_connection_to_predicate_requires_parameter():
+    connection = Connection("with-time-diff", "Air", "Weather", "DateTime", "DateTime",
+                            JoinKind.TIME_DIFF)
+    with pytest.raises(ValueError, match="parameter"):
+        connection.to_predicate()
+
+
+def test_connection_to_predicate_qualifies_columns():
+    connection = Connection("at-same-time-as", "A", "W", "DateTime", "DateTime")
+    predicate = connection.to_predicate()
+    assert predicate.left_column == "A.DateTime"
+    assert predicate.right_column == "W.DateTime"
+
+
+# -- ApproximateJoinPredicate -------------------------------------------- #
+def test_equi_join_distances(pair_table):
+    predicate = ApproximateJoinPredicate("W.Location", "A.Location", JoinKind.EQUI)
+    np.testing.assert_array_equal(
+        predicate.exact_mask(pair_table), [True, False, False, True, True, False]
+    )
+    signed = predicate.signed_distances(pair_table)
+    assert signed[1] == pytest.approx(-1.0)
+    assert signed[2] == pytest.approx(1.0)
+
+
+def test_time_diff_join(pair_table):
+    predicate = ApproximateJoinPredicate("W.DateTime", "A.DateTime", JoinKind.TIME_DIFF,
+                                         parameter=120.0)
+    mask = predicate.exact_mask(pair_table)
+    # Pairs whose |t_W - t_A| is exactly 120 minutes fulfil the join.
+    np.testing.assert_array_equal(mask, [False, True, False, False, True, False])
+    signed = predicate.signed_distances(pair_table)
+    assert signed[0] == pytest.approx(-120.0)  # 0 apart, 120 less than hypothesised
+    assert signed[3] == pytest.approx(-60.0)
+
+
+def test_time_diff_join_with_tolerance(pair_table):
+    predicate = ApproximateJoinPredicate("W.DateTime", "A.DateTime", JoinKind.TIME_DIFF,
+                                         parameter=120.0, tolerance=60.0)
+    assert int(predicate.exact_mask(pair_table).sum()) == 4
+
+
+def test_within_distance_join(pair_table):
+    predicate = ApproximateJoinPredicate(("W.X", "W.Y"), ("A.X", "A.Y"),
+                                         JoinKind.WITHIN_DISTANCE, parameter=20.0)
+    mask = predicate.exact_mask(pair_table)
+    np.testing.assert_array_equal(mask, [True, False, True, True, True, False])
+    distances = predicate.distances(pair_table)
+    assert distances[1] == pytest.approx(480.0)
+
+
+def test_non_equi_and_parametric_joins(pair_table):
+    non_equi = ApproximateJoinPredicate("W.DateTime", "A.DateTime", JoinKind.NON_EQUI)
+    np.testing.assert_array_equal(
+        non_equi.exact_mask(pair_table), [False, True, False, True, False, False]
+    )
+    parametric = ApproximateJoinPredicate("W.DateTime", "A.DateTime", JoinKind.PARAMETRIC,
+                                          parameter=100.0)
+    np.testing.assert_array_equal(
+        parametric.exact_mask(pair_table), [True, True, True, True, False, True]
+    )
+    assert parametric.signed_distances(pair_table)[4] == pytest.approx(20.0)
+
+
+def test_join_validation_errors():
+    with pytest.raises(ValueError, match="parameter"):
+        ApproximateJoinPredicate("a", "b", JoinKind.TIME_DIFF)
+    with pytest.raises(ValueError, match="tolerance"):
+        ApproximateJoinPredicate("a", "b", JoinKind.EQUI, tolerance=-1.0)
+    with pytest.raises(ValueError, match="pairs"):
+        ApproximateJoinPredicate(("x", "y"), "b", JoinKind.WITHIN_DISTANCE, parameter=1.0)
+    with pytest.raises(ValueError, match="coordinate-pair"):
+        ApproximateJoinPredicate(("x", "y"), ("a", "b"), JoinKind.EQUI)
+
+
+def test_inverse_partner_count_distance(pair_table):
+    predicate = ApproximateJoinPredicate("W.Location", "A.Location", JoinKind.EQUI)
+    distances = predicate.inverse_partner_count_distance(pair_table)
+    # Weather location 1 has 2 fulfilled join partners, location 2 has 1.
+    assert distances[0] == pytest.approx(0.5)
+    assert distances[3] == pytest.approx(1.0)
+
+
+def test_join_over_real_cross_product():
+    weather = Table("W", {"DateTime": [0.0, 60.0, 120.0], "T": [10.0, 12.0, 14.0]})
+    pollution = Table("A", {"DateTime": [30.0, 150.0], "Ozone": [40.0, 80.0]})
+    product = CrossProduct(weather, pollution, max_pairs=None).to_table()
+    predicate = ApproximateJoinPredicate("W.DateTime", "A.DateTime", JoinKind.TIME_DIFF,
+                                         parameter=30.0)
+    mask = predicate.exact_mask(product)
+    assert int(mask.sum()) == 3  # (0,30), (60,30), (120,150)
+
+
+# -- nested subqueries ---------------------------------------------------- #
+@pytest.fixture()
+def outer_inner():
+    outer = Table("Outer", {"key": [1.0, 2.0, 3.0, 10.0]})
+    inner = Table("Inner", {"ref": [1.0, 3.0, 3.5], "flag": [1.0, 0.0, 1.0]})
+    return outer, inner
+
+
+def test_exists_equi_distances(outer_inner):
+    outer, inner = outer_inner
+    predicate = ExistsPredicate("key", inner, "ref")
+    distances = predicate.signed_distances(outer)
+    np.testing.assert_allclose(distances, [0.0, 1.0, 0.0, 6.5])
+    np.testing.assert_array_equal(predicate.exact_mask(outer), [True, False, True, False])
+
+
+def test_exists_with_inner_condition(outer_inner):
+    outer, inner = outer_inner
+    predicate = ExistsPredicate("key", inner, "ref",
+                                inner_condition=condition("flag", "=", 1.0))
+    distances = predicate.signed_distances(outer)
+    # key=3 matches ref=3 exactly but that inner row fails flag=1 (penalty 1),
+    # while ref=3.5 fulfils the flag: min(0+1, 0.5+0) = 0.5.
+    assert distances[2] == pytest.approx(0.5)
+    assert distances[0] == pytest.approx(0.0)
+
+
+def test_exists_empty_inner_table():
+    outer = Table("Outer", {"key": [1.0, 2.0]})
+    inner = Table("Inner", {"ref": np.empty(0)})
+    predicate = ExistsPredicate("key", inner, "ref")
+    assert np.all(np.isnan(predicate.signed_distances(outer)))
+    assert not predicate.exact_mask(outer).any()
+
+
+def test_exists_tolerance(outer_inner):
+    outer, inner = outer_inner
+    predicate = ExistsPredicate("key", inner, "ref", tolerance=1.0)
+    np.testing.assert_array_equal(predicate.exact_mask(outer), [True, True, True, False])
+
+
+def test_in_predicate_requires_equi(outer_inner):
+    outer, inner = outer_inner
+    with pytest.raises(ValueError):
+        InPredicate("key", inner, "ref", kind=JoinKind.TIME_DIFF, parameter=10.0)
+    predicate = InPredicate("key", inner, "ref")
+    assert "IN" in predicate.describe()
+    np.testing.assert_array_equal(predicate.exact_mask(outer), [True, False, True, False])
+
+
+def test_exists_inside_expression_tree(outer_inner):
+    outer, inner = outer_inner
+    from repro.query.expr import PredicateLeaf
+
+    tree = AndNode([PredicateLeaf(ExistsPredicate("key", inner, "ref")),
+                    condition("key", "<", 5.0)])
+    np.testing.assert_array_equal(tree.exact_mask(outer), [True, False, True, False])

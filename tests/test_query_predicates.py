@@ -1,0 +1,192 @@
+"""Unit tests for selection predicates and their distance semantics."""
+
+import numpy as np
+import pytest
+
+from repro.query.predicates import (
+    AttributePredicate,
+    ComparisonOperator,
+    RangePredicate,
+    SetMembershipPredicate,
+    StringMatchPredicate,
+    predicate_for_values,
+)
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table(
+        "T",
+        {
+            "t": [10.0, 15.0, 20.0, 25.0, np.nan],
+            "h": [80.0, 60.0, 50.0, 30.0, 55.0],
+            "city": ["Munich", "Muenchen", "Berlin", "Hamburg", "Munich"],
+        },
+    )
+
+
+# -- comparison operators ----------------------------------------------- #
+@pytest.mark.parametrize(
+    "operator, expected",
+    [
+        (ComparisonOperator.GT, [False, False, True, True, False]),
+        (ComparisonOperator.GE, [False, True, True, True, False]),
+        (ComparisonOperator.LT, [True, False, False, False, False]),
+        (ComparisonOperator.LE, [True, True, False, False, False]),
+        (ComparisonOperator.EQ, [False, True, False, False, False]),
+        (ComparisonOperator.NE, [True, False, True, True, True]),
+    ],
+)
+def test_comparison_exact_masks(table, operator, expected):
+    predicate = AttributePredicate("t", operator, 15.0)
+    np.testing.assert_array_equal(predicate.exact_mask(table), expected)
+
+
+def test_operator_inversion_roundtrip():
+    for operator in ComparisonOperator:
+        assert operator.inverted().inverted() is operator
+
+
+def test_gt_signed_distances(table):
+    predicate = AttributePredicate("t", ComparisonOperator.GT, 15.0)
+    signed = predicate.signed_distances(table)
+    # Fulfilling items have distance 0; failing items have negative distance
+    # (they lie below the threshold).
+    assert signed[2] == 0.0 and signed[3] == 0.0
+    assert signed[0] == pytest.approx(-5.0)
+    assert signed[1] == pytest.approx(0.0) or signed[1] == pytest.approx(0.0)
+    assert np.isnan(signed[4])
+
+
+def test_lt_signed_distances(table):
+    predicate = AttributePredicate("h", ComparisonOperator.LT, 60.0)
+    signed = predicate.signed_distances(table)
+    assert signed[0] == pytest.approx(20.0)  # 80 is 20 above the limit
+    assert signed[2] == 0.0
+
+
+def test_eq_signed_distance_sign(table):
+    predicate = AttributePredicate("t", ComparisonOperator.EQ, 15.0)
+    signed = predicate.signed_distances(table)
+    assert signed[0] == pytest.approx(-5.0)
+    assert signed[2] == pytest.approx(5.0)
+    assert signed[1] == 0.0
+
+
+def test_ne_failing_items_have_nan_distance(table):
+    predicate = AttributePredicate("t", ComparisonOperator.NE, 15.0)
+    signed = predicate.signed_distances(table)
+    assert np.isnan(signed[1])  # exactly equal: no gradation possible
+    assert signed[0] == 0.0
+    assert not predicate.supports_direction
+
+
+def test_absolute_distances_are_nonnegative(table):
+    predicate = AttributePredicate("t", ComparisonOperator.GT, 18.0)
+    distances = predicate.distances(table)
+    finite = distances[np.isfinite(distances)]
+    assert np.all(finite >= 0.0)
+
+
+def test_describe_and_inverted(table):
+    predicate = AttributePredicate("t", ComparisonOperator.GT, 15.0)
+    assert predicate.describe() == "t > 15"
+    inverted = predicate.inverted()
+    assert inverted.operator is ComparisonOperator.LE
+    # Complementarity holds for rows with defined values (NaN fulfils neither).
+    finite = ~np.isnan(np.asarray(table.column("t"), dtype=float))
+    np.testing.assert_array_equal(
+        inverted.exact_mask(table)[finite], ~predicate.exact_mask(table)[finite]
+    )
+
+
+# -- range predicate ----------------------------------------------------- #
+def test_range_mask_and_distances(table):
+    predicate = RangePredicate("h", 40.0, 60.0)
+    np.testing.assert_array_equal(predicate.exact_mask(table), [False, True, True, False, True])
+    signed = predicate.signed_distances(table)
+    assert signed[0] == pytest.approx(20.0)   # above the range -> positive
+    assert signed[3] == pytest.approx(-10.0)  # below the range -> negative
+    assert signed[1] == 0.0
+
+
+def test_range_invalid_bounds():
+    with pytest.raises(ValueError):
+        RangePredicate("h", 10.0, 5.0)
+
+
+def test_range_with_range_and_around():
+    predicate = RangePredicate("h", 40.0, 60.0).with_range(45.0, 55.0)
+    assert (predicate.low, predicate.high) == (45.0, 55.0)
+    centred = RangePredicate.around("h", 50.0, 5.0)
+    assert (centred.low, centred.high) == (45.0, 55.0)
+    with pytest.raises(ValueError):
+        RangePredicate.around("h", 50.0, -1.0)
+
+
+# -- set membership ------------------------------------------------------ #
+def test_set_membership_numeric(table):
+    predicate = SetMembershipPredicate("t", (10.0, 25.0))
+    np.testing.assert_array_equal(predicate.exact_mask(table), [True, False, False, True, False])
+    signed = predicate.signed_distances(table)
+    assert signed[1] == pytest.approx(5.0)   # 15 is 5 above the nearest member 10
+    assert signed[2] == pytest.approx(-5.0)  # 20 is 5 below the nearest member 25
+    assert np.isnan(signed[4])
+
+
+def test_set_membership_strings_without_matrix(table):
+    predicate = SetMembershipPredicate("city", ("Munich",))
+    mask = predicate.exact_mask(table)
+    assert mask[0] and mask[4] and not mask[2]
+    signed = predicate.signed_distances(table)
+    assert signed[0] == 0.0
+    assert np.isnan(signed[2])
+
+
+def test_set_membership_with_distance_matrix(table):
+    matrix = {("Muenchen", "Munich"): 1.0, ("Berlin", "Munich"): 5.0}
+    predicate = SetMembershipPredicate("city", ("Munich",), distance_matrix=matrix)
+    signed = predicate.signed_distances(table)
+    assert signed[1] == pytest.approx(1.0)
+    assert signed[2] == pytest.approx(5.0)
+    assert np.isnan(signed[3])  # Hamburg not in the matrix
+
+
+def test_set_membership_empty_rejected():
+    with pytest.raises(ValueError):
+        SetMembershipPredicate("t", ())
+
+
+def test_set_membership_describe_truncates():
+    predicate = SetMembershipPredicate("t", tuple(float(i) for i in range(10)))
+    assert "..." in predicate.describe()
+
+
+# -- string match --------------------------------------------------------- #
+def test_string_match_exact_and_distance(table):
+    predicate = StringMatchPredicate("city", "Munich")
+    mask = predicate.exact_mask(table)
+    assert mask[0] and not mask[1]
+    distances = predicate.signed_distances(table)
+    assert distances[0] == 0.0
+    assert distances[1] > 0.0           # Muenchen is close but not equal
+    assert distances[1] < distances[3]  # ... and closer than Hamburg
+
+
+def test_string_match_custom_distance(table):
+    predicate = StringMatchPredicate("city", "Munich", distance_function=lambda a, b: 42.0 if a != b else 0.0)
+    distances = predicate.signed_distances(table)
+    assert distances[1] == 42.0
+
+
+def test_predicate_factory():
+    assert isinstance(predicate_for_values("a", [3.0]), AttributePredicate)
+    assert isinstance(predicate_for_values("a", ["x"]), StringMatchPredicate)
+    assert isinstance(predicate_for_values("a", [1.0, 2.0]), SetMembershipPredicate)
+
+
+def test_base_predicate_inverted_raises(table):
+    predicate = StringMatchPredicate("city", "Munich")
+    with pytest.raises(ValueError):
+        predicate.inverted()

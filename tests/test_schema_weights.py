@@ -1,0 +1,117 @@
+"""Tests for the schema layer and the weighting-factor view (WeightSet)."""
+
+import numpy as np
+import pytest
+
+from repro.core.weights import WeightSet
+from repro.query.builder import condition
+from repro.query.expr import AndNode, OrNode
+from repro.query.schema import Attribute, DataType, TableSchema, infer_schema
+from repro.storage.table import Table
+
+
+# -- DataType / Attribute --------------------------------------------------- #
+def test_datatype_metric_flag():
+    assert DataType.NUMERIC.is_metric
+    assert DataType.DATETIME.is_metric
+    assert not DataType.NOMINAL.is_metric
+    assert not DataType.STRING.is_metric
+
+
+def test_attribute_qualified_name():
+    attribute = Attribute("Temperature", DataType.NUMERIC, unit="°C", domain=(-40.0, 50.0))
+    assert attribute.qualified("Weather") == "Weather.Temperature"
+    assert attribute.unit == "°C"
+
+
+def test_table_schema_lookup_and_add():
+    schema = TableSchema("Weather", [Attribute("Temperature"), Attribute("Humidity")])
+    assert schema.attribute("Humidity").name == "Humidity"
+    assert schema.has_attribute("Temperature")
+    assert schema.attribute_names == ["Temperature", "Humidity"]
+    schema.add(Attribute("Ozone"))
+    assert schema.has_attribute("Ozone")
+    with pytest.raises(ValueError):
+        schema.add(Attribute("Ozone"))
+    with pytest.raises(KeyError):
+        schema.attribute("Missing")
+
+
+def test_infer_schema_from_table():
+    table = Table("Weather", {"Temperature": [10.0, 20.0], "Station": ["a", "b"]})
+    schema = infer_schema(table)
+    temperature = schema.attribute("Temperature")
+    assert temperature.datatype is DataType.NUMERIC
+    assert temperature.domain == (10.0, 20.0)
+    assert schema.attribute("Station").datatype is DataType.STRING
+
+
+def test_infer_schema_respects_overrides():
+    table = Table("Weather", {"Wind-Direction": [10.0, 350.0]})
+    override = Attribute("Wind-Direction", DataType.ORDINAL, unit="deg")
+    schema = infer_schema(table, overrides=[override])
+    assert schema.attribute("Wind-Direction").datatype is DataType.ORDINAL
+
+
+# -- WeightSet ---------------------------------------------------------------- #
+@pytest.fixture()
+def tree():
+    return AndNode([
+        condition("a", ">", 1.0, weight=0.8),
+        OrNode([condition("b", "<", 2.0, weight=0.5), condition("c", "=", 3.0)], weight=0.9),
+    ])
+
+
+def test_weightset_read_and_write(tree):
+    weights = WeightSet(tree)
+    assert weights[(0,)] == 0.8
+    weights[(1, 0)] = 0.25
+    assert tree.find((1, 0)).weight == 0.25
+    assert set(weights) == {(), (0,), (1,), (1, 0), (1, 1)}
+
+
+def test_weightset_leaf_weights_and_reset(tree):
+    weights = WeightSet(tree)
+    leaves = weights.leaf_weights()
+    assert leaves == {(0,): 0.8, (1, 0): 0.5, (1, 1): 1.0}
+    weights.reset(0.6)
+    assert all(value == 0.6 for value in weights.leaf_weights().values())
+
+
+def test_weightset_set_many_and_validation(tree):
+    weights = WeightSet(tree)
+    weights.set_many({(0,): 0.1, (1, 1): 0.2})
+    assert tree.find((0,)).weight == 0.1
+    with pytest.raises(ValueError):
+        weights[(0,)] = 1.5
+
+
+def test_weightset_normalized_leaf_weights(tree):
+    weights = WeightSet(tree)
+    weights.set_many({(0,): 0.4, (1, 0): 0.2, (1, 1): 0.8})
+    normalized = weights.normalized_leaf_weights()
+    assert normalized[(1, 1)] == pytest.approx(1.0)
+    assert normalized[(0,)] == pytest.approx(0.5)
+
+
+def test_weightset_normalized_all_zero(tree):
+    weights = WeightSet(tree)
+    weights.set_many({(0,): 0.0, (1, 0): 0.0, (1, 1): 0.0})
+    normalized = weights.normalized_leaf_weights()
+    assert all(value == 1.0 for value in normalized.values())
+
+
+def test_weight_changes_affect_combination(weather_table):
+    """End to end: down-weighting a predicate brightens its contribution."""
+    from repro import VisualFeedbackQuery
+
+    tree_balanced = AndNode([condition("Temperature", ">", 30.0),
+                             condition("Humidity", "<", 90.0)])
+    tree_downweighted = AndNode([condition("Temperature", ">", 30.0, weight=0.1),
+                                 condition("Humidity", "<", 90.0)])
+    balanced = VisualFeedbackQuery(weather_table, tree_balanced, percentage=0.5).execute()
+    downweighted = VisualFeedbackQuery(weather_table, tree_downweighted, percentage=0.5).execute()
+    # With the temperature predicate down-weighted, the overall combined
+    # distances of the displayed items shift downwards (brighter picture).
+    assert (np.mean(downweighted.ordered_distances(()))
+            <= np.mean(balanced.ordered_distances(())) + 1e-9)

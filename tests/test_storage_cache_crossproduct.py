@@ -1,0 +1,158 @@
+"""Unit tests for the prefetch cache and cross products."""
+
+import numpy as np
+import pytest
+
+from repro.storage.cache import CachedRegion, PrefetchCache
+from repro.storage.cross_product import CrossProduct, sampled_pair_indices
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def table() -> Table:
+    rng = np.random.default_rng(11)
+    return Table("T", {"a": rng.uniform(0, 100, 1000), "b": rng.uniform(0, 10, 1000)})
+
+
+def brute(table, ranges):
+    keep = np.ones(len(table), dtype=bool)
+    for column, (low, high) in ranges.items():
+        values = table.column(column)
+        if low is not None:
+            keep &= values >= low
+        if high is not None:
+            keep &= values <= high
+    return np.nonzero(keep)[0]
+
+
+# -- PrefetchCache ------------------------------------------------------ #
+def test_cache_results_are_exact(table):
+    cache = PrefetchCache(table)
+    ranges = {"a": (20.0, 40.0)}
+    np.testing.assert_array_equal(cache.query(ranges), brute(table, ranges))
+
+
+def test_cache_hit_on_narrower_query(table):
+    cache = PrefetchCache(table, margin=0.25)
+    cache.query({"a": (20.0, 40.0)})
+    assert cache.fetches == 1
+    result = cache.query({"a": (25.0, 35.0)})
+    assert cache.cache_hits == 1
+    np.testing.assert_array_equal(result, brute(table, {"a": (25.0, 35.0)}))
+
+
+def test_cache_slightly_wider_query_still_hits_within_margin(table):
+    cache = PrefetchCache(table, margin=0.5)
+    cache.query({"a": (20.0, 40.0)})
+    # Widened region is [10, 50]: a query [18, 44] is inside it.
+    cache.query({"a": (18.0, 44.0)})
+    assert cache.cache_hits == 1
+
+
+def test_cache_miss_on_much_wider_query(table):
+    cache = PrefetchCache(table, margin=0.1)
+    cache.query({"a": (20.0, 40.0)})
+    cache.query({"a": (0.0, 90.0)})
+    assert cache.fetches == 2
+
+
+def test_cache_unconstrained_attribute_means_not_covered(table):
+    cache = PrefetchCache(table)
+    cache.query({"a": (20.0, 40.0)})
+    cache.query({})  # broader than the cached region
+    assert cache.fetches == 2
+
+
+def test_cache_eviction(table):
+    cache = PrefetchCache(table, max_regions=2)
+    cache.query({"a": (0.0, 10.0)})
+    cache.query({"a": (20.0, 30.0)})
+    cache.query({"a": (40.0, 50.0)})
+    assert cache.region_count == 2
+
+
+def test_cache_hit_rate_and_clear(table):
+    cache = PrefetchCache(table)
+    cache.query({"a": (20.0, 40.0)})
+    cache.query({"a": (22.0, 38.0)})
+    assert cache.hit_rate() == pytest.approx(0.5)
+    cache.clear()
+    assert cache.region_count == 0
+    assert cache.hit_rate() == 0.0
+
+
+def test_cached_region_covers_logic():
+    region = CachedRegion(ranges={"a": (0.0, 10.0)}, row_indices=np.array([1, 2]))
+    assert region.covers({"a": (1.0, 9.0)})
+    assert not region.covers({"a": (None, 9.0)})
+    assert not region.covers({"a": (1.0, 11.0)})
+    assert not region.covers({})
+
+
+# -- Cross products ----------------------------------------------------- #
+def test_pair_indices_full_enumeration():
+    left, right = sampled_pair_indices(3, 2, max_pairs=None)
+    assert len(left) == 6
+    assert set(zip(left.tolist(), right.tolist())) == {(i, j) for i in range(3) for j in range(2)}
+
+
+def test_pair_indices_sampling_is_deterministic():
+    a = sampled_pair_indices(100, 100, max_pairs=50, seed=4)
+    b = sampled_pair_indices(100, 100, max_pairs=50, seed=4)
+    np.testing.assert_array_equal(a[0], b[0])
+    np.testing.assert_array_equal(a[1], b[1])
+    assert len(a[0]) == 50
+
+
+def test_pair_indices_empty():
+    left, right = sampled_pair_indices(0, 10, max_pairs=None)
+    assert len(left) == 0 and len(right) == 0
+
+
+def test_pair_indices_negative_rejected():
+    with pytest.raises(ValueError):
+        sampled_pair_indices(-1, 2, None)
+
+
+def test_cross_product_to_table_prefixes():
+    left = Table("L", {"x": [1.0, 2.0]})
+    right = Table("R", {"y": [10.0, 20.0, 30.0]})
+    product = CrossProduct(left, right, max_pairs=None)
+    table = product.to_table()
+    assert len(table) == 6
+    assert set(table.column_names) == {"L.x", "R.y"}
+    assert not product.is_sampled
+
+
+def test_cross_product_same_name_disambiguation():
+    left = Table("T", {"x": [1.0]})
+    right = Table("T", {"x": [2.0]})
+    table = CrossProduct(left, right, max_pairs=None).to_table()
+    assert set(table.column_names) == {"T#1.x", "T#2.x"}
+
+
+def test_cross_product_sampling_cap():
+    left = Table("L", {"x": np.arange(100.0)})
+    right = Table("R", {"y": np.arange(100.0)})
+    product = CrossProduct(left, right, max_pairs=500, seed=1)
+    assert len(product) == 500
+    assert product.total_pairs == 10_000
+    assert product.is_sampled
+
+
+def test_cross_product_iter_pairs_chunks():
+    left = Table("L", {"x": np.arange(10.0)})
+    right = Table("R", {"y": np.arange(10.0)})
+    product = CrossProduct(left, right, max_pairs=None)
+    chunks = list(product.iter_pairs(chunk_size=30))
+    assert sum(len(c[0]) for c in chunks) == 100
+    with pytest.raises(ValueError):
+        list(product.iter_pairs(chunk_size=0))
+
+
+def test_cross_product_column_alignment():
+    left = Table("L", {"x": [1.0, 2.0]})
+    right = Table("R", {"y": [10.0, 20.0]})
+    product = CrossProduct(left, right, max_pairs=None)
+    np.testing.assert_array_equal(product.column_left("x"), [1.0, 1.0, 2.0, 2.0])
+    np.testing.assert_array_equal(product.column_right("y"), [10.0, 20.0, 10.0, 20.0])

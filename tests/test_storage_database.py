@@ -1,0 +1,166 @@
+"""Unit tests for Database, the SQLite backend and CSV IO."""
+
+import numpy as np
+import pytest
+
+from repro.query.joins import Connection, JoinKind
+from repro.storage import csv_io, sqlite_backend
+from repro.storage.database import Database
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def db() -> Database:
+    weather = Table("Weather", {"DateTime": [0.0, 60.0], "Temperature": [10.0, 12.0]})
+    pollution = Table("Air-Pollution", {"DateTime": [0.0, 60.0], "Ozone": [30.0, 35.0]})
+    database = Database("env", [weather, pollution])
+    database.register_connection(
+        Connection("at-same-time-as", "Air-Pollution", "Weather", "DateTime", "DateTime")
+    )
+    return database
+
+
+def test_table_lookup(db):
+    assert len(db.table("Weather")) == 2
+    assert "Weather" in db
+    assert "Missing" not in db
+
+
+def test_missing_table_raises(db):
+    with pytest.raises(KeyError, match="no table"):
+        db.table("Missing")
+
+
+def test_duplicate_table_rejected(db):
+    with pytest.raises(ValueError, match="already exists"):
+        db.add_table(Table("Weather", {"x": [1.0]}))
+
+
+def test_replace_table(db):
+    db.replace_table(Table("Weather", {"Temperature": [1.0, 2.0, 3.0]}))
+    assert len(db.table("Weather")) == 3
+
+
+def test_iteration_and_counts(db):
+    assert len(db) == 2
+    assert db.total_rows() == 4
+    assert sorted(t.name for t in db) == ["Air-Pollution", "Weather"]
+
+
+def test_connection_registry(db):
+    key = "Air-Pollution at-same-time-as Weather"
+    assert key in db.connection_keys
+    assert db.connection(key).kind is JoinKind.EQUI
+
+
+def test_connection_unknown_table_rejected(db):
+    with pytest.raises(KeyError, match="unknown table"):
+        db.register_connection(Connection("x", "Weather", "Nope", "a", "b"))
+
+
+def test_connections_for(db):
+    found = db.connections_for(["Weather"])
+    assert len(found) == 1
+    assert db.connections_for(["Locations"]) == []
+
+
+def test_missing_connection_raises(db):
+    with pytest.raises(KeyError, match="no connection"):
+        db.connection("does not exist")
+
+
+def test_describe(db):
+    description = db.describe()
+    assert description["Weather"] == ["DateTime", "Temperature"]
+
+
+# ---------------------------------------------------------------------- #
+# SQLite backend
+# ---------------------------------------------------------------------- #
+def test_sqlite_roundtrip(tmp_path, db):
+    path = tmp_path / "env.sqlite"
+    sqlite_backend.save_database(db, path)
+    loaded = sqlite_backend.load_database(path)
+    assert sorted(loaded.table_names) == ["Air-Pollution", "Weather"]
+    np.testing.assert_allclose(
+        loaded.table("Weather").column("Temperature"), db.table("Weather").column("Temperature")
+    )
+
+
+def test_sqlite_save_table_replace(db):
+    conn = sqlite_backend.connect()
+    table = db.table("Weather")
+    sqlite_backend.save_table(table, conn)
+    sqlite_backend.save_table(table, conn)  # replace works
+    with pytest.raises(ValueError):
+        sqlite_backend.save_table(table, conn, if_exists="fail")
+    conn.close()
+
+
+def test_sqlite_query_to_table(db):
+    conn = sqlite_backend.connect()
+    sqlite_backend.save_table(db.table("Weather"), conn)
+    result = sqlite_backend.query_to_table(
+        conn, 'SELECT Temperature FROM "Weather" WHERE Temperature > 11'
+    )
+    assert len(result) == 1
+    conn.close()
+
+
+def test_sqlite_nan_becomes_null_and_back(tmp_path):
+    table = Table("T", {"a": [1.0, np.nan], "s": ["x", "y"]})
+    conn = sqlite_backend.connect()
+    sqlite_backend.save_table(table, conn)
+    loaded = sqlite_backend.load_table(conn, "T")
+    assert np.isnan(loaded.column("a")[1])
+    conn.close()
+
+
+def test_sqlite_invalid_if_exists(db):
+    conn = sqlite_backend.connect()
+    with pytest.raises(ValueError):
+        sqlite_backend.save_table(db.table("Weather"), conn, if_exists="bogus")
+    conn.close()
+
+
+# ---------------------------------------------------------------------- #
+# CSV IO
+# ---------------------------------------------------------------------- #
+def test_csv_roundtrip(tmp_path):
+    table = Table("T", {"a": [1.5, 2.5], "name": ["x", "y"]})
+    path = tmp_path / "t.csv"
+    csv_io.write_csv(table, path)
+    loaded = csv_io.read_csv(path)
+    np.testing.assert_allclose(loaded.column("a"), [1.5, 2.5])
+    assert list(loaded.column("name")) == ["x", "y"]
+    assert loaded.name == "t"
+
+
+def test_csv_nan_roundtrip(tmp_path):
+    table = Table("T", {"a": [1.0, np.nan]})
+    path = tmp_path / "t.csv"
+    csv_io.write_csv(table, path)
+    loaded = csv_io.read_csv(path)
+    assert np.isnan(loaded.column("a")[1])
+
+
+def test_csv_column_subset(tmp_path):
+    table = Table("T", {"a": [1.0], "b": [2.0]})
+    path = tmp_path / "t.csv"
+    csv_io.write_csv(table, path, columns=["b"])
+    loaded = csv_io.read_csv(path)
+    assert loaded.column_names == ["b"]
+
+
+def test_csv_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        csv_io.read_csv(path)
+
+
+def test_csv_ragged_row_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("a,b\n1,2\n3\n")
+    with pytest.raises(ValueError, match="fields"):
+        csv_io.read_csv(path)

@@ -1,0 +1,125 @@
+"""Unit tests for the sorted and grid indexes."""
+
+import numpy as np
+import pytest
+
+from repro.storage.index import GridIndex, SortedIndex
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def table() -> Table:
+    rng = np.random.default_rng(3)
+    return Table(
+        "T",
+        {
+            "x": rng.uniform(0.0, 100.0, 500),
+            "y": rng.uniform(-50.0, 50.0, 500),
+            "label": [f"r{i}" for i in range(500)],
+        },
+    )
+
+
+def brute_force(table, column, low, high):
+    values = table.column(column)
+    mask = np.ones(len(values), dtype=bool)
+    if low is not None:
+        mask &= values >= low
+    if high is not None:
+        mask &= values <= high
+    return np.nonzero(mask)[0]
+
+
+# -- SortedIndex -------------------------------------------------------- #
+def test_sorted_index_matches_brute_force(table):
+    index = SortedIndex(table, "x")
+    np.testing.assert_array_equal(index.range_query(20.0, 40.0), brute_force(table, "x", 20.0, 40.0))
+
+
+def test_sorted_index_open_bounds(table):
+    index = SortedIndex(table, "x")
+    np.testing.assert_array_equal(index.range_query(None, 10.0), brute_force(table, "x", None, 10.0))
+    np.testing.assert_array_equal(index.range_query(90.0, None), brute_force(table, "x", 90.0, None))
+    assert len(index.range_query(None, None)) == len(table)
+
+
+def test_sorted_index_empty_range(table):
+    index = SortedIndex(table, "x")
+    assert len(index.range_query(200.0, 300.0)) == 0
+
+
+def test_sorted_index_min_max(table):
+    index = SortedIndex(table, "x")
+    assert index.minimum() == pytest.approx(table.column("x").min())
+    assert index.maximum() == pytest.approx(table.column("x").max())
+
+
+def test_sorted_index_nearest(table):
+    index = SortedIndex(table, "x")
+    nearest = index.nearest(50.0, k=3)
+    assert len(nearest) == 3
+    distances = np.abs(table.column("x")[nearest] - 50.0)
+    all_distances = np.abs(table.column("x") - 50.0)
+    assert distances.max() <= np.partition(all_distances, 2)[2] + 1e-12
+
+
+def test_sorted_index_nearest_invalid_k(table):
+    index = SortedIndex(table, "x")
+    with pytest.raises(ValueError):
+        index.nearest(1.0, k=0)
+
+
+def test_sorted_index_non_numeric_rejected(table):
+    with pytest.raises(TypeError):
+        SortedIndex(table, "label")
+
+
+def test_sorted_index_empty_table():
+    empty = Table("T", {"x": np.empty(0)})
+    index = SortedIndex(empty, "x")
+    assert len(index.range_query(0.0, 1.0)) == 0
+    with pytest.raises(ValueError):
+        index.minimum()
+
+
+# -- GridIndex ---------------------------------------------------------- #
+def test_grid_index_matches_brute_force(table):
+    index = GridIndex(table, ["x", "y"], bins_per_dimension=8)
+    ranges = {"x": (10.0, 60.0), "y": (-20.0, 5.0)}
+    expected = set(brute_force(table, "x", 10.0, 60.0)) & set(brute_force(table, "y", -20.0, 5.0))
+    np.testing.assert_array_equal(index.range_query(ranges), np.array(sorted(expected)))
+
+
+def test_grid_index_candidates_are_superset(table):
+    index = GridIndex(table, ["x", "y"], bins_per_dimension=8)
+    ranges = {"x": (10.0, 60.0), "y": (-20.0, 5.0)}
+    exact = set(index.range_query(ranges))
+    candidates = set(index.candidate_rows(ranges))
+    assert exact <= candidates
+
+
+def test_grid_index_unconstrained_dimension(table):
+    index = GridIndex(table, ["x", "y"], bins_per_dimension=4)
+    np.testing.assert_array_equal(
+        index.range_query({"x": (0.0, 50.0)}), brute_force(table, "x", 0.0, 50.0)
+    )
+
+
+def test_grid_index_selectivity(table):
+    index = GridIndex(table, ["x"], bins_per_dimension=4)
+    assert index.selectivity({"x": (None, None)}) == pytest.approx(1.0)
+    assert 0.0 < index.selectivity({"x": (0.0, 50.0)}) < 1.0
+
+
+def test_grid_index_invalid_params(table):
+    with pytest.raises(ValueError):
+        GridIndex(table, ["x"], bins_per_dimension=0)
+    with pytest.raises(ValueError):
+        GridIndex(table, [], bins_per_dimension=4)
+    with pytest.raises(TypeError):
+        GridIndex(table, ["label"])
+
+
+def test_grid_index_out_of_domain_query(table):
+    index = GridIndex(table, ["x"], bins_per_dimension=4)
+    assert len(index.range_query({"x": (1000.0, 2000.0)})) == 0

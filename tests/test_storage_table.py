@@ -1,0 +1,182 @@
+"""Unit tests for the column-store Table."""
+
+import numpy as np
+import pytest
+
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def simple_table() -> Table:
+    return Table(
+        "T",
+        {
+            "a": [1.0, 2.0, 3.0, 4.0],
+            "b": [10.0, 20.0, 30.0, 40.0],
+            "name": ["w", "x", "y", "z"],
+        },
+    )
+
+
+def test_length_and_columns(simple_table):
+    assert len(simple_table) == 4
+    assert simple_table.column_names == ["a", "b", "name"]
+
+
+def test_numeric_columns_are_float64(simple_table):
+    assert simple_table.column("a").dtype == np.float64
+    assert simple_table.is_numeric("a")
+    assert not simple_table.is_numeric("name")
+
+
+def test_none_becomes_nan():
+    table = Table("T", {"a": [1.0, None, 3.0]})
+    assert np.isnan(table.column("a")[1])
+
+
+def test_mismatched_column_lengths_rejected():
+    with pytest.raises(ValueError, match="length"):
+        Table("T", {"a": [1, 2, 3], "b": [1, 2]})
+
+
+def test_unknown_column_raises_keyerror(simple_table):
+    with pytest.raises(KeyError, match="no column"):
+        simple_table.column("missing")
+
+
+def test_row_access(simple_table):
+    row = simple_table.row(1)
+    assert row == {"a": 2.0, "b": 20.0, "name": "x"}
+
+
+def test_row_negative_index(simple_table):
+    assert simple_table.row(-1)["name"] == "z"
+
+
+def test_row_out_of_range(simple_table):
+    with pytest.raises(IndexError):
+        simple_table.row(4)
+
+
+def test_rows_iteration(simple_table):
+    rows = list(simple_table.rows())
+    assert len(rows) == 4
+    assert rows[0]["a"] == 1.0
+
+
+def test_from_rows_roundtrip(simple_table):
+    rebuilt = Table.from_rows("T2", simple_table.to_rows())
+    assert rebuilt.column_names == simple_table.column_names
+    np.testing.assert_array_equal(rebuilt.column("a"), simple_table.column("a"))
+
+
+def test_from_rows_empty_requires_columns():
+    with pytest.raises(ValueError):
+        Table.from_rows("T", [])
+
+
+def test_empty_constructor():
+    table = Table.empty("T", ["x", "y"])
+    assert len(table) == 0
+    assert table.column_names == ["x", "y"]
+
+
+def test_take_preserves_order(simple_table):
+    taken = simple_table.take([2, 0])
+    np.testing.assert_array_equal(taken.column("a"), [3.0, 1.0])
+
+
+def test_select_by_mask(simple_table):
+    selected = simple_table.select(simple_table.column("a") > 2.0)
+    assert len(selected) == 2
+    np.testing.assert_array_equal(selected.column("a"), [3.0, 4.0])
+
+
+def test_select_wrong_mask_length(simple_table):
+    with pytest.raises(ValueError):
+        simple_table.select(np.array([True, False]))
+
+
+def test_head(simple_table):
+    assert len(simple_table.head(2)) == 2
+    assert len(simple_table.head(100)) == 4
+
+
+def test_sort_by(simple_table):
+    sorted_table = simple_table.sort_by("a", descending=True)
+    np.testing.assert_array_equal(sorted_table.column("a"), [4.0, 3.0, 2.0, 1.0])
+
+
+def test_with_column(simple_table):
+    extended = simple_table.with_column("c", [0.0, 1.0, 2.0, 3.0])
+    assert "c" in extended
+    assert "c" not in simple_table  # original unchanged
+
+
+def test_with_column_wrong_length(simple_table):
+    with pytest.raises(ValueError):
+        simple_table.with_column("c", [1.0])
+
+
+def test_with_prefix(simple_table):
+    prefixed = simple_table.with_prefix("T")
+    assert prefixed.column_names == ["T.a", "T.b", "T.name"]
+
+
+def test_renamed_shares_data(simple_table):
+    renamed = simple_table.renamed("Other")
+    assert renamed.name == "Other"
+    assert renamed.column("a") is simple_table.column("a")
+
+
+def test_concat():
+    t1 = Table("T", {"a": [1.0, 2.0]})
+    t2 = Table("T", {"a": [3.0]})
+    combined = Table.concat("T", [t1, t2])
+    np.testing.assert_array_equal(combined.column("a"), [1.0, 2.0, 3.0])
+
+
+def test_concat_mismatched_columns():
+    t1 = Table("T", {"a": [1.0]})
+    t2 = Table("T", {"b": [1.0]})
+    with pytest.raises(ValueError):
+        Table.concat("T", [t1, t2])
+
+
+def test_concat_empty_list():
+    with pytest.raises(ValueError):
+        Table.concat("T", [])
+
+
+def test_stats_numeric(simple_table):
+    stats = simple_table.stats("a")
+    assert stats.minimum == 1.0
+    assert stats.maximum == 4.0
+    assert stats.mean == pytest.approx(2.5)
+    assert stats.is_numeric
+
+
+def test_stats_ignores_nan():
+    table = Table("T", {"a": [1.0, np.nan, 3.0]})
+    stats = table.stats("a")
+    assert stats.minimum == 1.0
+    assert stats.maximum == 3.0
+
+
+def test_stats_string(simple_table):
+    stats = simple_table.stats("name")
+    assert stats.minimum == "w"
+    assert stats.maximum == "z"
+    assert stats.mean is None
+
+
+def test_stats_empty_table():
+    table = Table.empty("T", ["a"])
+    stats = table.stats("a")
+    assert stats.count == 0
+    assert stats.minimum is None
+
+
+def test_2d_column_rejected():
+    with pytest.raises(ValueError):
+        Table("T", {"a": np.zeros((2, 2))})

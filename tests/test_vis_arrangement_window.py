@@ -1,0 +1,319 @@
+"""Unit tests for arrangements, windows, layout, sliders, rendering and ASCII art."""
+
+import numpy as np
+import pytest
+
+from repro import OrNode, Table, VisualFeedbackQuery, condition
+from repro.vis.arrangement import (
+    block_factor,
+    spiral_arrangement,
+    two_attribute_arrangement,
+    window_for_node,
+)
+from repro.vis.ascii_art import ascii_colorbar, ascii_render
+from repro.vis.colormap import VisDBColormap
+from repro.vis.layout import MultiWindowLayout
+from repro.vis.render import save_window, upscale, write_png, write_ppm
+from repro.vis.sliders import sliders_for_feedback
+from repro.vis.window import VisualizationWindow
+
+
+@pytest.fixture()
+def feedback():
+    rng = np.random.default_rng(9)
+    table = Table(
+        "Weather",
+        {
+            "Temperature": rng.normal(15, 8, 3000),
+            "Solar-Radiation": np.clip(rng.normal(400, 250, 3000), 0, None),
+            "Humidity": rng.uniform(20, 100, 3000),
+        },
+    )
+    tree = OrNode([
+        condition("Temperature", ">", 15.0),
+        condition("Solar-Radiation", ">", 600.0),
+        condition("Humidity", "<", 60.0),
+    ])
+    return VisualFeedbackQuery(table, tree, percentage=0.4).execute()
+
+
+# -- spiral arrangement -------------------------------------------------------- #
+def test_block_factor():
+    assert block_factor(1) == 1 and block_factor(4) == 2 and block_factor(16) == 4
+    with pytest.raises(ValueError):
+        block_factor(9)
+
+
+def test_spiral_arrangement_places_all_items():
+    distances = np.linspace(0, 255, 100)
+    ids = np.arange(100)
+    window = spiral_arrangement(distances, ids, 12, 12)
+    assert window.item_count() == 100
+    assert window.occupancy == pytest.approx(100 / 144)
+
+
+def test_spiral_arrangement_most_relevant_at_centre():
+    distances = np.linspace(0, 255, 100)
+    ids = np.arange(100)
+    window = spiral_arrangement(distances, ids, 11, 11)
+    assert window.item_at(5, 5) == 0
+    assert window.distances[5, 5] == 0.0
+
+
+def test_spiral_arrangement_overflow_rejected():
+    with pytest.raises(ValueError, match="fit"):
+        spiral_arrangement(np.zeros(200), np.arange(200), 10, 10)
+
+
+def test_spiral_arrangement_pixels_per_item_blocks():
+    distances = np.array([0.0, 100.0])
+    window = spiral_arrangement(distances, np.array([7, 8]), 8, 8, pixels_per_item=16)
+    # Each item occupies a 4x4 block of identical pixels.
+    assert np.sum(window.item_ids == 7) == 16
+    assert np.sum(window.item_ids == 8) == 16
+
+
+def test_spiral_arrangement_sort_option():
+    distances = np.array([50.0, 0.0, 200.0])
+    ids = np.array([1, 2, 3])
+    window = spiral_arrangement(distances, ids, 3, 3, sort=True)
+    assert window.item_at(1, 1) == 2  # lowest distance ends up in the centre
+
+
+def test_spiral_arrangement_length_mismatch():
+    with pytest.raises(ValueError):
+        spiral_arrangement(np.zeros(3), np.arange(2), 3, 3)
+
+
+# -- per-node windows ----------------------------------------------------------- #
+def test_window_for_node_positions_correspond(feedback):
+    overall = window_for_node(feedback, (), 40, 40)
+    part = window_for_node(feedback, (0,), 40, 40)
+    np.testing.assert_array_equal(overall.item_ids, part.item_ids)
+    assert overall.title != part.title
+
+
+def test_window_for_node_independent_resorts(feedback):
+    dependent = window_for_node(feedback, (1,), 40, 40)
+    independent = window_for_node(feedback, (1,), 40, 40, independent=True)
+    centre = independent.distances[20, 20]
+    assert centre == np.nanmin(independent.distances)
+    assert dependent.item_count() == independent.item_count()
+
+
+def test_overall_window_distances_grow_outward(feedback):
+    window = window_for_node(feedback, (), 50, 50)
+    centre_value = window.distances[25, 25]
+    corner_value = window.distances[0, 0]
+    if not np.isnan(corner_value):
+        assert corner_value >= centre_value
+
+
+# -- 2D arrangement --------------------------------------------------------------- #
+def test_two_attribute_arrangement_quadrants():
+    signed_a = np.array([-5.0, 5.0, -5.0, 5.0, 0.0])
+    signed_b = np.array([5.0, 5.0, -5.0, -5.0, 0.0])
+    overall = np.array([100.0, 100.0, 100.0, 100.0, 0.0])
+    ids = np.arange(5)
+    window = two_attribute_arrangement(signed_a, signed_b, overall, ids, 10, 10)
+    assert window.item_count() == 5
+    positions = {i: window.position_of_item(i) for i in range(5)}
+    # Item 4 (exact answer) is at the centre region.
+    assert positions[4] is not None
+    # Negative a -> left half, positive a -> right half.
+    assert positions[0][0] < 5 and positions[2][0] < 5
+    assert positions[1][0] >= 5 and positions[3][0] >= 5
+    # Positive b -> top half (small y), negative b -> bottom half.
+    assert positions[0][1] < 5 and positions[1][1] < 5
+    assert positions[2][1] >= 5 and positions[3][1] >= 5
+
+
+def test_two_attribute_arrangement_no_overlap(feedback):
+    n = 500
+    signed_a = feedback.ordered_signed_distances((0,))[:n]
+    signed_b = feedback.ordered_signed_distances((2,))[:n]
+    overall = feedback.ordered_distances(())[:n]
+    ids = feedback.display_order[:n]
+    window = two_attribute_arrangement(signed_a, signed_b, overall, ids, 30, 30)
+    placed_ids = window.item_ids[window.item_ids >= 0]
+    assert len(placed_ids) == len(np.unique(placed_ids))  # each item at most once
+
+
+def test_two_attribute_arrangement_validation():
+    with pytest.raises(ValueError):
+        two_attribute_arrangement(np.zeros(2), np.zeros(3), np.zeros(2), np.arange(2), 5, 5)
+    with pytest.raises(ValueError):
+        two_attribute_arrangement(np.zeros(100), np.zeros(100), np.zeros(100), np.arange(100), 5, 5)
+
+
+# -- window --------------------------------------------------------------------- #
+def test_window_accessors():
+    window = VisualizationWindow(
+        "w", distances=np.array([[0.0, np.nan], [10.0, 255.0]]),
+        item_ids=np.array([[3, -1], [4, 5]]),
+    )
+    assert window.width == 2 and window.height == 2
+    assert window.item_count() == 3
+    assert window.occupancy == pytest.approx(0.75)
+    assert window.yellow_region_size() == 1
+    assert window.item_at(0, 0) == 3
+    assert window.item_at(1, 0) is None
+    assert window.position_of_item(5) == (1, 1)
+    assert window.position_of_item(99) is None
+    with pytest.raises(IndexError):
+        window.item_at(5, 5)
+    assert window.mean_distance() == pytest.approx((0.0 + 10.0 + 255.0) / 3.0)
+
+
+def test_window_shape_validation():
+    with pytest.raises(ValueError):
+        VisualizationWindow("w", np.zeros((2, 2)), np.zeros((2, 3), dtype=int))
+    with pytest.raises(ValueError):
+        VisualizationWindow("w", np.zeros(4), np.zeros(4, dtype=int))
+
+
+def test_window_to_rgb_background_and_highlight():
+    window = VisualizationWindow(
+        "w", distances=np.array([[0.0, np.nan]]), item_ids=np.array([[7, -1]])
+    )
+    rgb = window.to_rgb(VisDBColormap(), background=(1, 2, 3), highlight_items=np.array([7]))
+    np.testing.assert_array_equal(rgb[0, 1], [1, 2, 3])
+    np.testing.assert_array_equal(rgb[0, 0], [255, 255, 255])
+
+
+# -- layout ----------------------------------------------------------------------- #
+def test_layout_windows_and_compose(feedback):
+    layout = MultiWindowLayout(window_width=40, window_height=40, margin=2)
+    windows = layout.windows(feedback)
+    assert set(windows) == {(), (0,), (1,), (2,)}
+    canvas = layout.compose(windows)
+    assert canvas.shape == (2 * 42 + 2, 2 * 42 + 2, 3)
+    assert layout.item_capacity() == 1600
+
+
+def test_layout_subpart_windows(feedback):
+    layout = MultiWindowLayout(window_width=40, window_height=40)
+    windows = layout.subpart_windows(feedback, ())
+    assert () in windows and len(windows) == 4
+
+
+def test_layout_compose_empty_rejected(feedback):
+    with pytest.raises(ValueError):
+        MultiWindowLayout().compose({})
+
+
+def test_layout_render_with_highlight(feedback):
+    layout = MultiWindowLayout(window_width=30, window_height=30)
+    highlighted = layout.render(feedback, highlight_items=feedback.display_order[:5])
+    plain = layout.render(feedback)
+    assert highlighted.shape == plain.shape
+    assert np.any(highlighted != plain)
+
+
+# -- sliders ---------------------------------------------------------------------- #
+def test_sliders_reflect_query_and_database(feedback):
+    overall, sliders = sliders_for_feedback(feedback)
+    assert overall.num_objects == 3000
+    assert len(sliders) == 3
+    by_attribute = {s.attribute: s for s in sliders}
+    temperature = by_attribute["Temperature"]
+    assert temperature.query_low == 15.0 and temperature.query_high is None
+    humidity = by_attribute["Humidity"]
+    assert humidity.query_high == 60.0
+    assert temperature.database_min <= temperature.displayed_min
+    assert temperature.database_max >= temperature.displayed_max
+
+
+def test_slider_color_spectrum_and_readback(feedback):
+    _, sliders = sliders_for_feedback(feedback)
+    slider = sliders[0]
+    spectrum = slider.color_spectrum(32)
+    assert spectrum.shape == (32,)
+    first_last = slider.first_last_of_color(0.0, 255.0)
+    assert first_last is not None
+    low, high = first_last
+    assert low <= high
+    assert slider.first_last_of_color(-10.0, -5.0) is None
+    mask = slider.items_of_color(0.0, 0.0)
+    assert mask.dtype == bool
+    row = slider.as_row()
+    assert row["attribute"] == slider.attribute
+    with pytest.raises(ValueError):
+        slider.color_spectrum(0)
+
+
+def test_overall_spectrum_is_sorted(feedback):
+    overall, _ = sliders_for_feedback(feedback)
+    spectrum = overall.color_spectrum(64)
+    assert np.all(np.diff(spectrum) >= 0)
+
+
+# -- rendering --------------------------------------------------------------------- #
+def test_write_ppm_and_png(tmp_path):
+    image = np.zeros((4, 6, 3), dtype=np.uint8)
+    image[..., 0] = 200
+    ppm = write_ppm(image, tmp_path / "x.ppm")
+    png = write_png(image, tmp_path / "x.png")
+    assert ppm.read_bytes().startswith(b"P6\n6 4\n255\n")
+    assert png.read_bytes().startswith(b"\x89PNG\r\n")
+    assert png.stat().st_size > 50
+
+
+def test_write_grayscale_input_promoted(tmp_path):
+    image = np.zeros((2, 2), dtype=np.uint8)
+    path = write_png(image, tmp_path / "g.png")
+    assert path.exists()
+
+
+def test_upscale():
+    image = np.arange(4, dtype=np.uint8).reshape(2, 2)
+    scaled = upscale(image, 3)
+    assert scaled.shape == (6, 6)
+    assert upscale(image, 1) is image
+    with pytest.raises(ValueError):
+        upscale(image, 0)
+
+
+def test_save_window_formats(tmp_path, feedback):
+    window = window_for_node(feedback, (), 20, 20)
+    assert save_window(window, tmp_path / "w.png", scale=2).exists()
+    assert save_window(window, tmp_path / "w.ppm").exists()
+    with pytest.raises(ValueError):
+        save_window(window, tmp_path / "w.gif")
+
+
+def test_invalid_image_shape_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        write_ppm(np.zeros((2, 2, 4)), tmp_path / "bad.ppm")
+
+
+# -- ASCII art -------------------------------------------------------------------- #
+def test_ascii_render_shape_and_content(feedback):
+    window = window_for_node(feedback, (), 30, 30)
+    art = ascii_render(window, max_width=30)
+    lines = art.split("\n")
+    assert len(lines) == 30
+    assert all(len(line) == 30 for line in lines)
+    assert "@" in art  # exact answers present in the centre
+
+
+def test_ascii_render_downsamples(feedback):
+    window = window_for_node(feedback, (), 40, 40)
+    art = ascii_render(window, max_width=10)
+    assert len(art.split("\n")[0]) <= 14
+
+
+def test_ascii_render_empty_pixels_are_spaces():
+    window = VisualizationWindow("w", np.full((1, 3), np.nan), np.full((1, 3), -1))
+    assert ascii_render(window) == "   "
+
+
+def test_ascii_charset_validation(feedback):
+    window = window_for_node(feedback, (), 10, 10)
+    with pytest.raises(ValueError):
+        ascii_render(window, charset="x")
+
+
+def test_ascii_colorbar():
+    bar = ascii_colorbar(20)
+    assert bar.startswith("exact [") and bar.endswith("] distant")

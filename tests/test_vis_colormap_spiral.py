@@ -1,0 +1,144 @@
+"""Unit tests for the colormap and the rectangular spiral."""
+
+import numpy as np
+import pytest
+
+from repro.vis.colormap import GrayscaleColormap, VisDBColormap, hsv_to_rgb, jnd_count, srgb_to_lab
+from repro.vis.spiral import rank_grid, rect_spiral_coords, spiral_positions
+
+
+# -- colormap -------------------------------------------------------------- #
+def test_exact_answers_are_yellow():
+    r, g, b = VisDBColormap().exact_color()
+    assert r > 200 and g > 200 and b < 100
+
+
+def test_far_end_is_almost_black():
+    colormap = VisDBColormap()
+    r, g, b = colormap(np.array([255.0]))[0]
+    assert int(r) + int(g) + int(b) < 150
+
+
+def test_colormap_shape_and_dtype():
+    colormap = VisDBColormap()
+    colours = colormap(np.zeros((4, 5)))
+    assert colours.shape == (4, 5, 3)
+    assert colours.dtype == np.uint8
+
+
+def test_colormap_brightness_decreases_with_distance():
+    colormap = VisDBColormap()
+    samples = colormap.sample(32).astype(float)
+    brightness = samples.sum(axis=1)
+    # Brightness must be (weakly) decreasing from yellow to almost black.
+    assert brightness[0] == brightness.max()
+    assert brightness[-1] == brightness.min()
+
+
+def test_colormap_hue_path_passes_green_and_blue():
+    colormap = VisDBColormap()
+    mid_green = colormap(np.array([255.0 / 3.0]))[0]
+    mid_blue = colormap(np.array([2 * 255.0 / 3.0]))[0]
+    assert mid_green[1] > mid_green[0] and mid_green[1] > mid_green[2]  # green dominates
+    assert mid_blue[2] > mid_blue[0] and mid_blue[2] > mid_blue[1]      # blue dominates
+
+
+def test_colormap_nan_is_black():
+    colours = VisDBColormap()(np.array([np.nan]))
+    np.testing.assert_array_equal(colours[0], [0, 0, 0])
+
+
+def test_colormap_validation():
+    with pytest.raises(ValueError):
+        VisDBColormap(target_max=0.0)
+    with pytest.raises(ValueError):
+        VisDBColormap(saturation=1.5)
+    with pytest.raises(ValueError):
+        VisDBColormap(min_value=1.0)
+    with pytest.raises(ValueError):
+        VisDBColormap().sample(1)
+
+
+def test_grayscale_colormap():
+    grey = GrayscaleColormap()
+    colours = grey(np.array([0.0, 255.0]))
+    assert colours[0, 0] == colours[0, 1] == colours[0, 2]
+    assert colours[0, 0] > colours[1, 0]
+
+
+def test_jnd_color_beats_grayscale():
+    """The paper's argument for colour: far more just-noticeable differences."""
+    assert jnd_count(VisDBColormap()) > 2.0 * jnd_count(GrayscaleColormap())
+
+
+def test_hsv_to_rgb_known_values():
+    np.testing.assert_allclose(hsv_to_rgb(np.array(0.0), np.array(1.0), np.array(1.0)), [1, 0, 0])
+    np.testing.assert_allclose(hsv_to_rgb(np.array(120.0), np.array(1.0), np.array(1.0)), [0, 1, 0])
+    np.testing.assert_allclose(hsv_to_rgb(np.array(240.0), np.array(1.0), np.array(1.0)), [0, 0, 1])
+    np.testing.assert_allclose(hsv_to_rgb(np.array(60.0), np.array(0.0), np.array(0.5)),
+                               [0.5, 0.5, 0.5])
+
+
+def test_srgb_to_lab_reference_points():
+    lab_white = srgb_to_lab(np.array([255, 255, 255]))
+    lab_black = srgb_to_lab(np.array([0, 0, 0]))
+    assert lab_white[0] == pytest.approx(100.0, abs=0.5)
+    assert lab_black[0] == pytest.approx(0.0, abs=0.5)
+
+
+# -- spiral ------------------------------------------------------------------ #
+def test_spiral_covers_window_exactly_once():
+    coords = rect_spiral_coords(7, 5)
+    assert coords.shape == (35, 2)
+    assert len({(x, y) for x, y in coords}) == 35
+    assert coords[:, 0].min() == 0 and coords[:, 0].max() == 6
+    assert coords[:, 1].min() == 0 and coords[:, 1].max() == 4
+
+
+def test_spiral_starts_at_centre():
+    coords = rect_spiral_coords(7, 7)
+    assert tuple(coords[0]) == (3, 3)
+    even = rect_spiral_coords(8, 8)
+    assert tuple(even[0]) == (3, 3)
+
+
+def test_spiral_distance_from_centre_grows():
+    """Later spiral positions are (weakly) farther from the centre region."""
+    width = height = 21
+    coords = rect_spiral_coords(width, height)
+    centre = np.array([(width - 1) // 2, (height - 1) // 2])
+    chebyshev = np.max(np.abs(coords - centre), axis=1)
+    # Within the full square spiral, the ring index is non-decreasing.
+    assert np.all(np.diff(chebyshev) >= -1)
+    assert chebyshev[0] == 0
+    assert chebyshev[-1] == 10
+
+
+def test_spiral_positions_prefix_and_limit():
+    positions = spiral_positions(10, 9, 9)
+    np.testing.assert_array_equal(positions, rect_spiral_coords(9, 9)[:10])
+    with pytest.raises(ValueError):
+        spiral_positions(100, 5, 5)
+    with pytest.raises(ValueError):
+        spiral_positions(-1, 5, 5)
+    assert spiral_positions(0, 5, 5).shape == (0, 2)
+
+
+def test_spiral_non_square_windows():
+    for width, height in ((1, 1), (1, 10), (10, 1), (3, 8), (128, 2)):
+        coords = rect_spiral_coords(width, height)
+        assert coords.shape == (width * height, 2)
+        assert len({(x, y) for x, y in coords}) == width * height
+
+
+def test_spiral_invalid_dimensions():
+    with pytest.raises(ValueError):
+        rect_spiral_coords(0, 5)
+
+
+def test_rank_grid_is_inverse_of_spiral():
+    width, height = 9, 6
+    coords = rect_spiral_coords(width, height)
+    grid = rank_grid(width, height)
+    for rank, (x, y) in enumerate(coords):
+        assert grid[y, x] == rank
