@@ -5,7 +5,7 @@ Databases by Visual Feedback Queries", ICDE 1994.
 
 Quickstart::
 
-    from repro import VisualFeedbackQuery, QueryBuilder, condition
+    from repro import QueryEngine, QueryBuilder, condition
     from repro.datasets import environmental_database
 
     db = environmental_database(hours=2000, seed=7)
@@ -15,12 +15,18 @@ Quickstart::
         .where(condition("Temperature", ">", 25.0))
         .build()
     )
-    feedback = VisualFeedbackQuery(db, query, percentage=0.4).execute()
+    prepared = QueryEngine(db, percentage=0.4).prepare(query)
+    feedback = prepared.execute()
     print(feedback.statistics.as_dict())
+
+``VisualFeedbackQuery(db, query, percentage=0.4).execute()`` remains as the
+one-shot facade over the same engine.
 """
 
 from repro.core import (
     PipelineConfig,
+    PreparedQuery,
+    QueryEngine,
     QueryFeedback,
     ReductionMethod,
     RelevanceScale,
@@ -39,9 +45,11 @@ from repro.query import (
 from repro.query.builder import between, condition
 from repro.storage import Database, Table
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "QueryEngine",
+    "PreparedQuery",
     "VisualFeedbackQuery",
     "PipelineConfig",
     "ScreenSpec",

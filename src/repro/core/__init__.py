@@ -16,7 +16,10 @@ Pipeline (paper sections 3 and 5):
 5. Package everything into a :class:`~repro.core.result.QueryFeedback` that
    the visualization layer arranges into pixel windows.
 
-:class:`~repro.core.pipeline.VisualFeedbackQuery` is the public entry point.
+:class:`~repro.core.engine.QueryEngine` is the public entry point for
+interactive feedback loops (prepare once, re-execute incrementally);
+:class:`~repro.core.pipeline.VisualFeedbackQuery` remains as the one-shot
+facade over it.
 """
 
 from repro.core.normalization import (
@@ -37,7 +40,9 @@ from repro.core.reduction import (
 )
 from repro.core.relevance import RelevanceEvaluator, relevance_factors, RelevanceScale
 from repro.core.result import NodeFeedback, QueryFeedback, FeedbackStatistics
-from repro.core.pipeline import VisualFeedbackQuery, ScreenSpec, PipelineConfig
+from repro.core.plan import CacheStats, EvaluationCache, PlanEvaluator, compile_plan
+from repro.core.engine import QueryEngine, PreparedQuery, ScreenSpec, PipelineConfig
+from repro.core.pipeline import VisualFeedbackQuery
 
 __all__ = [
     "NORMALIZED_MAX",
@@ -60,6 +65,12 @@ __all__ = [
     "NodeFeedback",
     "QueryFeedback",
     "FeedbackStatistics",
+    "CacheStats",
+    "EvaluationCache",
+    "PlanEvaluator",
+    "compile_plan",
+    "QueryEngine",
+    "PreparedQuery",
     "VisualFeedbackQuery",
     "ScreenSpec",
     "PipelineConfig",

@@ -20,7 +20,7 @@ from enum import Enum
 
 import numpy as np
 
-__all__ = ["CombinationRule", "combine_and", "combine_or", "combine"]
+__all__ = ["CombinationRule", "combine_and", "combine_or", "combine", "combine_columns"]
 
 
 class CombinationRule(Enum):
@@ -61,11 +61,23 @@ def combine_or(child_distances: np.ndarray, weights: np.ndarray) -> np.ndarray:
     A child with weight 0 contributes a neutral factor of 1 (``0 ** 0 == 1``
     under the NumPy convention), i.e. it is ignored -- which is exactly what
     a zero weighting factor should mean.
+
+    Columns with the default weight 1 skip the (expensive) power evaluation:
+    ``x ** 1.0 == x`` exactly, so the result is bit-identical while the
+    common interactive case (one reweighted predicate among many defaults)
+    costs one power instead of one per child.
     """
     matrix, weight_array = _validate(child_distances, weights)
     # 0 ** w is fine for w > 0; numpy evaluates 0 ** 0 as 1 which is the
     # desired neutral element for ignored children.
-    return np.prod(np.power(matrix, weight_array[None, :]), axis=1)
+    def factor(j: int) -> np.ndarray:
+        column = matrix[:, j]
+        return column if weight_array[j] == 1.0 else np.power(column, weight_array[j])
+
+    result = np.array(factor(0), copy=True)
+    for j in range(1, matrix.shape[1]):
+        result *= factor(j)
+    return result
 
 
 def combine(rule: CombinationRule, child_distances: np.ndarray,
@@ -75,4 +87,43 @@ def combine(rule: CombinationRule, child_distances: np.ndarray,
         return combine_and(child_distances, weights)
     if rule is CombinationRule.OR:
         return combine_or(child_distances, weights)
+    raise ValueError(f"unsupported combination rule: {rule!r}")
+
+
+def combine_columns(rule: CombinationRule, columns: list[np.ndarray],
+                    weights: np.ndarray) -> np.ndarray:
+    """Combine already-separate child columns without stacking them first.
+
+    Semantically equivalent to ``combine(rule, np.column_stack(columns),
+    weights)`` but avoids materialising the (items x children) matrix -- the
+    incremental engine holds each child's normalized column individually, so
+    stacking would copy every column on every re-execution.
+    """
+    weight_array = np.asarray(weights, dtype=float)
+    if len(columns) == 0 or weight_array.shape != (len(columns),):
+        raise ValueError(
+            f"weights must have one entry per child ({len(columns)}), "
+            f"got shape {weight_array.shape}"
+        )
+    if np.any((weight_array < 0) | (weight_array > 1)):
+        raise ValueError("weights must lie in [0, 1]")
+    if rule is CombinationRule.AND:
+        # ``x * 1.0 == x`` exactly, so default-weight columns skip the
+        # scaling pass and accumulate directly.
+        first = weight_array[0]
+        result = columns[0].copy() if first == 1.0 else columns[0] * first
+        for column, weight in zip(columns[1:], weight_array[1:]):
+            if weight == 1.0:
+                result += column
+            else:
+                result += column * weight
+        return result
+    if rule is CombinationRule.OR:
+        def factor(column: np.ndarray, weight: float) -> np.ndarray:
+            return column if weight == 1.0 else np.power(column, weight)
+
+        result = np.array(factor(columns[0], weight_array[0]), copy=True)
+        for column, weight in zip(columns[1:], weight_array[1:]):
+            result *= factor(column, weight)
+        return result
     raise ValueError(f"unsupported combination rule: {rule!r}")

@@ -1,0 +1,580 @@
+"""The prepared-query engine: assemble once, re-execute incrementally.
+
+The whole point of VisDB is the interactive loop -- the user drags a slider
+or a weighting factor and the system re-renders feedback fast enough to
+steer the query.  :class:`QueryEngine` is the seam that makes that loop
+cheap: ``engine.prepare(query)`` assembles the evaluation table once (the
+cross product of joined tables is materialised a single time and cached),
+compiles the condition tree into a fingerprinted execution plan and owns
+the caches that carry per-leaf distance columns across re-executions.
+
+:meth:`PreparedQuery.execute` then recomputes only what a modification
+actually invalidated:
+
+* ``SetWeight`` reuses every raw leaf column and redoes only the
+  normalization/combination along the changed path;
+* ``SetQueryRange`` / ``SetThreshold`` recompute exactly one leaf, with the
+  fulfilment set of range predicates served through a
+  :class:`~repro.storage.cache.PrefetchCache` backed by
+  :class:`~repro.storage.index.SortedIndex` range indexes;
+* ``SetPercentageDisplayed`` touches only reduction/normalization -- no
+  pipeline object is rebuilt and no distances are recomputed.
+
+:class:`~repro.core.pipeline.VisualFeedbackQuery` remains as a thin
+backwards-compatible facade over this engine.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field, replace
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.core.normalization import NORMALIZED_MAX
+from repro.core.plan import EvaluationCache, PlanEvaluator, compile_plan
+from repro.core.reduction import ReductionMethod, display_fraction, select_display_set
+from repro.core.relevance import RelevanceScale, relevance_factors
+from repro.core.result import FeedbackStatistics, QueryFeedback
+from repro.query.builder import Query
+from repro.query.expr import AndNode, NodePath, PredicateLeaf, QueryNode
+from repro.query.fingerprint import stable_fingerprint
+from repro.query.parser import parse_condition, parse_query
+from repro.query.predicates import AttributePredicate, RangePredicate
+from repro.storage.cache import PrefetchCache
+from repro.storage.cross_product import CrossProduct
+from repro.storage.database import Database
+from repro.storage.index import SortedIndex
+from repro.storage.table import Table
+
+__all__ = ["ScreenSpec", "PipelineConfig", "QueryEngine", "PreparedQuery"]
+
+
+@dataclass(frozen=True)
+class ScreenSpec:
+    """Display size in pixels.
+
+    The default is the paper's 19-inch display (1,024 x 1,280 = about 1.3
+    million pixels), "the obvious limit for any kind of visualization".
+    """
+
+    width: int = 1280
+    height: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("screen dimensions must be positive")
+
+    @property
+    def pixels(self) -> int:
+        """Total number of pixels available for distance values."""
+        return self.width * self.height
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Tunable parameters of the visual-feedback pipeline."""
+
+    #: Physical display; bounds how many distance values can be shown.
+    screen: ScreenSpec = field(default_factory=ScreenSpec)
+    #: Each data item is represented by 1, 4 or 16 pixels (paper section 4.2).
+    pixels_per_item: int = 1
+    #: Heuristic choosing how many data items are displayed.
+    reduction: ReductionMethod = ReductionMethod.QUANTILE
+    #: User-chosen fraction of the data to display (overrides the heuristics).
+    percentage: float | None = None
+    #: Mapping from normalized combined distance to relevance factor.
+    relevance_scale: RelevanceScale = RelevanceScale.LINEAR
+    #: Cap on the number of cross-product pairs materialised for joins.
+    max_join_pairs: int | None = 250_000
+    #: Seed for deterministic cross-product sampling.
+    join_seed: int = 0
+    #: Upper end of the normalized distance range.
+    target_max: float = NORMALIZED_MAX
+    #: Half-width parameter z for the multi-peak heuristic (None = automatic).
+    multipeak_z: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.pixels_per_item not in (1, 4, 16):
+            raise ValueError("pixels_per_item must be 1, 4 or 16")
+        if self.percentage is not None and not 0.0 < self.percentage <= 1.0:
+            raise ValueError("percentage must be in (0, 1]")
+
+    def with_(self, **changes) -> "PipelineConfig":
+        """Return a copy with some fields replaced."""
+        return replace(self, **changes)
+
+
+QuerySource = Union[Query, QueryNode, str]
+
+
+def coerce_query(source: Database | Table, query: QuerySource) -> Query:
+    """Accept a :class:`Query`, a bare condition tree or SQL-like text."""
+    if isinstance(query, Query):
+        return query
+    if isinstance(query, QueryNode):
+        table_names = [source.name] if isinstance(source, Table) else list(
+            getattr(source, "table_names", [])
+        )[:1]
+        return Query(name="ad-hoc", tables=table_names or ["?"], condition=query)
+    if isinstance(query, str):
+        text = query.strip()
+        if text.lower().startswith("select"):
+            return parse_query(text)
+        condition = parse_condition(text)
+        table_names = [source.name] if isinstance(source, Table) else list(
+            getattr(source, "table_names", [])
+        )[:1]
+        return Query(name="ad-hoc", tables=table_names or ["?"], condition=condition)
+    raise TypeError(f"unsupported query type: {type(query).__name__}")
+
+
+def item_capacity(config: PipelineConfig, n_selection_predicates: int) -> int:
+    """Number of data items displayable given the screen and the query size.
+
+    Every item occupies ``pixels_per_item`` pixels in each of the
+    ``#sp + 1`` windows (overall plus one per selection predicate).
+    """
+    per_item = config.pixels_per_item * (n_selection_predicates + 1)
+    return max(1, config.screen.pixels // per_item)
+
+
+def qualify_condition(condition: QueryNode, table: Table) -> QueryNode:
+    """Rewrite unqualified attribute references for a cross-product table.
+
+    Cross-product columns are prefixed with their table names
+    (``Weather.Temperature``); predicates written with bare attribute
+    names are rewritten to the unique matching prefixed column.
+    """
+    condition = copy.deepcopy(condition)
+    for _, leaf in condition.iter_leaves():
+        predicate = leaf.predicate
+        attribute = getattr(predicate, "attribute", None)
+        if attribute is None or table.has_column(attribute):
+            continue
+        matches = [c for c in table.column_names if c.endswith(f".{attribute}")]
+        if len(matches) == 1:
+            # All concrete predicates are dataclasses with an
+            # ``attribute`` field, so this assignment is well-defined.
+            predicate.attribute = matches[0]
+        elif len(matches) > 1:
+            raise ValueError(
+                f"attribute {attribute!r} is ambiguous in the join result; "
+                f"qualify it as one of {matches}"
+            )
+        else:
+            raise KeyError(
+                f"attribute {attribute!r} not found in the join result columns"
+            )
+    return condition
+
+
+class QueryEngine:
+    """Prepares queries against one source and owns the shared caches.
+
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.storage.database.Database` (required for queries
+        with connections) or a single :class:`~repro.storage.table.Table`.
+    config:
+        Default pipeline configuration; keyword overrides may be passed
+        directly, e.g. ``QueryEngine(db, percentage=0.4)``.
+
+    The engine caches three kinds of state across :meth:`prepare` calls:
+
+    * materialised cross-product tables, keyed by the joined tables and the
+      sampling parameters;
+    * an :class:`~repro.core.plan.EvaluationCache` of distance columns per
+      evaluation table;
+    * a :class:`~repro.storage.cache.PrefetchCache` (with lazily built
+      :class:`~repro.storage.index.SortedIndex` range indexes) per
+      evaluation table, serving range-predicate fulfilment sets.
+    """
+
+    #: Cap on cached cross-product tables (each pins up to ``max_join_pairs``
+    #: rows plus its evaluation/prefetch caches); oldest evicted first.
+    max_cached_tables = 8
+
+    def __init__(self, source: Database | Table, config: PipelineConfig | None = None,
+                 **overrides):
+        self.source = source
+        base = config or PipelineConfig()
+        self.config = base.with_(**overrides) if overrides else base
+        self._tables: dict[str, Table] = {}
+        # Keyed by id() but each entry keeps the table strongly referenced,
+        # so the id cannot be recycled while the entry exists; a mismatched
+        # table at the same address (freed + reallocated) is detected and
+        # its stale entry replaced.
+        self._caches: dict[int, tuple[Table, EvaluationCache]] = {}
+        self._prefetch: dict[int, tuple[Table, PrefetchCache]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Preparation
+    # ------------------------------------------------------------------ #
+    def prepare(self, query: QuerySource, **overrides) -> "PreparedQuery":
+        """Assemble the evaluation table and compile the query into a plan.
+
+        Table assembly (including the cross product for joins) happens here,
+        once; the returned :class:`PreparedQuery` only re-walks the compiled
+        plan on :meth:`~PreparedQuery.execute`.
+        """
+        query = coerce_query(self.source, query)
+        config = self.config.with_(**overrides) if overrides else self.config
+        table = self._assemble_table(query, config)
+        prepared = PreparedQuery(self, query, table, config)
+        if query.condition is not None:
+            prepared.refresh()
+        return prepared
+
+    def _base_tables(self, query: Query) -> list[Table]:
+        if isinstance(self.source, Table):
+            return [self.source]
+        tables: list[Table] = []
+        for name in query.tables:
+            if name in self.source:
+                tables.append(self.source.table(name))
+        if not tables:
+            raise ValueError(
+                f"none of the query tables {query.tables!r} exist in the database"
+            )
+        return tables
+
+    def _assemble_table(self, query: Query, config: PipelineConfig | None = None) -> Table:
+        """Resolve (and for joins, materialise and cache) the evaluation table."""
+        config = config if config is not None else self.config
+        tables = self._base_tables(query)
+        if not query.connections:
+            if len(tables) > 1:
+                raise ValueError(
+                    "multi-table queries need at least one connection (join) "
+                    "to relate the tables"
+                )
+            return tables[0]
+        involved = {c.left_table for c in query.connections} | {
+            c.right_table for c in query.connections
+        }
+        if len(involved) != 2:
+            raise NotImplementedError(
+                "the pipeline currently supports joins between exactly two tables; "
+                f"the query connects {sorted(involved)}"
+            )
+        if isinstance(self.source, Table):
+            raise ValueError("queries with connections require a Database source")
+        first = query.connections[0]
+        key = stable_fingerprint(
+            first.left_table, first.right_table,
+            config.max_join_pairs, config.join_seed,
+        )
+        table = self._tables.get(key)
+        if table is None:
+            product = CrossProduct(
+                self.source.table(first.left_table),
+                self.source.table(first.right_table),
+                max_pairs=config.max_join_pairs,
+                seed=config.join_seed,
+            )
+            table = product.to_table()
+            self._tables[key] = table
+            while len(self._tables) > self.max_cached_tables:
+                oldest = self._tables.pop(next(iter(self._tables)))
+                self._caches.pop(id(oldest), None)
+                self._prefetch.pop(id(oldest), None)
+        return table
+
+    # ------------------------------------------------------------------ #
+    # Shared per-table state
+    # ------------------------------------------------------------------ #
+    #: Approximate byte budget per cache level (raw leaves / node columns)
+    #: per evaluation table; entry counts derive from it so memory stays
+    #: bounded independent of table size.
+    cache_budget_bytes = 128 * 1024 * 1024
+
+    def evaluation_cache(self, table: Table) -> EvaluationCache:
+        """The distance-column cache for one evaluation table."""
+        entry = self._caches.get(id(table))
+        if entry is None or entry[0] is not table:
+            # ~24 bytes/row per entry (two float64 columns + masks).
+            per_entry = max(len(table), 1) * 24
+            max_entries = int(np.clip(self.cache_budget_bytes // per_entry, 8, 128))
+            entry = (table, EvaluationCache(
+                max_leaf_entries=min(max_entries, 64),
+                max_node_entries=max_entries,
+            ))
+            self._caches[id(table)] = entry
+        return entry[1]
+
+    def prefetch_for(self, table: Table) -> PrefetchCache:
+        """The prefetch cache (widened range regions) for one evaluation table."""
+        entry = self._prefetch.get(id(table))
+        if entry is None or entry[0] is not table:
+            entry = (table, PrefetchCache(table, indexes={}))
+            self._prefetch[id(table)] = entry
+        return entry[1]
+
+    def ensure_range_index(self, table: Table, attribute: str) -> None:
+        """Build (once) a sorted range index serving a slider attribute."""
+        prefetch = self.prefetch_for(table)
+        if attribute in prefetch.indexes:
+            return
+        if table.has_column(attribute) and table.is_numeric(attribute):
+            prefetch.indexes[attribute] = SortedIndex(table, attribute)
+
+
+class PreparedQuery:
+    """A query bound to its (already assembled) evaluation table.
+
+    Obtained from :meth:`QueryEngine.prepare`; supports cheap incremental
+    re-execution after interactive modifications.  The condition tree is
+    shared with ``query.condition`` and may be mutated between executions
+    (that is exactly what session events do); :meth:`execute` detects the
+    change through fingerprints and recomputes only the dirty subtrees.
+    """
+
+    def __init__(self, engine: QueryEngine, query: Query, table: Table,
+                 config: PipelineConfig):
+        self.engine = engine
+        self.query = query
+        self.table = table
+        self.config = config
+        self.executions = 0
+        self._join_leaves: list[PredicateLeaf] | None = None
+        self._effective: QueryNode | None = None
+        self._effective_fp: str | None = None
+        self._plan = None
+        self._shape_fp = self._query_shape_fingerprint()
+
+    def _query_shape_fingerprint(self) -> str:
+        """Identity of the parts that determine the evaluation table."""
+        return stable_fingerprint(
+            tuple(self.query.tables),
+            *[
+                (c.key, c.kind, c.parameter, c.tolerance,
+                 str(c.left_attribute), str(c.right_attribute))
+                for c in self.query.connections
+            ],
+        )
+
+    # ------------------------------------------------------------------ #
+    # State access
+    # ------------------------------------------------------------------ #
+    @property
+    def condition(self) -> QueryNode | None:
+        """The user-level condition tree (mutated by modification events)."""
+        return self.query.condition
+
+    @property
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/miss counters of the distance caches plus prefetch activity."""
+        stats = self.engine.evaluation_cache(self.table).stats.as_dict()
+        prefetch = self.engine.prefetch_for(self.table)
+        stats["prefetch_hits"] = prefetch.cache_hits
+        stats["prefetch_fetches"] = prefetch.fetches
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Plan maintenance
+    # ------------------------------------------------------------------ #
+    def _build_join_leaves(self) -> list[PredicateLeaf]:
+        if self._join_leaves is None:
+            self._join_leaves = [
+                PredicateLeaf(connection.to_predicate(), label=connection.describe())
+                for connection in self.query.connections
+            ]
+        return self._join_leaves
+
+    def refresh(self) -> None:
+        """Recompile the plan if the user condition changed since last time.
+
+        Called automatically by :meth:`execute`; cheap (a fingerprint walk)
+        when nothing changed.
+        """
+        shape = self._query_shape_fingerprint()
+        if shape != self._shape_fp:
+            # Tables or connections were mutated: the evaluation table
+            # itself is stale.  Re-assemble (the engine caches cross
+            # products, so an unchanged join key is still cheap).
+            self.table = self.engine._assemble_table(self.query, self.config)
+            self._join_leaves = None
+            self._effective_fp = None
+            self._shape_fp = shape
+        condition = self.query.condition
+        if condition is None:
+            if not self.query.connections:
+                raise ValueError("the query has no condition; nothing to visualize")
+            fingerprint = stable_fingerprint("no-condition")
+        else:
+            fingerprint = condition.fingerprint()
+        if fingerprint == self._effective_fp:
+            return
+        if not self.query.connections:
+            effective = copy.deepcopy(condition)
+        else:
+            join_leaves = self._build_join_leaves()
+            if condition is not None:
+                qualified = qualify_condition(condition, self.table)
+                effective = AndNode([qualified, *join_leaves], label="overall")
+            elif len(join_leaves) == 1:
+                effective = join_leaves[0]
+            else:
+                effective = AndNode(join_leaves, label="overall")
+        self._effective = effective
+        self._plan = compile_plan(effective)
+        self._effective_fp = fingerprint
+        if self.executions > 0:
+            # The query is being re-executed interactively: mark the range
+            # (slider) attributes as hot and index them once, so subsequent
+            # drags resolve their fulfilment sets in O(log n + k).  Cold
+            # one-shot runs never reach this and skip the index build.
+            for _, leaf in effective.iter_leaves():
+                if isinstance(leaf.predicate, RangePredicate):
+                    self.engine.ensure_range_index(self.table, leaf.predicate.attribute)
+
+    # ------------------------------------------------------------------ #
+    # Modification
+    # ------------------------------------------------------------------ #
+    def apply_change(self, event) -> None:
+        """Apply one query-modification event to the prepared state.
+
+        Supported events: :class:`SetWeight`, :class:`SetQueryRange`,
+        :class:`SetThreshold` (all mutate the condition tree) and
+        :class:`SetPercentageDisplayed` (a config change; no rebuild).
+        """
+        # Imported lazily: repro.interact imports the core pipeline, so a
+        # module-level import here would be circular.
+        from repro.interact.events import (
+            SetPercentageDisplayed,
+            SetQueryRange,
+            SetThreshold,
+            SetWeight,
+        )
+
+        if isinstance(event, SetWeight):
+            self._condition_root().find(tuple(event.path)).with_weight(event.weight)
+        elif isinstance(event, SetQueryRange):
+            leaf = self._leaf_at(event.path)
+            predicate = leaf.predicate
+            if isinstance(predicate, RangePredicate):
+                leaf.predicate = predicate.with_range(event.low, event.high)
+            elif isinstance(predicate, AttributePredicate):
+                leaf.predicate = RangePredicate(predicate.attribute, event.low, event.high)
+            else:
+                raise TypeError(
+                    f"predicate {predicate.describe()!r} does not support a range slider"
+                )
+        elif isinstance(event, SetThreshold):
+            leaf = self._leaf_at(event.path)
+            predicate = leaf.predicate
+            if not isinstance(predicate, AttributePredicate):
+                raise TypeError(
+                    f"predicate {predicate.describe()!r} has no single threshold to move"
+                )
+            leaf.predicate = AttributePredicate(
+                predicate.attribute, predicate.operator, float(event.value)
+            )
+        elif isinstance(event, SetPercentageDisplayed):
+            self.config = self.config.with_(percentage=event.percentage)
+        else:
+            raise TypeError(
+                f"unsupported query modification: {type(event).__name__}"
+            )
+
+    def _condition_root(self) -> QueryNode:
+        if self.query.condition is None:
+            raise ValueError("the query has no condition to modify")
+        return self.query.condition
+
+    def _leaf_at(self, path: NodePath) -> PredicateLeaf:
+        node = self._condition_root().find(tuple(path))
+        if not isinstance(node, PredicateLeaf):
+            raise TypeError(f"node at path {path!r} is not a predicate leaf")
+        return node
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def execute(self, changes: Sequence | None = None) -> QueryFeedback:
+        """Re-execute the prepared query, recomputing only dirty subtrees.
+
+        ``changes`` (optional) are applied first via :meth:`apply_change` --
+        a convenience for scripted feedback loops; events applied directly
+        to the shared condition tree are detected just the same.
+        """
+        if changes:
+            for event in changes:
+                self.apply_change(event)
+        self.refresh()
+        condition = self._effective
+        table = self.table
+        n = len(table)
+        n_predicates = condition.leaf_count()
+        capacity_items = item_capacity(self.config, n_predicates)
+        if self.config.percentage is not None:
+            # A user-chosen display percentage changes the normalization range:
+            # "changing the percentage of data being displayed may completely
+            # change the visualization since the distance values are normalized
+            # according to the new range" (section 4.3).
+            capacity_items = min(
+                capacity_items, max(1, int(round(self.config.percentage * n)))
+            )
+        evaluator = PlanEvaluator(
+            table,
+            display_capacity=capacity_items,
+            target_max=self.config.target_max,
+            cache=self.engine.evaluation_cache(table),
+            prefetch=self.engine.prefetch_for(table),
+        )
+        node_feedback = evaluator.evaluate(self._plan)
+        overall = node_feedback[()]
+        pixel_budget = max(1, self.config.screen.pixels // self.config.pixels_per_item)
+        displayed = select_display_set(
+            overall.normalized_distances,
+            capacity=pixel_budget,
+            n_selection_predicates=n_predicates,
+            method=(
+                ReductionMethod.PERCENTAGE
+                if self.config.percentage is not None
+                else self.config.reduction
+            ),
+            percentage=self.config.percentage,
+            multipeak_z=self.config.multipeak_z,
+        )
+        if len(displayed) > capacity_items:
+            # More items fall inside the quantile window than fit on screen
+            # (ties at the threshold): keep the closest ones.
+            distances = overall.normalized_distances[displayed]
+            order = np.argsort(distances, kind="stable")
+            displayed = displayed[order[:capacity_items]]
+        # Sort the displayed items by relevance (ascending combined distance);
+        # this ordering drives the spiral arrangement of the overall window
+        # and, via positional correspondence, all per-predicate windows.
+        display_order = displayed[
+            np.argsort(overall.normalized_distances[displayed], kind="stable")
+        ]
+        relevance = relevance_factors(
+            overall.normalized_distances, self.config.relevance_scale, self.config.target_max
+        )
+        statistics = FeedbackStatistics(
+            num_objects=n,
+            num_displayed=len(display_order),
+            percentage_displayed=(len(display_order) / n) if n else 0.0,
+            num_results=overall.result_count,
+        )
+        self.executions += 1
+        return QueryFeedback(
+            table=table,
+            query_description=self.query.describe(),
+            node_feedback=node_feedback,
+            display_order=display_order,
+            relevance=relevance,
+            statistics=statistics,
+            display_capacity=capacity_items,
+            extra={
+                "display_fraction": display_fraction(pixel_budget, n, n_predicates),
+                "pixels_per_item": self.config.pixels_per_item,
+                # Map node path -> query-tree node, used by the slider layer to
+                # recover predicate attributes and query ranges.
+                "condition_nodes": dict(condition.iter_nodes()),
+            },
+        )

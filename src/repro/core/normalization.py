@@ -87,23 +87,30 @@ def reduced_normalization(distances: np.ndarray, weight: float, display_capacity
     if n == 0:
         return distances.copy()
     finite = np.isfinite(distances)
-    if not np.any(finite):
+    all_finite = bool(finite.all())
+    if not all_finite and not np.any(finite):
         return np.full(n, target_max, dtype=float)
     # Number of items whose distances define the normalization range:
     # proportional to r / w_j (inverse proportionality to the weight), but at
     # least the display capacity itself and at most all items.
     effective_weight = max(weight, 1e-6)
     keep = int(np.clip(np.ceil(display_capacity / effective_weight), 1, n))
-    finite_values = distances[finite]
+    # The all-finite case (the common one on clean numeric data) skips the
+    # boolean-index copies; the arithmetic is identical either way.
+    finite_values = distances if all_finite else distances[finite]
     if keep >= len(finite_values):
         d_max = float(finite_values.max())
     else:
         d_max = float(np.partition(finite_values, keep - 1)[keep - 1])
     d_min = float(finite_values.min())
-    result = np.full(n, target_max, dtype=float)
     if d_max == d_min:
+        result = np.full(n, target_max, dtype=float)
         result[finite] = 0.0 if d_max == 0.0 else target_max
         return result
+    if all_finite:
+        scaled = (distances - d_min) / (d_max - d_min) * target_max
+        return np.clip(scaled, 0.0, target_max, out=scaled)
+    result = np.full(n, target_max, dtype=float)
     scaled = (distances[finite] - d_min) / (d_max - d_min) * target_max
     result[finite] = np.clip(scaled, 0.0, target_max)
     return result

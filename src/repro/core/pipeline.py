@@ -1,11 +1,19 @@
-"""The VisDB visual-feedback query pipeline (public entry point).
+"""The VisDB visual-feedback query pipeline (backwards-compatible facade).
 
-:class:`VisualFeedbackQuery` ties everything together: it assembles the
-evaluation table (single table, or the cross product of two tables when the
-query uses connections/approximate joins), evaluates the weighted query
-tree into per-node distances, reduces the displayed set with the heuristics
-of section 5.1 and returns a :class:`~repro.core.result.QueryFeedback`
-that the visualization layer turns into pixel windows.
+:class:`VisualFeedbackQuery` is the original one-shot entry point: it ties
+together table assembly (single table, or the cross product of two tables
+when the query uses connections/approximate joins), evaluation of the
+weighted query tree into per-node distances, the display-set reduction
+heuristics of section 5.1 and the :class:`~repro.core.result.QueryFeedback`
+packaging the visualization layer consumes.
+
+Since the introduction of :class:`~repro.core.engine.QueryEngine` this class
+is a thin facade: it owns a private engine and delegates ``execute()`` to a
+prepared query.  Repeated ``execute()`` calls on the *same* instance
+therefore benefit from the engine's incremental caches (identical results,
+less recomputation); constructing a fresh instance gives a cold run.  New
+code that drives an interactive feedback loop should use the engine API
+directly -- see the migration guide in README.md.
 
 The dominating cost is the final sort of the combined distances, so the
 whole pipeline is O(n log n) in the number of considered data items --
@@ -14,82 +22,22 @@ the efficiency requirement the paper sets for data mining tools.
 
 from __future__ import annotations
 
-import copy
-from dataclasses import dataclass, field, replace
-from typing import Union
-
-import numpy as np
-
-from repro.core.reduction import ReductionMethod, display_fraction, select_display_set
-from repro.core.relevance import RelevanceEvaluator, RelevanceScale, relevance_factors
-from repro.core.result import FeedbackStatistics, QueryFeedback
-from repro.core.normalization import NORMALIZED_MAX
+from repro.core.engine import (
+    PipelineConfig,
+    PreparedQuery,
+    QueryEngine,
+    QuerySource,
+    ScreenSpec,
+    coerce_query,
+    item_capacity,
+)
+from repro.core.result import QueryFeedback
 from repro.query.builder import Query
-from repro.query.expr import AndNode, PredicateLeaf, QueryNode
-from repro.query.parser import parse_condition, parse_query
-from repro.storage.cross_product import CrossProduct
+from repro.query.expr import QueryNode
 from repro.storage.database import Database
 from repro.storage.table import Table
 
 __all__ = ["ScreenSpec", "PipelineConfig", "VisualFeedbackQuery"]
-
-
-@dataclass(frozen=True)
-class ScreenSpec:
-    """Display size in pixels.
-
-    The default is the paper's 19-inch display (1,024 x 1,280 = about 1.3
-    million pixels), "the obvious limit for any kind of visualization".
-    """
-
-    width: int = 1280
-    height: int = 1024
-
-    def __post_init__(self) -> None:
-        if self.width <= 0 or self.height <= 0:
-            raise ValueError("screen dimensions must be positive")
-
-    @property
-    def pixels(self) -> int:
-        """Total number of pixels available for distance values."""
-        return self.width * self.height
-
-
-@dataclass(frozen=True)
-class PipelineConfig:
-    """Tunable parameters of the visual-feedback pipeline."""
-
-    #: Physical display; bounds how many distance values can be shown.
-    screen: ScreenSpec = field(default_factory=ScreenSpec)
-    #: Each data item is represented by 1, 4 or 16 pixels (paper section 4.2).
-    pixels_per_item: int = 1
-    #: Heuristic choosing how many data items are displayed.
-    reduction: ReductionMethod = ReductionMethod.QUANTILE
-    #: User-chosen fraction of the data to display (overrides the heuristics).
-    percentage: float | None = None
-    #: Mapping from normalized combined distance to relevance factor.
-    relevance_scale: RelevanceScale = RelevanceScale.LINEAR
-    #: Cap on the number of cross-product pairs materialised for joins.
-    max_join_pairs: int | None = 250_000
-    #: Seed for deterministic cross-product sampling.
-    join_seed: int = 0
-    #: Upper end of the normalized distance range.
-    target_max: float = NORMALIZED_MAX
-    #: Half-width parameter z for the multi-peak heuristic (None = automatic).
-    multipeak_z: int | None = None
-
-    def __post_init__(self) -> None:
-        if self.pixels_per_item not in (1, 4, 16):
-            raise ValueError("pixels_per_item must be 1, 4 or 16")
-        if self.percentage is not None and not 0.0 < self.percentage <= 1.0:
-            raise ValueError("percentage must be in (0, 1]")
-
-    def with_(self, **changes) -> "PipelineConfig":
-        """Return a copy with some fields replaced."""
-        return replace(self, **changes)
-
-
-QuerySource = Union[Query, QueryNode, str]
 
 
 class VisualFeedbackQuery:
@@ -114,201 +62,48 @@ class VisualFeedbackQuery:
     def __init__(self, source: Database | Table, query: QuerySource,
                  config: PipelineConfig | None = None, **overrides):
         self.source = source
-        self.query = self._coerce_query(source, query)
+        self.query = coerce_query(source, query)
         base = config or PipelineConfig()
         self.config = base.with_(**overrides) if overrides else base
-
-    # ------------------------------------------------------------------ #
-    # Query coercion and table assembly
-    # ------------------------------------------------------------------ #
-    @staticmethod
-    def _coerce_query(source: Database | Table, query: QuerySource) -> Query:
-        if isinstance(query, Query):
-            return query
-        if isinstance(query, QueryNode):
-            table_names = [source.name] if isinstance(source, Table) else list(
-                getattr(source, "table_names", [])
-            )[:1]
-            return Query(name="ad-hoc", tables=table_names or ["?"], condition=query)
-        if isinstance(query, str):
-            text = query.strip()
-            if text.lower().startswith("select"):
-                return parse_query(text)
-            condition = parse_condition(text)
-            table_names = [source.name] if isinstance(source, Table) else list(
-                getattr(source, "table_names", [])
-            )[:1]
-            return Query(name="ad-hoc", tables=table_names or ["?"], condition=condition)
-        raise TypeError(f"unsupported query type: {type(query).__name__}")
-
-    def _base_tables(self) -> list[Table]:
-        if isinstance(self.source, Table):
-            return [self.source]
-        tables: list[Table] = []
-        for name in self.query.tables:
-            if name in self.source:
-                tables.append(self.source.table(name))
-        if not tables:
-            raise ValueError(
-                f"none of the query tables {self.query.tables!r} exist in the database"
-            )
-        return tables
-
-    def _qualify_condition(self, condition: QueryNode, table: Table) -> QueryNode:
-        """Rewrite unqualified attribute references for a cross-product table.
-
-        Cross-product columns are prefixed with their table names
-        (``Weather.Temperature``); predicates written with bare attribute
-        names are rewritten to the unique matching prefixed column.
-        """
-        condition = copy.deepcopy(condition)
-        for _, leaf in condition.iter_leaves():
-            predicate = leaf.predicate
-            attribute = getattr(predicate, "attribute", None)
-            if attribute is None or table.has_column(attribute):
-                continue
-            matches = [c for c in table.column_names if c.endswith(f".{attribute}")]
-            if len(matches) == 1:
-                # All concrete predicates are dataclasses with an
-                # ``attribute`` field, so this assignment is well-defined.
-                predicate.attribute = matches[0]
-            elif len(matches) > 1:
-                raise ValueError(
-                    f"attribute {attribute!r} is ambiguous in the join result; "
-                    f"qualify it as one of {matches}"
-                )
-            else:
-                raise KeyError(
-                    f"attribute {attribute!r} not found in the join result columns"
-                )
-        return condition
-
-    def _assemble(self) -> tuple[Table, QueryNode]:
-        """Build the evaluation table and the effective condition tree."""
-        condition = self.query.condition
-        tables = self._base_tables()
-        if not self.query.connections:
-            if condition is None:
-                raise ValueError("the query has no condition; nothing to visualize")
-            table = tables[0]
-            if len(tables) > 1:
-                raise ValueError(
-                    "multi-table queries need at least one connection (join) "
-                    "to relate the tables"
-                )
-            return table, copy.deepcopy(condition)
-        # Approximate join: evaluate over the cross product of the two tables
-        # named by the connections; every join becomes an additional
-        # AND-connected selection predicate with its own window.
-        involved = {c.left_table for c in self.query.connections} | {
-            c.right_table for c in self.query.connections
-        }
-        if len(involved) != 2:
-            raise NotImplementedError(
-                "the pipeline currently supports joins between exactly two tables; "
-                f"the query connects {sorted(involved)}"
-            )
-        if isinstance(self.source, Table):
-            raise ValueError("queries with connections require a Database source")
-        first = self.query.connections[0]
-        left = self.source.table(first.left_table)
-        right = self.source.table(first.right_table)
-        product = CrossProduct(
-            left, right, max_pairs=self.config.max_join_pairs, seed=self.config.join_seed
-        )
-        table = product.to_table()
-        join_leaves = [
-            PredicateLeaf(connection.to_predicate(), label=connection.describe())
-            for connection in self.query.connections
-        ]
-        if condition is not None:
-            condition = self._qualify_condition(condition, table)
-            effective = AndNode([condition, *join_leaves], label="overall")
-        elif len(join_leaves) == 1:
-            effective = join_leaves[0]
-        else:
-            effective = AndNode(join_leaves, label="overall")
-        return table, effective
+        self._engine = QueryEngine(source, self.config)
+        self._prepared: PreparedQuery | None = None
+        #: (id(query), id(config)) the prepared state was built from; both
+        #: attributes are public and reassignable, and the original class
+        #: re-read them on every execute.
+        self._prepared_from: tuple[int, int] | None = None
 
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
+    def prepare(self) -> PreparedQuery:
+        """The underlying prepared query (assembled on first use).
+
+        Re-prepares when the public ``query`` or ``config`` attribute was
+        reassigned wholesale since the last execution, preserving the
+        original class's read-on-every-execute semantics.  (In-place
+        condition mutation needs no re-prepare; fingerprints catch it.)
+        """
+        if self._prepared is None or self._prepared_from != (id(self.query), id(self.config)):
+            self._engine.config = self.config
+            self._prepared = self._engine.prepare(self.query)
+            self._prepared_from = (id(self.query), id(self.config))
+        return self._prepared
+
+    def execute(self) -> QueryFeedback:
+        """Run the pipeline and return the query feedback.
+
+        Mutations of ``self.query.condition`` between calls are picked up
+        automatically (the prepared plan refreshes itself via fingerprints).
+        """
+        return self.prepare().execute()
+
     def item_capacity(self, n_selection_predicates: int) -> int:
         """Number of data items displayable given the screen and the query size.
 
         Every item occupies ``pixels_per_item`` pixels in each of the
         ``#sp + 1`` windows (overall plus one per selection predicate).
         """
-        per_item = self.config.pixels_per_item * (n_selection_predicates + 1)
-        return max(1, self.config.screen.pixels // per_item)
-
-    def execute(self) -> QueryFeedback:
-        """Run the pipeline and return the query feedback."""
-        table, condition = self._assemble()
-        n = len(table)
-        n_predicates = condition.leaf_count()
-        capacity_items = self.item_capacity(n_predicates)
-        if self.config.percentage is not None:
-            # A user-chosen display percentage changes the normalization range:
-            # "changing the percentage of data being displayed may completely
-            # change the visualization since the distance values are normalized
-            # according to the new range" (section 4.3).
-            capacity_items = min(capacity_items, max(1, int(round(self.config.percentage * n))))
-        evaluator = RelevanceEvaluator(
-            display_capacity=capacity_items, target_max=self.config.target_max
-        )
-        node_feedback = evaluator.evaluate(condition, table)
-        overall = node_feedback[()]
-        pixel_budget = max(1, self.config.screen.pixels // self.config.pixels_per_item)
-        displayed = select_display_set(
-            overall.normalized_distances,
-            capacity=pixel_budget,
-            n_selection_predicates=n_predicates,
-            method=(
-                ReductionMethod.PERCENTAGE
-                if self.config.percentage is not None
-                else self.config.reduction
-            ),
-            percentage=self.config.percentage,
-            multipeak_z=self.config.multipeak_z,
-        )
-        if len(displayed) > capacity_items:
-            # More items fall inside the quantile window than fit on screen
-            # (ties at the threshold): keep the closest ones.
-            distances = overall.normalized_distances[displayed]
-            order = np.argsort(distances, kind="stable")
-            displayed = displayed[order[:capacity_items]]
-        # Sort the displayed items by relevance (ascending combined distance);
-        # this ordering drives the spiral arrangement of the overall window
-        # and, via positional correspondence, all per-predicate windows.
-        display_order = displayed[
-            np.argsort(overall.normalized_distances[displayed], kind="stable")
-        ]
-        relevance = relevance_factors(
-            overall.normalized_distances, self.config.relevance_scale, self.config.target_max
-        )
-        statistics = FeedbackStatistics(
-            num_objects=n,
-            num_displayed=len(display_order),
-            percentage_displayed=(len(display_order) / n) if n else 0.0,
-            num_results=overall.result_count,
-        )
-        return QueryFeedback(
-            table=table,
-            query_description=self.query.describe(),
-            node_feedback=node_feedback,
-            display_order=display_order,
-            relevance=relevance,
-            statistics=statistics,
-            display_capacity=capacity_items,
-            extra={
-                "display_fraction": display_fraction(pixel_budget, n, n_predicates),
-                "pixels_per_item": self.config.pixels_per_item,
-                # Map node path -> query-tree node, used by the slider layer to
-                # recover predicate attributes and query ranges.
-                "condition_nodes": dict(condition.iter_nodes()),
-            },
-        )
+        return item_capacity(self.config, n_selection_predicates)
 
     # ------------------------------------------------------------------ #
     # Convenience

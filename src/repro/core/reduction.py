@@ -193,8 +193,18 @@ def select_display_set(distances: np.ndarray, capacity: int, n_selection_predica
         if not 0.0 < percentage <= 1.0:
             raise ValueError(f"percentage must be in (0, 1], got {percentage}")
         target = max(1, int(round(percentage * n)))
-        order = np.argsort(np.where(np.isfinite(distances), distances, np.inf), kind="stable")
-        return np.sort(order[:target])
+        finite = np.isfinite(distances)
+        masked = distances if finite.all() else np.where(finite, distances, np.inf)
+        if target >= n:
+            return np.arange(n, dtype=np.intp)
+        # The displayed set is the ``target`` smallest distances with ties
+        # broken by ascending index (what a stable argsort would select);
+        # a partition plus explicit tie handling finds the same set in O(n)
+        # instead of O(n log n).
+        threshold = masked[np.argpartition(masked, target - 1)[target - 1]]
+        below = np.nonzero(masked < threshold)[0]
+        ties = np.nonzero(masked == threshold)[0][: target - len(below)]
+        return np.sort(np.concatenate([below, ties]))
     p = display_fraction(capacity, n, n_selection_predicates)
     if method is ReductionMethod.QUANTILE:
         return select_by_quantile(distances, p)

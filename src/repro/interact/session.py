@@ -2,9 +2,17 @@
 
 :class:`VisDBSession` is the headless counterpart of the "Visualization and
 Query Modification" window: it owns the current query, applies modification
-events (slider moves, weight changes, percentage changes, selections),
-re-runs the pipeline -- immediately when auto-recalculation is on, lazily
-otherwise -- and hands out visualization windows and sliders.
+events (slider moves, weight changes, percentage changes, selections) and
+hands out visualization windows and sliders.
+
+The session runs on a :class:`~repro.core.engine.QueryEngine`: the query is
+prepared once and every event translates into a dirty-path modification of
+the prepared plan, so a recalculation recomputes only the subtrees the event
+invalidated (a slider move re-evaluates one leaf, a weight change only
+re-normalizes along the changed path, a percentage change redoes reduction
+and normalization).  Recalculation happens immediately when
+auto-recalculation is on, lazily otherwise ("auto recalculate off" for
+large databases).
 """
 
 from __future__ import annotations
@@ -14,7 +22,7 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.core.pipeline import PipelineConfig, VisualFeedbackQuery
+from repro.core.engine import PipelineConfig, PreparedQuery, QueryEngine
 from repro.core.result import QueryFeedback
 from repro.interact.events import (
     ClearSelection,
@@ -31,8 +39,7 @@ from repro.interact.events import (
 from repro.interact.history import QueryHistory
 from repro.interact.selection import items_in_color_range
 from repro.query.builder import Query
-from repro.query.expr import NodePath, PredicateLeaf, QueryNode
-from repro.query.predicates import AttributePredicate, RangePredicate
+from repro.query.expr import NodePath, QueryNode
 from repro.storage.database import Database
 from repro.storage.table import Table
 from repro.vis.layout import MultiWindowLayout
@@ -40,6 +47,9 @@ from repro.vis.sliders import OverallSpectrum, Slider, sliders_for_feedback
 from repro.vis.window import VisualizationWindow
 
 __all__ = ["VisDBSession"]
+
+#: Events that modify the prepared query (condition tree or display config).
+_QUERY_EVENTS = (SetQueryRange, SetThreshold, SetWeight, SetPercentageDisplayed)
 
 
 class VisDBSession:
@@ -50,7 +60,7 @@ class VisDBSession:
     source:
         Database or table queried against.
     query:
-        Initial query (anything :class:`VisualFeedbackQuery` accepts).
+        Initial query (anything :class:`QueryEngine` accepts).
     config:
         Pipeline configuration.
     layout:
@@ -63,7 +73,8 @@ class VisDBSession:
 
     def __init__(self, source: Database | Table, query, config: PipelineConfig | None = None,
                  layout: MultiWindowLayout | None = None, auto_recalculate: bool = True):
-        self._pipeline = VisualFeedbackQuery(source, query, config)
+        self.engine = QueryEngine(source, config)
+        self._prepared: PreparedQuery = self.engine.prepare(query)
         self.source = source
         self.layout = layout or MultiWindowLayout()
         self.auto_recalculate = auto_recalculate
@@ -81,9 +92,14 @@ class VisDBSession:
     # State access
     # ------------------------------------------------------------------ #
     @property
+    def prepared(self) -> PreparedQuery:
+        """The underlying prepared query (engine-side state of this session)."""
+        return self._prepared
+
+    @property
     def query(self) -> Query:
         """The current query (its condition tree is mutated by events)."""
-        return self._pipeline.query
+        return self._prepared.query
 
     @property
     def condition(self) -> QueryNode:
@@ -92,11 +108,19 @@ class VisDBSession:
 
     @property
     def feedback(self) -> QueryFeedback:
-        """The latest feedback; triggers a recalculation if the state is dirty."""
-        if self._feedback is None or (self._dirty and self.auto_recalculate):
-            return self.recalculate()
+        """The latest feedback.
+
+        With auto-recalculation on, a dirty state triggers a recalculation.
+        With auto-recalculation off the property is lazy: it returns the
+        last computed (possibly stale) feedback, and raises ``RuntimeError``
+        if no feedback has been computed yet -- call :meth:`recalculate`.
+        """
         if self._feedback is None:
+            if self.auto_recalculate:
+                return self.recalculate()
             raise RuntimeError("no feedback available; call recalculate() first")
+        if self._dirty and self.auto_recalculate:
+            return self.recalculate()
         return self._feedback
 
     @property
@@ -118,8 +142,8 @@ class VisDBSession:
     # Recalculation
     # ------------------------------------------------------------------ #
     def recalculate(self) -> QueryFeedback:
-        """Re-run the pipeline for the current query state."""
-        self._feedback = self._pipeline.execute()
+        """Re-execute the prepared query (incrementally) for the current state."""
+        self._feedback = self._prepared.execute()
         self._dirty = False
         self.recalculations += 1
         return self._feedback
@@ -135,20 +159,15 @@ class VisDBSession:
     # ------------------------------------------------------------------ #
     def apply(self, event: SessionEvent) -> QueryFeedback | None:
         """Apply one modification event; returns fresh feedback when recalculated."""
-        if isinstance(event, SetQueryRange):
-            self._set_query_range(event.path, event.low, event.high)
-        elif isinstance(event, SetThreshold):
-            self._set_threshold(event.path, event.value)
-        elif isinstance(event, SetWeight):
-            self.condition.find(tuple(event.path)).with_weight(event.weight)
-            self._modified()
-        elif isinstance(event, SetPercentageDisplayed):
-            self._pipeline = VisualFeedbackQuery(
-                self.source, self.query, self._pipeline.config.with_(percentage=event.percentage)
-            )
-            self._dirty = True
-            if self.auto_recalculate:
-                self.recalculate()
+        if isinstance(event, _QUERY_EVENTS):
+            self._prepared.apply_change(event)
+            if isinstance(event, SetPercentageDisplayed):
+                # A config change, not a query modification: no history entry.
+                self._dirty = True
+                if self.auto_recalculate:
+                    self.recalculate()
+            else:
+                self._modified()
         elif isinstance(event, SelectTuple):
             self.selection = np.array([self.feedback.item_at_rank(event.rank)])
         elif isinstance(event, SelectColorRange):
@@ -166,35 +185,6 @@ class VisDBSession:
         else:
             raise TypeError(f"unsupported event type: {type(event).__name__}")
         return self._feedback if not self._dirty else None
-
-    def _leaf_at(self, path: NodePath) -> PredicateLeaf:
-        node = self.condition.find(tuple(path))
-        if not isinstance(node, PredicateLeaf):
-            raise TypeError(f"node at path {path!r} is not a predicate leaf")
-        return node
-
-    def _set_query_range(self, path: NodePath, low: float, high: float) -> None:
-        leaf = self._leaf_at(path)
-        predicate = leaf.predicate
-        if isinstance(predicate, RangePredicate):
-            leaf.predicate = predicate.with_range(low, high)
-        elif isinstance(predicate, AttributePredicate):
-            leaf.predicate = RangePredicate(predicate.attribute, low, high)
-        else:
-            raise TypeError(
-                f"predicate {predicate.describe()!r} does not support a range slider"
-            )
-        self._modified()
-
-    def _set_threshold(self, path: NodePath, value: float) -> None:
-        leaf = self._leaf_at(path)
-        predicate = leaf.predicate
-        if not isinstance(predicate, AttributePredicate):
-            raise TypeError(
-                f"predicate {predicate.describe()!r} has no single threshold to move"
-            )
-        leaf.predicate = AttributePredicate(predicate.attribute, predicate.operator, float(value))
-        self._modified()
 
     # ------------------------------------------------------------------ #
     # Views

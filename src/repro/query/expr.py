@@ -21,6 +21,7 @@ from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
+from repro.query.fingerprint import stable_fingerprint
 from repro.query.predicates import Predicate
 from repro.storage.table import Table
 
@@ -95,6 +96,30 @@ class QueryNode:
         """Classical boolean evaluation: True where the condition is fulfilled."""
         raise NotImplementedError
 
+    # -- identity --------------------------------------------------------- #
+    def source_fingerprint(self) -> str:
+        """Identity of this node's *raw* evaluation, excluding weights.
+
+        Leaves override this with their predicate's fingerprint; the value
+        keys the engine cache of raw (pre-normalization) distance columns,
+        which weight changes must not invalidate.
+        """
+        return stable_fingerprint(type(self).__name__)
+
+    def fingerprint(self) -> str:
+        """Stable identity of the full (sub)tree, including weights.
+
+        The fingerprint changes whenever a predicate parameter, a weighting
+        factor or the tree structure changes -- i.e. exactly when cached
+        evaluation results for this subtree become invalid.
+        """
+        return stable_fingerprint(
+            type(self).__name__,
+            self.weight,
+            self.source_fingerprint(),
+            *[child.fingerprint() for child in self.children],
+        )
+
     # -- presentation ---------------------------------------------------- #
     @property
     def label(self) -> str:
@@ -125,6 +150,9 @@ class PredicateLeaf(QueryNode):
 
     def exact_mask(self, table: Table) -> np.ndarray:
         return self.predicate.exact_mask(table)
+
+    def source_fingerprint(self) -> str:
+        return self.predicate.fingerprint()
 
     def describe(self) -> str:
         return self.predicate.describe()
@@ -255,6 +283,13 @@ class SubqueryNode(QueryNode):
 
     def exact_mask(self, table: Table) -> np.ndarray:
         return np.asarray(self._exact(table), dtype=bool)
+
+    def source_fingerprint(self) -> str:
+        # Callables have no structural identity; key them by object id so a
+        # reused SubqueryNode hits the cache and a replaced one recomputes.
+        return stable_fingerprint(
+            "subquery", self._describe, self._distances, self._exact
+        )
 
     def signed_distances(self, table: Table) -> np.ndarray:
         """Signed distances supplied by the wrapped callable."""

@@ -1,0 +1,77 @@
+"""Stable fingerprints for query-tree nodes and predicates.
+
+The incremental :class:`~repro.core.engine.QueryEngine` caches per-leaf
+signed distances and per-node normalized columns between re-executions of
+a slightly modified query.  The cache keys are *fingerprints*: short
+digests of everything the cached value depends on.  Two predicates with
+the same type and parameters produce the same fingerprint even if they are
+distinct objects (interactive modification replaces predicate objects on
+every slider move), while any parameter change produces a new fingerprint
+and therefore a cache miss.
+
+Values that have no meaningful structural identity (callables, distance
+matrices) are keyed by object identity: correct (a different object can
+never be proven equivalent) at the cost of a recomputation when such an
+object is replaced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import weakref
+from enum import Enum
+from typing import Any
+
+__all__ = ["stable_fingerprint"]
+
+_SEPARATOR = "\x1f"
+
+#: Monotonic identity tokens for objects fingerprinted by identity.  A plain
+#: ``id()`` can alias: once the object is garbage collected, a new object at
+#: the same address would silently inherit its cache entries.  The weak map
+#: hands every distinct live object its own counter value instead; a dead
+#: object's entry vanishes with it, so a successor can never collide.
+_identity_tokens: "weakref.WeakKeyDictionary[Any, int]" = weakref.WeakKeyDictionary()
+_identity_counter = itertools.count()
+
+
+def _identity_token(value: Any) -> str:
+    try:
+        token = _identity_tokens.get(value)
+        if token is None:
+            token = next(_identity_counter)
+            _identity_tokens[value] = token
+        return f"obj:{token}"
+    except TypeError:
+        # Not weak-referenceable (rare for the callables/arrays this path
+        # sees); fall back to the raw address.
+        return f"id:{id(value)}"
+
+
+def _token(value: Any) -> str:
+    """Render one fingerprint component as a canonical string."""
+    if value is None:
+        return "N"
+    if isinstance(value, str):
+        return f"s:{value}"
+    if isinstance(value, bool):
+        return f"b:{value}"
+    if isinstance(value, (int, float)):
+        # repr is deterministic for floats (including nan/inf).
+        return f"n:{value!r}"
+    if isinstance(value, Enum):
+        return f"e:{type(value).__name__}.{value.name}"
+    if isinstance(value, (tuple, list)):
+        return "(" + _SEPARATOR.join(_token(v) for v in value) + ")"
+    if isinstance(value, dict):
+        items = sorted((repr(k), _token(v)) for k, v in value.items())
+        return "{" + _SEPARATOR.join(f"{k}={v}" for k, v in items) + "}"
+    # Callables, arrays, matrices: identity-based (see module docstring).
+    return _identity_token(value)
+
+
+def stable_fingerprint(*parts: Any) -> str:
+    """Digest a sequence of primitive components into a short hex string."""
+    text = _SEPARATOR.join(_token(p) for p in parts)
+    return hashlib.blake2b(text.encode("utf-8"), digest_size=12).hexdigest()

@@ -16,12 +16,13 @@ relevance engine maps NaN to the maximum normalized distance.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, is_dataclass
 from enum import Enum
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.query.fingerprint import stable_fingerprint
 from repro.storage.table import Table
 
 __all__ = [
@@ -119,6 +120,20 @@ class Predicate:
         raise ValueError(
             f"predicate {self.describe()!r} cannot be negated while keeping distances"
         )
+
+    def fingerprint(self) -> str:
+        """Stable identity of this predicate's distance computation.
+
+        Two predicates of the same type with equal parameters share a
+        fingerprint, which lets the query engine reuse cached raw distance
+        columns across re-executions.  All concrete predicates are
+        dataclasses, so the default derives the fingerprint from the typed
+        field values; non-dataclass subclasses fall back to object identity.
+        """
+        if is_dataclass(self):
+            parts = [getattr(self, f.name) for f in fields(self)]
+            return stable_fingerprint(type(self).__name__, *parts)
+        return stable_fingerprint(type(self).__name__, self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.describe()})"

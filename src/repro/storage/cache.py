@@ -13,11 +13,14 @@ the underlying table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
 from repro.storage.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.index import SortedIndex
 
 __all__ = ["PrefetchCache", "CachedRegion"]
 
@@ -80,11 +83,17 @@ class PrefetchCache:
         e.g. ``0.25`` widens a ``[10, 20]`` range to ``[7.5, 22.5]``.
     max_regions:
         Maximum number of cached regions kept (oldest evicted first).
+    indexes:
+        Optional per-column :class:`~repro.storage.index.SortedIndex` map;
+        fresh fetches use an index for one constrained column (answering the
+        range in O(log n + k)) and only filter the remaining columns on the
+        candidates, instead of scanning every row of the table.
     """
 
     table: Table
     margin: float = 0.25
     max_regions: int = 8
+    indexes: dict[str, "SortedIndex"] | None = None
     _regions: list[CachedRegion] = field(default_factory=list)
     fetches: int = 0
     cache_hits: int = 0
@@ -107,6 +116,17 @@ class PrefetchCache:
         return widened
 
     def _scan(self, ranges: Mapping[str, Range]) -> np.ndarray:
+        indexed = None
+        if self.indexes:
+            for column, (low, high) in ranges.items():
+                if column in self.indexes and (low is not None or high is not None):
+                    indexed = column
+                    break
+        if indexed is not None:
+            low, high = ranges[indexed]
+            candidates = self.indexes[indexed].range_query(low, high)
+            remaining = {c: r for c, r in ranges.items() if c != indexed}
+            return self._filter(candidates, remaining) if remaining else candidates
         keep = np.ones(len(self.table), dtype=bool)
         for column, (low, high) in ranges.items():
             values = self.table.column(column)
@@ -116,6 +136,22 @@ class PrefetchCache:
                 keep &= values <= high
         return np.nonzero(keep)[0]
 
+    def _covering(self, ranges: Mapping[str, Range]) -> CachedRegion | None:
+        for region in self._regions:
+            if region.covers(ranges):
+                return region
+        return None
+
+    def _fetch(self, ranges: Mapping[str, Range]) -> np.ndarray:
+        """Fetch (and remember) a widened superset region for ``ranges``."""
+        widened = self._widen(ranges)
+        rows = self._scan(widened)
+        self.fetches += 1
+        self._regions.append(CachedRegion(ranges=widened, row_indices=rows))
+        if len(self._regions) > self.max_regions:
+            self._regions.pop(0)
+        return rows
+
     def query(self, ranges: Mapping[str, Range]) -> np.ndarray:
         """Return row indices matching the conjunctive range query.
 
@@ -123,18 +159,40 @@ class PrefetchCache:
         rows come from (a cached superset vs. a fresh table scan).
         """
         ranges = dict(ranges)
-        for region in self._regions:
-            if region.covers(ranges):
-                region.hits += 1
-                self.cache_hits += 1
-                return self._filter(region.row_indices, ranges)
-        widened = self._widen(ranges)
-        rows = self._scan(widened)
-        self.fetches += 1
-        self._regions.append(CachedRegion(ranges=widened, row_indices=rows))
-        if len(self._regions) > self.max_regions:
-            self._regions.pop(0)
-        return self._filter(rows, ranges)
+        region = self._covering(ranges)
+        if region is not None:
+            region.hits += 1
+            self.cache_hits += 1
+            return self._filter(region.row_indices, ranges)
+        return self._filter(self._fetch(ranges), ranges)
+
+    def fulfilment_mask(self, ranges: Mapping[str, Range]) -> np.ndarray:
+        """Boolean mask over the table: True where the range query matches.
+
+        Same semantics as :meth:`query` (including the hit/fetch counters)
+        but returns the mask form the relevance pipeline consumes, which
+        frees the hit path from producing sorted row indices: a cached
+        single-column query is answered straight from its range index as an
+        O(log n + k) slice plus a scatter.
+        """
+        ranges = dict(ranges)
+        mask = np.zeros(len(self.table), dtype=bool)
+        region = self._covering(ranges)
+        if region is not None:
+            region.hits += 1
+            self.cache_hits += 1
+            if self.indexes and len(ranges) == 1:
+                column, (low, high) = next(iter(ranges.items()))
+                index = self.indexes.get(column)
+                # Finite bounds only: a one-sided slice of the sorted order
+                # would sweep in the trailing NaN entries.
+                if index is not None and low is not None and high is not None:
+                    mask[index.range_query(low, high, sort=False)] = True
+                    return mask
+            mask[self._filter(region.row_indices, ranges)] = True
+            return mask
+        mask[self._filter(self._fetch(ranges), ranges)] = True
+        return mask
 
     def _filter(self, candidate_rows: np.ndarray, ranges: Mapping[str, Range]) -> np.ndarray:
         if len(candidate_rows) == 0:

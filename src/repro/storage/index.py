@@ -44,15 +44,23 @@ class SortedIndex:
     def __len__(self) -> int:
         return len(self._sorted_values)
 
-    def range_query(self, low: float | None, high: float | None) -> np.ndarray:
-        """Return row indices with ``low <= value <= high`` (either bound optional)."""
+    def range_query(self, low: float | None, high: float | None,
+                    sort: bool = True) -> np.ndarray:
+        """Return row indices with ``low <= value <= high`` (either bound optional).
+
+        ``sort=False`` skips the final ordering of the row indices (they come
+        out in value order instead); callers that only scatter into a result
+        array -- like the engine's incremental range-leaf update -- avoid an
+        O(k log k) sort that way.
+        """
         lo_pos = 0 if low is None else int(np.searchsorted(self._sorted_values, low, side="left"))
         hi_pos = (
             len(self._sorted_values)
             if high is None
             else int(np.searchsorted(self._sorted_values, high, side="right"))
         )
-        return np.sort(self._order[lo_pos:hi_pos])
+        rows = self._order[lo_pos:hi_pos]
+        return np.sort(rows) if sort else rows
 
     def nearest(self, value: float, k: int = 1) -> np.ndarray:
         """Return the row indices of the ``k`` values closest to ``value``.

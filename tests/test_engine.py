@@ -1,0 +1,300 @@
+"""Tests for the prepared-query engine: equivalence, invalidation, caches."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AndNode,
+    OrNode,
+    PipelineConfig,
+    QueryBuilder,
+    QueryEngine,
+    VisualFeedbackQuery,
+    condition,
+)
+from repro.core.plan import EvaluationCache, PlanEvaluator, compile_plan
+from repro.interact.events import (
+    SetPercentageDisplayed,
+    SetQueryRange,
+    SetThreshold,
+    SetWeight,
+)
+from repro.query.builder import between
+from repro.query.predicates import AttributePredicate, ComparisonOperator, RangePredicate
+
+
+def assert_feedback_equal(a, b):
+    """Feedback from an incremental re-execution must match a cold run exactly."""
+    np.testing.assert_array_equal(a.display_order, b.display_order)
+    assert a.statistics == b.statistics
+    assert set(a.node_feedback) == set(b.node_feedback)
+    for path in a.node_feedback:
+        np.testing.assert_array_equal(
+            a.node_feedback[path].normalized_distances,
+            b.node_feedback[path].normalized_distances,
+        )
+        np.testing.assert_array_equal(
+            a.node_feedback[path].exact_mask, b.node_feedback[path].exact_mask
+        )
+    np.testing.assert_array_equal(a.relevance, b.relevance)
+
+
+# -- fingerprints ------------------------------------------------------------- #
+def test_predicate_fingerprint_value_based():
+    a = RangePredicate("Temperature", 10.0, 20.0)
+    b = RangePredicate("Temperature", 10.0, 20.0)
+    c = RangePredicate("Temperature", 10.0, 21.0)
+    assert a.fingerprint() == b.fingerprint()
+    assert a.fingerprint() != c.fingerprint()
+    other_type = AttributePredicate("Temperature", ComparisonOperator.GT, 10.0)
+    assert a.fingerprint() != other_type.fingerprint()
+
+
+def test_node_fingerprint_includes_weight_source_does_not():
+    leaf_a = condition("a", ">", 5.0)
+    leaf_b = condition("a", ">", 5.0, weight=0.5)
+    assert leaf_a.source_fingerprint() == leaf_b.source_fingerprint()
+    assert leaf_a.fingerprint() != leaf_b.fingerprint()
+
+
+def test_tree_fingerprint_changes_with_structure():
+    tree1 = AndNode([condition("a", ">", 1.0), condition("b", "<", 2.0)])
+    tree2 = OrNode([condition("a", ">", 1.0), condition("b", "<", 2.0)])
+    tree3 = AndNode([condition("b", "<", 2.0), condition("a", ">", 1.0)])
+    fingerprints = {tree1.fingerprint(), tree2.fingerprint(), tree3.fingerprint()}
+    assert len(fingerprints) == 3
+
+
+# -- prepare/execute equivalence ---------------------------------------------- #
+def test_prepared_matches_cold_single_table(weather_db, or_query):
+    cold = VisualFeedbackQuery(weather_db, or_query).execute()
+    prepared = QueryEngine(weather_db).prepare(or_query)
+    assert_feedback_equal(prepared.execute(), cold)
+    # A second execution with no changes is served from the caches.
+    assert_feedback_equal(prepared.execute(), cold)
+
+
+def test_prepared_matches_cold_after_changes(weather_db, or_query):
+    prepared = QueryEngine(weather_db, percentage=0.3).prepare(or_query)
+    prepared.execute()
+    incremental = prepared.execute(changes=[
+        SetQueryRange((2,), 40.0, 60.0),
+        SetWeight((0,), 0.5),
+        SetThreshold((1,), 500.0),
+    ])
+    cold = VisualFeedbackQuery(weather_db, prepared.query, percentage=0.3).execute()
+    assert_feedback_equal(incremental, cold)
+
+
+def test_prepared_percentage_change_matches_cold(weather_db, or_query):
+    prepared = QueryEngine(weather_db).prepare(or_query)
+    prepared.execute()
+    incremental = prepared.execute(changes=[SetPercentageDisplayed(0.2)])
+    assert incremental.statistics.num_displayed == 400
+    cold = VisualFeedbackQuery(weather_db, prepared.query, percentage=0.2).execute()
+    assert_feedback_equal(incremental, cold)
+
+
+def test_prepared_join_query_matches_cold(small_env_db):
+    def build():
+        return (
+            QueryBuilder("join", small_env_db)
+            .use_tables("Weather")
+            .where(condition("Weather.Temperature", ">", 15.0))
+            .use_connection("Air-Pollution with-time-diff Weather", parameter=120)
+            .build()
+        )
+
+    config = PipelineConfig(percentage=0.25, max_join_pairs=20_000)
+    prepared = QueryEngine(small_env_db, config).prepare(build())
+    prepared.execute()
+    incremental = prepared.execute(changes=[SetQueryRange((), 10.0, 20.0)])
+    cold = VisualFeedbackQuery(small_env_db, prepared.query, config).execute()
+    assert_feedback_equal(incremental, cold)
+
+
+# -- cache invalidation ------------------------------------------------------- #
+def test_weight_change_reuses_all_leaf_distances(weather_db, or_query):
+    prepared = QueryEngine(weather_db).prepare(or_query)
+    prepared.execute()
+    misses_before = prepared.cache_stats["leaf_misses"]
+    prepared.execute(changes=[SetWeight((1,), 0.4)])
+    stats = prepared.cache_stats
+    # No raw leaf column was recomputed: only normalization/combination ran.
+    assert stats["leaf_misses"] == misses_before
+    assert stats["leaf_hits"] >= 1
+
+
+def test_range_change_recomputes_exactly_one_leaf(weather_db, or_query):
+    prepared = QueryEngine(weather_db).prepare(or_query)
+    prepared.execute()
+    stats_before = prepared.cache_stats
+    prepared.execute(changes=[SetQueryRange((2,), 40.0, 60.0)])
+    stats = prepared.cache_stats
+    assert stats["leaf_misses"] == stats_before["leaf_misses"] + 1
+    # The two untouched leaves were served from the node cache.
+    assert stats["node_hits"] >= stats_before["node_hits"] + 2
+
+
+def test_percentage_change_recomputes_no_leaf(weather_db, or_query):
+    prepared = QueryEngine(weather_db).prepare(or_query)
+    prepared.execute()
+    raw_misses = prepared.cache_stats["leaf_misses"]
+    prepared.execute(changes=[SetPercentageDisplayed(0.5)])
+    stats = prepared.cache_stats
+    # Raw distances are capacity-independent: all reused.
+    assert stats["leaf_misses"] == raw_misses
+    assert stats["leaf_hits"] >= 3
+
+
+def test_unchanged_reexecution_hits_every_node(weather_db, or_query):
+    prepared = QueryEngine(weather_db).prepare(or_query)
+    prepared.execute()
+    before = prepared.cache_stats
+    prepared.execute()
+    after = prepared.cache_stats
+    assert after["leaf_misses"] == before["leaf_misses"]
+    assert after["node_misses"] == before["node_misses"]
+    # Overall + three leaves resolved from the cache.
+    assert after["node_hits"] == before["node_hits"] + 4
+
+
+def test_mutating_shared_condition_is_detected(weather_db, or_query):
+    prepared = QueryEngine(weather_db).prepare(or_query)
+    results_before = prepared.execute().statistics.num_results
+    # Mutate the condition tree directly (as session events do).
+    prepared.query.condition.children[0].predicate = AttributePredicate(
+        "Temperature", ComparisonOperator.GT, 30.0
+    )
+    results_after = prepared.execute().statistics.num_results
+    assert results_after < results_before
+    cold = VisualFeedbackQuery(weather_db, prepared.query).execute()
+    assert results_after == cold.statistics.num_results
+
+
+def test_apply_change_validation_errors(weather_db, or_query):
+    prepared = QueryEngine(weather_db).prepare(or_query)
+    with pytest.raises(TypeError):
+        prepared.apply_change(SetQueryRange((), 0.0, 1.0))  # root is an OR node
+    with pytest.raises(TypeError):
+        prepared.apply_change(SetThreshold((), 1.0))
+    with pytest.raises(TypeError):
+        prepared.apply_change("not an event")
+
+
+def test_engine_requires_condition_at_execute(weather_db):
+    from repro.query.builder import Query
+
+    prepared = QueryEngine(weather_db).prepare(Query("q", ["Weather"]))
+    with pytest.raises(ValueError, match="condition"):
+        prepared.execute()
+
+
+# -- prefetch cache wiring ---------------------------------------------------- #
+def test_prefetch_serves_slider_drag_sequence(weather_db):
+    query = (
+        QueryBuilder("drag", weather_db)
+        .use_tables("Weather")
+        .where(AndNode([
+            between("Humidity", 30.0, 80.0),
+            condition("Temperature", ">", 10.0),
+        ]))
+        .build()
+    )
+    engine = QueryEngine(weather_db)
+    prepared = engine.prepare(query)
+    prepared.execute()
+    prefetch = engine.prefetch_for(prepared.table)
+    # The initial execution fetched a widened [30, 80] region.
+    assert prefetch.fetches == 1 and prefetch.cache_hits == 0
+    # A drag that narrows the range: every step falls inside the widened
+    # region already fetched, so every step is a cache hit.
+    prepared.execute(changes=[SetQueryRange((0,), 35.0, 75.0)])
+    for low in (40.0, 45.0, 50.0):
+        prepared.execute(changes=[SetQueryRange((0,), low, 70.0)])
+    assert prefetch.fetches == 1
+    assert prefetch.cache_hits == 4
+    # Widening far beyond the cached region forces a fresh (indexed) fetch.
+    prepared.execute(changes=[SetQueryRange((0,), 6.0, 99.0)])
+    assert prefetch.fetches == 2
+    # The dragged attribute was indexed after the first interactive change.
+    assert "Humidity" in prefetch.indexes
+
+
+def test_prefetch_mask_matches_direct_evaluation(weather_db):
+    query = (
+        QueryBuilder("drag", weather_db)
+        .use_tables("Weather")
+        .where(between("Humidity", 30.0, 80.0))
+        .build()
+    )
+    prepared = QueryEngine(weather_db).prepare(query)
+    prepared.execute()
+    feedback = prepared.execute(changes=[SetQueryRange((), 42.5, 77.5)])
+    table = prepared.table
+    expected = RangePredicate("Humidity", 42.5, 77.5).exact_mask(table)
+    np.testing.assert_array_equal(feedback.node_feedback[()].exact_mask, expected)
+
+
+# -- engine-level sharing ------------------------------------------------------ #
+def test_cross_product_assembled_once(small_env_db):
+    engine = QueryEngine(small_env_db, max_join_pairs=5_000)
+
+    def build():
+        return (
+            QueryBuilder("join", small_env_db)
+            .use_tables("Weather")
+            .where(condition("Weather.Temperature", ">", 15.0))
+            .use_connection("Air-Pollution at-same-time-as Weather")
+            .build()
+        )
+
+    first = engine.prepare(build())
+    second = engine.prepare(build())
+    assert first.table is second.table
+
+
+def test_prepare_overrides_affect_table_assembly(small_env_db):
+    engine = QueryEngine(small_env_db)  # default max_join_pairs: 250k
+    query = (
+        QueryBuilder("join", small_env_db)
+        .use_tables("Weather")
+        .where(condition("Weather.Temperature", ">", 15.0))
+        .use_connection("Air-Pollution at-same-time-as Weather")
+        .build()
+    )
+    prepared = engine.prepare(query, max_join_pairs=4_000)
+    assert len(prepared.table) == 4_000
+    assert prepared.config.max_join_pairs == 4_000
+
+
+def test_cached_feedback_arrays_are_read_only(weather_db, or_query):
+    prepared = QueryEngine(weather_db).prepare(or_query)
+    feedback = prepared.execute()
+    # The cache shares these arrays across executions; in-place mutation
+    # must raise instead of silently corrupting later results.
+    with pytest.raises(ValueError, match="read-only"):
+        feedback.node_feedback[()].normalized_distances[0] = -1.0
+
+
+def test_plan_evaluator_matches_relevance_evaluator(weather_db, or_condition):
+    """The plan path reproduces the classic evaluator on a fresh cache."""
+    from repro.core.relevance import RelevanceEvaluator
+
+    table = weather_db.table("Weather")
+    classic = RelevanceEvaluator(display_capacity=500).evaluate(or_condition, table)
+    plan = compile_plan(or_condition)
+    planned = PlanEvaluator(table, display_capacity=500, cache=EvaluationCache()).evaluate(plan)
+    assert set(classic) == set(planned)
+    for path in classic:
+        np.testing.assert_allclose(
+            planned[path].normalized_distances, classic[path].normalized_distances
+        )
+        np.testing.assert_array_equal(planned[path].exact_mask, classic[path].exact_mask)
+
+
+def test_facade_repeated_execute_consistent(weather_db, or_query):
+    pipeline = VisualFeedbackQuery(weather_db, or_query, percentage=0.4)
+    first = pipeline.execute()
+    second = pipeline.execute()
+    assert_feedback_equal(first, second)

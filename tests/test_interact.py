@@ -110,6 +110,60 @@ def test_toggle_auto_recalculate_defers_execution(session):
     assert not session.is_dirty
 
 
+def test_lazy_session_feedback_requires_recalculate(weather_db, or_query):
+    session = VisDBSession(weather_db, or_query, auto_recalculate=False)
+    assert session.is_dirty
+    # Lazy mode must not silently recalculate on property access.
+    with pytest.raises(RuntimeError, match="recalculate"):
+        session.feedback
+    assert session.recalculations == 0
+    session.recalculate()
+    assert session.statistics()["# objects"] == 2000
+
+
+def test_lazy_session_returns_stale_feedback_when_dirty(weather_db, or_query):
+    session = VisDBSession(weather_db, or_query, auto_recalculate=False)
+    session.recalculate()
+    before = session.statistics()["# of results"]
+    session.apply(SetThreshold((0,), 30.0))
+    assert session.is_dirty
+    # Still the stale feedback: no hidden recalculation happened.
+    assert session.statistics()["# of results"] == before
+    assert session.recalculations == 1
+    session.recalculate()
+    assert session.statistics()["# of results"] < before
+
+
+def test_set_percentage_keeps_prepared_query(session):
+    prepared = session.prepared
+    session.apply(SetPercentageDisplayed(0.25))
+    # Folded into the engine's config path: no new pipeline object is built.
+    assert session.prepared is prepared
+    assert session.statistics()["# displayed"] == 500
+
+
+def test_session_event_sequence_matches_fresh_session(weather_db, or_query):
+    import copy
+
+    session = VisDBSession(weather_db, or_query)
+    session.apply(SetQueryRange((2,), 40.0, 60.0))
+    session.apply(SetWeight((0,), 0.5))
+    session.apply(SetPercentageDisplayed(0.3))
+    incremental = session.feedback
+    fresh = VisDBSession(
+        weather_db,
+        copy.deepcopy(session.query),
+        config=session.prepared.config,
+    ).feedback
+    np.testing.assert_array_equal(incremental.display_order, fresh.display_order)
+    assert incremental.statistics == fresh.statistics
+    for path in incremental.node_feedback:
+        np.testing.assert_array_equal(
+            incremental.node_feedback[path].normalized_distances,
+            fresh.node_feedback[path].normalized_distances,
+        )
+
+
 def test_drill_down_returns_subwindows(weather_db):
     tree = AndNode([
         condition("Temperature", ">", 10.0),
@@ -130,9 +184,7 @@ def test_unsupported_event_and_leaf_errors(session):
     with pytest.raises(TypeError):
         session.apply(SetQueryRange((), 0.0, 1.0))  # root is an OR node, not a leaf
     with pytest.raises(TypeError):
-        session._set_threshold((0,), "x") if False else session.apply(
-            SetThreshold((), 1.0)
-        )
+        session.apply(SetThreshold((), 1.0))
 
 
 def test_undo_redo_roundtrip(session):
