@@ -41,6 +41,12 @@ from repro.core.reduction import (
 from repro.core.relevance import RelevanceEvaluator, relevance_factors, RelevanceScale
 from repro.core.result import NodeFeedback, QueryFeedback, FeedbackStatistics
 from repro.core.plan import CacheStats, EvaluationCache, PlanEvaluator, compile_plan
+from repro.core.shard import (
+    ShardedPlanEvaluator,
+    ShardedTable,
+    shard_bounds,
+    sharded_select_display_set,
+)
 from repro.core.engine import QueryEngine, PreparedQuery, ScreenSpec, PipelineConfig
 from repro.core.pipeline import VisualFeedbackQuery
 
@@ -69,6 +75,10 @@ __all__ = [
     "EvaluationCache",
     "PlanEvaluator",
     "compile_plan",
+    "ShardedPlanEvaluator",
+    "ShardedTable",
+    "shard_bounds",
+    "sharded_select_display_set",
     "QueryEngine",
     "PreparedQuery",
     "VisualFeedbackQuery",

@@ -27,6 +27,7 @@ backwards-compatible facade over this engine.
 from __future__ import annotations
 
 import copy
+import os
 from dataclasses import dataclass, field, replace
 from typing import Sequence, Union
 
@@ -35,6 +36,13 @@ import numpy as np
 from repro.core.normalization import NORMALIZED_MAX
 from repro.core.plan import EvaluationCache, PlanEvaluator, compile_plan
 from repro.core.reduction import ReductionMethod, display_fraction, select_display_set
+from repro.core.shard import (
+    ShardedPlanEvaluator,
+    ShardedTable,
+    resolve_worker_count,
+    shared_executor,
+    sharded_select_display_set,
+)
 from repro.core.relevance import RelevanceScale, relevance_factors
 from repro.core.result import FeedbackStatistics, QueryFeedback
 from repro.query.builder import Query
@@ -48,7 +56,24 @@ from repro.storage.database import Database
 from repro.storage.index import SortedIndex
 from repro.storage.table import Table
 
-__all__ = ["ScreenSpec", "PipelineConfig", "QueryEngine", "PreparedQuery"]
+__all__ = ["ScreenSpec", "PipelineConfig", "QueryEngine", "PreparedQuery",
+           "default_shard_count"]
+
+
+def default_shard_count() -> int:
+    """Shard count used when the config leaves ``shard_count`` unset.
+
+    Reads the ``REPRO_SHARDS`` environment variable (the CI differential
+    matrix leg runs the whole suite with ``REPRO_SHARDS=4``); anything
+    missing or unparsable means 1, i.e. the classic monolithic execution.
+    """
+    value = os.environ.get("REPRO_SHARDS", "").strip()
+    if not value:
+        return 1
+    try:
+        return max(1, int(value))
+    except ValueError:
+        return 1
 
 
 @dataclass(frozen=True)
@@ -94,12 +119,24 @@ class PipelineConfig:
     target_max: float = NORMALIZED_MAX
     #: Half-width parameter z for the multi-peak heuristic (None = automatic).
     multipeak_z: int | None = None
+    #: Row-range shards the evaluation table is split into.  None defers to
+    #: the ``REPRO_SHARDS`` environment variable (default 1 = monolithic);
+    #: any value keeps results bit-identical -- sharding only changes *how*
+    #: the same arrays are computed.
+    shard_count: int | None = None
+    #: Worker threads for per-shard work (None = CPU count, capped at the
+    #: shard count; 1 runs inline without a pool).
+    max_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.pixels_per_item not in (1, 4, 16):
             raise ValueError("pixels_per_item must be 1, 4 or 16")
         if self.percentage is not None and not 0.0 < self.percentage <= 1.0:
             raise ValueError("percentage must be in (0, 1]")
+        if self.shard_count is not None and self.shard_count < 1:
+            raise ValueError("shard_count must be at least 1")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
 
     def with_(self, **changes) -> "PipelineConfig":
         """Return a copy with some fields replaced."""
@@ -209,6 +246,9 @@ class QueryEngine:
         # its stale entry replaced.
         self._caches: dict[int, tuple[Table, EvaluationCache]] = {}
         self._prefetch: dict[int, tuple[Table, PrefetchCache]] = {}
+        # Per (table, shard count): the row-range partitioning with its
+        # per-shard prefetch caches and indexes.
+        self._sharded: dict[tuple[int, int], tuple[Table, ShardedTable]] = {}
 
     # ------------------------------------------------------------------ #
     # Preparation
@@ -275,12 +315,19 @@ class QueryEngine:
                 max_pairs=config.max_join_pairs,
                 seed=config.join_seed,
             )
-            table = product.to_table()
+            # The parallel unit here is one column gather, independent of
+            # sharding: any multi-core host benefits even at shard_count 1.
+            workers = config.max_workers
+            if workers is None:
+                workers = os.cpu_count() or 1
+            table = product.to_table(executor=shared_executor(workers))
             self._tables[key] = table
             while len(self._tables) > self.max_cached_tables:
                 oldest = self._tables.pop(next(iter(self._tables)))
                 self._caches.pop(id(oldest), None)
                 self._prefetch.pop(id(oldest), None)
+                for key in [k for k in self._sharded if k[0] == id(oldest)]:
+                    del self._sharded[key]
         return table
 
     # ------------------------------------------------------------------ #
@@ -313,8 +360,27 @@ class QueryEngine:
             self._prefetch[id(table)] = entry
         return entry[1]
 
-    def ensure_range_index(self, table: Table, attribute: str) -> None:
-        """Build (once) a sorted range index serving a slider attribute."""
+    def sharded_table(self, table: Table, shard_count: int) -> ShardedTable:
+        """The (cached) row-range partitioning of one evaluation table."""
+        key = (id(table), shard_count)
+        entry = self._sharded.get(key)
+        if entry is None or entry[0] is not table:
+            entry = (table, ShardedTable(table, shard_count))
+            self._sharded[key] = entry
+        return entry[1]
+
+    def ensure_range_index(self, table: Table, attribute: str,
+                           shard_count: int = 1) -> None:
+        """Build (once) sorted range indexes serving a slider attribute.
+
+        With ``shard_count > 1`` the indexes are per shard (each reporting
+        global row numbers), so a slider event later touches only the
+        shards whose rows the swept band intersects; otherwise one global
+        index backs the monolithic prefetch cache.
+        """
+        if shard_count > 1:
+            self.sharded_table(table, shard_count).ensure_index(attribute)
+            return
         prefetch = self.prefetch_for(table)
         if attribute in prefetch.indexes:
             return
@@ -338,6 +404,10 @@ class PreparedQuery:
         self.query = query
         self.table = table
         self.config = config
+        #: Effective shard count, resolved once (config, else REPRO_SHARDS)
+        #: so the execution mode cannot flip mid-session with the
+        #: environment; the per-shard state built by refresh() stays valid.
+        self.shard_count = max(1, config.shard_count or default_shard_count())
         self.executions = 0
         self._join_leaves: list[PredicateLeaf] | None = None
         self._effective: QueryNode | None = None
@@ -368,9 +438,14 @@ class PreparedQuery:
     def cache_stats(self) -> dict[str, int]:
         """Hit/miss counters of the distance caches plus prefetch activity."""
         stats = self.engine.evaluation_cache(self.table).stats.as_dict()
-        prefetch = self.engine.prefetch_for(self.table)
-        stats["prefetch_hits"] = prefetch.cache_hits
-        stats["prefetch_fetches"] = prefetch.fetches
+        if self.shard_count > 1:
+            shards = self.engine.sharded_table(self.table, self.shard_count).prefetch
+            stats["prefetch_hits"] = sum(p.cache_hits for p in shards)
+            stats["prefetch_fetches"] = sum(p.fetches for p in shards)
+        else:
+            prefetch = self.engine.prefetch_for(self.table)
+            stats["prefetch_hits"] = prefetch.cache_hits
+            stats["prefetch_fetches"] = prefetch.fetches
         return stats
 
     # ------------------------------------------------------------------ #
@@ -429,7 +504,10 @@ class PreparedQuery:
             # one-shot runs never reach this and skip the index build.
             for _, leaf in effective.iter_leaves():
                 if isinstance(leaf.predicate, RangePredicate):
-                    self.engine.ensure_range_index(self.table, leaf.predicate.attribute)
+                    self.engine.ensure_range_index(
+                        self.table, leaf.predicate.attribute,
+                        shard_count=self.shard_count,
+                    )
 
     # ------------------------------------------------------------------ #
     # Modification
@@ -518,28 +596,56 @@ class PreparedQuery:
             capacity_items = min(
                 capacity_items, max(1, int(round(self.config.percentage * n)))
             )
-        evaluator = PlanEvaluator(
-            table,
-            display_capacity=capacity_items,
-            target_max=self.config.target_max,
-            cache=self.engine.evaluation_cache(table),
-            prefetch=self.engine.prefetch_for(table),
-        )
+        shard_count = self.shard_count
+        sharded = executor = None
+        if shard_count > 1:
+            sharded = self.engine.sharded_table(table, shard_count)
+            executor = shared_executor(
+                resolve_worker_count(self.config.max_workers, shard_count)
+            )
+            evaluator = ShardedPlanEvaluator(
+                sharded,
+                display_capacity=capacity_items,
+                target_max=self.config.target_max,
+                cache=self.engine.evaluation_cache(table),
+                executor=executor,
+            )
+        else:
+            evaluator = PlanEvaluator(
+                table,
+                display_capacity=capacity_items,
+                target_max=self.config.target_max,
+                cache=self.engine.evaluation_cache(table),
+                prefetch=self.engine.prefetch_for(table),
+            )
         node_feedback = evaluator.evaluate(self._plan)
         overall = node_feedback[()]
         pixel_budget = max(1, self.config.screen.pixels // self.config.pixels_per_item)
-        displayed = select_display_set(
-            overall.normalized_distances,
-            capacity=pixel_budget,
-            n_selection_predicates=n_predicates,
-            method=(
-                ReductionMethod.PERCENTAGE
-                if self.config.percentage is not None
-                else self.config.reduction
-            ),
-            percentage=self.config.percentage,
-            multipeak_z=self.config.multipeak_z,
+        method = (
+            ReductionMethod.PERCENTAGE
+            if self.config.percentage is not None
+            else self.config.reduction
         )
+        if sharded is not None:
+            displayed = sharded_select_display_set(
+                overall.normalized_distances,
+                sharded,
+                capacity=pixel_budget,
+                n_selection_predicates=n_predicates,
+                method=method,
+                percentage=self.config.percentage,
+                multipeak_z=self.config.multipeak_z,
+                executor=executor,
+            )
+        else:
+            displayed = select_display_set(
+                overall.normalized_distances,
+                capacity=pixel_budget,
+                n_selection_predicates=n_predicates,
+                method=method,
+                percentage=self.config.percentage,
+                multipeak_z=self.config.multipeak_z,
+            )
         if len(displayed) > capacity_items:
             # More items fall inside the quantile window than fit on screen
             # (ties at the threshold): keep the closest ones.

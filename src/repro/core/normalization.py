@@ -22,6 +22,9 @@ import numpy as np
 __all__ = [
     "NORMALIZED_MAX",
     "minmax_normalize",
+    "normalization_keep_count",
+    "reduced_bounds",
+    "apply_normalization",
     "reduced_normalization",
     "normalize_signed",
 ]
@@ -56,6 +59,76 @@ def minmax_normalize(distances: np.ndarray, target_max: float = NORMALIZED_MAX) 
     return result
 
 
+def normalization_keep_count(weight: float, display_capacity: int, n: int) -> int:
+    """Number of items whose distances define the reduced normalization range.
+
+    Proportional to ``r / w_j`` (inverse proportionality to the weight), but
+    at least the display capacity itself and at most all ``n`` items.  This
+    is the ``keep`` used by :func:`reduced_normalization`; it is exposed
+    separately so a sharded evaluation can size its per-shard smallest-value
+    partials to exactly the global order statistic it must resolve.
+    """
+    if display_capacity <= 0:
+        raise ValueError("display_capacity must be positive")
+    if not 0.0 <= weight <= 1.0:
+        raise ValueError(f"weight must be in [0, 1], got {weight}")
+    effective_weight = max(weight, 1e-6)
+    return int(np.clip(np.ceil(display_capacity / effective_weight), 1, max(n, 1)))
+
+
+def reduced_bounds(distances: np.ndarray, keep: int) -> tuple[float, float] | None:
+    """The ``(d_min, d_max)`` of the reduced normalization, or None if no finite value.
+
+    ``d_max`` is the ``keep``-th smallest finite distance (the whole finite
+    range when ``keep`` covers it); both bounds are exact array elements.
+    This is the single source of truth shared by the monolithic
+    :func:`reduced_normalization` and the sharded evaluator's direct path,
+    and the reference the per-shard partial merge
+    (:mod:`repro.core.shard`) must reproduce bit for bit.
+    """
+    finite_mask = np.isfinite(distances)
+    finite = distances if finite_mask.all() else distances[finite_mask]
+    if len(finite) == 0:
+        return None
+    if keep >= len(finite):
+        d_max = float(finite.max())
+    else:
+        d_max = float(np.partition(finite, keep - 1)[keep - 1])
+    return float(finite.min()), d_max
+
+
+def apply_normalization(distances: np.ndarray, d_min: float | None, d_max: float | None,
+                        target_max: float = NORMALIZED_MAX) -> np.ndarray:
+    """Elementwise reduced normalization against precomputed global bounds.
+
+    ``d_min``/``d_max`` are the bounds :func:`reduced_normalization` derives
+    from the *whole* distance column (``None`` meaning no finite value
+    exists anywhere).  Because the transform is purely elementwise once the
+    bounds are fixed, applying it shard by shard and concatenating yields a
+    result bit-identical to the monolithic call -- the invariant the
+    sharded evaluator relies on.
+    """
+    distances = np.asarray(distances, dtype=float)
+    n = len(distances)
+    if n == 0:
+        return distances.copy()
+    if d_min is None or d_max is None:
+        return np.full(n, target_max, dtype=float)
+    finite = np.isfinite(distances)
+    all_finite = bool(finite.all())
+    if d_max == d_min:
+        result = np.full(n, target_max, dtype=float)
+        result[finite] = 0.0 if d_max == 0.0 else target_max
+        return result
+    if all_finite:
+        scaled = (distances - d_min) / (d_max - d_min) * target_max
+        return np.clip(scaled, 0.0, target_max, out=scaled)
+    result = np.full(n, target_max, dtype=float)
+    scaled = (distances[finite] - d_min) / (d_max - d_min) * target_max
+    result[finite] = np.clip(scaled, 0.0, target_max)
+    return result
+
+
 def reduced_normalization(distances: np.ndarray, weight: float, display_capacity: int,
                           target_max: float = NORMALIZED_MAX) -> np.ndarray:
     """The paper's outlier-robust normalization for one selection predicate.
@@ -78,42 +151,13 @@ def reduced_normalization(distances: np.ndarray, weight: float, display_capacity
     Normalized distances in ``[0, target_max]``; items whose distance falls
     outside the retained range saturate at ``target_max``.
     """
-    if display_capacity <= 0:
-        raise ValueError("display_capacity must be positive")
-    if not 0.0 <= weight <= 1.0:
-        raise ValueError(f"weight must be in [0, 1], got {weight}")
+    keep = normalization_keep_count(weight, display_capacity, len(distances))
     distances = np.asarray(distances, dtype=float)
-    n = len(distances)
-    if n == 0:
+    if len(distances) == 0:
         return distances.copy()
-    finite = np.isfinite(distances)
-    all_finite = bool(finite.all())
-    if not all_finite and not np.any(finite):
-        return np.full(n, target_max, dtype=float)
-    # Number of items whose distances define the normalization range:
-    # proportional to r / w_j (inverse proportionality to the weight), but at
-    # least the display capacity itself and at most all items.
-    effective_weight = max(weight, 1e-6)
-    keep = int(np.clip(np.ceil(display_capacity / effective_weight), 1, n))
-    # The all-finite case (the common one on clean numeric data) skips the
-    # boolean-index copies; the arithmetic is identical either way.
-    finite_values = distances if all_finite else distances[finite]
-    if keep >= len(finite_values):
-        d_max = float(finite_values.max())
-    else:
-        d_max = float(np.partition(finite_values, keep - 1)[keep - 1])
-    d_min = float(finite_values.min())
-    if d_max == d_min:
-        result = np.full(n, target_max, dtype=float)
-        result[finite] = 0.0 if d_max == 0.0 else target_max
-        return result
-    if all_finite:
-        scaled = (distances - d_min) / (d_max - d_min) * target_max
-        return np.clip(scaled, 0.0, target_max, out=scaled)
-    result = np.full(n, target_max, dtype=float)
-    scaled = (distances[finite] - d_min) / (d_max - d_min) * target_max
-    result[finite] = np.clip(scaled, 0.0, target_max)
-    return result
+    bounds = reduced_bounds(distances, keep)
+    d_min, d_max = bounds if bounds is not None else (None, None)
+    return apply_normalization(distances, d_min, d_max, target_max=target_max)
 
 
 def normalize_signed(signed_distances: np.ndarray,

@@ -349,9 +349,7 @@ class PlanEvaluator:
         if raw is None:
             raw = self._compute_leaf_raw(plan.node)
             self.cache.put_raw(plan.raw_key, raw)
-        normalized = reduced_normalization(
-            raw.raw, plan.node.weight, self.display_capacity, target_max=self.target_max
-        )
+        normalized = self._normalize(raw.raw, plan.node.weight)
         columns = _NodeColumns(
             normalized=normalized,
             signed=raw.signed if raw.supports_direction else None,
@@ -445,6 +443,23 @@ class PlanEvaluator:
         self.cache.set_range_history(attribute, predicate.low, predicate.high, result)
         return result
 
+    def _normalize(self, values: np.ndarray, weight: float) -> np.ndarray:
+        """Reduced normalization of one node column.
+
+        Overridden by the sharded evaluator, which resolves the global
+        ``(d_min, d_max)`` bounds from mergeable per-shard partials and then
+        applies the (elementwise, hence bit-identical) transform shard by
+        shard -- see :mod:`repro.core.shard`.
+        """
+        return reduced_normalization(
+            values, weight, self.display_capacity, target_max=self.target_max
+        )
+
+    def _combine(self, rule: CombinationRule, columns: list[np.ndarray],
+                 weights: np.ndarray) -> np.ndarray:
+        """Combine child columns (overridden to run shard-parallel)."""
+        return combine_columns(rule, columns, weights)
+
     def _exact_mask(self, predicate) -> np.ndarray:
         """Fulfilment mask of one predicate, through the prefetch cache if possible."""
         if (
@@ -471,12 +486,10 @@ class PlanEvaluator:
         if columns is not None:
             return columns
         weights = np.array([child.weight for child in plan.children], dtype=float)
-        combined = combine_columns(
+        combined = self._combine(
             plan.rule, [c.normalized for c in child_columns], weights
         )
-        normalized = reduced_normalization(
-            combined, plan.node.weight, self.display_capacity, target_max=self.target_max
-        )
+        normalized = self._normalize(combined, plan.node.weight)
         if plan.rule is CombinationRule.AND:
             exact = np.ones(len(self.table), dtype=bool)
             for c in child_columns:

@@ -19,6 +19,7 @@ of pixels, so VisDB must decide *which* distances to show:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from enum import Enum
 
 import numpy as np
@@ -31,6 +32,10 @@ __all__ = [
     "signed_quantile_window",
     "multipeak_cut",
     "select_display_set",
+    "TopKCandidates",
+    "topk_candidates",
+    "merge_topk_candidates",
+    "resolve_topk",
 ]
 
 
@@ -170,6 +175,100 @@ def multipeak_cut(sorted_distances: np.ndarray, r_min: int, r_max: int, z: int |
             best_score = score
             best_rank = rank
     return best_rank
+
+
+# --------------------------------------------------------------------------- #
+# Sharded displayed-set merge algebra
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TopKCandidates:
+    """Mergeable partial result of the percentage (top-``target``) selection.
+
+    One partial summarises one row range (shard) of the distance column: the
+    global row indices and (NaN-masked, so non-finite becomes ``+inf``)
+    distance values of every row that could still enter the global displayed
+    set, plus the number of rows the partial has seen.
+
+    The candidate rule keeps every row whose value is ``<=`` the partial's
+    ``target``-th smallest value -- *including all ties* at that boundary.
+    Keeping the full tie group (rather than truncating to ``target`` rows)
+    is what makes :func:`merge_topk_candidates` associative and
+    order-independent: tie-breaking by ascending row index happens exactly
+    once, in :func:`resolve_topk`, reproducing the stable-argsort tie rule
+    of the monolithic :func:`select_display_set`.
+    """
+
+    target: int
+    indices: np.ndarray
+    values: np.ndarray
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.target < 1:
+            raise ValueError("target must be at least 1")
+        if len(self.indices) != len(self.values):
+            raise ValueError("indices and values must have equal length")
+
+
+def _candidate_cut(indices: np.ndarray, values: np.ndarray,
+                   target: int) -> tuple[np.ndarray, np.ndarray]:
+    """Keep rows with value <= the target-th smallest value (ties included)."""
+    if len(values) <= target:
+        return indices, values
+    threshold = values[np.argpartition(values, target - 1)[target - 1]]
+    keep = values <= threshold
+    return indices[keep], values[keep]
+
+
+def topk_candidates(distances: np.ndarray, target: int, offset: int = 0) -> TopKCandidates:
+    """Build the partial for one shard of the distance column.
+
+    ``offset`` is the shard's first global row number; non-finite distances
+    are masked to ``+inf`` exactly as the monolithic percentage selection
+    masks them, so merged partials reproduce its threshold bit-for-bit.
+    """
+    distances = np.asarray(distances, dtype=float)
+    finite = np.isfinite(distances)
+    masked = distances if finite.all() else np.where(finite, distances, np.inf)
+    indices = np.arange(offset, offset + len(masked), dtype=np.intp)
+    indices, values = _candidate_cut(indices, masked, target)
+    return TopKCandidates(target=target, indices=indices, values=values,
+                          count=len(distances))
+
+
+def merge_topk_candidates(a: TopKCandidates, b: TopKCandidates) -> TopKCandidates:
+    """Merge two partials (associative, commutative up to row order).
+
+    The merged candidate set is the union filtered by the union's
+    ``target``-th smallest value.  Every row of the true global displayed
+    set survives any merge order: a row among the ``target`` smallest of the
+    union is among the ``target`` smallest of each sub-union it appears in,
+    so no intermediate cut can drop it.
+    """
+    if a.target != b.target:
+        raise ValueError(f"cannot merge partials with targets {a.target} != {b.target}")
+    indices = np.concatenate([a.indices, b.indices])
+    values = np.concatenate([a.values, b.values])
+    indices, values = _candidate_cut(indices, values, a.target)
+    return TopKCandidates(target=a.target, indices=indices, values=values,
+                          count=a.count + b.count)
+
+
+def resolve_topk(partial: TopKCandidates) -> np.ndarray:
+    """Final displayed set from a fully merged partial (sorted row indices).
+
+    Bit-identical to the monolithic percentage path of
+    :func:`select_display_set`: the ``target`` smallest values win, with
+    ties at the threshold broken by ascending global row index.
+    """
+    target, n = partial.target, partial.count
+    if target >= n:
+        return np.arange(n, dtype=np.intp)
+    values, indices = partial.values, partial.indices
+    threshold = values[np.argpartition(values, target - 1)[target - 1]]
+    below = indices[values < threshold]
+    ties = np.sort(indices[values == threshold])[: target - len(below)]
+    return np.sort(np.concatenate([below, ties]))
 
 
 def select_display_set(distances: np.ndarray, capacity: int, n_selection_predicates: int,

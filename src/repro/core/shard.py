@@ -1,0 +1,579 @@
+"""Sharded plan execution: row-range partitions with mergeable aggregates.
+
+The paper's interaction loop demands that every slider drag redraws the
+relevance visualization at human speed.  :mod:`repro.core.plan` removed the
+redundant recomputation between two executions of an interactively modified
+query; what remains is the O(n) floor of renormalize/recombine/select over
+one monolithic evaluation table.  This module splits that floor across
+row-range shards:
+
+* :class:`ShardedTable` partitions an evaluation table into contiguous
+  row ranges (zero-copy NumPy views), each with its own
+  :class:`~repro.storage.cache.PrefetchCache` and, for hot slider
+  attributes, its own :class:`~repro.storage.index.SortedIndex`;
+* :class:`ShardedPlanEvaluator` dispatches per-shard leaf distance
+  evaluation, normalization and combination through a thread pool (NumPy
+  releases the GIL on the hot kernels);
+* the global steps that used to need a full-table pass are answered by
+  **mergeable partial aggregates**: per-shard ``(d_min, d_max)`` partials
+  for the reduced normalization (:class:`DistanceBoundsPartial`) and
+  per-shard top-k candidate sets for the displayed-set selection
+  (:class:`~repro.core.reduction.TopKCandidates`).
+
+The binding contract -- enforced by ``tests/test_differential.py`` -- is
+that sharded execution is **bit-identical** to the cold single-shard run
+for every shard count.  The merge algebra guarantees it: ``d_min``/``d_max``
+resolve to exact array elements (so the elementwise normalization transform
+sees the same scalars), candidate merges are associative and
+order-independent, and tie-breaking at the capacity boundary happens once,
+by ascending global row index, exactly as a stable argsort would order it.
+Any future backend (process pool, async, remote) must preserve these same
+invariants.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Executor, ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import reduce
+from typing import Callable, TypeVar, Union
+
+import numpy as np
+
+from repro.core.combine import CombinationRule, combine_columns
+from repro.core.normalization import (
+    NORMALIZED_MAX,
+    apply_normalization,
+    normalization_keep_count,
+    reduced_bounds,
+)
+from repro.core.plan import EvaluationCache, PlanEvaluator, _LeafRaw
+from repro.core.reduction import (
+    ReductionMethod,
+    display_fraction,
+    merge_topk_candidates,
+    resolve_topk,
+    select_display_set,
+    topk_candidates,
+)
+from repro.query.expr import PredicateLeaf, SubqueryNode
+from repro.query.predicates import RangePredicate
+from repro.storage.cache import PrefetchCache
+from repro.storage.index import SortedIndex
+from repro.storage.table import Table
+
+__all__ = [
+    "shard_bounds",
+    "resolve_worker_count",
+    "shared_executor",
+    "DistanceBoundsPartial",
+    "distance_bounds_partial",
+    "empty_distance_bounds",
+    "merge_distance_bounds",
+    "resolve_distance_bounds",
+    "ShardedTable",
+    "ShardedPlanEvaluator",
+    "sharded_select_display_set",
+]
+
+T = TypeVar("T")
+
+
+# --------------------------------------------------------------------------- #
+# Partitioning
+# --------------------------------------------------------------------------- #
+def shard_bounds(n_rows: int, shard_count: int) -> list[tuple[int, int]]:
+    """Balanced contiguous ``[start, stop)`` row ranges covering the table.
+
+    Shard sizes differ by at most one row; when ``shard_count`` exceeds
+    ``n_rows`` the trailing shards are empty (the merge algebra treats an
+    empty shard as the identity element, so results are unaffected).
+    """
+    if shard_count < 1:
+        raise ValueError("shard_count must be at least 1")
+    if n_rows < 0:
+        raise ValueError("n_rows must be non-negative")
+    base, extra = divmod(n_rows, shard_count)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for i in range(shard_count):
+        size = base + (1 if i < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def _map_indexed(executor: Executor | None, fn: Callable[[int], T], count: int) -> list[T]:
+    """Run ``fn(0..count-1)``, through the executor when one is available."""
+    if executor is None or count <= 1:
+        return [fn(i) for i in range(count)]
+    return list(executor.map(fn, range(count)))
+
+
+# --------------------------------------------------------------------------- #
+# Worker pools
+# --------------------------------------------------------------------------- #
+def resolve_worker_count(max_workers: int | None, shard_count: int) -> int:
+    """Thread-pool size for a sharded execution.
+
+    Defaults to the machine's CPU count; never more workers than shards
+    (the unit of parallel work is one shard).  A result of 1 means "run
+    inline" -- no pool is created, so single-core machines pay no thread
+    overhead for sharded semantics.
+    """
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    return max(1, min(max_workers, shard_count))
+
+
+_EXECUTORS: dict[int, ThreadPoolExecutor] = {}
+_EXECUTORS_LOCK = threading.Lock()
+
+
+def shared_executor(max_workers: int) -> Executor | None:
+    """A process-wide thread pool of the given size (None for ``<= 1``).
+
+    Pools are shared across engines and kept for the life of the process:
+    shard work is bursty (one burst per execute), so pooling avoids both
+    per-execute thread spawning and unbounded thread accumulation when many
+    engines are created (e.g. one per test).
+    """
+    if max_workers <= 1:
+        return None
+    with _EXECUTORS_LOCK:
+        pool = _EXECUTORS.get(max_workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="repro-shard"
+            )
+            _EXECUTORS[max_workers] = pool
+        return pool
+
+
+# --------------------------------------------------------------------------- #
+# Merge algebra: normalization bounds
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DistanceBoundsPartial:
+    """Mergeable summary of one shard's finite distances.
+
+    Retains the ``min(capacity, count)`` smallest finite values (as a
+    multiset, order irrelevant), the finite maximum and the finite count --
+    enough to resolve, after merging all shards, the exact global ``d_min``
+    and the exact global ``keep``-th smallest value ``d_max`` that
+    :func:`~repro.core.normalization.reduced_normalization` computes, for
+    any ``keep <= capacity``.
+
+    The merge is associative and commutative: the smallest-``k`` multiset of
+    a union equals the smallest-``k`` of the two sides' smallest-``k``
+    multisets, maxima and counts merge trivially, and the empty partial
+    (an all-NaN or zero-row shard) is the identity element.
+    """
+
+    capacity: int
+    count: int
+    smallest: np.ndarray
+    maximum: float
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if len(self.smallest) != min(self.capacity, self.count):
+            raise ValueError("partial must retain min(capacity, count) values")
+
+
+def empty_distance_bounds(capacity: int) -> DistanceBoundsPartial:
+    """The merge identity: a shard with no finite values."""
+    return DistanceBoundsPartial(
+        capacity=capacity, count=0,
+        smallest=np.empty(0, dtype=float), maximum=float("-inf"),
+    )
+
+
+def distance_bounds_partial(values: np.ndarray, capacity: int) -> DistanceBoundsPartial:
+    """Summarise one shard of a distance column (NaN/inf values are skipped)."""
+    values = np.asarray(values, dtype=float)
+    finite = values[np.isfinite(values)] if len(values) else values
+    if len(finite) > capacity:
+        smallest = np.partition(finite, capacity - 1)[:capacity]
+    else:
+        smallest = finite.copy()
+    maximum = float(finite.max()) if len(finite) else float("-inf")
+    return DistanceBoundsPartial(
+        capacity=capacity, count=len(finite), smallest=smallest, maximum=maximum
+    )
+
+
+def merge_distance_bounds(a: DistanceBoundsPartial,
+                          b: DistanceBoundsPartial) -> DistanceBoundsPartial:
+    """Merge two partials of the same capacity (associative, commutative)."""
+    if a.capacity != b.capacity:
+        raise ValueError(f"cannot merge partials with capacities {a.capacity} != {b.capacity}")
+    smallest = np.concatenate([a.smallest, b.smallest])
+    if len(smallest) > a.capacity:
+        smallest = np.partition(smallest, a.capacity - 1)[: a.capacity]
+    return DistanceBoundsPartial(
+        capacity=a.capacity,
+        count=a.count + b.count,
+        smallest=smallest,
+        maximum=max(a.maximum, b.maximum),
+    )
+
+
+def resolve_distance_bounds(partial: DistanceBoundsPartial,
+                            keep: int | None = None) -> tuple[float, float] | None:
+    """The global ``(d_min, d_max)`` of the merged column, or None if no finite value.
+
+    ``keep`` defaults to the partial's capacity and must not exceed it.
+    Both bounds are exact elements of the original column, so they equal --
+    bit for bit -- what the monolithic
+    :func:`~repro.core.normalization.reduced_normalization` derives.
+    """
+    keep = partial.capacity if keep is None else keep
+    if not 1 <= keep <= partial.capacity:
+        raise ValueError(f"keep must be in [1, {partial.capacity}], got {keep}")
+    if partial.count == 0:
+        return None
+    if keep >= partial.count:
+        d_max = partial.maximum
+    else:
+        d_max = float(np.partition(partial.smallest, keep - 1)[keep - 1])
+    return float(partial.smallest.min()), d_max
+
+
+# --------------------------------------------------------------------------- #
+# Sharded table
+# --------------------------------------------------------------------------- #
+class ShardedTable:
+    """Row-range partitioning of one evaluation table.
+
+    Each shard is a zero-copy view (:meth:`~repro.storage.table.Table.slice_rows`)
+    with its own :class:`~repro.storage.cache.PrefetchCache`; hot slider
+    attributes additionally get one shard-local
+    :class:`~repro.storage.index.SortedIndex` per shard, shared between
+    the prefetch cache (index-accelerated fulfilment fetches) and the
+    incremental range-delta path (which adds the shard's start row to map
+    local hits to global row numbers).
+    """
+
+    def __init__(self, table: Table, shard_count: int):
+        self.table = table
+        self.bounds = shard_bounds(len(table), shard_count)
+        self.shards = [table.slice_rows(start, stop) for start, stop in self.bounds]
+        self.prefetch = [PrefetchCache(shard, indexes={}) for shard in self.shards]
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def ensure_index(self, attribute: str) -> None:
+        """Build (once) per-shard sorted indexes for a hot slider attribute."""
+        if self.has_index(attribute):
+            return
+        if self.table.has_column(attribute) and self.table.is_numeric(attribute):
+            for shard, prefetch in zip(self.shards, self.prefetch):
+                prefetch.indexes[attribute] = SortedIndex(shard, attribute)
+
+    def has_index(self, attribute: str) -> bool:
+        """True once :meth:`ensure_index` built the per-shard indexes."""
+        return bool(self.prefetch) and attribute in self.prefetch[0].indexes
+
+    def shard_indexes(self, attribute: str) -> list[SortedIndex] | None:
+        """The per-shard (shard-local) indexes for one attribute, if built."""
+        if not self.has_index(attribute):
+            return None
+        return [prefetch.indexes[attribute] for prefetch in self.prefetch]
+
+
+# --------------------------------------------------------------------------- #
+# Sharded plan evaluation
+# --------------------------------------------------------------------------- #
+class ShardedPlanEvaluator(PlanEvaluator):
+    """A :class:`~repro.core.plan.PlanEvaluator` that executes shard by shard.
+
+    Produces full-table node columns (concatenated from per-shard pieces)
+    that are bit-identical to the monolithic evaluator's, so the two share
+    one :class:`~repro.core.plan.EvaluationCache` without any key changes:
+    an incremental re-execution may mix cached monolithic results with
+    freshly sharded ones and still return exactly the cold-run feedback.
+
+    ``executor`` is an optional :class:`concurrent.futures.Executor`; when
+    None (or with a single shard) the per-shard work runs inline.
+    """
+
+    def __init__(self, sharded: ShardedTable, display_capacity: int,
+                 target_max: float = NORMALIZED_MAX,
+                 cache: EvaluationCache | None = None,
+                 executor: Executor | None = None):
+        super().__init__(sharded.table, display_capacity, target_max=target_max,
+                         cache=cache, prefetch=None)
+        self.sharded = sharded
+        self.executor = executor
+
+    # ------------------------------------------------------------------ #
+    def _map_shards(self, fn: Callable[[int], T]) -> list[T]:
+        return _map_indexed(self.executor, fn, self.sharded.shard_count)
+
+    # ------------------------------------------------------------------ #
+    # Leaf columns
+    # ------------------------------------------------------------------ #
+    def _compute_leaf_raw(self, node: Union[PredicateLeaf, SubqueryNode]) -> _LeafRaw:
+        if isinstance(node, SubqueryNode):
+            # Subquery distances come from an arbitrary callable that may
+            # depend on whole-table state; only row-local predicates are
+            # safe to evaluate per shard.
+            return super()._compute_leaf_raw(node)
+        predicate = node.predicate
+        if isinstance(predicate, RangePredicate):
+            return self._range_leaf_raw(predicate)
+
+        def one(i: int) -> np.ndarray:
+            return np.asarray(predicate.signed_distances(self.sharded.shards[i]),
+                              dtype=float)
+
+        signed = np.concatenate(self._map_shards(one))
+        return _LeafRaw(
+            signed=signed,
+            raw=np.abs(signed),
+            exact_mask=self._exact_mask(predicate),
+            supports_direction=predicate.supports_direction,
+        )
+
+    def _range_leaf_raw(self, predicate: RangePredicate) -> _LeafRaw:
+        """Per-shard version of the incremental range-leaf update.
+
+        A slider event touches only the shards whose rows intersect the
+        swept band: each shard's sorted index finds its changed rows in
+        O(log s + k); shards outside the band contribute empty change sets
+        and do no work.  The recomputation formula is identical to
+        :meth:`RangePredicate.signed_distances`, so the result matches a
+        full recomputation bit for bit.
+        """
+        attribute = predicate.attribute
+        indexes = self.sharded.shard_indexes(attribute)
+        history = self.cache.range_history(attribute) if indexes else None
+        changed_parts: list[np.ndarray] = []
+        if history is not None:
+            old_low, old_high = history[0], history[1]
+            starts = [start for start, _ in self.sharded.bounds]
+
+            def changed_for(i: int) -> np.ndarray:
+                pieces = []
+                if predicate.low != old_low:
+                    pieces.append(indexes[i].range_query(
+                        None, max(old_low, predicate.low), sort=False))
+                if predicate.high != old_high:
+                    pieces.append(indexes[i].range_query(
+                        min(old_high, predicate.high), None, sort=False))
+                if not pieces:
+                    return np.empty(0, dtype=np.intp)
+                # Shard-local hits -> global row numbers.
+                return np.concatenate(pieces) + starts[i]
+
+            changed_parts = self._map_shards(changed_for)
+            # Same trade-off as the monolithic path: past a third of the
+            # table the full vectorised recomputation wins.
+            if sum(len(c) for c in changed_parts) > len(self.table) // 3:
+                history = None
+        if history is not None:
+            old = history[2]
+            signed = old.signed.copy()
+            raw = old.raw.copy()
+            column = self.table.column(attribute)
+
+            def update(i: int) -> None:
+                changed = changed_parts[i]
+                if not len(changed):
+                    return
+                values = np.asarray(column, dtype=float)[changed]
+                below = np.where(values < predicate.low, values - predicate.low, 0.0)
+                above = np.where(values > predicate.high, values - predicate.high, 0.0)
+                delta = below + above
+                delta = np.where(np.isnan(values), np.nan, delta)
+                signed[changed] = delta
+                raw[changed] = np.abs(delta)
+
+            # Shards write disjoint global row sets; safe to run in parallel.
+            self._map_shards(update)
+            result = _LeafRaw(
+                signed=signed,
+                raw=raw,
+                exact_mask=self._exact_mask(predicate),
+                supports_direction=True,
+            )
+        else:
+            def one(i: int) -> np.ndarray:
+                return np.asarray(predicate.signed_distances(self.sharded.shards[i]),
+                                  dtype=float)
+
+            signed = np.concatenate(self._map_shards(one))
+            result = _LeafRaw(
+                signed=signed,
+                raw=np.abs(signed),
+                exact_mask=self._exact_mask(predicate),
+                supports_direction=predicate.supports_direction,
+            )
+        self.cache.set_range_history(attribute, predicate.low, predicate.high, result)
+        return result
+
+    def _exact_mask(self, predicate) -> np.ndarray:
+        """Per-shard fulfilment masks, concatenated to the global mask.
+
+        Range predicates on numeric columns go through the per-shard
+        prefetch caches (widened regions answer a narrowing slider drag
+        without rescanning); everything else evaluates the predicate on the
+        shard view directly.  Masks are exact either way, so the global
+        concatenation equals the monolithic mask.
+        """
+        if (
+            isinstance(predicate, RangePredicate)
+            and self.table.has_column(predicate.attribute)
+            and self.table.is_numeric(predicate.attribute)
+        ):
+            ranges = {predicate.attribute: (predicate.low, predicate.high)}
+
+            def one(i: int) -> np.ndarray:
+                return self.sharded.prefetch[i].fulfilment_mask(ranges)
+        else:
+            def one(i: int) -> np.ndarray:
+                return np.asarray(predicate.exact_mask(self.sharded.shards[i]), dtype=bool)
+
+        return np.concatenate(self._map_shards(one))
+
+    # ------------------------------------------------------------------ #
+    # Normalization / combination
+    # ------------------------------------------------------------------ #
+    def _normalize(self, values: np.ndarray, weight: float) -> np.ndarray:
+        n = len(values)
+        keep = normalization_keep_count(weight, self.display_capacity, n)
+        if n == 0:
+            return np.asarray(values, dtype=float).copy()
+        bounds = self.sharded.bounds
+        if keep * self.sharded.shard_count <= n // 2:
+            # Selective keep: per-shard partials are small, so the serial
+            # merge is sublinear and the O(shard) partition work fans out.
+            partials = self._map_shards(
+                lambda i: distance_bounds_partial(values[bounds[i][0]:bounds[i][1]], keep)
+            )
+            resolved = resolve_distance_bounds(reduce(merge_distance_bounds, partials))
+        else:
+            # keep is a large fraction of the table: the partials would
+            # retain nearly every value and the merge would re-partition
+            # almost the whole column, doubling the selection work.  One
+            # direct pass resolves the same exact array elements; the
+            # elementwise transform below stays shard-parallel either way.
+            resolved = reduced_bounds(values, keep)
+        d_min, d_max = resolved if resolved is not None else (None, None)
+        out = np.empty(n, dtype=float)
+
+        def apply(i: int) -> None:
+            start, stop = bounds[i]
+            out[start:stop] = apply_normalization(
+                values[start:stop], d_min, d_max, target_max=self.target_max
+            )
+
+        self._map_shards(apply)
+        return out
+
+    def _combine(self, rule: CombinationRule, columns: list[np.ndarray],
+                 weights: np.ndarray) -> np.ndarray:
+        n = len(self.table)
+        out = np.empty(n, dtype=float)
+        bounds = self.sharded.bounds
+
+        def one(i: int) -> None:
+            start, stop = bounds[i]
+            out[start:stop] = combine_columns(
+                rule, [c[start:stop] for c in columns], weights
+            )
+
+        self._map_shards(one)
+        return out
+
+
+# --------------------------------------------------------------------------- #
+# Sharded displayed-set selection
+# --------------------------------------------------------------------------- #
+def sharded_select_display_set(distances: np.ndarray, sharded: ShardedTable,
+                               capacity: int, n_selection_predicates: int,
+                               method: ReductionMethod = ReductionMethod.QUANTILE,
+                               percentage: float | None = None,
+                               multipeak_z: int | None = None,
+                               executor: Executor | None = None) -> np.ndarray:
+    """Shard-parallel :func:`~repro.core.reduction.select_display_set`.
+
+    * the percentage path merges per-shard
+      :class:`~repro.core.reduction.TopKCandidates` partials;
+    * the quantile path concatenates per-shard finite values (preserving
+      row order, hence the exact quantile input) and applies the resulting
+      threshold shard by shard;
+    * the multi-peak heuristic needs the globally sorted distance prefix,
+      so it falls back to the monolithic implementation.
+
+    Results are bit-identical to the monolithic selection in every case.
+    """
+    distances = np.asarray(distances, dtype=float)
+    n = len(distances)
+    bounds = sharded.bounds
+    if n == 0 or n != len(sharded.table):
+        return select_display_set(
+            distances, capacity=capacity,
+            n_selection_predicates=n_selection_predicates, method=method,
+            percentage=percentage, multipeak_z=multipeak_z,
+        )
+    if method is ReductionMethod.PERCENTAGE or percentage is not None:
+        if percentage is None:
+            raise ValueError("percentage reduction requires a percentage value")
+        if not 0.0 < percentage <= 1.0:
+            raise ValueError(f"percentage must be in (0, 1], got {percentage}")
+        target = max(1, int(round(percentage * n)))
+        if target >= n:
+            return np.arange(n, dtype=np.intp)
+        if target * len(bounds) > n // 2:
+            # The per-shard candidate sets would together approach the full
+            # column, so the merge would redo a full-size selection; the
+            # monolithic partition is cheaper and bit-identical.
+            return select_display_set(
+                distances, capacity=capacity,
+                n_selection_predicates=n_selection_predicates,
+                method=ReductionMethod.PERCENTAGE, percentage=percentage,
+                multipeak_z=multipeak_z,
+            )
+        partials = _map_indexed(
+            executor,
+            lambda i: topk_candidates(distances[bounds[i][0]:bounds[i][1]],
+                                      target, offset=bounds[i][0]),
+            len(bounds),
+        )
+        return resolve_topk(reduce(merge_topk_candidates, partials))
+    if method is ReductionMethod.QUANTILE:
+        p = display_fraction(capacity, n, n_selection_predicates)
+        finite_parts = _map_indexed(
+            executor,
+            lambda i: distances[bounds[i][0]:bounds[i][1]][
+                np.isfinite(distances[bounds[i][0]:bounds[i][1]])
+            ],
+            len(bounds),
+        )
+        finite = np.concatenate(finite_parts)
+        if len(finite) == 0:
+            return np.empty(0, dtype=np.intp)
+        threshold = float(np.quantile(finite, p))
+
+        def select(i: int) -> np.ndarray:
+            start, stop = bounds[i]
+            part = distances[start:stop]
+            mask = np.isfinite(part) & (part <= threshold)
+            return np.nonzero(mask)[0] + start
+
+        return np.concatenate(_map_indexed(executor, select, len(bounds)))
+    return select_display_set(
+        distances, capacity=capacity,
+        n_selection_predicates=n_selection_predicates, method=method,
+        percentage=percentage, multipeak_z=multipeak_z,
+    )

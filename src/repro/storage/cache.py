@@ -82,7 +82,14 @@ class PrefetchCache:
         Fractional widening applied to every finite bound when fetching,
         e.g. ``0.25`` widens a ``[10, 20]`` range to ``[7.5, 22.5]``.
     max_regions:
-        Maximum number of cached regions kept (oldest evicted first).
+        Maximum number of cached regions kept.  Eviction is hit-count
+        aware: the region with the fewest hits goes first (ties broken by
+        age, oldest first), so the region a slider is actively dragged
+        inside survives pressure from one-shot queries -- the failure mode
+        of the earlier blind-FIFO policy.  Sharded evaluation keys caches
+        per shard (one :class:`PrefetchCache` per row range, see
+        :class:`~repro.core.shard.ShardedTable`), so eviction pressure on
+        one shard never drops another shard's hot region.
     indexes:
         Optional per-column :class:`~repro.storage.index.SortedIndex` map;
         fresh fetches use an index for one constrained column (answering the
@@ -148,9 +155,26 @@ class PrefetchCache:
         rows = self._scan(widened)
         self.fetches += 1
         self._regions.append(CachedRegion(ranges=widened, row_indices=rows))
-        if len(self._regions) > self.max_regions:
-            self._regions.pop(0)
+        while len(self._regions) > self.max_regions:
+            self._evict_one()
         return rows
+
+    def _evict_one(self) -> None:
+        """Drop the least-hit *resident* region (oldest among ties).
+
+        The newest region (the one just fetched) is exempt: it necessarily
+        has zero hits, so including it would self-evict every new fetch the
+        moment all residents have a hit -- permanently locking the cache to
+        stale regions.  Admitting the new region and evicting the least-hit
+        older one keeps hot regions alive while still adapting to the band
+        the user is currently exploring.
+        """
+        if len(self._regions) == 1:  # max_regions == 0: nothing can stay
+            self._regions.pop()
+            return
+        victim = min(range(len(self._regions) - 1),
+                     key=lambda i: (self._regions[i].hits, i))
+        self._regions.pop(victim)
 
     def query(self, ranges: Mapping[str, Range]) -> np.ndarray:
         """Return row indices matching the conjunctive range query.

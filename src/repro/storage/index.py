@@ -27,7 +27,10 @@ class SortedIndex:
     Parameters
     ----------
     table:
-        The indexed table.
+        The indexed table.  May be a shard view of a larger table (see
+        :meth:`~repro.storage.table.Table.slice_rows`); returned row
+        indices are then shard-local and the caller owns the offset to
+        global row numbers.
     column_name:
         Name of a numeric column.
     """

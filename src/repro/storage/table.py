@@ -167,6 +167,25 @@ class Table:
         """Return the first ``n`` rows as a new table."""
         return self.take(np.arange(min(n, self._length)))
 
+    def slice_rows(self, start: int, stop: int, name: str | None = None) -> "Table":
+        """Return the rows ``[start, stop)`` as a zero-copy view table.
+
+        Unlike :meth:`take`, the returned table's columns are NumPy views
+        into this table's arrays -- no data is copied.  This is what makes
+        row-range sharding cheap: a :class:`~repro.core.shard.ShardedTable`
+        holds one view per shard over the same memory.  Callers must treat
+        the views as read-only, exactly as for :meth:`column`.
+        """
+        if not 0 <= start <= stop <= self._length:
+            raise ValueError(
+                f"invalid row slice [{start}, {stop}) for {self._length} rows"
+            )
+        new = Table.__new__(Table)
+        new.name = name or self.name
+        new._columns = {c: col[start:stop] for c, col in self._columns.items()}
+        new._length = stop - start
+        return new
+
     def sort_by(self, column_name: str, descending: bool = False) -> "Table":
         """Return a copy of the table sorted by one column."""
         order = np.argsort(self.column(column_name), kind="stable")

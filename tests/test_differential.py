@@ -1,0 +1,303 @@
+"""Differential property-test harness for sharded plan execution.
+
+Randomized (seeded, shrinkable) query trees over random tables are executed
+three ways and must agree **bit for bit**:
+
+* a cold single-shard :class:`~repro.core.pipeline.VisualFeedbackQuery` run
+  (the reference semantics, a fresh engine per state);
+* sharded execution for shard counts {1, 2, 7, 32};
+* incremental re-execution: the sharded engines are prepared once and
+  driven through a random mutation sequence of slider / weight /
+  percentage events, so every step after the first also exercises the
+  delta paths (range history, per-shard indexes, node caches).
+
+With ``CASES x EVENTS_PER_CASE`` = 200 randomized query/mutation states
+(each checked across four shard counts) this is the lock that lets the
+sharding layer -- and any future backend behind
+:class:`~repro.core.engine.QueryEngine` -- be refactored freely.
+
+On failure the harness shrinks the mutation sequence to the shortest
+failing prefix and reports the case seed, so a repro is one
+``_check_case(seed, max_events=k)`` call away.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro import PipelineConfig, QueryEngine, ScreenSpec, VisualFeedbackQuery
+from repro.core.reduction import ReductionMethod
+from repro.datasets import environmental_database
+from repro.interact.events import (
+    SetPercentageDisplayed,
+    SetQueryRange,
+    SetThreshold,
+    SetWeight,
+)
+from repro.query.builder import Query, QueryBuilder, between, condition
+from repro.query.expr import AndNode, OrNode, PredicateLeaf
+from repro.query.predicates import AttributePredicate, ComparisonOperator, RangePredicate
+from repro.storage.table import Table
+
+SHARD_COUNTS = (1, 2, 7, 32)
+CASES = 40
+EVENTS_PER_CASE = 5
+
+
+# --------------------------------------------------------------------------- #
+# Random case generation
+# --------------------------------------------------------------------------- #
+def random_table(rng: np.random.Generator) -> Table:
+    n = int(rng.integers(20, 400))
+    columns: dict[str, np.ndarray] = {}
+    for name in ("a", "b", "c", "d"):
+        kind = rng.integers(0, 3)
+        if kind == 0:
+            values = rng.uniform(0.0, 100.0, n)
+        elif kind == 1:
+            values = rng.normal(50.0, 20.0, n)
+        else:
+            # Quantized values force ties in distances and at selection
+            # boundaries -- the hard case for the merge algebra.
+            values = np.round(rng.uniform(0.0, 100.0, n) / 5.0) * 5.0
+        if rng.random() < 0.35:
+            values[rng.random(n) < rng.uniform(0.05, 0.3)] = np.nan
+        columns[name] = values
+    return Table("Random", columns)
+
+
+def random_leaf(rng: np.random.Generator) -> PredicateLeaf:
+    attribute = str(rng.choice(["a", "b", "c", "d"]))
+    if rng.random() < 0.5:
+        low = float(rng.uniform(0.0, 80.0))
+        leaf = between(attribute, low, low + float(rng.uniform(1.0, 40.0)))
+    else:
+        operator = str(rng.choice(["<", "<=", ">", ">=", "="]))
+        leaf = condition(attribute, operator, float(rng.uniform(10.0, 90.0)))
+    leaf.with_weight(round(float(rng.uniform(0.1, 1.0)), 2))
+    return leaf
+
+
+def random_condition(rng: np.random.Generator, depth: int = 2):
+    if depth == 0 or rng.random() < 0.25:
+        return random_leaf(rng)
+    children = [random_condition(rng, depth - 1) for _ in range(int(rng.integers(2, 4)))]
+    node_type = AndNode if rng.random() < 0.6 else OrNode
+    node = node_type(children)
+    node.with_weight(round(float(rng.uniform(0.2, 1.0)), 2))
+    return node
+
+
+def random_config(rng: np.random.Generator) -> PipelineConfig:
+    percentage = None
+    reduction = ReductionMethod.QUANTILE
+    roll = rng.random()
+    if roll < 0.45:
+        percentage = round(float(rng.uniform(0.05, 0.9)), 2)
+    elif roll < 0.55:
+        reduction = ReductionMethod.MULTIPEAK
+    return PipelineConfig(
+        screen=ScreenSpec(width=int(rng.integers(24, 96)), height=int(rng.integers(24, 96))),
+        pixels_per_item=int(rng.choice([1, 4])),
+        percentage=percentage,
+        reduction=reduction,
+    )
+
+
+def random_events(rng: np.random.Generator, root, count: int) -> list:
+    """A mutation sequence, tracked against a shadow tree so that each event
+    is valid for the predicate kind it will find at apply time."""
+    shadow = copy.deepcopy(root)
+    leaf_paths = [path for path, _ in shadow.iter_leaves()]
+    node_paths = [path for path, _ in shadow.iter_nodes()]
+    events = []
+    while len(events) < count:
+        roll = rng.random()
+        if roll < 0.45:
+            path = leaf_paths[rng.integers(0, len(leaf_paths))]
+            leaf = shadow.find(tuple(path))
+            attribute = leaf.predicate.attribute
+            low = float(rng.uniform(0.0, 80.0))
+            event = SetQueryRange(tuple(path), low, low + float(rng.uniform(0.5, 40.0)))
+            leaf.predicate = RangePredicate(attribute, event.low, event.high)
+        elif roll < 0.75:
+            path = node_paths[rng.integers(0, len(node_paths))]
+            event = SetWeight(tuple(path), round(float(rng.uniform(0.05, 1.0)), 2))
+        elif roll < 0.85:
+            event = SetPercentageDisplayed(round(float(rng.uniform(0.05, 1.0)), 2))
+        else:
+            attribute_leaves = [
+                p for p in leaf_paths
+                if isinstance(shadow.find(tuple(p)).predicate, AttributePredicate)
+            ]
+            if not attribute_leaves:
+                continue
+            path = attribute_leaves[rng.integers(0, len(attribute_leaves))]
+            event = SetThreshold(tuple(path), float(rng.uniform(10.0, 90.0)))
+        events.append(event)
+    return events
+
+
+# --------------------------------------------------------------------------- #
+# Bitwise feedback comparison
+# --------------------------------------------------------------------------- #
+def assert_feedback_identical(reference, candidate, context: str) -> None:
+    __tracebackhide__ = True
+    try:
+        np.testing.assert_array_equal(reference.display_order, candidate.display_order)
+        assert reference.statistics == candidate.statistics, (
+            f"{reference.statistics} != {candidate.statistics}"
+        )
+        assert reference.display_capacity == candidate.display_capacity
+        np.testing.assert_array_equal(reference.relevance, candidate.relevance)
+        assert set(reference.node_feedback) == set(candidate.node_feedback)
+        for path in reference.node_feedback:
+            ref_node = reference.node_feedback[path]
+            cand_node = candidate.node_feedback[path]
+            np.testing.assert_array_equal(
+                ref_node.normalized_distances, cand_node.normalized_distances)
+            np.testing.assert_array_equal(ref_node.raw_distances, cand_node.raw_distances)
+            np.testing.assert_array_equal(ref_node.exact_mask, cand_node.exact_mask)
+            assert (ref_node.signed_distances is None) == (cand_node.signed_distances is None)
+            if ref_node.signed_distances is not None:
+                np.testing.assert_array_equal(
+                    ref_node.signed_distances, cand_node.signed_distances)
+    except AssertionError as exc:
+        raise AssertionError(f"[{context}] {exc}") from None
+
+
+def cold_reference(source, prepared):
+    """A from-scratch single-shard run of the prepared query's current state."""
+    return VisualFeedbackQuery(
+        source,
+        copy.deepcopy(prepared.query),
+        prepared.config.with_(shard_count=1, max_workers=1),
+    ).execute()
+
+
+# --------------------------------------------------------------------------- #
+# Case execution and shrinking
+# --------------------------------------------------------------------------- #
+def _check_case(seed: int, max_events: int = EVENTS_PER_CASE) -> None:
+    rng = np.random.default_rng(987_000 + seed)
+    table = random_table(rng)
+    root = random_condition(rng)
+    config = random_config(rng)
+    events = random_events(rng, root, EVENTS_PER_CASE)[:max_events]
+
+    prepared = {
+        shards: QueryEngine(table, config.with_(shard_count=shards, max_workers=2))
+        .prepare(Query(name=f"case-{seed}", tables=[table.name],
+                       condition=copy.deepcopy(root)))
+        for shards in SHARD_COUNTS
+    }
+    reference = cold_reference(table, prepared[1])
+    for shards in SHARD_COUNTS:
+        assert_feedback_identical(
+            reference, prepared[shards].execute(),
+            f"seed={seed} step=initial shards={shards}",
+        )
+    for step, event in enumerate(events):
+        feedbacks = {
+            shards: prepared[shards].execute(changes=[event]) for shards in SHARD_COUNTS
+        }
+        reference = cold_reference(table, prepared[1])
+        for shards in SHARD_COUNTS:
+            assert_feedback_identical(
+                reference, feedbacks[shards],
+                f"seed={seed} step={step} event={event!r} shards={shards}",
+            )
+    # Re-execution without changes must serve every node from the caches and
+    # still be identical (the all-hit incremental path).
+    for shards in SHARD_COUNTS:
+        assert_feedback_identical(
+            reference, prepared[shards].execute(),
+            f"seed={seed} step=replay shards={shards}",
+        )
+
+
+def _shrink(seed: int) -> str:
+    """Shortest failing event prefix for a failing seed (for the repro hint)."""
+    for k in range(EVENTS_PER_CASE + 1):
+        try:
+            _check_case(seed, max_events=k)
+        except AssertionError as exc:
+            return f"minimal repro: _check_case({seed}, max_events={k}) -- {exc}"
+    return "failure did not reproduce during shrinking (flaky environment?)"
+
+
+@pytest.mark.parametrize("seed", range(CASES))
+def test_differential_random_case(seed):
+    try:
+        _check_case(seed)
+    except AssertionError:
+        raise AssertionError(_shrink(seed)) from None
+
+
+# --------------------------------------------------------------------------- #
+# Join-table differential (cross product + per-shard prefetch under drags)
+# --------------------------------------------------------------------------- #
+def test_differential_join_query_with_slider_drag():
+    db = environmental_database(hours=60, stations=2, seed=11)
+    config = PipelineConfig(percentage=0.25, max_join_pairs=8_000)
+
+    def build():
+        return (
+            QueryBuilder("join-diff", db)
+            .use_tables("Weather")
+            .where(AndNode([
+                OrNode([
+                    condition("Weather.Temperature", ">", 15.0),
+                    condition("Weather.Humidity", "<", 60.0),
+                ]),
+                between("Air-Pollution.Ozone", 20.0, 120.0),
+            ]))
+            .use_connection("Air-Pollution with-time-diff Weather", parameter=120)
+            .build()
+        )
+
+    prepared = {
+        shards: QueryEngine(db, config.with_(shard_count=shards, max_workers=2))
+        .prepare(build())
+        for shards in SHARD_COUNTS
+    }
+    events = [
+        SetQueryRange((1,), 25.0, 110.0),
+        SetQueryRange((1,), 30.0, 100.0),
+        SetWeight((0,), 0.6),
+        SetQueryRange((1,), 32.0, 96.0),
+        SetPercentageDisplayed(0.4),
+    ]
+    for shards in SHARD_COUNTS:
+        prepared[shards].execute()
+    for step, event in enumerate(events):
+        feedbacks = {
+            shards: prepared[shards].execute(changes=[event]) for shards in SHARD_COUNTS
+        }
+        reference = cold_reference(db, prepared[1])
+        for shards in SHARD_COUNTS:
+            assert_feedback_identical(
+                reference, feedbacks[shards], f"join step={step} shards={shards}"
+            )
+    # The narrowing drags were served per shard: fetched regions cover the
+    # first drag, later (narrower) drags hit instead of rescanning.
+    sharded = prepared[7].engine.sharded_table(prepared[7].table, 7)
+    assert sum(p.cache_hits for p in sharded.prefetch) > 0
+
+
+def test_differential_shard_count_beyond_rows():
+    """More shards than rows: trailing empty shards must be inert."""
+    rng = np.random.default_rng(5)
+    table = Table("Tiny", {"a": rng.uniform(0, 100, 9), "b": rng.uniform(0, 10, 9)})
+    config = PipelineConfig(screen=ScreenSpec(width=32, height=32))
+    query = Query(name="tiny", tables=["Tiny"],
+                  condition=AndNode([between("a", 10.0, 60.0), condition("b", ">", 4.0)]))
+    reference = VisualFeedbackQuery(table, copy.deepcopy(query),
+                                    config.with_(shard_count=1)).execute()
+    for shards in (2, 7, 32, 64):
+        feedback = QueryEngine(table, config.with_(shard_count=shards)).prepare(
+            copy.deepcopy(query)).execute()
+        assert_feedback_identical(reference, feedback, f"tiny shards={shards}")

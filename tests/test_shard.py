@@ -1,0 +1,291 @@
+"""Property tests for the sharded merge algebra.
+
+The sharded evaluator's bit-identity contract rests on two merge algebras:
+per-shard ``(d_min, d_max)`` partials (:mod:`repro.core.shard`) and
+per-shard top-k candidate sets (:mod:`repro.core.reduction`).  These tests
+pin the invariants any future backend must preserve:
+
+* merging is associative and order-independent (any shard order, any fold
+  shape resolves to the same result);
+* all-NaN shards and empty shards are identity elements;
+* resolved results equal the monolithic computation bit for bit,
+  including ties at the capacity boundary, where the stable-argsort tie
+  rule (ascending global row index) must survive merging.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import (
+    apply_normalization,
+    normalization_keep_count,
+    reduced_normalization,
+)
+from repro.core.reduction import (
+    ReductionMethod,
+    merge_topk_candidates,
+    resolve_topk,
+    select_display_set,
+    topk_candidates,
+)
+from repro.core.shard import (
+    distance_bounds_partial,
+    empty_distance_bounds,
+    merge_distance_bounds,
+    resolve_distance_bounds,
+    shard_bounds,
+)
+
+
+def random_column(rng: np.random.Generator, n: int, *, nan_fraction: float = 0.0,
+                  tie_heavy: bool = False) -> np.ndarray:
+    """A distance-like column; quantized values force ties when asked."""
+    values = rng.uniform(0.0, 100.0, n)
+    if tie_heavy:
+        values = np.round(values / 10.0) * 10.0
+    if nan_fraction > 0.0 and n > 0:
+        values[rng.random(n) < nan_fraction] = np.nan
+    return values
+
+
+def random_cuts(rng: np.random.Generator, n: int, pieces: int) -> list[tuple[int, int]]:
+    """A random (not necessarily balanced) partition of [0, n) into ranges."""
+    cuts = np.sort(rng.integers(0, n + 1, size=max(pieces - 1, 0)))
+    edges = [0, *cuts.tolist(), n]
+    return [(edges[i], edges[i + 1]) for i in range(len(edges) - 1)]
+
+
+# --------------------------------------------------------------------------- #
+# shard_bounds
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("n,k", [(0, 1), (0, 5), (1, 1), (10, 3), (10, 10), (7, 32), (100, 7)])
+def test_shard_bounds_cover_and_balance(n, k):
+    bounds = shard_bounds(n, k)
+    assert len(bounds) == k
+    assert bounds[0][0] == 0 and bounds[-1][1] == n
+    sizes = [stop - start for start, stop in bounds]
+    assert all(s >= 0 for s in sizes)
+    assert sum(sizes) == n
+    assert max(sizes) - min(sizes) <= 1
+    for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+        assert stop == start
+
+
+def test_shard_bounds_validation():
+    with pytest.raises(ValueError):
+        shard_bounds(10, 0)
+    with pytest.raises(ValueError):
+        shard_bounds(-1, 2)
+
+
+# --------------------------------------------------------------------------- #
+# (d_min, d_max) merge algebra
+# --------------------------------------------------------------------------- #
+def resolved_over(values: np.ndarray, cuts, capacity: int, order=None):
+    partials = [distance_bounds_partial(values[a:b], capacity) for a, b in cuts]
+    if order is not None:
+        partials = [partials[i] for i in order]
+    return resolve_distance_bounds(reduce(merge_distance_bounds, partials))
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_distance_bounds_match_monolithic_normalization(seed):
+    """Sharded bounds + elementwise transform == reduced_normalization, bitwise."""
+    rng = np.random.default_rng(1000 + seed)
+    n = int(rng.integers(1, 400))
+    values = random_column(rng, n, nan_fraction=float(rng.choice([0.0, 0.2, 0.9])))
+    weight = float(rng.choice([0.05, 0.3, 1.0]))
+    capacity = int(rng.integers(1, 2 * n + 2))
+    keep = normalization_keep_count(weight, capacity, n)
+    cuts = random_cuts(rng, n, int(rng.integers(1, 9)))
+    resolved = resolved_over(values, cuts, keep)
+    d_min, d_max = resolved if resolved is not None else (None, None)
+    sharded = np.concatenate([
+        apply_normalization(values[a:b], d_min, d_max) for a, b in cuts
+    ])
+    np.testing.assert_array_equal(
+        sharded, reduced_normalization(values, weight, capacity)
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_distance_bounds_merge_is_order_independent(seed):
+    rng = np.random.default_rng(2000 + seed)
+    n = int(rng.integers(1, 300))
+    values = random_column(rng, n, nan_fraction=0.15, tie_heavy=bool(seed % 2))
+    capacity = int(rng.integers(1, n + 1))
+    cuts = random_cuts(rng, n, 6)
+    reference = resolved_over(values, cuts, capacity)
+    for _ in range(4):
+        order = rng.permutation(len(cuts))
+        assert resolved_over(values, cuts, capacity, order=order) == reference
+
+
+def test_distance_bounds_fold_shape_irrelevant():
+    rng = np.random.default_rng(3)
+    values = random_column(rng, 120, nan_fraction=0.1)
+    cuts = random_cuts(rng, 120, 4)
+    a, b, c, d = (distance_bounds_partial(values[lo:hi], 10) for lo, hi in cuts)
+    left = merge_distance_bounds(merge_distance_bounds(merge_distance_bounds(a, b), c), d)
+    right = merge_distance_bounds(a, merge_distance_bounds(b, merge_distance_bounds(c, d)))
+    pairs = merge_distance_bounds(merge_distance_bounds(a, b), merge_distance_bounds(c, d))
+    assert (resolve_distance_bounds(left) == resolve_distance_bounds(right)
+            == resolve_distance_bounds(pairs))
+
+
+def test_distance_bounds_empty_and_all_nan_shards_are_identity():
+    rng = np.random.default_rng(4)
+    values = random_column(rng, 50)
+    base = distance_bounds_partial(values, 7)
+    nan_shard = distance_bounds_partial(np.full(20, np.nan), 7)
+    empty_shard = distance_bounds_partial(np.empty(0), 7)
+    identity = empty_distance_bounds(7)
+    for extra in (nan_shard, empty_shard, identity):
+        assert extra.count == 0
+        merged = merge_distance_bounds(base, extra)
+        assert resolve_distance_bounds(merged) == resolve_distance_bounds(base)
+        merged = merge_distance_bounds(extra, base)
+        assert resolve_distance_bounds(merged) == resolve_distance_bounds(base)
+
+
+def test_distance_bounds_all_shards_nan_resolves_to_none():
+    parts = [distance_bounds_partial(np.full(5, np.nan), 3) for _ in range(4)]
+    assert resolve_distance_bounds(reduce(merge_distance_bounds, parts)) is None
+    np.testing.assert_array_equal(
+        apply_normalization(np.full(5, np.nan), None, None),
+        reduced_normalization(np.full(5, np.nan), 1.0, 3),
+    )
+
+
+def test_distance_bounds_capacity_mismatch_rejected():
+    a = distance_bounds_partial(np.arange(5.0), 3)
+    b = distance_bounds_partial(np.arange(5.0), 4)
+    with pytest.raises(ValueError):
+        merge_distance_bounds(a, b)
+
+
+def test_resolve_keep_must_fit_capacity():
+    partial = distance_bounds_partial(np.arange(10.0), 4)
+    assert resolve_distance_bounds(partial, keep=2) == (0.0, 1.0)
+    with pytest.raises(ValueError):
+        resolve_distance_bounds(partial, keep=5)
+
+
+# --------------------------------------------------------------------------- #
+# top-k candidate merge algebra
+# --------------------------------------------------------------------------- #
+def stable_reference_topk(distances: np.ndarray, target: int) -> np.ndarray:
+    """The spec: target smallest by stable argsort (NaN last), sorted indices."""
+    masked = np.where(np.isfinite(distances), distances, np.inf)
+    if target >= len(distances):
+        return np.arange(len(distances), dtype=np.intp)
+    return np.sort(np.argsort(masked, kind="stable")[:target])
+
+
+def merged_topk(distances: np.ndarray, cuts, target: int, order=None):
+    partials = [topk_candidates(distances[a:b], target, offset=a) for a, b in cuts]
+    if order is not None:
+        partials = [partials[i] for i in order]
+    return resolve_topk(reduce(merge_topk_candidates, partials))
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_topk_merge_matches_monolithic_and_stable_argsort(seed):
+    rng = np.random.default_rng(4000 + seed)
+    n = int(rng.integers(1, 400))
+    distances = random_column(rng, n, nan_fraction=float(rng.choice([0.0, 0.25, 1.0])),
+                              tie_heavy=bool(seed % 2))
+    percentage = float(rng.uniform(0.05, 1.0))
+    target = max(1, int(round(percentage * n)))
+    cuts = random_cuts(rng, n, int(rng.integers(1, 9)))
+    merged = merged_topk(distances, cuts, target)
+    monolithic = select_display_set(
+        distances, capacity=10_000, n_selection_predicates=1,
+        method=ReductionMethod.PERCENTAGE, percentage=percentage,
+    )
+    np.testing.assert_array_equal(merged, monolithic)
+    np.testing.assert_array_equal(merged, stable_reference_topk(distances, target))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_topk_merge_is_order_independent(seed):
+    rng = np.random.default_rng(5000 + seed)
+    n = int(rng.integers(2, 300))
+    distances = random_column(rng, n, nan_fraction=0.1, tie_heavy=True)
+    target = int(rng.integers(1, n + 1))
+    cuts = random_cuts(rng, n, 5)
+    reference = merged_topk(distances, cuts, target)
+    for _ in range(4):
+        order = rng.permutation(len(cuts))
+        np.testing.assert_array_equal(
+            merged_topk(distances, cuts, target, order=order), reference
+        )
+
+
+def test_topk_fold_shape_irrelevant():
+    rng = np.random.default_rng(6)
+    distances = random_column(rng, 200, tie_heavy=True)
+    cuts = random_cuts(rng, 200, 4)
+    a, b, c, d = (topk_candidates(distances[lo:hi], 25, offset=lo) for lo, hi in cuts)
+    left = merge_topk_candidates(merge_topk_candidates(merge_topk_candidates(a, b), c), d)
+    right = merge_topk_candidates(a, merge_topk_candidates(b, merge_topk_candidates(c, d)))
+    pairs = merge_topk_candidates(merge_topk_candidates(a, b), merge_topk_candidates(c, d))
+    np.testing.assert_array_equal(resolve_topk(left), resolve_topk(right))
+    np.testing.assert_array_equal(resolve_topk(left), resolve_topk(pairs))
+
+
+def test_topk_ties_at_capacity_boundary_break_by_row_index():
+    """All-equal distances: the displayed set must be the first ``target`` rows.
+
+    This is the exact boundary where a naive per-shard truncation loses the
+    stable-argsort rule: a later shard's tie rows must never displace an
+    earlier row with the same distance.
+    """
+    n, target = 40, 7
+    distances = np.full(n, 3.25)
+    cuts = [(0, 10), (10, 25), (25, 40)]
+    merged = merged_topk(distances, cuts, target)
+    np.testing.assert_array_equal(merged, np.arange(target, dtype=np.intp))
+    # Reversed merge order must not change the winners.
+    np.testing.assert_array_equal(
+        merged_topk(distances, cuts, target, order=[2, 1, 0]), merged
+    )
+
+
+def test_topk_all_nan_column_selects_lowest_indices():
+    distances = np.full(30, np.nan)
+    cuts = [(0, 13), (13, 30)]
+    merged = merged_topk(distances, cuts, 5)
+    monolithic = select_display_set(
+        distances, capacity=10_000, n_selection_predicates=1,
+        method=ReductionMethod.PERCENTAGE, percentage=5 / 30,
+    )
+    np.testing.assert_array_equal(merged, monolithic)
+    np.testing.assert_array_equal(merged, np.arange(5, dtype=np.intp))
+
+
+def test_topk_empty_shards_are_identity():
+    rng = np.random.default_rng(7)
+    distances = random_column(rng, 60, tie_heavy=True)
+    target = 9
+    base = reduce(merge_topk_candidates,
+                  [topk_candidates(distances[a:b], target, offset=a)
+                   for a, b in [(0, 30), (30, 60)]])
+    empty = topk_candidates(np.empty(0), target, offset=60)
+    np.testing.assert_array_equal(
+        resolve_topk(merge_topk_candidates(base, empty)), resolve_topk(base)
+    )
+    np.testing.assert_array_equal(
+        resolve_topk(merge_topk_candidates(empty, base)), resolve_topk(base)
+    )
+
+
+def test_topk_target_mismatch_rejected():
+    a = topk_candidates(np.arange(5.0), 2)
+    b = topk_candidates(np.arange(5.0), 3)
+    with pytest.raises(ValueError):
+        merge_topk_candidates(a, b)

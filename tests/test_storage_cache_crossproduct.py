@@ -89,6 +89,140 @@ def test_cached_region_covers_logic():
     assert not region.covers({})
 
 
+# -- PrefetchCache edge cases (ROADMAP: untested paths) ------------------ #
+def test_or_shaped_region_falls_back_to_separate_full_scans(table):
+    """A union of boxes is not representable as one cached region.
+
+    The cache stores conjunctive boxes only, so the two arms of an
+    OR-shaped request must be fetched (scanned) separately -- neither arm's
+    cached region covers the other, and each arm stays exact.
+    """
+    cache = PrefetchCache(table, margin=0.1)
+    left_arm = {"a": (10.0, 20.0)}
+    right_arm = {"a": (60.0, 70.0)}
+    rows_left = cache.query(left_arm)
+    rows_right = cache.query(right_arm)
+    assert cache.fetches == 2 and cache.cache_hits == 0
+    np.testing.assert_array_equal(rows_left, brute(table, left_arm))
+    np.testing.assert_array_equal(rows_right, brute(table, right_arm))
+    # The union is answerable only by the caller merging the arms.
+    union = np.union1d(rows_left, rows_right)
+    expected = np.union1d(brute(table, left_arm), brute(table, right_arm))
+    np.testing.assert_array_equal(union, expected)
+    # Each arm individually now hits its own region.
+    cache.query({"a": (12.0, 18.0)})
+    cache.query({"a": (62.0, 68.0)})
+    assert cache.fetches == 2 and cache.cache_hits == 2
+
+
+def test_eviction_keeps_hit_regions_under_pressure(table):
+    """Hit-count-aware eviction: the hot region survives one-shot queries."""
+    cache = PrefetchCache(table, margin=0.25, max_regions=2)
+    cache.query({"a": (20.0, 40.0)})   # hot region
+    cache.query({"a": (25.0, 35.0)})   # hit on it
+    assert cache.cache_hits == 1
+    cache.query({"b": (1.0, 2.0)})     # fills the cache (no hits yet)
+    cache.query({"b": (5.0, 6.0)})     # pressure: evicts the unhit b-region
+    assert cache.region_count == 2
+    result = cache.query({"a": (26.0, 34.0)})
+    assert cache.fetches == 3  # still served from the surviving hot region
+    np.testing.assert_array_equal(result, brute(table, {"a": (26.0, 34.0)}))
+
+
+def test_eviction_ties_drop_oldest_region(table):
+    """With no hits anywhere the policy degrades to FIFO (oldest first)."""
+    cache = PrefetchCache(table, margin=0.1, max_regions=2)
+    cache.query({"a": (0.0, 10.0)})
+    cache.query({"a": (30.0, 40.0)})
+    cache.query({"a": (60.0, 70.0)})  # evicts the oldest zero-hit region
+    assert cache.region_count == 2
+    # The newer two answer from cache ...
+    cache.query({"a": (32.0, 38.0)})
+    cache.query({"a": (62.0, 68.0)})
+    assert cache.cache_hits == 2 and cache.fetches == 3
+    # ... while re-querying the evicted oldest must fetch again.
+    cache.query({"a": (2.0, 8.0)})
+    assert cache.fetches == 4
+
+
+def test_eviction_admits_new_region_when_all_residents_have_hits(table):
+    """A fresh fetch must never evict itself just because residents are hot.
+
+    Regression guard: with every resident region hit at least once, the
+    zero-hit newcomer must still be admitted (evicting the least-hit
+    resident), otherwise a drag into a new value band would re-scan the
+    table on every single step.
+    """
+    cache = PrefetchCache(table, margin=0.25, max_regions=2)
+    cache.query({"a": (20.0, 40.0)})
+    cache.query({"a": (25.0, 35.0)})   # hit resident 1
+    cache.query({"b": (1.0, 3.0)})
+    cache.query({"b": (1.5, 2.5)})     # hit resident 2
+    assert cache.cache_hits == 2
+    cache.query({"a": (60.0, 70.0)})   # new band: must be admitted
+    fetches = cache.fetches
+    result = cache.query({"a": (62.0, 68.0)})  # narrowing drag inside it
+    assert cache.fetches == fetches, "new region was evicted on arrival"
+    assert cache.cache_hits == 3
+    np.testing.assert_array_equal(result, brute(table, {"a": (62.0, 68.0)}))
+
+
+def test_fulfilment_mask_matches_brute_force(table):
+    cache = PrefetchCache(table, margin=0.25)
+    ranges = {"a": (20.0, 40.0), "b": (2.0, 8.0)}
+    expected = np.zeros(len(table), dtype=bool)
+    expected[brute(table, ranges)] = True
+    np.testing.assert_array_equal(cache.fulfilment_mask(ranges), expected)
+    # Narrower query: answered from the cached region, still exact.
+    narrower = {"a": (25.0, 35.0), "b": (3.0, 7.0)}
+    expected = np.zeros(len(table), dtype=bool)
+    expected[brute(table, narrower)] = True
+    np.testing.assert_array_equal(cache.fulfilment_mask(narrower), expected)
+    assert cache.cache_hits == 1
+
+
+def test_fulfilment_mask_correct_after_clear(table):
+    """clear() must reset regions and counters without corrupting answers."""
+    cache = PrefetchCache(table, margin=0.25)
+    ranges = {"a": (20.0, 40.0)}
+    before = cache.fulfilment_mask(ranges)
+    cache.fulfilment_mask({"a": (25.0, 35.0)})
+    assert cache.cache_hits == 1
+    cache.clear()
+    assert cache.region_count == 0
+    assert cache.fetches == 0 and cache.cache_hits == 0
+    after = cache.fulfilment_mask(ranges)
+    np.testing.assert_array_equal(after, before)
+    assert cache.fetches == 1 and cache.cache_hits == 0
+    expected = np.zeros(len(table), dtype=bool)
+    expected[brute(table, ranges)] = True
+    np.testing.assert_array_equal(after, expected)
+
+
+def test_fulfilment_mask_indexed_one_sided_bounds_with_nan():
+    """One-sided bounds must not sweep NaN rows in via the sorted index.
+
+    NaN values sort to the end of a SortedIndex; a one-sided slice would
+    include them, so the indexed fast path is restricted to finite bounds
+    and one-sided queries take the filter path.  Either way the mask must
+    match the brute-force evaluation (NaN rows never fulfil).
+    """
+    from repro.storage.index import SortedIndex
+
+    values = np.array([5.0, np.nan, 1.0, 9.0, np.nan, 3.0, 7.0])
+    nan_table = Table("N", {"a": values})
+    cache = PrefetchCache(nan_table, margin=0.5,
+                          indexes={"a": SortedIndex(nan_table, "a")})
+    expected_two_sided = np.array([v >= 2.0 and v <= 8.0 if not np.isnan(v) else False
+                                   for v in values])
+    np.testing.assert_array_equal(cache.fulfilment_mask({"a": (2.0, 8.0)}),
+                                  expected_two_sided)
+    # Cached region now covers the narrower one-sided request below.
+    expected_one_sided = np.array([v >= 4.0 if not np.isnan(v) else False for v in values])
+    one_sided = cache.fulfilment_mask({"a": (4.0, None)})
+    np.testing.assert_array_equal(one_sided, expected_one_sided)
+
+
 # -- Cross products ----------------------------------------------------- #
 def test_pair_indices_full_enumeration():
     left, right = sampled_pair_indices(3, 2, max_pairs=None)
