@@ -43,14 +43,18 @@ from repro.query import (
     parse_query,
 )
 from repro.query.builder import between, condition
+from repro.service import FeedbackProtocolServer, FeedbackService, ServiceConfig
 from repro.storage import Database, Table
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "QueryEngine",
     "PreparedQuery",
     "VisualFeedbackQuery",
+    "FeedbackService",
+    "FeedbackProtocolServer",
+    "ServiceConfig",
     "PipelineConfig",
     "ScreenSpec",
     "QueryFeedback",

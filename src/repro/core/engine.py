@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import copy
 import os
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Sequence, Union
 
@@ -39,9 +40,11 @@ from repro.core.reduction import ReductionMethod, display_fraction, select_displ
 from repro.core.shard import (
     ShardedPlanEvaluator,
     ShardedTable,
+    pool_user,
     resolve_worker_count,
     shared_executor,
     sharded_select_display_set,
+    shutdown_executors,
 )
 from repro.core.relevance import RelevanceScale, relevance_factors
 from repro.core.result import FeedbackStatistics, QueryFeedback
@@ -64,16 +67,24 @@ def default_shard_count() -> int:
     """Shard count used when the config leaves ``shard_count`` unset.
 
     Reads the ``REPRO_SHARDS`` environment variable (the CI differential
-    matrix leg runs the whole suite with ``REPRO_SHARDS=4``); anything
-    missing or unparsable means 1, i.e. the classic monolithic execution.
+    matrix leg runs the whole suite with ``REPRO_SHARDS=4``); unset or
+    empty means 1, i.e. the classic monolithic execution.  A value that is
+    set but not a positive integer raises ``ValueError`` immediately --
+    silently falling back to 1 here used to turn a typo in a service
+    deployment into an unexplained single-shard slowdown.
     """
     value = os.environ.get("REPRO_SHARDS", "").strip()
     if not value:
         return 1
     try:
-        return max(1, int(value))
+        count = int(value)
     except ValueError:
-        return 1
+        raise ValueError(
+            f"REPRO_SHARDS must be a positive integer, got {value!r}"
+        ) from None
+    if count < 1:
+        raise ValueError(f"REPRO_SHARDS must be a positive integer, got {value!r}")
+    return count
 
 
 @dataclass(frozen=True)
@@ -133,10 +144,21 @@ class PipelineConfig:
             raise ValueError("pixels_per_item must be 1, 4 or 16")
         if self.percentage is not None and not 0.0 < self.percentage <= 1.0:
             raise ValueError("percentage must be in (0, 1]")
-        if self.shard_count is not None and self.shard_count < 1:
-            raise ValueError("shard_count must be at least 1")
-        if self.max_workers is not None and self.max_workers < 1:
-            raise ValueError("max_workers must be at least 1")
+        for name in ("shard_count", "max_workers"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            # Reject non-integers (strings from a config file, floats,
+            # bools) up front: a "4" would only blow up deep inside the
+            # thread-pool sizing with an unrelated TypeError.
+            if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+                raise ValueError(
+                    f"{name} must be a positive integer or None, got {value!r}"
+                )
+            if value < 1:
+                raise ValueError(
+                    f"{name} must be a positive integer or None, got {value!r}"
+                )
 
     def with_(self, **changes) -> "PipelineConfig":
         """Return a copy with some fields replaced."""
@@ -249,6 +271,73 @@ class QueryEngine:
         # Per (table, shard count): the row-range partitioning with its
         # per-shard prefetch caches and indexes.
         self._sharded: dict[tuple[int, int], tuple[Table, ShardedTable]] = {}
+        # Guards the shared per-table state above: the feedback service
+        # prepares and executes sessions on concurrent worker threads, and
+        # every execution resolves its caches through these dictionaries.
+        self._lock = threading.RLock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; :meth:`prepare` then raises."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release cached tables/caches and shut worker pools down (idempotent).
+
+        Embedding services use this for deterministic teardown: after
+        ``close()`` the engine holds no cross-product tables, distance
+        caches or prefetch regions, and the process-shared shard pools have
+        joined their threads (they are lazily recreated should another
+        engine execute afterwards).  Calling :meth:`prepare` on a closed
+        engine raises ``RuntimeError``.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._tables.clear()
+            self._caches.clear()
+            self._prefetch.clear()
+            self._sharded.clear()
+        shutdown_executors()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> dict[str, int]:
+        """Aggregate cache counters across every evaluation table.
+
+        Sums the :class:`~repro.core.plan.CacheStats` of all evaluation
+        caches with the hit/miss/eviction counters of all prefetch caches
+        (monolithic and per-shard); the service metrics endpoint surfaces
+        this dictionary as the engine-wide cache picture.
+        """
+        with self._lock:
+            caches = [entry[1] for entry in self._caches.values()]
+            prefetch = [entry[1] for entry in self._prefetch.values()]
+            for _, sharded in self._sharded.values():
+                prefetch.extend(sharded.prefetch)
+        totals: dict[str, int] = {
+            "leaf_hits": 0, "leaf_misses": 0, "node_hits": 0, "node_misses": 0,
+            "leaf_evictions": 0, "node_evictions": 0,
+            "prefetch_hits": 0, "prefetch_misses": 0, "prefetch_evictions": 0,
+        }
+        for cache in caches:
+            for key, value in cache.stats.as_dict().items():
+                totals[key] += value
+        for cache in prefetch:
+            stats = cache.stats()
+            totals["prefetch_hits"] += stats["hits"]
+            totals["prefetch_misses"] += stats["misses"]
+            totals["prefetch_evictions"] += stats["evictions"]
+        return totals
 
     # ------------------------------------------------------------------ #
     # Preparation
@@ -260,6 +349,8 @@ class QueryEngine:
         once; the returned :class:`PreparedQuery` only re-walks the compiled
         plan on :meth:`~PreparedQuery.execute`.
         """
+        if self._closed:
+            raise RuntimeError("QueryEngine is closed; create a new engine to prepare queries")
         query = coerce_query(self.source, query)
         config = self.config.with_(**overrides) if overrides else self.config
         table = self._assemble_table(query, config)
@@ -307,27 +398,38 @@ class QueryEngine:
             first.left_table, first.right_table,
             config.max_join_pairs, config.join_seed,
         )
-        table = self._tables.get(key)
-        if table is None:
-            product = CrossProduct(
-                self.source.table(first.left_table),
-                self.source.table(first.right_table),
-                max_pairs=config.max_join_pairs,
-                seed=config.join_seed,
-            )
-            # The parallel unit here is one column gather, independent of
-            # sharding: any multi-core host benefits even at shard_count 1.
-            workers = config.max_workers
-            if workers is None:
-                workers = os.cpu_count() or 1
+        with self._lock:
+            table = self._tables.get(key)
+        if table is not None:
+            return table
+        # Materialise outside the lock: the cross product can take seconds,
+        # and concurrent sessions must keep resolving their caches (which
+        # also take self._lock) meanwhile.  Two threads may race to build
+        # the same table; the first insert wins so identity stays single.
+        product = CrossProduct(
+            self.source.table(first.left_table),
+            self.source.table(first.right_table),
+            max_pairs=config.max_join_pairs,
+            seed=config.join_seed,
+        )
+        # The parallel unit here is one column gather, independent of
+        # sharding: any multi-core host benefits even at shard_count 1.
+        workers = config.max_workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+        with pool_user():
             table = product.to_table(executor=shared_executor(workers))
+        with self._lock:
+            existing = self._tables.get(key)
+            if existing is not None:
+                return existing
             self._tables[key] = table
             while len(self._tables) > self.max_cached_tables:
                 oldest = self._tables.pop(next(iter(self._tables)))
                 self._caches.pop(id(oldest), None)
                 self._prefetch.pop(id(oldest), None)
-                for key in [k for k in self._sharded if k[0] == id(oldest)]:
-                    del self._sharded[key]
+                for stale in [k for k in self._sharded if k[0] == id(oldest)]:
+                    del self._sharded[stale]
         return table
 
     # ------------------------------------------------------------------ #
@@ -340,34 +442,37 @@ class QueryEngine:
 
     def evaluation_cache(self, table: Table) -> EvaluationCache:
         """The distance-column cache for one evaluation table."""
-        entry = self._caches.get(id(table))
-        if entry is None or entry[0] is not table:
-            # ~24 bytes/row per entry (two float64 columns + masks).
-            per_entry = max(len(table), 1) * 24
-            max_entries = int(np.clip(self.cache_budget_bytes // per_entry, 8, 128))
-            entry = (table, EvaluationCache(
-                max_leaf_entries=min(max_entries, 64),
-                max_node_entries=max_entries,
-            ))
-            self._caches[id(table)] = entry
-        return entry[1]
+        with self._lock:
+            entry = self._caches.get(id(table))
+            if entry is None or entry[0] is not table:
+                # ~24 bytes/row per entry (two float64 columns + masks).
+                per_entry = max(len(table), 1) * 24
+                max_entries = int(np.clip(self.cache_budget_bytes // per_entry, 8, 128))
+                entry = (table, EvaluationCache(
+                    max_leaf_entries=min(max_entries, 64),
+                    max_node_entries=max_entries,
+                ))
+                self._caches[id(table)] = entry
+            return entry[1]
 
     def prefetch_for(self, table: Table) -> PrefetchCache:
         """The prefetch cache (widened range regions) for one evaluation table."""
-        entry = self._prefetch.get(id(table))
-        if entry is None or entry[0] is not table:
-            entry = (table, PrefetchCache(table, indexes={}))
-            self._prefetch[id(table)] = entry
-        return entry[1]
+        with self._lock:
+            entry = self._prefetch.get(id(table))
+            if entry is None or entry[0] is not table:
+                entry = (table, PrefetchCache(table, indexes={}))
+                self._prefetch[id(table)] = entry
+            return entry[1]
 
     def sharded_table(self, table: Table, shard_count: int) -> ShardedTable:
         """The (cached) row-range partitioning of one evaluation table."""
-        key = (id(table), shard_count)
-        entry = self._sharded.get(key)
-        if entry is None or entry[0] is not table:
-            entry = (table, ShardedTable(table, shard_count))
-            self._sharded[key] = entry
-        return entry[1]
+        with self._lock:
+            key = (id(table), shard_count)
+            entry = self._sharded.get(key)
+            if entry is None or entry[0] is not table:
+                entry = (table, ShardedTable(table, shard_count))
+                self._sharded[key] = entry
+            return entry[1]
 
     def ensure_range_index(self, table: Table, attribute: str,
                            shard_count: int = 1) -> None:
@@ -378,6 +483,9 @@ class QueryEngine:
         shards whose rows the swept band intersects; otherwise one global
         index backs the monolithic prefetch cache.
         """
+        # The O(n log n) builds run outside the engine lock (it guards only
+        # the cache-dictionary lookups), so concurrent sessions keep
+        # resolving their caches while one session's slider goes hot.
         if shard_count > 1:
             self.sharded_table(table, shard_count).ensure_index(attribute)
             return
@@ -385,7 +493,10 @@ class QueryEngine:
         if attribute in prefetch.indexes:
             return
         if table.has_column(attribute) and table.is_numeric(attribute):
-            prefetch.indexes[attribute] = SortedIndex(table, attribute)
+            index = SortedIndex(table, attribute)
+            # Two racing builders both build; the first publish wins so the
+            # index every reader sees stays one object.
+            prefetch.indexes.setdefault(attribute, index)
 
 
 class PreparedQuery:
@@ -597,55 +708,59 @@ class PreparedQuery:
                 capacity_items, max(1, int(round(self.config.percentage * n)))
             )
         shard_count = self.shard_count
-        sharded = executor = None
-        if shard_count > 1:
-            sharded = self.engine.sharded_table(table, shard_count)
-            executor = shared_executor(
-                resolve_worker_count(self.config.max_workers, shard_count)
+        # Registered as a pool user across all shard waves, so a concurrent
+        # QueryEngine.close() elsewhere in the process drains this
+        # execution instead of shutting the pool down between two waves.
+        with pool_user():
+            sharded = executor = None
+            if shard_count > 1:
+                sharded = self.engine.sharded_table(table, shard_count)
+                executor = shared_executor(
+                    resolve_worker_count(self.config.max_workers, shard_count)
+                )
+                evaluator = ShardedPlanEvaluator(
+                    sharded,
+                    display_capacity=capacity_items,
+                    target_max=self.config.target_max,
+                    cache=self.engine.evaluation_cache(table),
+                    executor=executor,
+                )
+            else:
+                evaluator = PlanEvaluator(
+                    table,
+                    display_capacity=capacity_items,
+                    target_max=self.config.target_max,
+                    cache=self.engine.evaluation_cache(table),
+                    prefetch=self.engine.prefetch_for(table),
+                )
+            node_feedback = evaluator.evaluate(self._plan)
+            overall = node_feedback[()]
+            pixel_budget = max(1, self.config.screen.pixels // self.config.pixels_per_item)
+            method = (
+                ReductionMethod.PERCENTAGE
+                if self.config.percentage is not None
+                else self.config.reduction
             )
-            evaluator = ShardedPlanEvaluator(
-                sharded,
-                display_capacity=capacity_items,
-                target_max=self.config.target_max,
-                cache=self.engine.evaluation_cache(table),
-                executor=executor,
-            )
-        else:
-            evaluator = PlanEvaluator(
-                table,
-                display_capacity=capacity_items,
-                target_max=self.config.target_max,
-                cache=self.engine.evaluation_cache(table),
-                prefetch=self.engine.prefetch_for(table),
-            )
-        node_feedback = evaluator.evaluate(self._plan)
-        overall = node_feedback[()]
-        pixel_budget = max(1, self.config.screen.pixels // self.config.pixels_per_item)
-        method = (
-            ReductionMethod.PERCENTAGE
-            if self.config.percentage is not None
-            else self.config.reduction
-        )
-        if sharded is not None:
-            displayed = sharded_select_display_set(
-                overall.normalized_distances,
-                sharded,
-                capacity=pixel_budget,
-                n_selection_predicates=n_predicates,
-                method=method,
-                percentage=self.config.percentage,
-                multipeak_z=self.config.multipeak_z,
-                executor=executor,
-            )
-        else:
-            displayed = select_display_set(
-                overall.normalized_distances,
-                capacity=pixel_budget,
-                n_selection_predicates=n_predicates,
-                method=method,
-                percentage=self.config.percentage,
-                multipeak_z=self.config.multipeak_z,
-            )
+            if sharded is not None:
+                displayed = sharded_select_display_set(
+                    overall.normalized_distances,
+                    sharded,
+                    capacity=pixel_budget,
+                    n_selection_predicates=n_predicates,
+                    method=method,
+                    percentage=self.config.percentage,
+                    multipeak_z=self.config.multipeak_z,
+                    executor=executor,
+                )
+            else:
+                displayed = select_display_set(
+                    overall.normalized_distances,
+                    capacity=pixel_budget,
+                    n_selection_predicates=n_predicates,
+                    method=method,
+                    percentage=self.config.percentage,
+                    multipeak_z=self.config.multipeak_z,
+                )
         if len(displayed) > capacity_items:
             # More items fall inside the quantile window than fit on screen
             # (ties at the threshold): keep the closest ones.

@@ -29,6 +29,7 @@ product there, which may round differently.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Union
@@ -110,6 +111,7 @@ class _LRU:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
+        self.evictions = 0
         self._data: OrderedDict[str, object] = OrderedDict()
 
     def get(self, key: str):
@@ -123,6 +125,7 @@ class _LRU:
         self._data.move_to_end(key)
         while len(self._data) > self.max_entries:
             self._data.popitem(last=False)
+            self.evictions += 1
 
     def __len__(self) -> int:
         return len(self._data)
@@ -139,6 +142,8 @@ class CacheStats:
     leaf_misses: int = 0
     node_hits: int = 0
     node_misses: int = 0
+    leaf_evictions: int = 0
+    node_evictions: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -146,6 +151,8 @@ class CacheStats:
             "leaf_misses": self.leaf_misses,
             "node_hits": self.node_hits,
             "node_misses": self.node_misses,
+            "leaf_evictions": self.leaf_evictions,
+            "node_evictions": self.node_evictions,
         }
 
 
@@ -169,44 +176,59 @@ class EvaluationCache:
         #: bounds get fresh distances.
         self._range_history: dict[str, tuple[float, float, "_LeafRaw"]] = {}
         self.stats = CacheStats()
+        # One evaluation cache is shared by every session executing against
+        # the same table; the service runs those executions on concurrent
+        # worker threads.  All entries are immutable (frozen arrays), so the
+        # lock only has to make the LRU bookkeeping and counters atomic --
+        # two threads racing to fill the same key both produce exact values.
+        self._lock = threading.Lock()
 
     # Raw leaf columns ---------------------------------------------------- #
     def get_raw(self, key: str) -> _LeafRaw | None:
-        value = self._raw.get(key)
-        if value is None:
-            self.stats.leaf_misses += 1
-        else:
-            self.stats.leaf_hits += 1
-        return value
+        with self._lock:
+            value = self._raw.get(key)
+            if value is None:
+                self.stats.leaf_misses += 1
+            else:
+                self.stats.leaf_hits += 1
+            return value
 
     def put_raw(self, key: str, value: _LeafRaw) -> None:
-        self._raw.put(key, value)
+        with self._lock:
+            self._raw.put(key, value)
+            self.stats.leaf_evictions = self._raw.evictions
 
     # Normalized node columns --------------------------------------------- #
     def get_node(self, key: str) -> _NodeColumns | None:
-        value = self._nodes.get(key)
-        if value is None:
-            self.stats.node_misses += 1
-        else:
-            self.stats.node_hits += 1
-        return value
+        with self._lock:
+            value = self._nodes.get(key)
+            if value is None:
+                self.stats.node_misses += 1
+            else:
+                self.stats.node_hits += 1
+            return value
 
     def put_node(self, key: str, value: _NodeColumns) -> None:
-        self._nodes.put(key, value)
+        with self._lock:
+            self._nodes.put(key, value)
+            self.stats.node_evictions = self._nodes.evictions
 
     # Range-leaf history ---------------------------------------------------- #
     def range_history(self, attribute: str) -> tuple[float, float, _LeafRaw] | None:
-        return self._range_history.get(attribute)
+        with self._lock:
+            return self._range_history.get(attribute)
 
     def set_range_history(self, attribute: str, low: float, high: float,
                           raw: _LeafRaw) -> None:
-        self._range_history[attribute] = (low, high, raw)
+        with self._lock:
+            self._range_history[attribute] = (low, high, raw)
 
     def clear(self) -> None:
         """Drop all cached arrays (counters are kept)."""
-        self._raw.clear()
-        self._nodes.clear()
-        self._range_history.clear()
+        with self._lock:
+            self._raw.clear()
+            self._nodes.clear()
+            self._range_history.clear()
 
 
 # --------------------------------------------------------------------------- #

@@ -68,6 +68,8 @@ __all__ = [
     "shard_bounds",
     "resolve_worker_count",
     "shared_executor",
+    "shutdown_executors",
+    "pool_user",
     "DistanceBoundsPartial",
     "distance_bounds_partial",
     "empty_distance_bounds",
@@ -130,6 +132,13 @@ def resolve_worker_count(max_workers: int | None, shard_count: int) -> int:
 
 _EXECUTORS: dict[int, ThreadPoolExecutor] = {}
 _EXECUTORS_LOCK = threading.Lock()
+#: Pool generation: bumped by shutdown_executors after it empties the
+#: registry.  Users are counted per generation so a shutdown waits only for
+#: executions that could hold a handle to the pools being retired --
+#: traffic on freshly created pools never delays it.
+_GENERATION = 0
+_ACTIVE_BY_GENERATION: dict[int, int] = {}
+_POOL_CONDITION = threading.Condition(_EXECUTORS_LOCK)
 
 
 def shared_executor(max_workers: int) -> Executor | None:
@@ -150,6 +159,62 @@ def shared_executor(max_workers: int) -> Executor | None:
             )
             _EXECUTORS[max_workers] = pool
         return pool
+
+
+class pool_user:
+    """Context marking one execution as a live user of the shared pools.
+
+    :meth:`PreparedQuery.execute` holds this across its shard waves so that
+    :func:`shutdown_executors` (another engine closing) waits for the whole
+    execution instead of yanking the pool between two waves.
+    """
+
+    def __enter__(self) -> "pool_user":
+        with _POOL_CONDITION:
+            self._generation = _GENERATION
+            _ACTIVE_BY_GENERATION[self._generation] = (
+                _ACTIVE_BY_GENERATION.get(self._generation, 0) + 1
+            )
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        with _POOL_CONDITION:
+            remaining = _ACTIVE_BY_GENERATION[self._generation] - 1
+            if remaining:
+                _ACTIVE_BY_GENERATION[self._generation] = remaining
+            else:
+                del _ACTIVE_BY_GENERATION[self._generation]
+            _POOL_CONDITION.notify_all()
+
+
+def shutdown_executors(drain_timeout: float = 60.0) -> None:
+    """Shut down every process-shared shard pool (idempotent).
+
+    Embedding services call this (via :meth:`QueryEngine.close`) to release
+    worker threads deterministically instead of leaking them until process
+    exit.  The registry is emptied first, so an engine that executes
+    *afterwards* transparently gets a fresh pool; executions already in
+    flight (registered through :class:`pool_user`) are drained before
+    their pool joins -- closing one engine never breaks another.  Only
+    users of the *retiring* generation are waited for: steady traffic that
+    starts after the registry is emptied runs on fresh pools and cannot
+    stall the drain.
+    """
+    global _GENERATION
+    with _POOL_CONDITION:
+        pools = list(_EXECUTORS.values())
+        _EXECUTORS.clear()
+        retiring = _GENERATION
+        _GENERATION += 1
+        # Wait for in-flight executions holding a handle to the old pools;
+        # the timeout bounds teardown should a user leak (it cannot via
+        # pool_user, which releases in __exit__).
+        _POOL_CONDITION.wait_for(
+            lambda: all(g > retiring for g in _ACTIVE_BY_GENERATION),
+            timeout=drain_timeout,
+        )
+    for pool in pools:
+        pool.shutdown(wait=True)
 
 
 # --------------------------------------------------------------------------- #
@@ -263,6 +328,7 @@ class ShardedTable:
         self.bounds = shard_bounds(len(table), shard_count)
         self.shards = [table.slice_rows(start, stop) for start, stop in self.bounds]
         self.prefetch = [PrefetchCache(shard, indexes={}) for shard in self.shards]
+        self._index_lock = threading.Lock()
 
     @property
     def shard_count(self) -> int:
@@ -272,12 +338,24 @@ class ShardedTable:
         return len(self.table)
 
     def ensure_index(self, attribute: str) -> None:
-        """Build (once) per-shard sorted indexes for a hot slider attribute."""
+        """Build (once) per-shard sorted indexes for a hot slider attribute.
+
+        Safe against concurrent builders *and* concurrent readers that hold
+        no lock: the indexes are built fully first and shard 0 -- the shard
+        :meth:`has_index` probes -- is published last, so a reader that
+        observes the attribute as indexed finds every shard's index in
+        place.
+        """
         if self.has_index(attribute):
             return
-        if self.table.has_column(attribute) and self.table.is_numeric(attribute):
-            for shard, prefetch in zip(self.shards, self.prefetch):
-                prefetch.indexes[attribute] = SortedIndex(shard, attribute)
+        if not (self.table.has_column(attribute) and self.table.is_numeric(attribute)):
+            return
+        with self._index_lock:
+            if self.has_index(attribute):
+                return
+            built = [SortedIndex(shard, attribute) for shard in self.shards]
+            for shard_no in reversed(range(len(built))):
+                self.prefetch[shard_no].indexes[attribute] = built[shard_no]
 
     def has_index(self, attribute: str) -> bool:
         """True once :meth:`ensure_index` built the per-shard indexes."""

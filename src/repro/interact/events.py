@@ -5,6 +5,14 @@ moving a slider (changing the query range of a predicate), changing a
 weighting factor, changing the percentage of data displayed, selecting a
 tuple or a colour range, switching auto-recalculation on or off, and
 double-clicking an operator box to drill down into a query subpart.
+
+Every event also names the interactive *control* it came from via
+:meth:`SessionEvent.coalesce_key`: two events with the same key are
+successive states of one control (the two ends of one range slider, one
+weighting factor, the percentage dial), so in a feedback loop only the
+latest of them matters.  The multi-session service uses these keys to
+collapse slider-drag bursts to their newest value before execution --
+see :mod:`repro.service.coalesce`.
 """
 
 from __future__ import annotations
@@ -30,6 +38,17 @@ __all__ = [
 class SessionEvent:
     """Marker base class for all session events."""
 
+    def coalesce_key(self) -> tuple:
+        """Identity of the control this event is a state of.
+
+        Events with equal keys supersede each other (latest wins) when the
+        consumer only needs the newest state -- the paper's feedback
+        semantics, where intermediate slider positions of one drag are
+        never displayed.  The default is one slot per event type; events
+        bound to a query-tree node refine it with their path.
+        """
+        return (type(self).__name__,)
+
 
 @dataclass(frozen=True)
 class SetQueryRange(SessionEvent):
@@ -39,6 +58,12 @@ class SetQueryRange(SessionEvent):
     low: float
     high: float
 
+    def coalesce_key(self) -> tuple:
+        # Range moves and threshold moves on the same leaf share one slot:
+        # both replace the leaf's predicate state wholesale, so the latest
+        # of either kind fully determines it.
+        return ("predicate", tuple(self.path))
+
 
 @dataclass(frozen=True)
 class SetThreshold(SessionEvent):
@@ -47,6 +72,9 @@ class SetThreshold(SessionEvent):
     path: NodePath
     value: float
 
+    def coalesce_key(self) -> tuple:
+        return ("predicate", tuple(self.path))
+
 
 @dataclass(frozen=True)
 class SetWeight(SessionEvent):
@@ -54,6 +82,9 @@ class SetWeight(SessionEvent):
 
     path: NodePath
     weight: float
+
+    def coalesce_key(self) -> tuple:
+        return ("weight", tuple(self.path))
 
 
 @dataclass(frozen=True)
@@ -69,6 +100,11 @@ class SelectTuple(SessionEvent):
 
     rank: int
 
+    def coalesce_key(self) -> tuple:
+        # All selection events share one slot: a later colour-range pick or
+        # a ClearSelection replaces an earlier tuple pick entirely.
+        return ("selection",)
+
 
 @dataclass(frozen=True)
 class SelectColorRange(SessionEvent):
@@ -83,10 +119,16 @@ class SelectColorRange(SessionEvent):
     distance_low: float
     distance_high: float
 
+    def coalesce_key(self) -> tuple:
+        return ("selection",)
+
 
 @dataclass(frozen=True)
 class ClearSelection(SessionEvent):
     """Clear any tuple or colour-range selection."""
+
+    def coalesce_key(self) -> tuple:
+        return ("selection",)
 
 
 @dataclass(frozen=True)
@@ -101,3 +143,6 @@ class DrillDown(SessionEvent):
     """Open the visualization of an inner operator box (double click in Fig. 5)."""
 
     path: NodePath
+
+    def coalesce_key(self) -> tuple:
+        return ("drill-down", tuple(self.path))

@@ -69,11 +69,22 @@ class VisDBSession:
         If True (the paper's "normal mode") every modification triggers a
         re-execution; otherwise :meth:`recalculate` must be called
         explicitly ("auto recalculate off" for large databases).
+    engine:
+        Optional pre-existing :class:`QueryEngine` to attach to instead of
+        creating a private one.  Embedding servers pass their shared engine
+        here so that sessions over the same data reuse one set of
+        cross-product tables, distance caches and prefetch regions.
     """
 
     def __init__(self, source: Database | Table, query, config: PipelineConfig | None = None,
-                 layout: MultiWindowLayout | None = None, auto_recalculate: bool = True):
-        self.engine = QueryEngine(source, config)
+                 layout: MultiWindowLayout | None = None, auto_recalculate: bool = True,
+                 engine: QueryEngine | None = None):
+        if engine is not None and config is not None:
+            raise ValueError(
+                "pass either a shared engine (whose config the session adopts) "
+                "or a config for a private engine, not both"
+            )
+        self.engine = engine if engine is not None else QueryEngine(source, config)
         self._prepared: PreparedQuery = self.engine.prepare(query)
         self.source = source
         self.layout = layout or MultiWindowLayout()

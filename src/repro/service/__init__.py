@@ -1,0 +1,42 @@
+"""Multi-session serving of interactive visual-feedback loops.
+
+The paper's system is one user at one X terminal; this subsystem is the
+seam that turns the reproduction into a server: many concurrent sessions
+multiplexed over one shared :class:`~repro.core.engine.QueryEngine` and
+its shard worker pool, with the feedback loop's latest-wins semantics
+(only the newest position of a dragged slider matters) made explicit as
+per-session event coalescing.
+
+Entry points:
+
+* :class:`FeedbackService` -- the asyncio scheduler (sessions, fairness,
+  admission control, backpressure);
+* :class:`FeedbackProtocolServer` -- a JSON-lines network adapter over it;
+* :class:`CoalescingQueue`, :class:`FrameSnapshot`, :class:`WindowCache`,
+  :class:`SessionRegistry` -- the pieces, reusable on their own.
+"""
+
+from repro.service.coalesce import CoalescingQueue
+from repro.service.metrics import LatencyWindow, ServiceMetrics, SessionMetrics
+from repro.service.protocol import FeedbackProtocolServer, parse_event, serve
+from repro.service.service import FeedbackService, ServiceConfig
+from repro.service.session import ServiceSession, SessionLimitError, SessionRegistry
+from repro.service.snapshot import FrameSnapshot, WindowCache, window_fingerprint
+
+__all__ = [
+    "FeedbackService",
+    "ServiceConfig",
+    "FeedbackProtocolServer",
+    "serve",
+    "parse_event",
+    "CoalescingQueue",
+    "SessionRegistry",
+    "ServiceSession",
+    "SessionLimitError",
+    "FrameSnapshot",
+    "WindowCache",
+    "window_fingerprint",
+    "LatencyWindow",
+    "SessionMetrics",
+    "ServiceMetrics",
+]

@@ -1,0 +1,135 @@
+"""Latest-wins event coalescing for interactive feedback streams.
+
+A slider drag is a burst of hundreds of :class:`SetQueryRange` events on
+one control, of which only the newest matters -- the paper's premise is
+that the user steers the query by the *current* slider position, never by
+an intermediate one.  :class:`CoalescingQueue` makes that semantics
+explicit: events are keyed by the control they came from
+(:meth:`~repro.interact.events.SessionEvent.coalesce_key`), and a new
+event on a pending control replaces the pending one in place.  The queue
+depth is therefore bounded by the number of *distinct controls* touched,
+not by the event rate.
+
+Draining preserves the arrival order of each control's first pending
+event.  Controls are independent state (one leaf predicate -- range and
+threshold moves on the same leaf share a slot, since either replaces the
+predicate wholesale -- one node weight, the display percentage), so for
+any stream that replays without error, a drained batch produces the same
+final query state as the full uncoalesced stream.  Streams that are
+*invalid* (e.g. a threshold move sent for a leaf an earlier event already
+converted to a range predicate) may coalesce into a valid one instead of
+reproducing the error; the binding contract is therefore the replay of
+the *executed* batches, which the service stress test enforces
+bit-identically.
+
+When a session still outruns its executor, the queue sheds under a depth
+limit: the *oldest already-coalesced* entry goes first (a control that was
+superseded at least once is demonstrably rapid-fire; its latest value is
+the most likely to be superseded again), falling back to the oldest entry
+outright.  Sheds are counted, never silent.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.interact.events import SessionEvent
+
+__all__ = ["CoalescingQueue", "QueueEntry"]
+
+
+@dataclass
+class QueueEntry:
+    """The pending (newest) event of one control, plus how it got there.
+
+    Arrival order is the entry's position in the queue's ordered mapping;
+    no separate sequence number is kept.
+    """
+
+    event: SessionEvent
+    #: How many earlier events this entry absorbed (0 = never superseded).
+    coalesced: int = 0
+
+
+class CoalescingQueue:
+    """A per-session queue that keeps only the newest event per control.
+
+    Not thread-safe by itself: the service touches it exclusively from the
+    event-loop thread (``submit`` enqueues, the scheduler drains), which is
+    the intended single-writer discipline.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum number of pending entries (distinct controls).  Enqueueing
+        a *new* control beyond it sheds an old entry first (see module
+        docstring); updating an already-pending control never sheds.
+    """
+
+    def __init__(self, max_depth: int = 64):
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.max_depth = max_depth
+        self._entries: "OrderedDict[tuple, QueueEntry]" = OrderedDict()
+        self.received = 0
+        self.coalesced = 0
+        self.shed = 0
+
+    # ------------------------------------------------------------------ #
+    def put(self, event: SessionEvent) -> str:
+        """Enqueue one event; returns ``"queued"``, ``"coalesced"`` or ``"shed"``.
+
+        ``"shed"`` means the event itself was admitted but an older pending
+        entry was dropped to make room for it.
+        """
+        self.received += 1
+        key = event.coalesce_key()
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.event = event
+            entry.coalesced += 1
+            self.coalesced += 1
+            return "coalesced"
+        shed = False
+        if len(self._entries) >= self.max_depth:
+            self._shed_one()
+            shed = True
+        self._entries[key] = QueueEntry(event=event)
+        return "shed" if shed else "queued"
+
+    def _shed_one(self) -> None:
+        victim = next(
+            (key for key, entry in self._entries.items() if entry.coalesced > 0),
+            None,
+        )
+        if victim is None:
+            victim = next(iter(self._entries))
+        del self._entries[victim]
+        self.shed += 1
+
+    # ------------------------------------------------------------------ #
+    def drain(self) -> list[SessionEvent]:
+        """Pop every pending event, in first-arrival order of its control."""
+        events = [entry.event for entry in self._entries.values()]
+        self._entries.clear()
+        return events
+
+    def peek(self) -> list[SessionEvent]:
+        """The pending events without removing them (tests, introspection)."""
+        return [entry.event for entry in self._entries.values()]
+
+    @property
+    def depth(self) -> int:
+        """Number of pending entries (distinct controls)."""
+        return len(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def clear(self) -> None:
+        """Drop pending entries; counters are kept."""
+        self._entries.clear()

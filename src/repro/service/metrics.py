@@ -1,0 +1,108 @@
+"""Counters and latency quantiles for the feedback service.
+
+Everything here is deliberately cheap -- plain ints and a bounded sample
+window -- because the metrics are updated on the hot path of every event
+and every pipeline run.  Percentiles are computed on demand from the most
+recent samples (a full-precision histogram would be overkill for a p50/p95
+readout of an interactive loop).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = ["LatencyWindow", "SessionMetrics", "ServiceMetrics"]
+
+
+class LatencyWindow:
+    """A bounded window of recent durations with nearest-rank percentiles."""
+
+    def __init__(self, maxlen: int = 512):
+        self._samples: "deque[float]" = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(float(seconds))
+            self.count += 1
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in [0, 100]) over the window, in seconds."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return 0.0
+        rank = max(1, int(-(-q * len(samples) // 100)))  # ceil without floats
+        return samples[min(rank, len(samples)) - 1]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+
+class SessionMetrics:
+    """Per-session counters, updated by the queue, scheduler and executor."""
+
+    def __init__(self):
+        self.events_received = 0
+        self.events_coalesced = 0
+        self.events_shed = 0
+        self.events_executed = 0
+        self.runs = 0
+        self.render_hits = 0
+        self.render_misses = 0
+        self.run_latency = LatencyWindow()
+
+    def snapshot(self, queue_depth: int = 0) -> dict[str, object]:
+        """One row of the metrics report (all durations in milliseconds)."""
+        return {
+            "events_received": self.events_received,
+            "events_coalesced": self.events_coalesced,
+            "events_shed": self.events_shed,
+            "events_executed": self.events_executed,
+            "runs": self.runs,
+            "queue_depth": queue_depth,
+            "render_hits": self.render_hits,
+            "render_misses": self.render_misses,
+            "run_p50_ms": round(self.run_latency.p50 * 1e3, 3),
+            "run_p95_ms": round(self.run_latency.p95 * 1e3, 3),
+        }
+
+
+class ServiceMetrics:
+    """Global counters of one :class:`~repro.service.service.FeedbackService`."""
+
+    def __init__(self):
+        self.sessions_opened = 0
+        self.sessions_closed = 0
+        self.sessions_expired = 0
+        self.sessions_rejected = 0
+        self.events_received = 0
+        self.events_coalesced = 0
+        self.events_shed = 0
+        self.events_executed = 0
+        self.runs = 0
+        self.run_latency = LatencyWindow()
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "sessions_opened": self.sessions_opened,
+            "sessions_closed": self.sessions_closed,
+            "sessions_expired": self.sessions_expired,
+            "sessions_rejected": self.sessions_rejected,
+            "events_received": self.events_received,
+            "events_coalesced": self.events_coalesced,
+            "events_shed": self.events_shed,
+            "events_executed": self.events_executed,
+            "runs": self.runs,
+            "run_p50_ms": round(self.run_latency.p50 * 1e3, 3),
+            "run_p95_ms": round(self.run_latency.p95 * 1e3, 3),
+        }

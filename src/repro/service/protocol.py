@@ -1,0 +1,182 @@
+"""JSON-lines protocol adapter: the feedback service as a real server.
+
+Stdlib-only (``asyncio`` streams + ``json``): one JSON object per line in
+each direction, so the protocol can be driven by ``nc``, a five-line
+client, or the bundled example.  Requests carry an ``op``:
+
+``{"op": "open", "query": "...", "config": {"percentage": 0.4}}``
+    Prepare a session; replies ``{"ok": true, "session": "s1", ...}`` with
+    the initial frame summary.
+``{"op": "event", "session": "s1", "event": {"type": "range", "path": [0],
+"low": 10, "high": 20}}``
+    Enqueue one modification; replies immediately with the queue verdict
+    (``queued`` / ``coalesced`` / ``shed``) -- this is the firehose path a
+    client calls on every slider tick.  Event types: ``range``,
+    ``threshold`` (``value``), ``weight`` (``weight``), ``percentage``
+    (``value``).
+``{"op": "snapshot", "session": "s1", "wait": true, "top": 5,
+"render": false}``
+    The settled frame after every submitted event executed (or, with
+    ``wait: false``, the newest completed frame).  With ``render: true``
+    each window summary additionally carries a base64 PNG of its pixels.
+``{"op": "metrics"}``, ``{"op": "close", "session": "s1"}``,
+``{"op": "ping"}``
+    Introspection and lifecycle.
+
+Errors never kill the connection: a malformed line or an unknown session
+replies ``{"ok": false, "error": "..."}`` and the stream continues.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+
+from repro.interact.events import (
+    SessionEvent,
+    SetPercentageDisplayed,
+    SetQueryRange,
+    SetThreshold,
+    SetWeight,
+)
+from repro.service.service import FeedbackService
+from repro.vis.colormap import VisDBColormap
+from repro.vis.render import png_bytes
+
+__all__ = ["FeedbackProtocolServer", "parse_event", "serve"]
+
+#: Pipeline-config fields a remote client may override per session.
+_ALLOWED_CONFIG = {
+    "percentage", "pixels_per_item", "shard_count", "max_workers",
+    "multipeak_z", "target_max",
+}
+
+
+def parse_event(payload: dict) -> SessionEvent:
+    """Build a session event from its wire form (raises ``ValueError``)."""
+    if not isinstance(payload, dict):
+        raise ValueError("event must be an object")
+    kind = payload.get("type")
+    path = tuple(payload.get("path", ()))
+    try:
+        if kind in ("range", "SetQueryRange"):
+            return SetQueryRange(path, float(payload["low"]), float(payload["high"]))
+        if kind in ("threshold", "SetThreshold"):
+            return SetThreshold(path, float(payload["value"]))
+        if kind in ("weight", "SetWeight"):
+            return SetWeight(path, float(payload["weight"]))
+        if kind in ("percentage", "SetPercentageDisplayed"):
+            return SetPercentageDisplayed(float(payload["value"]))
+    except KeyError as exc:
+        raise ValueError(f"event {kind!r} is missing field {exc.args[0]!r}") from None
+    raise ValueError(f"unknown event type {kind!r}")
+
+
+class FeedbackProtocolServer:
+    """Serve a :class:`FeedbackService` over newline-delimited JSON."""
+
+    def __init__(self, service: FeedbackService, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._colormap = VisDBColormap()
+
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "FeedbackProtocolServer":
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "FeedbackProtocolServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------ #
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    response = await self._dispatch(request)
+                except Exception as exc:  # noqa: BLE001 - protocol boundary
+                    response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        finally:
+            # No await here: the handler may be ending because the server is
+            # closing (task cancellation), and awaiting wait_closed() inside
+            # a cancelled task just re-raises into the loop's exception hook.
+            writer.close()
+
+    async def _dispatch(self, request: dict) -> dict:
+        if not isinstance(request, dict):
+            raise ValueError("request must be a JSON object")
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "open":
+            overrides = {
+                key: value
+                for key, value in (request.get("config") or {}).items()
+                if key in _ALLOWED_CONFIG
+            }
+            session_id = await self.service.open_session(
+                request["query"], **overrides
+            )
+            snapshot = await self.service.snapshot(session_id)
+            return {"ok": True, "session": session_id,
+                    **snapshot.as_dict(top=int(request.get("top", 0)))}
+        if op == "event":
+            event = parse_event(request.get("event"))
+            verdict = await self.service.submit(request["session"], event)
+            return {"ok": True, **verdict}
+        if op == "snapshot":
+            snapshot = await self.service.snapshot(
+                request["session"], wait=bool(request.get("wait", True))
+            )
+            body = snapshot.as_dict(top=int(request.get("top", 10)))
+            if request.get("render"):
+                # Colormapping + zlib + base64 is real CPU work: run it off
+                # the event loop so one rendering client does not stall
+                # every other connection's event stream.
+                colormap, windows = self._colormap, snapshot.windows
+
+                def encode() -> dict[tuple, str]:
+                    return {
+                        path: base64.b64encode(
+                            png_bytes(window.to_rgb(colormap))
+                        ).decode("ascii")
+                        for path, window in windows.items()
+                    }
+
+                encoded = await asyncio.get_running_loop().run_in_executor(None, encode)
+                for entry in body["windows"]:
+                    entry["png"] = encoded[tuple(entry["path"])]
+            return {"ok": True, **body}
+        if op == "metrics":
+            return {"ok": True, "metrics": self.service.metrics_report()}
+        if op == "close":
+            await self.service.close_session(request["session"])
+            return {"ok": True}
+        raise ValueError(f"unknown op {op!r}")
+
+
+async def serve(service: FeedbackService, host: str = "127.0.0.1",
+                port: int = 0) -> FeedbackProtocolServer:
+    """Start a protocol server for ``service``; returns it (bound port set)."""
+    return await FeedbackProtocolServer(service, host, port).start()

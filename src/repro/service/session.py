@@ -1,0 +1,257 @@
+"""Session lifecycle for the multi-session feedback service.
+
+A :class:`ServiceSession` is one user's interactive feedback loop: a
+:class:`~repro.core.engine.PreparedQuery` on the shared engine, the
+session's :class:`~repro.service.coalesce.CoalescingQueue`, its rendered
+window cache and its metrics.  The :class:`SessionRegistry` owns the id
+space and the create/attach/expire lifecycle; the scheduler in
+:mod:`repro.service.service` decides when a session actually runs.
+
+Threading contract: queue and lifecycle state are touched only from the
+event-loop thread; :meth:`ServiceSession.execute_batch` is the only method
+that runs on an executor thread, and it touches only the prepared query,
+the window cache and the metrics (all session-private -- cross-session
+state lives in the engine's thread-safe caches).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import copy
+import itertools
+import time
+from typing import Iterator
+
+from repro.core.engine import PreparedQuery, QueryEngine
+from repro.core.result import QueryFeedback
+from repro.interact.events import (
+    SessionEvent,
+    SetPercentageDisplayed,
+    SetQueryRange,
+    SetThreshold,
+    SetWeight,
+)
+from repro.service.coalesce import CoalescingQueue
+from repro.service.metrics import SessionMetrics
+from repro.service.snapshot import FrameSnapshot, WindowCache
+from repro.vis.layout import MultiWindowLayout
+
+__all__ = ["ServiceSession", "SessionRegistry", "SessionLimitError"]
+
+#: Event types a service session executes (they modify the prepared query).
+QUERY_EVENTS = (SetQueryRange, SetThreshold, SetWeight, SetPercentageDisplayed)
+
+
+class SessionLimitError(RuntimeError):
+    """Raised when admission control refuses a new session."""
+
+
+class ServiceSession:
+    """One interactive session multiplexed onto the shared engine."""
+
+    def __init__(self, session_id: str, prepared: PreparedQuery,
+                 max_queue_depth: int = 64,
+                 layout: MultiWindowLayout | None = None,
+                 record_batches: bool = False,
+                 clock=time.monotonic):
+        self.id = session_id
+        self.prepared = prepared
+        self.queue = CoalescingQueue(max_depth=max_queue_depth)
+        self.metrics = SessionMetrics()
+        self.window_cache = WindowCache(layout)
+        self._clock = clock
+        self.created_at = clock()
+        self.last_active = self.created_at
+        self.sequence = -1
+        self.running = False
+        self.closed = False
+        #: Last error raised by a pipeline run (cleared by the next success).
+        self.error: Exception | None = None
+        self.feedback: QueryFeedback | None = None
+        self.snapshot: FrameSnapshot | None = None
+        #: With ``record_batches``: the batches actually executed, in order
+        #: -- a serial replay of their concatenation is the session's
+        #: reference semantics (what the differential stress test replays).
+        #: Off by default; the log grows for the life of the session.
+        self.record_batches = record_batches
+        self.executed_batches: list[list[SessionEvent]] = []
+        #: Set while the session has no pending events and no running batch.
+        self.idle = asyncio.Event()
+
+    # ------------------------------------------------------------------ #
+    # Event-loop side
+    # ------------------------------------------------------------------ #
+    def touch(self) -> None:
+        self.last_active = self._clock()
+
+    def enqueue(self, event: SessionEvent) -> str:
+        """Admit one event into the coalescing queue; returns the queue verdict."""
+        if self.closed:
+            raise SessionLimitError(f"session {self.id!r} is closed")
+        if not isinstance(event, QUERY_EVENTS):
+            raise TypeError(
+                f"the feedback service executes query-modification events "
+                f"({', '.join(t.__name__ for t in QUERY_EVENTS)}); "
+                f"got {type(event).__name__}"
+            )
+        self.touch()
+        status = self.queue.put(event)
+        self.metrics.events_received += 1
+        if status == "coalesced":
+            self.metrics.events_coalesced += 1
+        elif status == "shed":
+            self.metrics.events_shed += 1
+        self.idle.clear()
+        return status
+
+    @property
+    def ready(self) -> bool:
+        """True if the session has pending events and no batch in flight."""
+        return not self.closed and not self.running and bool(self.queue)
+
+    def take_batch(self) -> list[SessionEvent]:
+        """Drain the queue for one pipeline run (scheduler only)."""
+        return self.queue.drain()
+
+    # ------------------------------------------------------------------ #
+    # Executor side
+    # ------------------------------------------------------------------ #
+    def execute_batch(self, batch: list[SessionEvent]) -> FrameSnapshot:
+        """Apply one coalesced batch and produce the next snapshot.
+
+        Runs on a worker thread.  The batch may be empty (the initial run
+        at session open).  Raises whatever the pipeline raises; the caller
+        records the error on the session.  A failing batch is rolled back
+        wholesale (condition tree and config restored), so the live query
+        state always equals the serial replay of the *recorded* batches --
+        a half-applied batch can neither linger nor hide.
+        """
+        start = time.perf_counter()
+        if batch:
+            condition_backup = copy.deepcopy(self.prepared.query.condition)
+            config_backup = self.prepared.config
+            try:
+                feedback = self.prepared.execute(changes=batch)
+            except Exception:
+                self.prepared.query.condition = condition_backup
+                self.prepared.config = config_backup
+                raise
+        else:
+            feedback = self.prepared.execute()
+        windows, fresh = self.window_cache.windows(feedback)
+        elapsed = time.perf_counter() - start
+        self.sequence += 1
+        if self.record_batches:
+            self.executed_batches.append(list(batch))
+        snapshot = FrameSnapshot(
+            session_id=self.id,
+            sequence=self.sequence,
+            events_applied=len(batch),
+            statistics=feedback.statistics,
+            feedback=feedback,
+            windows=windows,
+            rendered_fresh=fresh,
+            run_seconds=elapsed,
+        )
+        self.feedback = feedback
+        self.snapshot = snapshot
+        self.error = None
+        self.metrics.runs += 1
+        self.metrics.events_executed += len(batch)
+        self.metrics.render_hits = self.window_cache.hits
+        self.metrics.render_misses = self.window_cache.misses
+        self.metrics.run_latency.record(elapsed)
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    def metrics_snapshot(self) -> dict[str, object]:
+        return self.metrics.snapshot(queue_depth=self.queue.depth)
+
+
+class SessionRegistry:
+    """Id space and lifecycle (create / attach / expire) of service sessions."""
+
+    def __init__(self, engine: QueryEngine, clock=time.monotonic):
+        self.engine = engine
+        self._clock = clock
+        self._sessions: dict[str, ServiceSession] = {}
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    def create(self, query, *, max_queue_depth: int = 64,
+               layout: MultiWindowLayout | None = None,
+               record_batches: bool = False,
+               session_id: str | None = None, **overrides) -> ServiceSession:
+        """Prepare a query on the shared engine and register a session for it.
+
+        ``overrides`` are per-session :class:`~repro.core.engine.PipelineConfig`
+        field overrides (``percentage=0.4`` and friends).  Caller is
+        responsible for admission control; the registry only enforces id
+        uniqueness.  The service prepares on a worker thread and registers
+        with :meth:`add` on the event loop instead, keeping the session
+        dictionary loop-confined.
+        """
+        prepared = self.engine.prepare(query, **overrides)
+        return self.add(
+            prepared, max_queue_depth=max_queue_depth, layout=layout,
+            record_batches=record_batches, session_id=session_id,
+        )
+
+    def add(self, prepared: PreparedQuery, *, max_queue_depth: int = 64,
+            layout: MultiWindowLayout | None = None,
+            record_batches: bool = False,
+            session_id: str | None = None) -> ServiceSession:
+        """Register a session for an already-prepared query (loop-side, no I/O)."""
+        if session_id is None:
+            session_id = f"s{next(self._ids)}"
+        if session_id in self._sessions:
+            raise ValueError(f"session id {session_id!r} already exists")
+        session = ServiceSession(
+            session_id, prepared, max_queue_depth=max_queue_depth,
+            layout=layout, record_batches=record_batches, clock=self._clock,
+        )
+        self._sessions[session_id] = session
+        return session
+
+    def attach(self, session_id: str) -> ServiceSession:
+        """Look a session up and refresh its idle timer."""
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise KeyError(f"unknown session {session_id!r}")
+        session.touch()
+        return session
+
+    def get(self, session_id: str) -> ServiceSession | None:
+        return self._sessions.get(session_id)
+
+    def close(self, session_id: str) -> ServiceSession:
+        """Remove a session; its in-flight run (if any) finishes harmlessly."""
+        session = self._sessions.pop(session_id, None)
+        if session is None:
+            raise KeyError(f"unknown session {session_id!r}")
+        session.closed = True
+        session.queue.clear()
+        session.idle.set()
+        return session
+
+    def expire_idle(self, ttl_seconds: float) -> list[ServiceSession]:
+        """Close every session idle (no events, nothing running) beyond the TTL."""
+        now = self._clock()
+        expired = [
+            session for session in list(self._sessions.values())
+            if not session.running and not session.queue
+            and now - session.last_active > ttl_seconds
+        ]
+        for session in expired:
+            self.close(session.id)
+        return expired
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __iter__(self) -> Iterator[ServiceSession]:
+        return iter(self._sessions.values())
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._sessions

@@ -1,0 +1,152 @@
+"""Frame snapshots: the response unit of the feedback service.
+
+One pipeline run produces one :class:`FrameSnapshot` -- the relevance
+feedback plus the rendered visualization windows of the paper's
+"Visualization and Query Modification" screen.  Windows are built through
+:class:`WindowCache`, which fingerprints what a window actually shows (the
+displayed item order and the node's distances *at those items*) and
+re-renders only windows whose fingerprint changed: after a weight change
+deep in an OR subtree, the untouched predicate windows are served from the
+cache byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.result import FeedbackStatistics, QueryFeedback
+from repro.query.expr import NodePath
+from repro.query.fingerprint import stable_fingerprint
+from repro.vis.arrangement import window_for_node
+from repro.vis.layout import MultiWindowLayout
+from repro.vis.window import VisualizationWindow
+
+__all__ = ["FrameSnapshot", "WindowCache", "window_fingerprint"]
+
+
+def _digest(array: np.ndarray) -> str:
+    """Content digest of one array (shape- and dtype-qualified)."""
+    array = np.ascontiguousarray(array)
+    h = hashlib.blake2b(digest_size=12)
+    h.update(str(array.dtype).encode())
+    h.update(str(array.shape).encode())
+    h.update(array.tobytes())
+    return h.hexdigest()
+
+
+def window_fingerprint(feedback: QueryFeedback, path: NodePath,
+                       width: int, height: int, pixels_per_item: int) -> str:
+    """Identity of everything one window's pixels depend on.
+
+    A window shows the displayed items (in overall relevance order) coloured
+    by the node's normalized distances at those items; the geometry adds the
+    window size and the pixels-per-item block factor.  Distances of items
+    outside the displayed set cannot change the window, so they are
+    deliberately not part of the fingerprint -- that is what makes the cache
+    hit when an event reshuffles only off-screen items.
+    """
+    return stable_fingerprint(
+        "window", tuple(path), width, height, pixels_per_item,
+        _digest(feedback.display_order),
+        _digest(feedback.ordered_distances(path)),
+    )
+
+
+@dataclass
+class FrameSnapshot:
+    """The state handed to a client after one pipeline run."""
+
+    session_id: str
+    #: Run number within the session (0 = the initial execution at open).
+    sequence: int
+    #: Coalesced events applied by this run.
+    events_applied: int
+    statistics: FeedbackStatistics
+    feedback: QueryFeedback
+    windows: dict[NodePath, VisualizationWindow]
+    #: Paths re-rendered by this run; every other window was a cache hit.
+    rendered_fresh: tuple[NodePath, ...]
+    run_seconds: float
+
+    def as_dict(self, top: int = 10) -> dict[str, object]:
+        """JSON-serializable summary (protocol form, without pixel data)."""
+        overall = self.feedback.ordered_distances(())
+        order = self.feedback.display_order
+        k = max(0, min(int(top), len(order)))
+        return {
+            "session": self.session_id,
+            "sequence": self.sequence,
+            "events_applied": self.events_applied,
+            "statistics": self.statistics.as_dict(),
+            "run_ms": round(self.run_seconds * 1e3, 3),
+            "windows": [
+                {
+                    "path": list(path),
+                    "title": window.title,
+                    "width": window.width,
+                    "height": window.height,
+                    "items": window.item_count(),
+                    "occupancy": round(window.occupancy, 4),
+                    "fresh": path in self.rendered_fresh,
+                }
+                for path, window in sorted(
+                    self.windows.items(), key=lambda item: (len(item[0]), item[0])
+                )
+            ],
+            "top_items": [
+                {"row": int(order[i]), "distance": float(overall[i])}
+                for i in range(k)
+            ],
+        }
+
+
+class WindowCache:
+    """Per-session cache of rendered windows, keyed by result fingerprint."""
+
+    def __init__(self, layout: MultiWindowLayout | None = None):
+        self.layout = layout or MultiWindowLayout()
+        self._cache: dict[NodePath, tuple[str, VisualizationWindow]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def windows(self, feedback: QueryFeedback) -> tuple[
+            dict[NodePath, VisualizationWindow], tuple[NodePath, ...]]:
+        """Overall + top-level windows for ``feedback``; re-renders only changes.
+
+        Returns the window mapping plus the tuple of paths that were
+        actually re-rendered this call.
+        """
+        layout = self.layout
+        paths: list[NodePath] = [()]
+        paths.extend(p for p in feedback.top_level_paths() if p != ())
+        result: dict[NodePath, VisualizationWindow] = {}
+        fresh: list[NodePath] = []
+        for path in paths:
+            fingerprint = window_fingerprint(
+                feedback, path, layout.window_width, layout.window_height,
+                layout.pixels_per_item,
+            )
+            cached = self._cache.get(path)
+            if cached is not None and cached[0] == fingerprint:
+                self.hits += 1
+                result[path] = cached[1]
+                continue
+            self.misses += 1
+            window = window_for_node(
+                feedback, path, layout.window_width, layout.window_height,
+                pixels_per_item=layout.pixels_per_item,
+            )
+            self._cache[path] = (fingerprint, window)
+            result[path] = window
+            fresh.append(path)
+        # Windows of paths that no longer exist (query reshaped) are dropped
+        # so the cache cannot grow past the current query's window count.
+        for stale in [p for p in self._cache if p not in result]:
+            del self._cache[stale]
+        return result, tuple(fresh)
+
+    def clear(self) -> None:
+        self._cache.clear()

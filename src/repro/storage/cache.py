@@ -12,6 +12,7 @@ the underlying table.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
@@ -104,6 +105,12 @@ class PrefetchCache:
     _regions: list[CachedRegion] = field(default_factory=list)
     fetches: int = 0
     cache_hits: int = 0
+    evictions: int = 0
+    # Concurrent sessions executing against the same table (or the same
+    # shard of it) share this cache through their worker threads; the lock
+    # makes the region list and the counters consistent under that access.
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False,
+                                  compare=False)
 
     def _widen(self, ranges: Mapping[str, Range]) -> dict[str, Range]:
         widened: dict[str, Range] = {}
@@ -150,13 +157,23 @@ class PrefetchCache:
         return None
 
     def _fetch(self, ranges: Mapping[str, Range]) -> np.ndarray:
-        """Fetch (and remember) a widened superset region for ``ranges``."""
+        """Fetch (and remember) a widened superset region for ``ranges``.
+
+        The scan itself runs outside the lock -- it is the dominant cost
+        and touches only the immutable table -- so concurrent sessions
+        missing on different regions proceed in parallel; only the region
+        list and the counters are updated under the lock.  Two racing
+        misses may both fetch (and briefly double-cache) the same band;
+        that costs one redundant scan, never a wrong answer.
+        """
         widened = self._widen(ranges)
         rows = self._scan(widened)
-        self.fetches += 1
-        self._regions.append(CachedRegion(ranges=widened, row_indices=rows))
-        while len(self._regions) > self.max_regions:
-            self._evict_one()
+        with self._lock:
+            self.fetches += 1
+            self._regions.append(CachedRegion(ranges=widened, row_indices=rows))
+            while len(self._regions) > self.max_regions:
+                self._evict_one()
+                self.evictions += 1
         return rows
 
     def _evict_one(self) -> None:
@@ -183,11 +200,17 @@ class PrefetchCache:
         rows come from (a cached superset vs. a fresh table scan).
         """
         ranges = dict(ranges)
-        region = self._covering(ranges)
+        with self._lock:
+            region = self._covering(ranges)
+            if region is not None:
+                region.hits += 1
+                self.cache_hits += 1
+                rows = region.row_indices
         if region is not None:
-            region.hits += 1
-            self.cache_hits += 1
-            return self._filter(region.row_indices, ranges)
+            # Filter outside the lock: row_indices is immutable, and a
+            # concurrent eviction of the region cannot free it from under
+            # the local reference.
+            return self._filter(rows, ranges)
         return self._filter(self._fetch(ranges), ranges)
 
     def fulfilment_mask(self, ranges: Mapping[str, Range]) -> np.ndarray:
@@ -201,10 +224,13 @@ class PrefetchCache:
         """
         ranges = dict(ranges)
         mask = np.zeros(len(self.table), dtype=bool)
-        region = self._covering(ranges)
+        with self._lock:
+            region = self._covering(ranges)
+            if region is not None:
+                region.hits += 1
+                self.cache_hits += 1
+                rows = region.row_indices
         if region is not None:
-            region.hits += 1
-            self.cache_hits += 1
             if self.indexes and len(ranges) == 1:
                 column, (low, high) = next(iter(ranges.items()))
                 index = self.indexes.get(column)
@@ -213,7 +239,7 @@ class PrefetchCache:
                 if index is not None and low is not None and high is not None:
                     mask[index.range_query(low, high, sort=False)] = True
                     return mask
-            mask[self._filter(region.row_indices, ranges)] = True
+            mask[self._filter(rows, ranges)] = True
             return mask
         mask[self._filter(self._fetch(ranges), ranges)] = True
         return mask
@@ -240,8 +266,24 @@ class PrefetchCache:
         total = self.fetches + self.cache_hits
         return self.cache_hits / total if total else 0.0
 
+    def stats(self) -> dict[str, int]:
+        """Cheap counters for metrics endpoints: hits, misses, evictions.
+
+        A fetch *is* a miss (every query either hits a cached region or
+        fetches a fresh widened one), so the pair ``hits``/``misses`` sums
+        to the number of queries served.
+        """
+        return {
+            "hits": self.cache_hits,
+            "misses": self.fetches,
+            "evictions": self.evictions,
+            "regions": len(self._regions),
+        }
+
     def clear(self) -> None:
         """Drop all cached regions and statistics."""
-        self._regions.clear()
-        self.fetches = 0
-        self.cache_hits = 0
+        with self._lock:
+            self._regions.clear()
+            self.fetches = 0
+            self.cache_hits = 0
+            self.evictions = 0

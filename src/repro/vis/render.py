@@ -13,7 +13,7 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["write_ppm", "write_png", "upscale", "save_window"]
+__all__ = ["write_ppm", "write_png", "png_bytes", "upscale", "save_window"]
 
 
 def _as_rgb_array(image: np.ndarray) -> np.ndarray:
@@ -38,10 +38,13 @@ def write_ppm(image: np.ndarray, path: str | Path) -> Path:
     return path
 
 
-def write_png(image: np.ndarray, path: str | Path) -> Path:
-    """Write an RGB image to a PNG file (8-bit, no alpha)."""
+def png_bytes(image: np.ndarray) -> bytes:
+    """Encode an RGB image as PNG bytes (8-bit, no alpha).
+
+    The in-memory form of :func:`write_png`; the feedback service's
+    protocol adapter ships rendered windows to remote clients with it.
+    """
     image = _as_rgb_array(image)
-    path = Path(path)
     height, width = image.shape[:2]
 
     def chunk(kind: bytes, payload: bytes) -> bytes:
@@ -55,13 +58,18 @@ def write_png(image: np.ndarray, path: str | Path) -> Path:
     header = struct.pack(">IIBBBBB", width, height, 8, 2, 0, 0, 0)
     # Each scanline is prefixed with filter type 0 (None).
     raw = b"".join(b"\x00" + image[row].tobytes() for row in range(height))
-    payload = (
+    return (
         b"\x89PNG\r\n\x1a\n"
         + chunk(b"IHDR", header)
         + chunk(b"IDAT", zlib.compress(raw, level=6))
         + chunk(b"IEND", b"")
     )
-    path.write_bytes(payload)
+
+
+def write_png(image: np.ndarray, path: str | Path) -> Path:
+    """Write an RGB image to a PNG file (8-bit, no alpha)."""
+    path = Path(path)
+    path.write_bytes(png_bytes(image))
     return path
 
 
