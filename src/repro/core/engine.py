@@ -27,6 +27,7 @@ backwards-compatible facade over this engine.
 from __future__ import annotations
 
 import copy
+import itertools
 import os
 import threading
 from dataclasses import dataclass, field, replace
@@ -35,8 +36,21 @@ from typing import Sequence, Union
 import numpy as np
 
 from repro.core.normalization import NORMALIZED_MAX
-from repro.core.plan import EvaluationCache, PlanEvaluator, compile_plan
-from repro.core.reduction import ReductionMethod, display_fraction, select_display_set
+from repro.core.plan import (
+    CacheStats,
+    CompositePlan,
+    EvaluationCache,
+    LeafPlan,
+    PlanEvaluator,
+    compile_plan,
+)
+from repro.core.reduction import (
+    ReductionMethod,
+    display_fraction,
+    merge_topk_candidates_many,
+    select_display_set,
+    topk_candidates,
+)
 from repro.core.shard import (
     ShardedPlanEvaluator,
     ShardedTable,
@@ -138,12 +152,22 @@ class PipelineConfig:
     #: Worker threads for per-shard work (None = CPU count, capped at the
     #: shard count; 1 runs inline without a pool).
     max_workers: int | None = None
+    #: Dirty-shard tracking for sharded execution: per-node slice caching,
+    #: incremental bounds/top-k maintenance and displayed-set patching.
+    #: Off means every event pays the full per-shard renormalize/recombine/
+    #: select pass (the pre-incremental behaviour); results are
+    #: bit-identical either way.
+    incremental_shards: bool = True
 
     def __post_init__(self) -> None:
         if self.pixels_per_item not in (1, 4, 16):
             raise ValueError("pixels_per_item must be 1, 4 or 16")
         if self.percentage is not None and not 0.0 < self.percentage <= 1.0:
             raise ValueError("percentage must be in (0, 1]")
+        if not isinstance(self.incremental_shards, bool):
+            raise ValueError(
+                f"incremental_shards must be a bool, got {self.incremental_shards!r}"
+            )
         for name in ("shard_count", "max_workers"):
             value = getattr(self, name)
             if value is None:
@@ -166,6 +190,65 @@ class PipelineConfig:
 
 
 QuerySource = Union[Query, QueryNode, str]
+
+#: Slice-site namespace tokens, one per PreparedQuery (regenerated when the
+#: query shape changes wholesale, which orphans -- i.e. invalidates -- every
+#: slice entry of the old plan).
+_SLICE_TOKENS = itertools.count(1)
+
+
+def _plan_shape(plan) -> tuple:
+    """Structural identity of a compiled plan, ignoring mutable parameters.
+
+    Two plans share a shape when they have the same tree of composites and
+    leaves over the same attributes/predicate kinds -- exactly the states
+    between which per-site dirty-shard patching is meaningful.  Bounds and
+    weights are deliberately excluded: those are what the events move.
+    """
+    if isinstance(plan, LeafPlan):
+        predicate = getattr(plan.node, "predicate", None)
+        return (
+            "leaf",
+            type(plan.node).__name__,
+            type(predicate).__name__ if predicate is not None else None,
+            getattr(predicate, "attribute", None),
+        )
+    if isinstance(plan, CompositePlan):
+        return (str(plan.rule), tuple(_plan_shape(child) for child in plan.children))
+    return (type(plan).__name__,)
+
+
+@dataclass
+class _DisplayedState:
+    """Cached displayed-set decomposition for the percentage reduction.
+
+    ``threshold`` is the resolved ``target``-th smallest (NaN-masked)
+    distance; ``below``/``ties`` hold, per shard, the ascending global row
+    indices strictly below / exactly at the threshold.  An event then only
+    rebuilds the dirty shards' lists and re-certifies the threshold by
+    counting -- ``sum(len(below)) < target <= sum(len(below) + len(ties))``
+    proves the target-th smallest is still the cached threshold -- after
+    which the displayed set reassembles in O(target) under the stable tie
+    rule (smallest global row indices win at the boundary).
+    """
+
+    column_key: str
+    target: int
+    n: int
+    threshold: float
+    below: tuple
+    ties: tuple
+    displayed: np.ndarray
+
+
+@dataclass
+class _RelevanceState:
+    """Cached relevance column for one overall-distance column identity."""
+
+    column_key: str
+    scale: RelevanceScale
+    target_max: float
+    relevance: np.ndarray
 
 
 def coerce_query(source: Database | Table, query: QuerySource) -> Query:
@@ -324,11 +407,10 @@ class QueryEngine:
             prefetch = [entry[1] for entry in self._prefetch.values()]
             for _, sharded in self._sharded.values():
                 prefetch.extend(sharded.prefetch)
-        totals: dict[str, int] = {
-            "leaf_hits": 0, "leaf_misses": 0, "node_hits": 0, "node_misses": 0,
-            "leaf_evictions": 0, "node_evictions": 0,
+        totals: dict[str, int] = {key: 0 for key in CacheStats().as_dict()}
+        totals.update({
             "prefetch_hits": 0, "prefetch_misses": 0, "prefetch_evictions": 0,
-        }
+        })
         for cache in caches:
             for key, value in cache.stats.as_dict().items():
                 totals[key] += value
@@ -525,6 +607,14 @@ class PreparedQuery:
         self._effective_fp: str | None = None
         self._plan = None
         self._shape_fp = self._query_shape_fingerprint()
+        #: Namespace for this query's shard-slice sites.  Regenerated when
+        #: the plan *shape* changes (wholesale query replacement), which
+        #: invalidates every slice entry of the old plan at once.
+        self._slice_token = f"pq-{next(_SLICE_TOKENS)}"
+        self._plan_shape: tuple | None = None
+        #: Incremental displayed-set / relevance state (percentage path).
+        self._displayed_state: _DisplayedState | None = None
+        self._relevance_state: _RelevanceState | None = None
 
     def _query_shape_fingerprint(self) -> str:
         """Identity of the parts that determine the evaluation table."""
@@ -608,6 +698,17 @@ class PreparedQuery:
         self._effective = effective
         self._plan = compile_plan(effective)
         self._effective_fp = fingerprint
+        shape = _plan_shape(self._plan)
+        if shape != self._plan_shape:
+            if self._plan_shape is not None:
+                # The query was restructured wholesale: a fresh token
+                # orphans every slice entry of the old plan, and the
+                # displayed/relevance caches cannot be patched across the
+                # change either.
+                self._slice_token = f"pq-{next(_SLICE_TOKENS)}"
+                self._displayed_state = None
+                self._relevance_state = None
+            self._plan_shape = shape
         if self.executions > 0:
             # The query is being re-executed interactively: mark the range
             # (slider) attributes as hot and index them once, so subsequent
@@ -681,6 +782,170 @@ class PreparedQuery:
         return node
 
     # ------------------------------------------------------------------ #
+    # Incremental displayed-set / relevance maintenance
+    # ------------------------------------------------------------------ #
+    def _displayed_incremental(self, distances: np.ndarray, sharded: ShardedTable,
+                               method: ReductionMethod, root_delta,
+                               executor) -> np.ndarray | None:
+        """Percentage-path displayed set from cached per-shard top-k partials.
+
+        Returns None when this path does not apply (other reduction methods,
+        degenerate targets, or the adaptive cutoff where per-shard candidate
+        sets would approach the full column) -- the caller then falls back
+        to :func:`~repro.core.shard.sharded_select_display_set`, which is
+        bit-identical by the same merge algebra.
+
+        When it applies: only the shards the root delta marks dirty rebuild
+        their :class:`~repro.core.reduction.TopKCandidates`; clean shards'
+        cached partials merge in unchanged, and ties at the capacity
+        boundary resolve exactly once under the stable-argsort rule, so the
+        patched displayed set equals a cold selection bit for bit.
+        """
+        percentage = self.config.percentage
+        if not self.config.incremental_shards or percentage is None:
+            return None
+        if method is not ReductionMethod.PERCENTAGE:
+            return None
+        n = len(distances)
+        if n == 0 or n != len(sharded.table):
+            return None
+        target = max(1, int(round(percentage * n)))
+        if target >= n or target * sharded.shard_count > n // 2:
+            return None
+        cache = self.engine.evaluation_cache(self.table)
+        bounds = sharded.bounds
+        state = self._displayed_state
+        root_key = root_delta.value_key if root_delta is not None else None
+        if (state is not None and root_key is not None
+                and state.target == target and state.n == n):
+            if state.column_key == root_key:
+                # Same overall column, same target: the displayed set is
+                # provably unchanged.
+                cache.record_displayed_patch()
+                return state.displayed
+            if (root_delta.dirty is not None
+                    and root_delta.base_key == state.column_key):
+                if not root_delta.dirty:
+                    # Column content unchanged under a new fingerprint
+                    # (e.g. a weight move whose bounds held): re-key the
+                    # state, reuse everything.
+                    self._displayed_state = _DisplayedState(
+                        root_key, target, n, state.threshold,
+                        state.below, state.ties, state.displayed)
+                    cache.record_displayed_patch()
+                    return state.displayed
+                threshold = state.threshold
+                below = list(state.below)
+                ties = list(state.ties)
+                for i in sorted(root_delta.dirty):
+                    start, stop = bounds[i]
+                    part = distances[start:stop]
+                    finite = np.isfinite(part)
+                    masked = part if finite.all() else np.where(finite, part, np.inf)
+                    below[i] = np.nonzero(masked < threshold)[0] + start
+                    ties[i] = np.nonzero(masked == threshold)[0] + start
+                total_below = sum(len(x) for x in below)
+                total_ties = sum(len(x) for x in ties)
+                if total_below < target <= total_below + total_ties:
+                    # The target-th smallest is provably still `threshold`:
+                    # fewer than `target` rows lie strictly below it and at
+                    # least `target` lie at or below.  Reassemble under the
+                    # stable tie rule -- per-shard lists are ascending and
+                    # shard ranges are ordered, so their concatenation is
+                    # the global ascending index order.
+                    take = target - total_below
+                    tie_rows = np.concatenate(
+                        [x for x in ties if len(x)] or
+                        [np.empty(0, dtype=np.intp)])
+                    pieces = [x for x in below if len(x)]
+                    pieces.append(tie_rows[:take])
+                    displayed = np.sort(np.concatenate(pieces))
+                    displayed.flags.writeable = False
+                    self._displayed_state = _DisplayedState(
+                        root_key, target, n, threshold,
+                        tuple(below), tuple(ties), displayed)
+                    cache.record_displayed_patch()
+                    return displayed
+        # Full per-shard construction (cold run, threshold shift, or no
+        # usable delta); the below/tie decomposition is kept so the next
+        # event can patch.
+        def one(i: int):
+            start, stop = bounds[i]
+            return topk_candidates(distances[start:stop], target, offset=start)
+
+        if executor is not None and len(bounds) > 1:
+            partials = list(executor.map(one, range(len(bounds))))
+        else:
+            partials = [one(i) for i in range(len(bounds))]
+        merged = merge_topk_candidates_many(partials)
+        # Every row at or below the threshold survives the candidate cuts
+        # (cut thresholds only tighten towards the final one), so the
+        # merged set decomposes exactly into below/ties -- and the
+        # displayed set falls straight out of that decomposition, exactly
+        # as resolve_topk would produce it (the tie arrays are already in
+        # ascending global row order).
+        threshold = float(merged.values[
+            np.argpartition(merged.values, target - 1)[target - 1]])
+        below_all = merged.indices[merged.values < threshold]
+        ties_all = merged.indices[merged.values == threshold]
+        displayed = np.sort(np.concatenate(
+            [below_all, ties_all[:target - len(below_all)]]))
+        displayed.flags.writeable = False
+        if root_key is not None:
+            starts = [start for start, _ in bounds[1:]]
+            below = np.split(below_all, np.searchsorted(below_all, starts))
+            ties = np.split(ties_all, np.searchsorted(ties_all, starts))
+            self._displayed_state = _DisplayedState(
+                root_key, target, n, threshold,
+                tuple(below), tuple(ties), displayed)
+        return displayed
+
+    def _relevance_incremental(self, distances: np.ndarray,
+                               sharded: ShardedTable | None,
+                               root_delta) -> np.ndarray:
+        """Relevance factors, recomputing only dirty shards' slices.
+
+        The relevance transform is purely elementwise, so any slice of an
+        unchanged distance column maps to a bit-identical relevance slice --
+        the cached column is patched exactly like the node columns are.
+        """
+        scale = self.config.relevance_scale
+        target_max = self.config.target_max
+        root_key = root_delta.value_key if root_delta is not None else None
+        state = self._relevance_state
+        if (sharded is not None and root_key is not None and state is not None
+                and state.scale is scale and state.target_max == target_max
+                and len(state.relevance) == len(distances)):
+            if state.column_key == root_key:
+                return state.relevance
+            if (root_delta.dirty is not None
+                    and root_delta.base_key == state.column_key):
+                if not root_delta.dirty:
+                    # Bit-identical column under a new fingerprint: reuse
+                    # the whole relevance array, re-keyed.
+                    self._relevance_state = _RelevanceState(
+                        root_key, scale, target_max, state.relevance)
+                    return state.relevance
+                pieces = []
+                for i, (start, stop) in enumerate(sharded.bounds):
+                    if i in root_delta.dirty:
+                        pieces.append(relevance_factors(
+                            distances[start:stop], scale, target_max))
+                    else:
+                        pieces.append(state.relevance[start:stop])
+                relevance = np.concatenate(pieces)
+                relevance.flags.writeable = False
+                self._relevance_state = _RelevanceState(
+                    root_key, scale, target_max, relevance)
+                return relevance
+        relevance = relevance_factors(distances, scale, target_max)
+        if sharded is not None and root_key is not None:
+            relevance.flags.writeable = False
+            self._relevance_state = _RelevanceState(
+                root_key, scale, target_max, relevance)
+        return relevance
+
+    # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
     def execute(self, changes: Sequence | None = None) -> QueryFeedback:
@@ -713,17 +978,21 @@ class PreparedQuery:
         # execution instead of shutting the pool down between two waves.
         with pool_user():
             sharded = executor = None
+            incremental = False
             if shard_count > 1:
                 sharded = self.engine.sharded_table(table, shard_count)
                 executor = shared_executor(
                     resolve_worker_count(self.config.max_workers, shard_count)
                 )
+                incremental = self.config.incremental_shards
                 evaluator = ShardedPlanEvaluator(
                     sharded,
                     display_capacity=capacity_items,
                     target_max=self.config.target_max,
                     cache=self.engine.evaluation_cache(table),
                     executor=executor,
+                    incremental=incremental,
+                    slice_token=self._slice_token,
                 )
             else:
                 evaluator = PlanEvaluator(
@@ -735,23 +1004,30 @@ class PreparedQuery:
                 )
             node_feedback = evaluator.evaluate(self._plan)
             overall = node_feedback[()]
+            root_delta = evaluator.node_deltas.get(()) if incremental else None
             pixel_budget = max(1, self.config.screen.pixels // self.config.pixels_per_item)
             method = (
                 ReductionMethod.PERCENTAGE
                 if self.config.percentage is not None
                 else self.config.reduction
             )
+            displayed = None
             if sharded is not None:
-                displayed = sharded_select_display_set(
-                    overall.normalized_distances,
-                    sharded,
-                    capacity=pixel_budget,
-                    n_selection_predicates=n_predicates,
-                    method=method,
-                    percentage=self.config.percentage,
-                    multipeak_z=self.config.multipeak_z,
-                    executor=executor,
+                displayed = self._displayed_incremental(
+                    overall.normalized_distances, sharded, method,
+                    root_delta, executor,
                 )
+                if displayed is None:
+                    displayed = sharded_select_display_set(
+                        overall.normalized_distances,
+                        sharded,
+                        capacity=pixel_budget,
+                        n_selection_predicates=n_predicates,
+                        method=method,
+                        percentage=self.config.percentage,
+                        multipeak_z=self.config.multipeak_z,
+                        executor=executor,
+                    )
             else:
                 displayed = select_display_set(
                     overall.normalized_distances,
@@ -773,8 +1049,8 @@ class PreparedQuery:
         display_order = displayed[
             np.argsort(overall.normalized_distances[displayed], kind="stable")
         ]
-        relevance = relevance_factors(
-            overall.normalized_distances, self.config.relevance_scale, self.config.target_max
+        relevance = self._relevance_incremental(
+            overall.normalized_distances, sharded, root_delta
         )
         statistics = FeedbackStatistics(
             num_objects=n,
@@ -783,6 +1059,18 @@ class PreparedQuery:
             num_results=overall.result_count,
         )
         self.executions += 1
+        extra = {
+            "display_fraction": display_fraction(pixel_budget, n, n_predicates),
+            "pixels_per_item": self.config.pixels_per_item,
+            # Map node path -> query-tree node, used by the slider layer to
+            # recover predicate attributes and query ranges.
+            "condition_nodes": dict(condition.iter_nodes()),
+        }
+        if sharded is not None and incremental:
+            # Dirty-shard attribution of this event, for benchmarks and the
+            # service metrics: how many shards the event actually touched
+            # and how many node columns were patched vs. served wholesale.
+            extra["incremental"] = evaluator.event_report()
         return QueryFeedback(
             table=table,
             query_description=self.query.describe(),
@@ -791,11 +1079,5 @@ class PreparedQuery:
             relevance=relevance,
             statistics=statistics,
             display_capacity=capacity_items,
-            extra={
-                "display_fraction": display_fraction(pixel_budget, n, n_predicates),
-                "pixels_per_item": self.config.pixels_per_item,
-                # Map node path -> query-tree node, used by the slider layer to
-                # recover predicate attributes and query ranges.
-                "condition_nodes": dict(condition.iter_nodes()),
-            },
+            extra=extra,
         )

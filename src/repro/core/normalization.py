@@ -24,6 +24,7 @@ __all__ = [
     "minmax_normalize",
     "normalization_keep_count",
     "reduced_bounds",
+    "bounds_identical",
     "apply_normalization",
     "reduced_normalization",
     "normalize_signed",
@@ -95,6 +96,28 @@ def reduced_bounds(distances: np.ndarray, keep: int) -> tuple[float, float] | No
     else:
         d_max = float(np.partition(finite, keep - 1)[keep - 1])
     return float(finite.min()), d_max
+
+
+def bounds_identical(a: tuple[float, float] | None,
+                     b: tuple[float, float] | None) -> bool:
+    """True when two resolved ``(d_min, d_max)`` pairs are the same *bits*.
+
+    This is the gate of the incremental renormalization short-circuit: when
+    an event leaves the resolved bounds bit-identical, the elementwise
+    transform of every unchanged value is bit-identical too, so clean
+    shards' normalized slices can be reused verbatim.  Plain ``==`` on the
+    floats is exactly the right comparison (bounds are exact column
+    elements, never recomputed arithmetic) *except* for NaN, which can
+    legitimately appear as a resolved bound of an all-NaN-distance column
+    and must compare equal to itself here.
+    """
+    if a is None or b is None:
+        return a is None and b is None
+
+    def same(x: float, y: float) -> bool:
+        return x == y or (np.isnan(x) and np.isnan(y))
+
+    return same(a[0], b[0]) and same(a[1], b[1])
 
 
 def apply_normalization(distances: np.ndarray, d_min: float | None, d_max: float | None,

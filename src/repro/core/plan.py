@@ -60,6 +60,8 @@ __all__ = [
     "CacheStats",
     "EvaluationCache",
     "PlanEvaluator",
+    "ShardSliceCache",
+    "ShardSliceEntry",
 ]
 
 
@@ -104,6 +106,107 @@ class _NodeColumns:
         _freeze(self.normalized, self.signed, self.exact_mask, self.raw)
 
 
+@dataclass(frozen=True)
+class _RangeHistory:
+    """Last computed state of a range (slider) leaf on one attribute."""
+
+    low: float
+    high: float
+    raw: _LeafRaw
+    #: Fingerprint of the raw computation that produced ``raw`` -- the base
+    #: identity the sharded dirty-tracking patches against.
+    raw_key: str | None = None
+
+
+@dataclass(frozen=True)
+class ShardSliceEntry:
+    """Incremental per-shard state of one plan-node *site*.
+
+    A site is a structural position in one prepared query's plan (leaf or
+    composite), identified independently of the mutable parameters (bounds,
+    weights).  The entry remembers what the node's column looked like after
+    the previous execution -- its value fingerprint, the resolved
+    ``(d_min, d_max)``, per-shard order-statistic summaries against that
+    resolve, and the arrays themselves (shared with the node LRU, so no
+    extra column memory) -- which is exactly what a later execution needs
+    to recompute only the shards an event actually dirtied.
+
+    ``summaries`` is a ``(shard_count, 5)`` array of per-shard
+    ``(finite_count, min, max, count < d_max, count <= d_max)``.  Summing
+    the counts over all shards re-certifies the resolved bounds in O(dirty
+    shards + shard_count) without touching clean shards: the ``keep``-th
+    smallest of the new column equals the old ``d_max`` exactly when
+    ``count< < keep <= count<=`` -- no merge of value multisets needed.
+
+    Entries are validated structurally before any patch: the stored
+    provenance (leaf raw key / composite child keys + weights) must match
+    what the current computation would have used, so a stale or foreign
+    entry can only cause a full recompute, never a wrong patch.
+    """
+
+    value_key: str
+    columns: _NodeColumns
+    resolved: tuple[float, float] | None
+    #: (shard_count, 5) float array of per-shard order-statistic summaries
+    #: relative to ``resolved`` (None when not captured).
+    summaries: np.ndarray | None
+    target_max: float
+    shard_count: int
+    #: Leaf provenance: identity of the raw column the entry derives from.
+    raw_key: str | None = None
+    #: Composite provenance: child value keys / weights / rule at build time.
+    child_keys: tuple[str, ...] | None = None
+    child_weights: tuple[float, ...] | None = None
+    rule: object | None = None
+    generation: int = 0
+
+
+class ShardSliceCache:
+    """Generation-tagged LRU of :class:`ShardSliceEntry` per node site.
+
+    ``invalidate()`` bumps the generation, making every existing entry
+    stale at once; :meth:`EvaluationCache.clear` uses it so entries cached
+    by an in-flight evaluation cannot be re-published after the clear.
+    Wholesale *shape* changes of one prepared query are invalidated
+    differently -- the query regenerates its slice token, orphaning its
+    old sites without touching other sessions' entries (which share this
+    per-table store).  Parameter-level changes (bounds, weights, capacity)
+    need no explicit invalidation at all: entries carry their provenance
+    and a mismatch falls back to a full recompute.
+    """
+
+    def __init__(self, max_entries: int = 64):
+        self._lru = _LRU(max_entries)
+        self.generation = 0
+
+    def get(self, key: str) -> ShardSliceEntry | None:
+        entry = self._lru.get(key)
+        if entry is not None and entry.generation != self.generation:
+            return None
+        return entry
+
+    def put(self, key: str, entry: ShardSliceEntry) -> None:
+        """Publish an entry stamped with the generation its writer read.
+
+        An entry carrying a stale generation is silently dropped: its
+        writer started evaluating before an ``invalidate()`` (a concurrent
+        :meth:`EvaluationCache.clear`), so publishing it would resurrect
+        state the clear was meant to discard.
+        """
+        if entry.generation != self.generation:
+            return
+        self._lru.put(key, entry)
+
+    def invalidate(self) -> None:
+        self.generation += 1
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+
 class _LRU:
     """A tiny bounded mapping evicting the least recently used entry."""
 
@@ -144,6 +247,21 @@ class CacheStats:
     node_misses: int = 0
     leaf_evictions: int = 0
     node_evictions: int = 0
+    #: Sharded dirty-tracking: node recomputations that patched a previous
+    #: column (slice_hits) vs. falling back to a full per-shard recompute.
+    slice_hits: int = 0
+    slice_misses: int = 0
+    #: Per-shard work attribution across all patched/full node stages:
+    #: shards whose slice had to be recomputed vs. reused verbatim.
+    shards_recomputed: int = 0
+    shards_reused: int = 0
+    #: Patched nodes whose merged (d_min, d_max) came out unchanged, so the
+    #: clean shards' normalized slices were reused without renormalizing.
+    bounds_shortcircuits: int = 0
+    #: Displayed-set selections patched from cached per-shard top-k partials.
+    displayed_patches: int = 0
+    #: Executions that ran with dirty-shard tracking enabled.
+    incremental_events: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -153,6 +271,13 @@ class CacheStats:
             "node_misses": self.node_misses,
             "leaf_evictions": self.leaf_evictions,
             "node_evictions": self.node_evictions,
+            "slice_hits": self.slice_hits,
+            "slice_misses": self.slice_misses,
+            "shards_recomputed": self.shards_recomputed,
+            "shards_reused": self.shards_reused,
+            "bounds_shortcircuits": self.bounds_shortcircuits,
+            "displayed_patches": self.displayed_patches,
+            "incremental_events": self.incremental_events,
         }
 
 
@@ -168,13 +293,18 @@ class EvaluationCache:
         budget for the table at hand rather than using the defaults.
     """
 
-    def __init__(self, max_leaf_entries: int = 64, max_node_entries: int = 128):
+    def __init__(self, max_leaf_entries: int = 64, max_node_entries: int = 128,
+                 max_slice_entries: int = 64):
         self._raw = _LRU(max_leaf_entries)
         self._nodes = _LRU(max_node_entries)
         #: Last range-leaf result per attribute, enabling delta recomputation
         #: when a slider moves: only the rows between the old and the new
         #: bounds get fresh distances.
-        self._range_history: dict[str, tuple[float, float, "_LeafRaw"]] = {}
+        self._range_history: dict[str, _RangeHistory] = {}
+        #: Per-site incremental shard state (sharded evaluator only).  The
+        #: entries reference the same arrays as the node LRU, so the extra
+        #: footprint is the (small) per-shard partials plus metadata.
+        self._slices = ShardSliceCache(max_slice_entries)
         self.stats = CacheStats()
         # One evaluation cache is shared by every session executing against
         # the same table; the service runs those executions on concurrent
@@ -214,14 +344,49 @@ class EvaluationCache:
             self.stats.node_evictions = self._nodes.evictions
 
     # Range-leaf history ---------------------------------------------------- #
-    def range_history(self, attribute: str) -> tuple[float, float, _LeafRaw] | None:
+    def range_history(self, attribute: str) -> _RangeHistory | None:
         with self._lock:
             return self._range_history.get(attribute)
 
     def set_range_history(self, attribute: str, low: float, high: float,
-                          raw: _LeafRaw) -> None:
+                          raw: _LeafRaw, raw_key: str | None = None) -> None:
         with self._lock:
-            self._range_history[attribute] = (low, high, raw)
+            self._range_history[attribute] = _RangeHistory(low, high, raw, raw_key)
+
+    # Shard-slice entries --------------------------------------------------- #
+    def slice_generation(self) -> int:
+        """Current slice generation; writers stamp their entries with it."""
+        with self._lock:
+            return self._slices.generation
+
+    def get_slice(self, site: str) -> ShardSliceEntry | None:
+        with self._lock:
+            return self._slices.get(site)
+
+    def put_slice(self, site: str, entry: ShardSliceEntry) -> None:
+        with self._lock:
+            self._slices.put(site, entry)
+
+    def record_incremental_event(self) -> None:
+        with self._lock:
+            self.stats.incremental_events += 1
+
+    def record_displayed_patch(self) -> None:
+        with self._lock:
+            self.stats.displayed_patches += 1
+
+    def record_slice(self, *, hit: bool, recomputed: int, reused: int,
+                     shortcircuit: bool = False) -> None:
+        """Account one node-column computation's dirty-shard outcome."""
+        with self._lock:
+            if hit:
+                self.stats.slice_hits += 1
+            else:
+                self.stats.slice_misses += 1
+            self.stats.shards_recomputed += recomputed
+            self.stats.shards_reused += reused
+            if shortcircuit:
+                self.stats.bounds_shortcircuits += 1
 
     def clear(self) -> None:
         """Drop all cached arrays (counters are kept)."""
@@ -229,6 +394,8 @@ class EvaluationCache:
             self._raw.clear()
             self._nodes.clear()
             self._range_history.clear()
+            self._slices.clear()
+            self._slices.invalidate()
 
 
 # --------------------------------------------------------------------------- #
@@ -347,7 +514,7 @@ class PlanEvaluator:
     def _evaluate(self, plan: PlanNode, path: NodePath,
                   feedback: dict[NodePath, NodeFeedback]) -> _NodeColumns:
         if isinstance(plan, LeafPlan):
-            columns = self._leaf_columns(plan)
+            columns = self._leaf_columns(plan, path)
         else:
             columns = self._composite_columns(plan, path, feedback)
         feedback[path] = NodeFeedback(
@@ -362,14 +529,14 @@ class PlanEvaluator:
         )
         return columns
 
-    def _leaf_columns(self, plan: LeafPlan) -> _NodeColumns:
+    def _leaf_columns(self, plan: LeafPlan, path: NodePath = ()) -> _NodeColumns:
         value_key = plan.value_key(self.display_capacity, self.target_max)
         columns = self.cache.get_node(value_key)
         if columns is not None:
             return columns
         raw = self.cache.get_raw(plan.raw_key)
         if raw is None:
-            raw = self._compute_leaf_raw(plan.node)
+            raw = self._compute_leaf_raw(plan.node, plan.raw_key)
             self.cache.put_raw(plan.raw_key, raw)
         normalized = self._normalize(raw.raw, plan.node.weight)
         columns = _NodeColumns(
@@ -381,7 +548,8 @@ class PlanEvaluator:
         self.cache.put_node(value_key, columns)
         return columns
 
-    def _compute_leaf_raw(self, node: Union[PredicateLeaf, SubqueryNode]) -> _LeafRaw:
+    def _compute_leaf_raw(self, node: Union[PredicateLeaf, SubqueryNode],
+                          raw_key: str | None = None) -> _LeafRaw:
         if isinstance(node, SubqueryNode):
             signed = np.asarray(node.signed_distances(self.table), dtype=float)
             return _LeafRaw(
@@ -392,7 +560,7 @@ class PlanEvaluator:
             )
         predicate = node.predicate
         if isinstance(predicate, RangePredicate):
-            return self._range_leaf_raw(predicate)
+            return self._range_leaf_raw(predicate, raw_key)
         signed = np.asarray(predicate.signed_distances(self.table), dtype=float)
         exact = self._exact_mask(predicate)
         return _LeafRaw(
@@ -402,7 +570,8 @@ class PlanEvaluator:
             supports_direction=predicate.supports_direction,
         )
 
-    def _range_leaf_raw(self, predicate: RangePredicate) -> _LeafRaw:
+    def _range_leaf_raw(self, predicate: RangePredicate,
+                        raw_key: str | None = None) -> _LeafRaw:
         """Range-leaf distances, recomputed only between the old and new bounds.
 
         A slider move from ``[old_low, old_high]`` to ``[low, high]`` changes
@@ -425,11 +594,11 @@ class PlanEvaluator:
             # bound), plus the band the bound swept over.  Rows on the side
             # of an unmoved bound keep their exact values.
             pieces = []
-            if predicate.low != history[0]:
-                pieces.append(index.range_query(None, max(history[0], predicate.low),
+            if predicate.low != history.low:
+                pieces.append(index.range_query(None, max(history.low, predicate.low),
                                                 sort=False))
-            if predicate.high != history[1]:
-                pieces.append(index.range_query(min(history[1], predicate.high), None,
+            if predicate.high != history.high:
+                pieces.append(index.range_query(min(history.high, predicate.high), None,
                                                 sort=False))
             changed = np.concatenate(pieces) if pieces else np.empty(0, dtype=np.intp)
             # A delta update only pays off while the touched row set is small;
@@ -437,7 +606,7 @@ class PlanEvaluator:
             if len(changed) > len(self.table) // 3:
                 history = None
         if history is not None:
-            old_low, old_high, old = history
+            old = history.raw
             signed = old.signed.copy()
             raw = old.raw.copy()
             if len(changed):
@@ -462,7 +631,8 @@ class PlanEvaluator:
                 exact_mask=self._exact_mask(predicate),
                 supports_direction=predicate.supports_direction,
             )
-        self.cache.set_range_history(attribute, predicate.low, predicate.high, result)
+        self.cache.set_range_history(attribute, predicate.low, predicate.high, result,
+                                     raw_key)
         return result
 
     def _normalize(self, values: np.ndarray, weight: float) -> np.ndarray:

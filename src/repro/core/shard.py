@@ -37,7 +37,6 @@ import os
 import threading
 from concurrent.futures import Executor, ThreadPoolExecutor
 from dataclasses import dataclass
-from functools import reduce
 from typing import Callable, TypeVar, Union
 
 import numpy as np
@@ -46,19 +45,27 @@ from repro.core.combine import CombinationRule, combine_columns
 from repro.core.normalization import (
     NORMALIZED_MAX,
     apply_normalization,
+    bounds_identical,
     normalization_keep_count,
     reduced_bounds,
 )
-from repro.core.plan import EvaluationCache, PlanEvaluator, _LeafRaw
+from repro.core.plan import (
+    EvaluationCache,
+    PlanEvaluator,
+    ShardSliceEntry,
+    _LeafRaw,
+    _NodeColumns,
+)
 from repro.core.reduction import (
     ReductionMethod,
     display_fraction,
-    merge_topk_candidates,
+    merge_topk_candidates_many,
     resolve_topk,
     select_display_set,
     topk_candidates,
 )
-from repro.query.expr import PredicateLeaf, SubqueryNode
+from repro.query.expr import NodePath, PredicateLeaf, SubqueryNode
+from repro.query.fingerprint import stable_fingerprint
 from repro.query.predicates import RangePredicate
 from repro.storage.cache import PrefetchCache
 from repro.storage.index import SortedIndex
@@ -74,7 +81,9 @@ __all__ = [
     "distance_bounds_partial",
     "empty_distance_bounds",
     "merge_distance_bounds",
+    "merge_distance_bounds_many",
     "resolve_distance_bounds",
+    "NodeDelta",
     "ShardedTable",
     "ShardedPlanEvaluator",
     "sharded_select_display_set",
@@ -287,6 +296,36 @@ def merge_distance_bounds(a: DistanceBoundsPartial,
     )
 
 
+def merge_distance_bounds_many(partials: "list[DistanceBoundsPartial]") -> DistanceBoundsPartial:
+    """Merge many partials with one concatenation and a single partition.
+
+    Resolves to exactly the same ``(d_min, d_max)`` as a pairwise
+    :func:`merge_distance_bounds` reduction (the smallest-``k`` multiset of a
+    union is merge-order-independent), but does the selection work once --
+    the shape the per-shard slice cache hits on every event, where most
+    partials come from the cache and only the dirty shards' are fresh.
+    """
+    if not partials:
+        raise ValueError("merge_distance_bounds_many needs at least one partial")
+    capacity = partials[0].capacity
+    for partial in partials[1:]:
+        if partial.capacity != capacity:
+            raise ValueError(
+                f"cannot merge partials with capacities {capacity} != {partial.capacity}"
+            )
+    if len(partials) == 1:
+        return partials[0]
+    smallest = np.concatenate([p.smallest for p in partials])
+    if len(smallest) > capacity:
+        smallest = np.partition(smallest, capacity - 1)[:capacity]
+    return DistanceBoundsPartial(
+        capacity=capacity,
+        count=sum(p.count for p in partials),
+        smallest=smallest,
+        maximum=max(p.maximum for p in partials),
+    )
+
+
 def resolve_distance_bounds(partial: DistanceBoundsPartial,
                             keep: int | None = None) -> tuple[float, float] | None:
     """The global ``(d_min, d_max)`` of the merged column, or None if no finite value.
@@ -306,6 +345,32 @@ def resolve_distance_bounds(partial: DistanceBoundsPartial,
     else:
         d_max = float(np.partition(partial.smallest, keep - 1)[keep - 1])
     return float(partial.smallest.min()), d_max
+
+
+#: Summary row of a shard with no finite values (the counting identity).
+_EMPTY_SUMMARY = (0.0, float("inf"), float("-inf"), 0.0, 0.0)
+
+
+def _shard_summary(values: np.ndarray, d_max: float) -> tuple:
+    """Order-statistic summary of one shard against a candidate ``d_max``.
+
+    Returns ``(finite_count, min, max, count < d_max, count <= d_max)``.
+    Comparisons against a NaN ``d_max`` (an all-NaN previous resolve) are
+    all False, yielding zero counts -- which can never certify, only force
+    the full resolve, so a stale ``d_max`` stays harmless.
+    """
+    values = np.asarray(values, dtype=float)
+    finite = np.isfinite(values)
+    if not finite.any():
+        return _EMPTY_SUMMARY
+    finite_values = values[finite] if not finite.all() else values
+    return (
+        float(len(finite_values)),
+        float(finite_values.min()),
+        float(finite_values.max()),
+        float(np.count_nonzero(finite_values < d_max)),
+        float(np.count_nonzero(finite_values <= d_max)),
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -371,6 +436,28 @@ class ShardedTable:
 # --------------------------------------------------------------------------- #
 # Sharded plan evaluation
 # --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class NodeDelta:
+    """How one node's output column relates to its previous incarnation.
+
+    ``value_key`` is the fingerprint of the column just produced.  When a
+    relation to an earlier column is known, ``base_key`` names that column
+    and ``dirty`` lists the shards within which the two may differ -- every
+    row outside a dirty shard is *guaranteed* bit-identical.  ``dirty is
+    None`` means no relation is known (treat every shard as changed); a
+    ``base_key == value_key`` with an empty dirty set is the trivial
+    self-relation of a node served wholesale from the cache.
+
+    These deltas are what the per-shard slice cache propagates up the plan:
+    a parent combines its children's dirty sets, and the engine patches the
+    displayed set from the root's delta.
+    """
+
+    value_key: str
+    base_key: str | None
+    dirty: frozenset | None
+
+
 class ShardedPlanEvaluator(PlanEvaluator):
     """A :class:`~repro.core.plan.PlanEvaluator` that executes shard by shard.
 
@@ -380,6 +467,26 @@ class ShardedPlanEvaluator(PlanEvaluator):
     an incremental re-execution may mix cached monolithic results with
     freshly sharded ones and still return exactly the cold-run feedback.
 
+    With ``incremental=True`` (the default) the evaluator additionally
+    maintains, per plan-node *site*, the previous execution's per-shard
+    state (:class:`~repro.core.plan.ShardSliceEntry`) and recomputes only
+    the shards an event dirtied:
+
+    * a range-slider delta marks as dirty exactly the shards whose rows the
+      swept band intersects (found through the per-shard sorted indexes);
+    * per-node, only dirty shards' bounds partials are re-derived; when the
+      merged ``(d_min, d_max)`` is bit-identical to the previous resolve
+      (the common case for interior slider moves), clean shards' normalized
+      slices are reused verbatim instead of being renormalized;
+    * composites recombine only shards made dirty by some child, reusing
+      clean combined/mask slices.
+
+    Every patch is validated against the entry's recorded provenance (raw
+    key, child keys + weights, keep/capacity), so a stale entry degrades to
+    a full per-shard recompute -- never a wrong answer.  ``slice_token``
+    namespaces the sites (one token per prepared query), keeping concurrent
+    sessions' patch chains from thrashing each other.
+
     ``executor`` is an optional :class:`concurrent.futures.Executor`; when
     None (or with a single shard) the per-shard work runs inline.
     """
@@ -387,28 +494,276 @@ class ShardedPlanEvaluator(PlanEvaluator):
     def __init__(self, sharded: ShardedTable, display_capacity: int,
                  target_max: float = NORMALIZED_MAX,
                  cache: EvaluationCache | None = None,
-                 executor: Executor | None = None):
+                 executor: Executor | None = None,
+                 incremental: bool = True,
+                 slice_token: str = ""):
         super().__init__(sharded.table, display_capacity, target_max=target_max,
                          cache=cache, prefetch=None)
         self.sharded = sharded
         self.executor = executor
+        self.incremental = incremental
+        self.slice_token = slice_token
+        #: :class:`NodeDelta` per node path of the latest :meth:`evaluate`.
+        self.node_deltas: dict[NodePath, NodeDelta] = {}
+        #: raw_key -> (base raw_key, dirty shard set) learned while
+        #: recomputing range leaves during this evaluation.
+        self._raw_deltas: dict[str, tuple[str, frozenset]] = {}
+        #: Slice generation this evaluation started under; entries are
+        #: stamped with it so a concurrent cache clear() drops them.
+        self._slice_generation = self.cache.slice_generation()
 
     # ------------------------------------------------------------------ #
     def _map_shards(self, fn: Callable[[int], T]) -> list[T]:
         return _map_indexed(self.executor, fn, self.sharded.shard_count)
 
+    def _map_over(self, indices: list[int], fn: Callable[[int], T]) -> list[T]:
+        """Run ``fn`` over an explicit shard subset (the dirty shards)."""
+        if self.executor is None or len(indices) <= 1:
+            return [fn(i) for i in indices]
+        return list(self.executor.map(fn, indices))
+
+    def _site_key(self, path: NodePath) -> str:
+        return stable_fingerprint(
+            "site", self.slice_token, path, self.sharded.shard_count
+        )
+
+    def _valid_entry(self, path: NodePath) -> ShardSliceEntry | None:
+        if not self.incremental:
+            return None
+        entry = self.cache.get_slice(self._site_key(path))
+        if entry is None:
+            return None
+        if (entry.shard_count != self.sharded.shard_count
+                or entry.target_max != self.target_max
+                or len(entry.columns.normalized) != len(self.table)):
+            return None
+        return entry
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, plan):
+        self.node_deltas = {}
+        self._raw_deltas = {}
+        self._slice_generation = self.cache.slice_generation()
+        if self.incremental:
+            self.cache.record_incremental_event()
+        return super().evaluate(plan)
+
+    def event_report(self) -> dict[str, object]:
+        """Dirty-shard attribution of the latest :meth:`evaluate` call.
+
+        ``root_dirty_shards`` is None when no delta relation was known at
+        the root (a cold or wholesale-changed execution); ``patched_nodes``
+        counts nodes recomputed through the slice cache, ``cached_nodes``
+        nodes served wholesale from the node LRU.
+        """
+        root = self.node_deltas.get(())
+        root_dirty = None
+        if root is not None and root.dirty is not None:
+            root_dirty = len(root.dirty)
+        cached = sum(
+            1 for d in self.node_deltas.values() if d.base_key == d.value_key
+        )
+        patched = sum(
+            1 for d in self.node_deltas.values()
+            if d.dirty is not None and d.base_key not in (None, d.value_key)
+        )
+        return {
+            "nodes": len(self.node_deltas),
+            "cached_nodes": cached,
+            "patched_nodes": patched,
+            "root_dirty_shards": root_dirty,
+            "shard_count": self.sharded.shard_count,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Node columns with dirty-shard patching
+    # ------------------------------------------------------------------ #
+    def _leaf_columns(self, plan, path: NodePath = ()) -> _NodeColumns:
+        value_key = plan.value_key(self.display_capacity, self.target_max)
+        columns = self.cache.get_node(value_key)
+        if columns is not None:
+            # Served wholesale: identical content by fingerprint identity.
+            self.node_deltas[path] = NodeDelta(value_key, value_key, frozenset())
+            return columns
+        raw = self.cache.get_raw(plan.raw_key)
+        if raw is None:
+            raw = self._compute_leaf_raw(plan.node, plan.raw_key)
+            self.cache.put_raw(plan.raw_key, raw)
+        entry = self._valid_entry(path)
+        dirty: frozenset | None = None
+        if entry is not None and entry.raw_key is not None:
+            if entry.raw_key == plan.raw_key:
+                # Same raw column (e.g. only the weight moved): nothing is
+                # dirty -- the normalize stage decides whether the resolved
+                # bounds (hence the normalized column) changed at all.
+                dirty = frozenset()
+            else:
+                delta = self._raw_deltas.get(plan.raw_key)
+                if delta is not None and delta[0] == entry.raw_key:
+                    dirty = delta[1]
+        normalized, resolved, summaries, out_dirty = \
+            self._normalize_incremental(raw.raw, plan.node.weight, entry, dirty)
+        columns = _NodeColumns(
+            normalized=normalized,
+            signed=raw.signed if raw.supports_direction else None,
+            exact_mask=raw.exact_mask,
+            raw=raw.raw,
+        )
+        self.cache.put_node(value_key, columns)
+        if self.incremental:
+            self.cache.put_slice(self._site_key(path), ShardSliceEntry(
+                value_key=value_key,
+                columns=columns,
+                resolved=resolved,
+                summaries=summaries,
+                target_max=self.target_max,
+                shard_count=self.sharded.shard_count,
+                raw_key=plan.raw_key,
+                generation=self._slice_generation,
+            ))
+        base = entry.value_key if (entry is not None and dirty is not None) else None
+        self.node_deltas[path] = NodeDelta(value_key, base, out_dirty)
+        return columns
+
+    def _composite_columns(self, plan, path: NodePath,
+                           feedback: dict) -> _NodeColumns:
+        child_columns = [
+            self._evaluate(child, path + (i,), feedback)
+            for i, child in enumerate(plan.children)
+        ]
+        value_key = plan.value_key(self.display_capacity, self.target_max)
+        columns = self.cache.get_node(value_key)
+        if columns is not None:
+            self.node_deltas[path] = NodeDelta(value_key, value_key, frozenset())
+            return columns
+        weights = np.array([child.weight for child in plan.children], dtype=float)
+        child_keys = tuple(
+            child.value_key(self.display_capacity, self.target_max)
+            for child in plan.children
+        )
+        entry = self._valid_entry(path)
+        dirty = self._children_dirty(entry, child_keys, weights, plan.rule, path)
+        bounds = self.sharded.bounds
+        if dirty is not None:
+            # Children changed only inside the dirty shards (and with
+            # unchanged weights/rule), so the combined column and the
+            # fulfilment mask change only there too.
+            if not dirty:
+                combined = entry.columns.raw
+                exact = entry.columns.exact_mask
+            else:
+                dirty_sorted = sorted(dirty)
+
+                def combine_one(i: int) -> np.ndarray:
+                    start, stop = bounds[i]
+                    return combine_columns(
+                        plan.rule,
+                        [c.normalized[start:stop] for c in child_columns],
+                        weights,
+                    )
+
+                def mask_one(i: int) -> np.ndarray:
+                    start, stop = bounds[i]
+                    if plan.rule is CombinationRule.AND:
+                        piece = np.ones(stop - start, dtype=bool)
+                        for c in child_columns:
+                            piece &= c.exact_mask[start:stop]
+                    else:
+                        piece = np.zeros(stop - start, dtype=bool)
+                        for c in child_columns:
+                            piece |= c.exact_mask[start:stop]
+                    return piece
+
+                fresh_combined = dict(zip(
+                    dirty_sorted, self._map_over(dirty_sorted, combine_one)))
+                fresh_masks = dict(zip(
+                    dirty_sorted, self._map_over(dirty_sorted, mask_one)))
+                combined = np.concatenate([
+                    fresh_combined[i] if i in dirty
+                    else entry.columns.raw[start:stop]
+                    for i, (start, stop) in enumerate(bounds)
+                ])
+                exact = np.concatenate([
+                    fresh_masks[i] if i in dirty
+                    else entry.columns.exact_mask[start:stop]
+                    for i, (start, stop) in enumerate(bounds)
+                ])
+        else:
+            combined = self._combine(
+                plan.rule, [c.normalized for c in child_columns], weights
+            )
+            if plan.rule is CombinationRule.AND:
+                exact = np.ones(len(self.table), dtype=bool)
+                for c in child_columns:
+                    exact &= c.exact_mask
+            else:
+                exact = np.zeros(len(self.table), dtype=bool)
+                for c in child_columns:
+                    exact |= c.exact_mask
+        normalized, resolved, summaries, out_dirty = \
+            self._normalize_incremental(combined, plan.node.weight, entry, dirty)
+        columns = _NodeColumns(
+            normalized=normalized, signed=None, exact_mask=exact, raw=combined
+        )
+        self.cache.put_node(value_key, columns)
+        if self.incremental:
+            self.cache.put_slice(self._site_key(path), ShardSliceEntry(
+                value_key=value_key,
+                columns=columns,
+                resolved=resolved,
+                summaries=summaries,
+                target_max=self.target_max,
+                shard_count=self.sharded.shard_count,
+                child_keys=child_keys,
+                child_weights=tuple(float(w) for w in weights),
+                rule=plan.rule,
+                generation=self._slice_generation,
+            ))
+        base = entry.value_key if (entry is not None and dirty is not None) else None
+        self.node_deltas[path] = NodeDelta(value_key, base, out_dirty)
+        return columns
+
+    def _children_dirty(self, entry: ShardSliceEntry | None,
+                        child_keys: tuple, weights: np.ndarray,
+                        rule: CombinationRule, path: NodePath) -> frozenset | None:
+        """Union of the children's dirty shards, or None when unpatchable.
+
+        A patch of the combined column is only sound when the combination
+        inputs are unchanged outside the dirty shards: same rule, same child
+        weights, and every child either carries the same value fingerprint
+        the entry was built from or reports a delta against exactly that
+        fingerprint.
+        """
+        if entry is None or entry.child_keys is None:
+            return None
+        if entry.rule is not rule or len(entry.child_keys) != len(child_keys):
+            return None
+        if entry.child_weights != tuple(float(w) for w in weights):
+            return None
+        acc: set = set()
+        for i, key in enumerate(child_keys):
+            if key == entry.child_keys[i]:
+                continue
+            delta = self.node_deltas.get(path + (i,))
+            if (delta is None or delta.dirty is None
+                    or delta.base_key != entry.child_keys[i]):
+                return None
+            acc |= delta.dirty
+        return frozenset(acc)
+
     # ------------------------------------------------------------------ #
     # Leaf columns
     # ------------------------------------------------------------------ #
-    def _compute_leaf_raw(self, node: Union[PredicateLeaf, SubqueryNode]) -> _LeafRaw:
+    def _compute_leaf_raw(self, node: Union[PredicateLeaf, SubqueryNode],
+                          raw_key: str | None = None) -> _LeafRaw:
         if isinstance(node, SubqueryNode):
             # Subquery distances come from an arbitrary callable that may
             # depend on whole-table state; only row-local predicates are
             # safe to evaluate per shard.
-            return super()._compute_leaf_raw(node)
+            return super()._compute_leaf_raw(node, raw_key)
         predicate = node.predicate
         if isinstance(predicate, RangePredicate):
-            return self._range_leaf_raw(predicate)
+            return self._range_leaf_raw(predicate, raw_key)
 
         def one(i: int) -> np.ndarray:
             return np.asarray(predicate.signed_distances(self.sharded.shards[i]),
@@ -422,7 +777,8 @@ class ShardedPlanEvaluator(PlanEvaluator):
             supports_direction=predicate.supports_direction,
         )
 
-    def _range_leaf_raw(self, predicate: RangePredicate) -> _LeafRaw:
+    def _range_leaf_raw(self, predicate: RangePredicate,
+                        raw_key: str | None = None) -> _LeafRaw:
         """Per-shard version of the incremental range-leaf update.
 
         A slider event touches only the shards whose rows intersect the
@@ -430,14 +786,20 @@ class ShardedPlanEvaluator(PlanEvaluator):
         O(log s + k); shards outside the band contribute empty change sets
         and do no work.  The recomputation formula is identical to
         :meth:`RangePredicate.signed_distances`, so the result matches a
-        full recomputation bit for bit.
+        full recomputation bit for bit.  The set of shards with a non-empty
+        change set is recorded as this raw column's delta against the
+        previous one, seeding the per-node dirty tracking; the fulfilment
+        mask is patched from the previous mask over the same rows (a row's
+        membership can only change where its distance changes).
         """
         attribute = predicate.attribute
         indexes = self.sharded.shard_indexes(attribute)
         history = self.cache.range_history(attribute) if indexes else None
         changed_parts: list[np.ndarray] = []
+        dirty_shards: frozenset | None = None
+        base_key = history.raw_key if history is not None else None
         if history is not None:
-            old_low, old_high = history[0], history[1]
+            old_low, old_high = history.low, history.high
             starts = [start for start, _ in self.sharded.bounds]
 
             def changed_for(i: int) -> np.ndarray:
@@ -454,20 +816,25 @@ class ShardedPlanEvaluator(PlanEvaluator):
                 return np.concatenate(pieces) + starts[i]
 
             changed_parts = self._map_shards(changed_for)
+            dirty_shards = frozenset(
+                i for i, c in enumerate(changed_parts) if len(c)
+            )
             # Same trade-off as the monolithic path: past a third of the
-            # table the full vectorised recomputation wins.
+            # table the full vectorised recomputation wins.  The content
+            # delta (changed rows confined to the dirty shards) holds for
+            # the full recomputation just the same, so it is still
+            # recorded below.
             if sum(len(c) for c in changed_parts) > len(self.table) // 3:
                 history = None
         if history is not None:
-            old = history[2]
+            old = history.raw
             signed = old.signed.copy()
             raw = old.raw.copy()
+            mask = old.exact_mask.copy()
             column = self.table.column(attribute)
 
             def update(i: int) -> None:
                 changed = changed_parts[i]
-                if not len(changed):
-                    return
                 values = np.asarray(column, dtype=float)[changed]
                 below = np.where(values < predicate.low, values - predicate.low, 0.0)
                 above = np.where(values > predicate.high, values - predicate.high, 0.0)
@@ -475,13 +842,17 @@ class ShardedPlanEvaluator(PlanEvaluator):
                 delta = np.where(np.isnan(values), np.nan, delta)
                 signed[changed] = delta
                 raw[changed] = np.abs(delta)
+                # Membership is "distance == 0": bit-identical to
+                # RangePredicate.exact_mask on the changed rows, unchanged
+                # (hence reusable) everywhere else.
+                mask[changed] = (values >= predicate.low) & (values <= predicate.high)
 
             # Shards write disjoint global row sets; safe to run in parallel.
-            self._map_shards(update)
+            self._map_over(sorted(dirty_shards), update)
             result = _LeafRaw(
                 signed=signed,
                 raw=raw,
-                exact_mask=self._exact_mask(predicate),
+                exact_mask=mask,
                 supports_direction=True,
             )
         else:
@@ -496,7 +867,11 @@ class ShardedPlanEvaluator(PlanEvaluator):
                 exact_mask=self._exact_mask(predicate),
                 supports_direction=predicate.supports_direction,
             )
-        self.cache.set_range_history(attribute, predicate.low, predicate.high, result)
+        if (self.incremental and raw_key is not None and base_key is not None
+                and dirty_shards is not None and raw_key != base_key):
+            self._raw_deltas[raw_key] = (base_key, dirty_shards)
+        self.cache.set_range_history(attribute, predicate.low, predicate.high,
+                                     result, raw_key)
         return result
 
     def _exact_mask(self, predicate) -> np.ndarray:
@@ -526,37 +901,180 @@ class ShardedPlanEvaluator(PlanEvaluator):
     # ------------------------------------------------------------------ #
     # Normalization / combination
     # ------------------------------------------------------------------ #
-    def _normalize(self, values: np.ndarray, weight: float) -> np.ndarray:
+    def _normalize_incremental(
+        self, values: np.ndarray, weight: float,
+        entry: ShardSliceEntry | None, dirty: frozenset | None,
+    ) -> tuple[np.ndarray, tuple[float, float] | None, np.ndarray | None,
+               frozenset | None]:
+        """Normalize one node column, recomputing only dirty shards' state.
+
+        Returns ``(normalized, resolved, summaries, out_dirty)``.  ``dirty``
+        is the set of shards within which ``values`` may differ from
+        ``entry.columns.raw`` (None = unknown).  Every path is bit-identical
+        to the monolithic
+        :func:`~repro.core.normalization.reduced_normalization`:
+
+        * the cached per-shard summaries re-certify the resolved bounds in
+          O(dirty rows + shard_count): the new global minimum falls out of
+          the per-shard minima, and the ``keep``-th smallest equals the old
+          ``d_max`` exactly when ``sum(count<) < keep <= sum(count<=)`` --
+          both bounds are exact column elements either way, so no value
+          multiset needs to be merged in the common case;
+        * when the resolved bounds are bit-identical to the entry's, the
+          elementwise transform of every clean shard is bit-identical too,
+          so those slices are reused verbatim (``out_dirty = dirty``);
+        * when the bounds moved (or no certificate applies), the column
+          resolves through the per-shard partial merge or the direct
+          partition -- the same two paths a cold run takes -- and all
+          shards renormalize (``out_dirty = None``: ancestors treat the
+          column as changed everywhere).
+        """
         n = len(values)
-        keep = normalization_keep_count(weight, self.display_capacity, n)
-        if n == 0:
-            return np.asarray(values, dtype=float).copy()
         bounds = self.sharded.bounds
-        if keep * self.sharded.shard_count <= n // 2:
-            # Selective keep: per-shard partials are small, so the serial
-            # merge is sublinear and the O(shard) partition work fans out.
-            partials = self._map_shards(
-                lambda i: distance_bounds_partial(values[bounds[i][0]:bounds[i][1]], keep)
+        shard_count = self.sharded.shard_count
+        keep = normalization_keep_count(weight, self.display_capacity, max(n, 1))
+        if n == 0:
+            return np.asarray(values, dtype=float).copy(), None, None, frozenset()
+        patched = (entry is not None and dirty is not None
+                   and entry.summaries is not None)
+        resolved: tuple[float, float] | None = None
+        summaries: np.ndarray | None = None
+        certified = False
+        if patched:
+            # Refresh only the dirty shards' summaries (against the entry's
+            # d_max) and try to certify the resolved bounds from counts.
+            old_resolved = entry.resolved
+            d_max_old = old_resolved[1] if old_resolved is not None else float("nan")
+            summaries = entry.summaries.copy()
+            dirty_list = sorted(dirty)
+            fresh = self._map_over(
+                dirty_list,
+                lambda i: _shard_summary(
+                    values[bounds[i][0]:bounds[i][1]], d_max_old),
             )
-            resolved = resolve_distance_bounds(reduce(merge_distance_bounds, partials))
-        else:
-            # keep is a large fraction of the table: the partials would
-            # retain nearly every value and the merge would re-partition
-            # almost the whole column, doubling the selection work.  One
-            # direct pass resolves the same exact array elements; the
-            # elementwise transform below stays shard-parallel either way.
-            resolved = reduced_bounds(values, keep)
+            for i, row in zip(dirty_list, fresh):
+                summaries[i] = row
+            finite_total = int(summaries[:, 0].sum())
+            if finite_total == 0:
+                resolved = None
+                certified = True
+            else:
+                present = summaries[:, 0] > 0
+                d_min_new = float(summaries[present, 1].min())
+                if keep >= finite_total:
+                    resolved = (d_min_new, float(summaries[present, 2].max()))
+                    certified = True
+                elif old_resolved is not None:
+                    below = summaries[:, 3].sum()
+                    at_or_below = summaries[:, 4].sum()
+                    if below < keep <= at_or_below:
+                        resolved = (d_min_new, float(d_max_old))
+                        certified = True
+        if not certified:
+            if keep * shard_count <= n // 2:
+                # Selective keep: per-shard partials are small, so the
+                # serial merge is sublinear and the partition work fans out.
+                partials = self._map_shards(
+                    lambda i: distance_bounds_partial(
+                        values[bounds[i][0]:bounds[i][1]], keep)
+                )
+                resolved = resolve_distance_bounds(
+                    merge_distance_bounds_many(partials))
+            else:
+                # keep is a large fraction of the table: the partials would
+                # retain nearly every value and the merge would re-partition
+                # almost the whole column, doubling the selection work.  One
+                # direct pass resolves the same exact array elements; the
+                # elementwise transform below stays shard-parallel either way.
+                partials = None
+                resolved = reduced_bounds(values, keep)
         d_min, d_max = resolved if resolved is not None else (None, None)
-        out = np.empty(n, dtype=float)
+        if patched and bounds_identical(resolved, entry.resolved):
+            # Short-circuit: bounds unchanged, so clean shards' normalized
+            # slices are bit-identical -- renormalize the dirty ones only.
+            old = entry.columns.normalized
+            if not dirty:
+                normalized = old
+            else:
+                pieces = []
+                for i, (start, stop) in enumerate(bounds):
+                    if i in dirty:
+                        pieces.append(apply_normalization(
+                            values[start:stop], d_min, d_max,
+                            target_max=self.target_max))
+                    else:
+                        pieces.append(old[start:stop])
+                normalized = np.concatenate(pieces)
+            if summaries is None or not certified:
+                # Entry had no summaries (or the certificate failed while
+                # the resolve still came out identical): capture fresh
+                # summaries against the unchanged d_max so the next event
+                # can certify cheaply.
+                summaries = self._build_summaries(
+                    values, resolved, partials if not certified else None)
+            if self.incremental:
+                self.cache.record_slice(
+                    hit=True, recomputed=len(dirty),
+                    reused=shard_count - len(dirty), shortcircuit=True,
+                )
+            out_dirty: frozenset | None = dirty
+        else:
+            out = np.empty(n, dtype=float)
 
-        def apply(i: int) -> None:
-            start, stop = bounds[i]
-            out[start:stop] = apply_normalization(
-                values[start:stop], d_min, d_max, target_max=self.target_max
-            )
+            def apply(i: int) -> None:
+                start, stop = bounds[i]
+                out[start:stop] = apply_normalization(
+                    values[start:stop], d_min, d_max, target_max=self.target_max
+                )
 
-        self._map_shards(apply)
-        return out
+            self._map_shards(apply)
+            normalized = out
+            if self.incremental:
+                summaries = self._build_summaries(
+                    values, resolved, None if certified else partials)
+                self.cache.record_slice(
+                    hit=patched, recomputed=shard_count, reused=0,
+                )
+            else:
+                summaries = None
+            out_dirty = None
+        return normalized, resolved, summaries, out_dirty
+
+    def _build_summaries(self, values: np.ndarray,
+                         resolved: tuple[float, float] | None,
+                         partials) -> np.ndarray:
+        """Per-shard order-statistic summaries against the resolved bounds.
+
+        Derived from the bounds partials when available (every value below
+        ``d_max`` is retained in a partial's smallest-``keep`` multiset, and
+        an undercounted ``count<=`` -- ties cut beyond the capacity -- can
+        only fail a future certificate early, never falsely pass it);
+        otherwise computed with one cheap counting pass per shard.
+        """
+        bounds = self.sharded.bounds
+        if resolved is None:
+            return np.asarray(
+                [_EMPTY_SUMMARY] * self.sharded.shard_count, dtype=float)
+        d_max = resolved[1]
+        if partials is not None:
+            rows = []
+            for partial in partials:
+                if partial.count == 0:
+                    rows.append(_EMPTY_SUMMARY)
+                    continue
+                smallest = partial.smallest
+                rows.append((
+                    float(partial.count),
+                    float(smallest.min()) if len(smallest) else float("inf"),
+                    float(partial.maximum),
+                    float(np.count_nonzero(smallest < d_max)),
+                    float(np.count_nonzero(smallest <= d_max)),
+                ))
+            return np.asarray(rows, dtype=float)
+        rows = self._map_shards(
+            lambda i: _shard_summary(values[bounds[i][0]:bounds[i][1]], d_max)
+        )
+        return np.asarray(rows, dtype=float)
 
     def _combine(self, rule: CombinationRule, columns: list[np.ndarray],
                  weights: np.ndarray) -> np.ndarray:
@@ -628,7 +1146,7 @@ def sharded_select_display_set(distances: np.ndarray, sharded: ShardedTable,
                                       target, offset=bounds[i][0]),
             len(bounds),
         )
-        return resolve_topk(reduce(merge_topk_candidates, partials))
+        return resolve_topk(merge_topk_candidates_many(partials))
     if method is ReductionMethod.QUANTILE:
         p = display_fraction(capacity, n, n_selection_predicates)
         finite_parts = _map_indexed(

@@ -59,6 +59,9 @@ class SessionMetrics:
         self.runs = 0
         self.render_hits = 0
         self.render_misses = 0
+        #: Runs whose displayed set (hence every window) was provably
+        #: unchanged -- the frame was served without re-rendering anything.
+        self.snapshots_reused = 0
         self.run_latency = LatencyWindow()
 
     def snapshot(self, queue_depth: int = 0) -> dict[str, object]:
@@ -72,6 +75,7 @@ class SessionMetrics:
             "queue_depth": queue_depth,
             "render_hits": self.render_hits,
             "render_misses": self.render_misses,
+            "snapshots_reused": self.snapshots_reused,
             "run_p50_ms": round(self.run_latency.p50 * 1e3, 3),
             "run_p95_ms": round(self.run_latency.p95 * 1e3, 3),
         }

@@ -287,13 +287,29 @@ class FeedbackService:
             pass
 
     def metrics_report(self) -> dict[str, object]:
-        """Global, per-session and engine-cache counters in one dictionary."""
+        """Global, per-session and engine-cache counters in one dictionary.
+
+        ``incremental`` breaks the shard-slice cache and dirty-shard
+        counters out of the engine totals so latency regressions can be
+        attributed: a p95 increase with a falling ``shards_reused`` share
+        means events stopped patching and fell back to full recomputes.
+        """
+        engine = self.engine.stats()
         return {
             "service": self.metrics.snapshot(),
             "sessions": {
                 session.id: session.metrics_snapshot() for session in self.registry
             },
-            "engine": self.engine.stats(),
+            "engine": engine,
+            "incremental": {
+                "events": engine["incremental_events"],
+                "slice_hits": engine["slice_hits"],
+                "slice_misses": engine["slice_misses"],
+                "shards_recomputed": engine["shards_recomputed"],
+                "shards_reused": engine["shards_reused"],
+                "bounds_shortcircuits": engine["bounds_shortcircuits"],
+                "displayed_patches": engine["displayed_patches"],
+            },
         }
 
     # ------------------------------------------------------------------ #

@@ -22,6 +22,8 @@ import itertools
 import time
 from typing import Iterator
 
+import numpy as np
+
 from repro.core.engine import PreparedQuery, QueryEngine
 from repro.core.result import QueryFeedback
 from repro.interact.events import (
@@ -139,6 +141,17 @@ class ServiceSession:
         else:
             feedback = self.prepared.execute()
         windows, fresh = self.window_cache.windows(feedback)
+        # The displayed set is provably unchanged when every window came
+        # from the render cache (their fingerprints cover the display order
+        # and all per-node distances at the displayed items) and the
+        # displayed rows themselves are identical.  The previous frame's
+        # pixel state is then exactly reusable by the client.
+        display_unchanged = bool(
+            not fresh
+            and self.snapshot is not None
+            and np.array_equal(self.snapshot.feedback.display_order,
+                               feedback.display_order)
+        )
         elapsed = time.perf_counter() - start
         self.sequence += 1
         if self.record_batches:
@@ -152,7 +165,10 @@ class ServiceSession:
             windows=windows,
             rendered_fresh=fresh,
             run_seconds=elapsed,
+            display_unchanged=display_unchanged,
         )
+        if display_unchanged:
+            self.metrics.snapshots_reused += 1
         self.feedback = feedback
         self.snapshot = snapshot
         self.error = None

@@ -70,6 +70,10 @@ class FrameSnapshot:
     #: Paths re-rendered by this run; every other window was a cache hit.
     rendered_fresh: tuple[NodePath, ...]
     run_seconds: float
+    #: True when the displayed set (and every window) is provably unchanged
+    #: from the previous frame -- the run was served entirely from caches,
+    #: so clients may skip re-uploading pixel data.
+    display_unchanged: bool = False
 
     def as_dict(self, top: int = 10) -> dict[str, object]:
         """JSON-serializable summary (protocol form, without pixel data)."""
@@ -82,6 +86,7 @@ class FrameSnapshot:
             "events_applied": self.events_applied,
             "statistics": self.statistics.as_dict(),
             "run_ms": round(self.run_seconds * 1e3, 3),
+            "display_unchanged": self.display_unchanged,
             "windows": [
                 {
                     "path": list(path),

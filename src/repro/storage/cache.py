@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
@@ -23,9 +23,15 @@ from repro.storage.table import Table
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.storage.index import SortedIndex
 
-__all__ = ["PrefetchCache", "CachedRegion"]
+__all__ = ["PrefetchCache", "CachedRegion", "CachedUnionRegion", "MAX_UNION_DISJUNCTS"]
 
 Range = tuple[float | None, float | None]
+
+#: Upper bound on the number of disjuncts the union-region fast path
+#: accepts; beyond it OR-shaped requests fall back to one fetch per
+#: disjunct (a cached union of many boxes costs more to cover-check and
+#: filter than the scans it saves).
+MAX_UNION_DISJUNCTS = 4
 
 
 def _contains(outer: Range, inner: Range) -> bool:
@@ -35,6 +41,21 @@ def _contains(outer: Range, inner: Range) -> bool:
     lo_ok = out_lo is None or (in_lo is not None and in_lo >= out_lo)
     hi_ok = out_hi is None or (in_hi is not None and in_hi <= out_hi)
     return lo_ok and hi_ok
+
+
+def _box_covers(cached: Mapping[str, Range], requested: Mapping[str, Range]) -> bool:
+    """True when one cached conjunctive box contains one requested box."""
+    for column, wanted in requested.items():
+        have = cached.get(column)
+        if have is None:
+            # Unconstrained in the cache: contains every value.
+            continue
+        if not _contains(have, wanted):
+            return False
+    for column, have in cached.items():
+        if column not in requested and have != (None, None):
+            return False
+    return True
 
 
 @dataclass
@@ -54,21 +75,35 @@ class CachedRegion:
     hits: int = 0
 
     def covers(self, ranges: Mapping[str, Range]) -> bool:
-        """Return True if this region contains the requested query box."""
-        for column, requested in ranges.items():
-            cached = self.ranges.get(column)
-            if cached is None:
-                # The cached region did not constrain this attribute at all,
-                # which means it contains every value of it.
-                continue
-            if not _contains(cached, requested):
-                return False
-        # Attributes constrained in the cache but unconstrained in the request
-        # mean the request is *wider* than the cache -> not covered.
-        for column, cached in self.ranges.items():
-            if column not in ranges and cached != (None, None):
-                return False
-        return True
+        """Return True if this region contains the requested query box.
+
+        Attributes constrained in the cache but unconstrained in the request
+        mean the request is *wider* than the cache -> not covered.
+        """
+        return _box_covers(self.ranges, ranges)
+
+
+@dataclass
+class CachedUnionRegion:
+    """A cached superset of an OR-shaped (union-of-boxes) query region.
+
+    ``disjuncts`` are the widened boxes actually fetched; ``row_indices``
+    is the union of their rows.  The region covers a requested union when
+    every requested box is contained in some cached box -- a sufficient
+    condition (the cached union then contains the requested union), and
+    exactness is restored by re-filtering the candidates against the
+    requested disjuncts.
+    """
+
+    disjuncts: list[dict[str, Range]]
+    row_indices: np.ndarray
+    hits: int = 0
+
+    def covers(self, requested: "list[dict[str, Range]]") -> bool:
+        return all(
+            any(_box_covers(cached, box) for cached in self.disjuncts)
+            for box in requested
+        )
 
 
 @dataclass
@@ -83,7 +118,8 @@ class PrefetchCache:
         Fractional widening applied to every finite bound when fetching,
         e.g. ``0.25`` widens a ``[10, 20]`` range to ``[7.5, 22.5]``.
     max_regions:
-        Maximum number of cached regions kept.  Eviction is hit-count
+        Maximum number of cached regions kept, counting conjunctive boxes
+        and union regions against one shared budget.  Eviction is hit-count
         aware: the region with the fewest hits goes first (ties broken by
         age, oldest first), so the region a slider is actively dragged
         inside survives pressure from one-shot queries -- the failure mode
@@ -103,9 +139,19 @@ class PrefetchCache:
     max_regions: int = 8
     indexes: dict[str, "SortedIndex"] | None = None
     _regions: list[CachedRegion] = field(default_factory=list)
+    _union_regions: list[CachedUnionRegion] = field(default_factory=list)
     fetches: int = 0
     cache_hits: int = 0
     evictions: int = 0
+    #: Per-shape breakdown of the aggregate hit/fetch counters: "box" for
+    #: conjunctive requests, "union" for OR-shaped ones served by the
+    #: union-region fast path, "union_fallback" counting the per-disjunct
+    #: scans taken when a union request exceeds :data:`MAX_UNION_DISJUNCTS`.
+    shape_counts: dict = field(default_factory=lambda: {
+        "box": {"hits": 0, "misses": 0},
+        "union": {"hits": 0, "misses": 0},
+        "union_fallback": 0,
+    })
     # Concurrent sessions executing against the same table (or the same
     # shard of it) share this cache through their worker threads; the lock
     # makes the region list and the counters consistent under that access.
@@ -170,28 +216,43 @@ class PrefetchCache:
         rows = self._scan(widened)
         with self._lock:
             self.fetches += 1
+            self.shape_counts["box"]["misses"] += 1
             self._regions.append(CachedRegion(ranges=widened, row_indices=rows))
-            while len(self._regions) > self.max_regions:
-                self._evict_one()
-                self.evictions += 1
+            self._evict_to_budget(self._regions)
         return rows
 
-    def _evict_one(self) -> None:
-        """Drop the least-hit *resident* region (oldest among ties).
+    def _evict_to_budget(self, appended_to: list) -> None:
+        """Evict least-hit residents until box + union regions fit the budget.
 
-        The newest region (the one just fetched) is exempt: it necessarily
-        has zero hits, so including it would self-evict every new fetch the
-        moment all residents have a hit -- permanently locking the cache to
-        stale regions.  Admitting the new region and evicting the least-hit
-        older one keeps hot regions alive while still adapting to the band
-        the user is currently exploring.
+        ``max_regions`` bounds the *combined* count of box and union
+        regions, so adding the union shape did not double the cache's
+        worst-case footprint.  The newest region (the one just appended to
+        ``appended_to``) is exempt: it necessarily has zero hits, so
+        including it would self-evict every new fetch the moment all
+        residents have a hit -- permanently locking the cache to stale
+        regions.  Among residents the victim is the least-hit one, ties
+        broken oldest-first with box regions before union regions.
         """
-        if len(self._regions) == 1:  # max_regions == 0: nothing can stay
-            self._regions.pop()
-            return
-        victim = min(range(len(self._regions) - 1),
-                     key=lambda i: (self._regions[i].hits, i))
-        self._regions.pop(victim)
+        while len(self._regions) + len(self._union_regions) > self.max_regions:
+            candidates = [
+                (region.hits, 0, i, self._regions)
+                for i, region in enumerate(self._regions)
+            ] + [
+                (region.hits, 1, i, self._union_regions)
+                for i, region in enumerate(self._union_regions)
+            ]
+            # Exempt the just-appended region (the last of its list).
+            candidates = [
+                c for c in candidates
+                if not (c[3] is appended_to and c[2] == len(appended_to) - 1)
+            ]
+            if not candidates:  # max_regions == 0: nothing can stay
+                appended_to.pop()
+                self.evictions += 1
+                return
+            _, _, index, regions = min(candidates, key=lambda c: c[:3])
+            regions.pop(index)
+            self.evictions += 1
 
     def query(self, ranges: Mapping[str, Range]) -> np.ndarray:
         """Return row indices matching the conjunctive range query.
@@ -205,6 +266,7 @@ class PrefetchCache:
             if region is not None:
                 region.hits += 1
                 self.cache_hits += 1
+                self.shape_counts["box"]["hits"] += 1
                 rows = region.row_indices
         if region is not None:
             # Filter outside the lock: row_indices is immutable, and a
@@ -229,6 +291,7 @@ class PrefetchCache:
             if region is not None:
                 region.hits += 1
                 self.cache_hits += 1
+                self.shape_counts["box"]["hits"] += 1
                 rows = region.row_indices
         if region is not None:
             if self.indexes and len(ranges) == 1:
@@ -243,6 +306,93 @@ class PrefetchCache:
             return mask
         mask[self._filter(self._fetch(ranges), ranges)] = True
         return mask
+
+    # ------------------------------------------------------------------ #
+    # OR-shaped (union-of-boxes) regions
+    # ------------------------------------------------------------------ #
+    def query_union(self, disjuncts: "Sequence[Mapping[str, Range]]") -> np.ndarray:
+        """Row indices matching *any* of the conjunctive boxes (exact).
+
+        Up to :data:`MAX_UNION_DISJUNCTS` boxes are served through one
+        cached union region: a single fetch widens and scans each arm once,
+        and every later union query whose arms fall inside the cached boxes
+        (the typical narrowing drag on one arm of an OR) is answered from
+        the cache without touching the table -- instead of the historical
+        one-scan-per-disjunct fallback.  Larger unions take that fallback
+        (counted in ``stats()["by_shape"]["union_fallback"]``) and stay
+        exact through the per-box path.
+        """
+        boxes = [dict(box) for box in disjuncts]
+        if not boxes:
+            return np.empty(0, dtype=np.intp)
+        if len(boxes) == 1:
+            return self.query(boxes[0])
+        if len(boxes) > MAX_UNION_DISJUNCTS:
+            with self._lock:
+                self.shape_counts["union_fallback"] += 1
+            pieces = [self.query(box) for box in boxes]
+            return np.unique(np.concatenate(pieces))
+        with self._lock:
+            region = None
+            for candidate in self._union_regions:
+                if candidate.covers(boxes):
+                    region = candidate
+                    break
+            if region is not None:
+                region.hits += 1
+                self.cache_hits += 1
+                self.shape_counts["union"]["hits"] += 1
+                rows = region.row_indices
+        if region is not None:
+            return self._filter_union(rows, boxes)
+        return self._filter_union(self._fetch_union(boxes), boxes)
+
+    def fulfilment_mask_union(self,
+                              disjuncts: "Sequence[Mapping[str, Range]]") -> np.ndarray:
+        """Boolean mask over the table: True where any disjunct matches."""
+        mask = np.zeros(len(self.table), dtype=bool)
+        mask[self.query_union(disjuncts)] = True
+        return mask
+
+    def _fetch_union(self, boxes: "list[dict[str, Range]]") -> np.ndarray:
+        """Fetch (and remember) one widened union region for ``boxes``.
+
+        Each arm is widened and scanned once (index-accelerated where
+        possible); the union of the candidate rows is cached as a single
+        region, so the per-arm scans happen once per explored band rather
+        than once per query.
+        """
+        widened = [self._widen(box) for box in boxes]
+        pieces = [self._scan(box) for box in widened]
+        rows = np.unique(np.concatenate(pieces))
+        with self._lock:
+            self.fetches += 1
+            self.shape_counts["union"]["misses"] += 1
+            self._union_regions.append(CachedUnionRegion(widened, rows))
+            self._evict_to_budget(self._union_regions)
+        return rows
+
+    def _filter_union(self, candidate_rows: np.ndarray,
+                      boxes: "list[dict[str, Range]]") -> np.ndarray:
+        if len(candidate_rows) == 0:
+            return candidate_rows
+        # One gather per distinct column, shared by every box that
+        # constrains it (the typical OR has all arms on the same attribute).
+        gathered = {
+            column: self.table.column(column)[candidate_rows]
+            for box in boxes for column in box
+        }
+        keep = np.zeros(len(candidate_rows), dtype=bool)
+        for box in boxes:
+            box_keep = np.ones(len(candidate_rows), dtype=bool)
+            for column, (low, high) in box.items():
+                values = gathered[column]
+                if low is not None:
+                    box_keep &= values >= low
+                if high is not None:
+                    box_keep &= values <= high
+            keep |= box_keep
+        return candidate_rows[keep]
 
     def _filter(self, candidate_rows: np.ndarray, ranges: Mapping[str, Range]) -> np.ndarray:
         if len(candidate_rows) == 0:
@@ -278,12 +428,24 @@ class PrefetchCache:
             "misses": self.fetches,
             "evictions": self.evictions,
             "regions": len(self._regions),
+            "union_regions": len(self._union_regions),
+            "by_shape": {
+                "box": dict(self.shape_counts["box"]),
+                "union": dict(self.shape_counts["union"]),
+                "union_fallback": self.shape_counts["union_fallback"],
+            },
         }
 
     def clear(self) -> None:
         """Drop all cached regions and statistics."""
         with self._lock:
             self._regions.clear()
+            self._union_regions.clear()
             self.fetches = 0
             self.cache_hits = 0
             self.evictions = 0
+            self.shape_counts = {
+                "box": {"hits": 0, "misses": 0},
+                "union": {"hits": 0, "misses": 0},
+                "union_fallback": 0,
+            }

@@ -288,6 +288,147 @@ def test_differential_join_query_with_slider_drag():
     assert sum(p.cache_hits for p in sharded.prefetch) > 0
 
 
+# --------------------------------------------------------------------------- #
+# Adversarial dirty-tracking cases (per-shard slice cache, PR 4)
+# --------------------------------------------------------------------------- #
+def _locality_table(n: int = 6_000, seed: int = 23) -> Table:
+    """A table whose first column correlates with row order.
+
+    Row-range shards then give slider bands real locality (few dirty
+    shards), which is exactly the regime the per-shard slice cache patches
+    in -- and the regime where a patching bug would go unnoticed by tables
+    whose dirty sets always cover every shard.
+    """
+    rng = np.random.default_rng(seed)
+    t = np.sort(rng.uniform(0.0, 1000.0, n))
+    a = t * 0.1 + rng.normal(0.0, 4.0, n)
+    b = rng.uniform(0.0, 100.0, n)
+    b[rng.random(n) < 0.05] = np.nan
+    return Table("Local", {"t": t, "a": a, "b": b})
+
+
+def _drive_against_cold(table, condition_root, config, events, context):
+    """Prepare per shard count, apply each event, compare against cold runs."""
+    prepared = {
+        shards: QueryEngine(table, config.with_(shard_count=shards, max_workers=2))
+        .prepare(Query(name="adv", tables=[table.name],
+                       condition=copy.deepcopy(condition_root)))
+        for shards in SHARD_COUNTS
+    }
+    reference = cold_reference(table, prepared[1])
+    for shards in SHARD_COUNTS:
+        assert_feedback_identical(
+            reference, prepared[shards].execute(),
+            f"{context} step=initial shards={shards}",
+        )
+    for step, event in enumerate(events):
+        feedbacks = {
+            shards: prepared[shards].execute(changes=[event])
+            for shards in SHARD_COUNTS
+        }
+        reference = cold_reference(table, prepared[1])
+        for shards in SHARD_COUNTS:
+            assert_feedback_identical(
+                reference, feedbacks[shards],
+                f"{context} step={step} event={event!r} shards={shards}",
+            )
+    return prepared
+
+
+@pytest.mark.parametrize("percentage", [0.1, None])
+def test_differential_repeated_same_leaf_micro_moves(percentage):
+    """Many tiny moves of one slider: the patch-chain case (interior moves
+    whose resolved bounds rarely change), across both reduction paths."""
+    table = _locality_table()
+    root = AndNode([
+        between("t", 50.0, 900.0),
+        OrNode([condition("a", ">", 20.0), condition("b", "<", 80.0)]),
+    ])
+    config = PipelineConfig(screen=ScreenSpec(width=64, height=64),
+                            percentage=percentage)
+    events = [SetQueryRange((0,), 50.0, 900.0 - 2.5 * (k + 1)) for k in range(12)]
+    _drive_against_cold(table, root, config, events, f"micro pct={percentage}")
+
+
+def test_differential_moves_crossing_shard_boundaries():
+    """Band sweeps that enter, span and leave shard boundaries."""
+    table = _locality_table(n=4_096)
+    root = AndNode([between("t", 100.0, 500.0), condition("a", ">", 10.0)])
+    config = PipelineConfig(screen=ScreenSpec(width=48, height=48), percentage=0.2)
+    # With 7 and 32 row-range shards over the sorted column, these highs
+    # sweep bands that straddle several shard boundaries at once, shrink
+    # inside one shard, and jump back across many.
+    highs = [880.0, 620.0, 615.0, 610.0, 940.0, 130.0, 480.0]
+    events = [SetQueryRange((0,), 100.0, high) for high in highs]
+    _drive_against_cold(table, root, config, events, "boundary")
+
+
+def test_differential_moves_changing_global_bounds():
+    """Moves engineered to shift the resolved (d_min, d_max).
+
+    Tightening the range far below every value makes the distances of all
+    rows grow (the resolved d_max must move), then snapping back restores
+    them -- the short-circuit must disengage and re-engage correctly.
+    """
+    table = _locality_table(n=3_000)
+    root = AndNode([between("t", 400.0, 600.0), condition("a", ">", 30.0)])
+    config = PipelineConfig(screen=ScreenSpec(width=40, height=40), percentage=0.15)
+    events = [
+        SetQueryRange((0,), 400.0, 600.0 - 1.0),   # interior micro-move
+        SetQueryRange((0,), 1200.0, 1250.0),       # beyond the data: all dirty
+        SetQueryRange((0,), 400.0, 599.0),         # snap back
+        SetQueryRange((0,), 0.0, 1500.0),          # everything matches: d_max -> 0
+        SetQueryRange((0,), 400.0, 598.0),
+    ]
+    _drive_against_cold(table, root, config, events, "bounds-move")
+
+
+def test_differential_weight_changes_mid_sequence():
+    """Weight events interleaved with slider moves: weight changes alter
+    every value key (and the keep count) without touching raw columns."""
+    table = _locality_table(n=3_500)
+    root = AndNode([
+        between("t", 100.0, 800.0),
+        OrNode([condition("a", ">", 40.0), condition("b", "<", 50.0)]),
+    ])
+    config = PipelineConfig(screen=ScreenSpec(width=48, height=48), percentage=0.1)
+    events = [
+        SetQueryRange((0,), 100.0, 795.0),
+        SetWeight((0,), 0.6),
+        SetQueryRange((0,), 100.0, 790.0),
+        SetWeight((1, 0), 0.3),
+        SetWeight((), 0.8),
+        SetQueryRange((0,), 100.0, 785.0),
+        SetWeight((0,), 0.6),                      # back to an earlier weight
+        SetQueryRange((0,), 100.0, 780.0),
+        SetPercentageDisplayed(0.25),
+        SetQueryRange((0,), 100.0, 775.0),
+    ]
+    _drive_against_cold(table, root, config, events, "weights")
+
+
+def test_differential_incremental_matches_disabled():
+    """incremental_shards=False must reproduce the same bits (and is the
+    baseline the event-latency benchmark compares against)."""
+    table = _locality_table(n=2_500)
+    root = AndNode([between("t", 50.0, 900.0), condition("a", ">", 20.0)])
+    config = PipelineConfig(screen=ScreenSpec(width=48, height=48), percentage=0.1)
+    on = QueryEngine(table, config.with_(shard_count=7, max_workers=2)).prepare(
+        Query(name="on", tables=[table.name], condition=copy.deepcopy(root)))
+    off = QueryEngine(
+        table,
+        config.with_(shard_count=7, max_workers=2, incremental_shards=False),
+    ).prepare(Query(name="off", tables=[table.name], condition=copy.deepcopy(root)))
+    on.execute()
+    off.execute()
+    for k in range(8):
+        event = SetQueryRange((0,), 50.0, 897.0 - 1.5 * k)
+        assert_feedback_identical(
+            off.execute(changes=[event]), on.execute(changes=[event]),
+            f"on-vs-off step={k}",
+        )
+
+
 def test_differential_shard_count_beyond_rows():
     """More shards than rows: trailing empty shards must be inert."""
     rng = np.random.default_rng(5)

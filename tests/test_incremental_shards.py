@@ -1,0 +1,308 @@
+"""Unit tests for per-shard dirty-node caching and displayed-set patching.
+
+The differential harness (tests/test_differential.py) locks the *outputs*
+down bit-for-bit; these tests lock the *mechanism* down: that interior
+slider events really recompute only the dirty shards (counter-verified),
+that the short-circuits engage, that invalidation (generation tags, token
+regeneration on wholesale query changes) works, and that the service
+surfaces the counters.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro import PipelineConfig, QueryEngine, ScreenSpec
+from repro.core.normalization import bounds_identical
+from repro.core.plan import CacheStats, ShardSliceCache, ShardSliceEntry
+from repro.core.reduction import (
+    merge_topk_candidates,
+    merge_topk_candidates_many,
+    resolve_topk,
+    topk_candidates,
+)
+from repro.core.shard import (
+    _shard_summary,
+    distance_bounds_partial,
+    merge_distance_bounds,
+    merge_distance_bounds_many,
+    resolve_distance_bounds,
+)
+from repro.interact.events import SetPercentageDisplayed, SetQueryRange, SetWeight
+from repro.query.builder import Query, between, condition
+from repro.query.expr import AndNode, OrNode
+from repro.storage.table import Table
+
+
+def locality_table(n: int = 20_000, seed: int = 5) -> Table:
+    rng = np.random.default_rng(seed)
+    t = np.sort(rng.uniform(0.0, 1000.0, n))
+    a = t * 0.1 + rng.normal(0.0, 4.0, n)
+    b = rng.uniform(0.0, 100.0, n)
+    return Table("Local", {"t": t, "a": a, "b": b})
+
+
+def prepared_query(table, *, shards=8, percentage=0.05, incremental=True):
+    config = PipelineConfig(
+        screen=ScreenSpec(width=256, height=256),
+        percentage=percentage,
+        shard_count=shards,
+        max_workers=2,
+        incremental_shards=incremental,
+    )
+    engine = QueryEngine(table, config)
+    root = AndNode([
+        between("t", 50.0, 990.0),
+        OrNode([condition("a", ">", 20.0), condition("b", "<", 80.0)]),
+    ])
+    prepared = engine.prepare(
+        Query(name="inc", tables=[table.name], condition=root))
+    return engine, prepared
+
+
+def stats_of(engine, prepared) -> dict[str, int]:
+    return engine.evaluation_cache(prepared.table).stats.as_dict()
+
+
+# --------------------------------------------------------------------------- #
+# Dirty-shard counters
+# --------------------------------------------------------------------------- #
+def test_interior_micro_move_recomputes_only_dirty_shards():
+    table = locality_table()
+    engine, prepared = prepared_query(table)
+    prepared.execute()
+    prepared.execute(changes=[SetQueryRange((0,), 50.0, 989.0)])  # warm history
+    before = stats_of(engine, prepared)
+    feedback = prepared.execute(changes=[SetQueryRange((0,), 50.0, 988.5)])
+    after = stats_of(engine, prepared)
+    report = feedback.extra["incremental"]
+    assert report["shard_count"] == 8
+    # The swept band sits at the top of the sorted column: strictly fewer
+    # shards than the total are dirty.
+    assert report["root_dirty_shards"] is not None
+    assert 0 < report["root_dirty_shards"] < report["shard_count"]
+    # Counter-verified: the event recomputed no more than the dirty shards
+    # per patched node, and reused all the others.
+    recomputed = after["shards_recomputed"] - before["shards_recomputed"]
+    reused = after["shards_reused"] - before["shards_reused"]
+    patched = report["patched_nodes"]
+    assert patched >= 2  # the moved leaf and the root AND
+    assert recomputed <= patched * report["root_dirty_shards"]
+    assert recomputed + reused == patched * report["shard_count"]
+    assert after["bounds_shortcircuits"] > before["bounds_shortcircuits"]
+    assert after["displayed_patches"] > before["displayed_patches"]
+
+
+def test_untouched_subtree_serves_from_node_cache():
+    table = locality_table(n=8_000)
+    engine, prepared = prepared_query(table)
+    prepared.execute()
+    feedback = prepared.execute(changes=[SetQueryRange((0,), 50.0, 985.0)])
+    report = feedback.extra["incremental"]
+    # The OR subtree (3 nodes) is untouched by a move of the "t" leaf.
+    assert report["cached_nodes"] >= 3
+    assert report["nodes"] == 5
+
+
+def test_weight_move_back_and_forth_reuses_whole_column():
+    """A weight change that returns to a previous value hits the node LRU;
+    a fresh weight with unchanged raw columns patches with zero dirty."""
+    table = locality_table(n=8_000)
+    engine, prepared = prepared_query(table)
+    prepared.execute()
+    before = stats_of(engine, prepared)
+    prepared.execute(changes=[SetWeight((0,), 0.7)])
+    mid = stats_of(engine, prepared)
+    # Raw columns untouched: no leaf recomputation happened.
+    assert mid["leaf_misses"] == before["leaf_misses"]
+    prepared.execute(changes=[SetWeight((0,), 1.0)])  # back to the original
+    after = stats_of(engine, prepared)
+    assert after["leaf_misses"] == before["leaf_misses"]
+
+
+def test_incremental_disabled_runs_full_recomputes():
+    table = locality_table(n=8_000)
+    engine, prepared = prepared_query(table, incremental=False)
+    prepared.execute()
+    prepared.execute(changes=[SetQueryRange((0,), 50.0, 985.0)])
+    stats = stats_of(engine, prepared)
+    assert stats["incremental_events"] == 0
+    assert stats["slice_hits"] == 0
+    assert stats["displayed_patches"] == 0
+
+
+def test_percentage_change_falls_back_cleanly():
+    """A percentage event changes the capacity (every value key): the next
+    event must fall back to full recomputes, then resume patching."""
+    table = locality_table(n=8_000)
+    engine, prepared = prepared_query(table)
+    prepared.execute()
+    prepared.execute(changes=[SetQueryRange((0,), 50.0, 985.0)])
+    prepared.execute(changes=[SetPercentageDisplayed(0.1)])
+    before = stats_of(engine, prepared)
+    prepared.execute(changes=[SetQueryRange((0,), 50.0, 984.0)])
+    after = stats_of(engine, prepared)
+    # Patching resumed after one full round under the new capacity.
+    assert after["slice_hits"] > before["slice_hits"]
+
+
+# --------------------------------------------------------------------------- #
+# Invalidation
+# --------------------------------------------------------------------------- #
+def test_slice_cache_generation_invalidation():
+    cache = ShardSliceCache(max_entries=4)
+    entry = ShardSliceEntry(
+        value_key="v1", columns=None, resolved=(0.0, 1.0), summaries=None,
+        target_max=255.0, shard_count=2, generation=cache.generation,
+    )
+    cache.put("site", entry)
+    assert cache.get("site") is not None
+    cache.invalidate()
+    assert cache.get("site") is None
+    # A writer that started before the invalidation cannot re-publish its
+    # stale entry (the clear()-concurrency guarantee) ...
+    cache.put("site", entry)
+    assert cache.get("site") is None
+    # ... while a writer that read the new generation publishes normally.
+    cache.put("site", ShardSliceEntry(
+        value_key="v2", columns=None, resolved=(0.0, 1.0), summaries=None,
+        target_max=255.0, shard_count=2, generation=cache.generation,
+    ))
+    assert cache.get("site") is not None
+
+
+def test_slice_cache_eviction_is_bounded():
+    cache = ShardSliceCache(max_entries=2)
+    for k in range(5):
+        cache.put(f"site-{k}", ShardSliceEntry(
+            value_key=f"v{k}", columns=None, resolved=None, summaries=None,
+            target_max=255.0, shard_count=2,
+        ))
+    assert len(cache) == 2
+    assert cache.get("site-4") is not None
+    assert cache.get("site-0") is None
+
+
+def test_wholesale_query_change_regenerates_slice_token():
+    table = locality_table(n=4_000)
+    engine, prepared = prepared_query(table)
+    prepared.execute()
+    token = prepared._slice_token
+    prepared.execute(changes=[SetQueryRange((0,), 50.0, 985.0)])
+    assert prepared._slice_token == token  # parameter moves keep the sites
+    prepared.query.condition = AndNode([
+        between("t", 100.0, 500.0), condition("b", "<", 60.0),
+    ])
+    prepared.execute()
+    assert prepared._slice_token != token  # new shape -> new namespace
+
+
+def test_evaluation_cache_clear_drops_slices():
+    table = locality_table(n=4_000)
+    engine, prepared = prepared_query(table)
+    prepared.execute()
+    prepared.execute(changes=[SetQueryRange((0,), 50.0, 985.0)])
+    cache = engine.evaluation_cache(prepared.table)
+    cache.clear()
+    before = cache.stats.as_dict()
+    prepared.execute(changes=[SetQueryRange((0,), 50.0, 984.0)])
+    after = cache.stats.as_dict()
+    # Nothing to patch after a wholesale clear: the event fell back to
+    # full recomputes (counters survive the clear by design).
+    assert after["slice_hits"] == before["slice_hits"]
+
+
+# --------------------------------------------------------------------------- #
+# Merge-algebra additions
+# --------------------------------------------------------------------------- #
+def test_merge_distance_bounds_many_matches_pairwise():
+    rng = np.random.default_rng(11)
+    values = rng.uniform(0.0, 50.0, 997)
+    values[rng.random(997) < 0.1] = np.nan
+    pieces = np.array_split(values, 7)
+    partials = [distance_bounds_partial(p, 40) for p in pieces]
+    pairwise = partials[0]
+    for partial in partials[1:]:
+        pairwise = merge_distance_bounds(pairwise, partial)
+    many = merge_distance_bounds_many(partials)
+    for keep in (1, 7, 40):
+        assert resolve_distance_bounds(pairwise, keep) == \
+            resolve_distance_bounds(many, keep)
+
+
+def test_merge_topk_candidates_many_matches_pairwise():
+    rng = np.random.default_rng(13)
+    values = np.round(rng.uniform(0.0, 20.0, 500))  # force ties
+    pieces = np.array_split(values, 5)
+    offsets = np.cumsum([0] + [len(p) for p in pieces[:-1]])
+    partials = [
+        topk_candidates(piece, 60, offset=int(off))
+        for piece, off in zip(pieces, offsets)
+    ]
+    pairwise = partials[0]
+    for partial in partials[1:]:
+        pairwise = merge_topk_candidates(pairwise, partial)
+    many = merge_topk_candidates_many(partials)
+    np.testing.assert_array_equal(resolve_topk(pairwise), resolve_topk(many))
+
+
+def test_bounds_identical_nan_and_zero_semantics():
+    assert bounds_identical(None, None)
+    assert not bounds_identical(None, (0.0, 1.0))
+    assert bounds_identical((0.0, float("nan")), (0.0, float("nan")))
+    assert not bounds_identical((0.0, 1.0), (0.0, 2.0))
+    assert bounds_identical((-0.0, 1.0), (0.0, 1.0))  # == semantics
+
+
+def test_shard_summary_counts_and_nan_d_max():
+    values = np.array([1.0, 2.0, 2.0, 3.0, np.nan, np.inf])
+    nf, lo, hi, lt, le = _shard_summary(values, 2.0)
+    assert (nf, lo, hi, lt, le) == (4.0, 1.0, 3.0, 1.0, 3.0)
+    # A NaN d_max (all-NaN previous resolve) certifies nothing.
+    assert _shard_summary(values, float("nan"))[3:] == (0.0, 0.0)
+    assert _shard_summary(np.array([np.nan]), 2.0)[0] == 0.0
+
+
+def test_cache_stats_dict_has_incremental_counters():
+    stats = CacheStats().as_dict()
+    for key in ("slice_hits", "slice_misses", "shards_recomputed",
+                "shards_reused", "bounds_shortcircuits", "displayed_patches",
+                "incremental_events"):
+        assert key in stats
+
+
+# --------------------------------------------------------------------------- #
+# Displayed-set / relevance reuse
+# --------------------------------------------------------------------------- #
+def test_noop_reexecution_reuses_displayed_and_relevance():
+    table = locality_table(n=8_000)
+    engine, prepared = prepared_query(table)
+    prepared.execute()
+    prepared.execute(changes=[SetQueryRange((0,), 50.0, 985.0)])
+    first = prepared.execute()
+    second = prepared.execute()
+    # Identical column identity: the displayed set and relevance arrays are
+    # the same (frozen) objects, not merely equal.
+    assert second.relevance is first.relevance
+    np.testing.assert_array_equal(second.display_order, first.display_order)
+    assert not second.relevance.flags.writeable
+
+
+def test_displayed_patch_survives_threshold_shift():
+    """When the target-th smallest value moves, the patch certificate must
+    fail and the full rebuild must produce the exact new set."""
+    table = locality_table(n=8_000)
+    engine, prepared = prepared_query(table, percentage=0.02)
+    prepared.execute()
+    prepared.execute(changes=[SetQueryRange((0,), 50.0, 985.0)])
+    # Collapse the range onto a tiny band: almost every distance changes
+    # and the displayed threshold moves by a lot.
+    collapsed = prepared.execute(changes=[SetQueryRange((0,), 400.0, 410.0)])
+    config = prepared.config.with_(shard_count=1, max_workers=1)
+    cold = QueryEngine(table, config).prepare(
+        Query(name="cold", tables=[table.name],
+              condition=copy.deepcopy(prepared.query.condition))).execute()
+    np.testing.assert_array_equal(collapsed.display_order, cold.display_order)

@@ -207,7 +207,15 @@ def test_prefetch_cache_stats_counts_evictions():
     cache.query({"a": (80.0, 90.0)})           # evicts the first region
     cache.query({"a": (82.0, 88.0)})           # hit inside the second
     stats = cache.stats()
-    assert stats == {"hits": 1, "misses": 2, "evictions": 1, "regions": 1}
+    assert stats == {
+        "hits": 1, "misses": 2, "evictions": 1, "regions": 1,
+        "union_regions": 0,
+        "by_shape": {
+            "box": {"hits": 1, "misses": 2},
+            "union": {"hits": 0, "misses": 0},
+            "union_fallback": 0,
+        },
+    }
 
 
 # --------------------------------------------------------------------------- #

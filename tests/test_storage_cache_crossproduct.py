@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.storage.cache import CachedRegion, PrefetchCache
+from repro.storage.cache import (
+    MAX_UNION_DISJUNCTS,
+    CachedRegion,
+    CachedUnionRegion,
+    PrefetchCache,
+)
 from repro.storage.cross_product import CrossProduct, sampled_pair_indices
 from repro.storage.table import Table
 
@@ -113,6 +118,111 @@ def test_or_shaped_region_falls_back_to_separate_full_scans(table):
     cache.query({"a": (12.0, 18.0)})
     cache.query({"a": (62.0, 68.0)})
     assert cache.fetches == 2 and cache.cache_hits == 2
+
+
+# -- Union-region fast path (OR-shaped requests) ------------------------- #
+def brute_union(table, disjuncts):
+    keep = np.zeros(len(table), dtype=bool)
+    for box in disjuncts:
+        keep[brute(table, box)] = True
+    return np.nonzero(keep)[0]
+
+
+def test_union_query_is_exact(table):
+    cache = PrefetchCache(table, margin=0.2)
+    disjuncts = [{"a": (10.0, 20.0)}, {"a": (60.0, 70.0), "b": (2.0, 8.0)}]
+    np.testing.assert_array_equal(
+        cache.query_union(disjuncts), brute_union(table, disjuncts))
+    stats = cache.stats()
+    assert stats["by_shape"]["union"] == {"hits": 0, "misses": 1}
+    assert stats["union_regions"] == 1
+
+
+def test_union_narrowing_drag_hits_cached_region(table):
+    """Narrowing one arm of an OR is answered from the cached union region
+    without any rescans -- the historical one-scan-per-disjunct fallback."""
+    cache = PrefetchCache(table, margin=0.25)
+    cache.query_union([{"a": (10.0, 30.0)}, {"a": (60.0, 80.0)}])
+    fetches = cache.fetches
+    for high in (28.0, 26.0, 24.0):
+        narrower = [{"a": (10.0, high)}, {"a": (60.0, 80.0)}]
+        np.testing.assert_array_equal(
+            cache.query_union(narrower), brute_union(table, narrower))
+    assert cache.fetches == fetches  # zero additional scans
+    assert cache.stats()["by_shape"]["union"]["hits"] == 3
+
+
+def test_union_mask_matches_query(table):
+    cache = PrefetchCache(table)
+    disjuncts = [{"a": (10.0, 20.0)}, {"b": (0.0, 1.0)}]
+    mask = cache.fulfilment_mask_union(disjuncts)
+    np.testing.assert_array_equal(
+        np.nonzero(mask)[0], brute_union(table, disjuncts))
+
+
+def test_union_beyond_bound_falls_back_per_disjunct(table):
+    cache = PrefetchCache(table)
+    disjuncts = [
+        {"a": (float(k * 10), float(k * 10 + 4))}
+        for k in range(MAX_UNION_DISJUNCTS + 1)
+    ]
+    result = cache.query_union(disjuncts)
+    np.testing.assert_array_equal(result, brute_union(table, disjuncts))
+    stats = cache.stats()
+    assert stats["by_shape"]["union_fallback"] == 1
+    # The fallback fetched per-box regions, not a union region.
+    assert stats["union_regions"] == 0
+    assert stats["by_shape"]["box"]["misses"] == len(disjuncts)
+
+
+def test_union_single_disjunct_degenerates_to_box(table):
+    cache = PrefetchCache(table)
+    box = {"a": (10.0, 20.0)}
+    np.testing.assert_array_equal(cache.query_union([box]), cache.query(box))
+    assert cache.stats()["by_shape"]["box"]["hits"] == 1  # second call hit
+    assert cache.query_union([]).size == 0
+
+
+def test_union_region_eviction_bounded(table):
+    cache = PrefetchCache(table, max_regions=2)
+    for k in range(4):
+        lo = float(k * 20)
+        cache.query_union([{"a": (lo, lo + 5.0)}, {"a": (lo + 10.0, lo + 15.0)}])
+    assert cache.stats()["union_regions"] == 2
+    assert cache.evictions == 2
+
+
+def test_box_and_union_regions_share_one_budget(table):
+    """max_regions bounds the combined region count, not each shape."""
+    cache = PrefetchCache(table, max_regions=2)
+    cache.query({"a": (10.0, 20.0)})
+    cache.query_union([{"a": (30.0, 35.0)}, {"a": (40.0, 45.0)}])
+    stats = cache.stats()
+    assert stats["regions"] + stats["union_regions"] == 2
+    # A third fetch (of either shape) evicts across shapes.
+    cache.query({"a": (60.0, 70.0)})
+    stats = cache.stats()
+    assert stats["regions"] + stats["union_regions"] == 2
+    assert cache.evictions == 1
+
+
+def test_union_covers_requires_every_arm_contained():
+    region = CachedUnionRegion(
+        disjuncts=[{"a": (0.0, 10.0)}, {"a": (50.0, 60.0)}],
+        row_indices=np.arange(3),
+    )
+    assert region.covers([{"a": (1.0, 9.0)}, {"a": (51.0, 59.0)}])
+    assert region.covers([{"a": (2.0, 8.0)}])
+    assert not region.covers([{"a": (1.0, 9.0)}, {"a": (45.0, 59.0)}])
+
+
+def test_union_clear_resets_shape_stats(table):
+    cache = PrefetchCache(table)
+    cache.query_union([{"a": (10.0, 20.0)}, {"a": (60.0, 70.0)}])
+    cache.clear()
+    stats = cache.stats()
+    assert stats["union_regions"] == 0
+    assert stats["by_shape"]["union"] == {"hits": 0, "misses": 0}
 
 
 def test_eviction_keeps_hit_regions_under_pressure(table):
