@@ -1,0 +1,276 @@
+"""Wire cost of the v2 delta-frame stream vs full snapshots.
+
+PR 4 made the *computation* of a slider tick O(dirty); this measures the
+other half of the loop -- what crosses the wire per tick.  A v1 client
+re-pulls a full snapshot per frame (statistics + every window's cell
+arrays, O(pixels)); a v2 client applies deltas (changed cells, displayed-
+set changes, statistics).
+
+* **headline** (250k rows, single-leaf interior micro-moves): the median
+  encoded payload of a delta update vs the median full-frame payload for
+  the same frames -- the acceptance claim is a >= 5x reduction, gated in
+  CI through ``payload_ratio``;
+* **session sweep** (1 / 8 / 32 concurrent sessions over TCP): per-update
+  bytes, p95 pipeline-run latency and the server's wire accounting while
+  every session drags and streams at its own frame rate.
+
+Results land in ``extra_info`` -> ``BENCH_stream.json``; the regression
+gate compares ``payload_ratio`` against ``benchmarks/baselines/``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+import numpy as np
+
+from repro import FeedbackService, PipelineConfig, QueryEngine, ServiceConfig
+from repro.interact.events import SetQueryRange
+from repro.query.builder import Query, between, condition
+from repro.query.expr import AndNode, OrNode
+from repro.service import ServiceSession, delta_payload, frame_payload
+from repro.service.protocol import FeedbackProtocolServer
+from repro.storage.table import Table
+
+HEADLINE_ROWS = 250_000
+SHARDS = 8
+WORKERS = min(4, os.cpu_count() or 1)
+WARMUP_EVENTS = 4
+MEASURED_EVENTS = 16
+
+SESSION_COUNTS = (1, 8, 32)
+EVENTS_PER_SESSION = 60
+PULL_EVERY = 6
+
+
+def locality_table(n: int, seed: int = 7) -> Table:
+    """Synthetic table whose slider column correlates with row order."""
+    rng = np.random.default_rng(seed)
+    t = np.sort(rng.uniform(0.0, 1000.0, n))
+    a = t * 0.1 + rng.normal(0.0, 5.0, n)
+    b = rng.uniform(0.0, 100.0, n)
+    return Table("Stream", {"t": t, "a": a, "b": b})
+
+
+def _headline_session() -> ServiceSession:
+    table = locality_table(HEADLINE_ROWS)
+    prepared = QueryEngine(table, PipelineConfig(
+        percentage=0.01, shard_count=SHARDS, max_workers=WORKERS,
+    )).prepare(Query(name="stream", tables=[table.name], condition=AndNode([
+        between("t", 5.0, 990.0),
+        OrNode([condition("a", ">", 30.0), condition("b", "<", 70.0)]),
+    ])))
+    session = ServiceSession("bench", prepared)
+    session.execute_batch([])
+    return session
+
+
+def _drag_payload_sizes(session: ServiceSession, *, start_high: float,
+                        step: float, events: int, warmup: int):
+    """Micro-move drag measuring per-frame payload sizes and frame latency.
+
+    Per event, both encodings of the *same* frame are produced -- the delta
+    against the previous frame and the full snapshot a v1 client would pull
+    -- so the ratio is self-controlled against machine noise.
+    """
+    delta_sizes: list[int] = []
+    full_sizes: list[int] = []
+    frame_times: list[float] = []
+    high = start_high
+    for k in range(warmup + events):
+        high -= step
+        t0 = time.perf_counter()
+        session.execute_batch([SetQueryRange((0,), 5.0, high)])
+        previous, current = session.frames
+        delta = json.dumps(delta_payload(previous, current)).encode()
+        elapsed = time.perf_counter() - t0
+        full = json.dumps(frame_payload(current)).encode()
+        if k >= warmup:
+            delta_sizes.append(len(delta))
+            full_sizes.append(len(full))
+            frame_times.append(elapsed)
+    return delta_sizes, full_sizes, frame_times
+
+
+def test_stream_payload_headline_250k(benchmark):
+    session = _headline_session()
+    delta_sizes, full_sizes, frame_times = _drag_payload_sizes(
+        session, start_high=990.0, step=0.2,
+        events=MEASURED_EVENTS, warmup=WARMUP_EVENTS)
+    median_delta = float(np.median(delta_sizes))
+    median_full = float(np.median(full_sizes))
+    ratio = median_full / median_delta
+    p50 = float(np.median(frame_times))
+    p95 = float(np.quantile(frame_times, 0.95))
+
+    high = [980.0]
+
+    def one_frame():
+        high[0] -= 0.2
+        session.execute_batch([SetQueryRange((0,), 5.0, high[0])])
+        previous, current = session.frames
+        return json.dumps(delta_payload(previous, current))
+
+    benchmark.pedantic(one_frame, rounds=3, iterations=1)
+    benchmark.extra_info.update({
+        "rows": HEADLINE_ROWS,
+        "shards": SHARDS,
+        "cpus": os.cpu_count() or 1,
+        "median_delta_bytes": median_delta,
+        "median_full_bytes": median_full,
+        "payload_ratio": round(ratio, 2),
+        "frame_p50_ms": round(p50 * 1e3, 2),
+        "frame_p95_ms": round(p95 * 1e3, 2),
+    })
+    # The acceptance claim: single-leaf micro-moves on a 250k-row table
+    # must ship at least 5x less than full snapshots at the median.  This
+    # is a byte count, not a timing -- it cannot flake with machine load.
+    assert ratio >= 5.0, (
+        f"delta payloads regressed: median {median_delta:.0f} B vs full "
+        f"{median_full:.0f} B ({ratio:.1f}x < 5x)"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Session sweep over TCP: 1 / 8 / 32 streaming clients
+# --------------------------------------------------------------------------- #
+async def _stream_request(reader, writer, payload: dict) -> tuple[dict, int]:
+    writer.write(json.dumps(payload).encode() + b"\n")
+    await writer.drain()
+    line = await reader.readline()
+    return json.loads(line), len(line)
+
+
+async def _stream_user(port: int, user: int, results: list[dict]) -> None:
+    reader, writer = await asyncio.open_connection(
+        "127.0.0.1", port, limit=FeedbackProtocolServer.STREAM_LIMIT)
+    update_bytes: list[int] = []
+    try:
+        opened, _ = await _stream_request(reader, writer, {
+            "op": "open", "protocol": 2,
+            "query": ("SELECT * FROM Stream "
+                      f"WHERE t BETWEEN 5 AND {980 - user} AND a > 30"),
+            "config": {"percentage": 0.05},
+        })
+        session = opened["session"]
+        _, subscribe_bytes = await _stream_request(
+            reader, writer, {"op": "subscribe", "session": session})
+        for step in range(EVENTS_PER_SESSION):
+            await _stream_request(reader, writer, {
+                "op": "event", "session": session,
+                "event": {"type": "range", "path": [0],
+                          "low": 5.0, "high": 980.0 - user - step * 0.2},
+            })
+            if step % PULL_EVERY == PULL_EVERY - 1:
+                _, size = await _stream_request(
+                    reader, writer,
+                    {"op": "delta", "session": session, "wait": False})
+                update_bytes.append(size)
+        _, size = await _stream_request(
+            reader, writer, {"op": "delta", "session": session, "wait": True})
+        update_bytes.append(size)
+        await _stream_request(reader, writer, {"op": "close", "session": session})
+        results.append({"user": user, "subscribe_bytes": subscribe_bytes,
+                        "update_bytes": update_bytes})
+    finally:
+        writer.close()
+
+
+async def _drive_sessions(table, sessions: int) -> dict[str, float]:
+    service = FeedbackService(
+        table,
+        PipelineConfig(shard_count=min(SHARDS, 4), max_workers=WORKERS),
+        service_config=ServiceConfig(
+            max_sessions=sessions,
+            max_inflight=min(4, os.cpu_count() or 1),
+        ),
+    )
+    async with service:
+        server = await FeedbackProtocolServer(service).start()
+        results: list[dict] = []
+        start = time.perf_counter()
+        await asyncio.gather(*[
+            _stream_user(server.port, user, results)
+            for user in range(sessions)
+        ])
+        elapsed = time.perf_counter() - start
+        # Clients have closed their sessions by now; the service-level
+        # latency window spans every run of the sweep.
+        p95 = service.metrics.run_latency.p95
+        wire = dict(server.wire_stats)
+        await server.aclose()
+    update_bytes = [b for row in results for b in row["update_bytes"]]
+    shipped = wire["delta_bytes"] + wire["snapshot_bytes"]
+    return {
+        "sessions": sessions,
+        "events": sessions * EVENTS_PER_SESSION,
+        "events_per_sec": sessions * EVENTS_PER_SESSION / elapsed,
+        "p95_run_ms": p95 * 1e3,
+        "median_update_bytes": float(np.median(update_bytes)),
+        "deltas_sent": wire["deltas_sent"],
+        "snapshots_sent": wire["snapshots_sent"],
+        "wire_saved_ratio": (wire["bytes_saved"] + shipped) / max(shipped, 1),
+        "elapsed_s": elapsed,
+    }
+
+
+def test_stream_sessions_sweep(benchmark):
+    table = locality_table(40_000)
+    results = {
+        sessions: asyncio.run(_drive_sessions(table, sessions))
+        for sessions in SESSION_COUNTS
+    }
+
+    timed = benchmark.pedantic(
+        lambda: asyncio.run(_drive_sessions(table, 8)), rounds=3, iterations=1
+    )
+    results[8] = timed
+
+    benchmark.extra_info.update({
+        "cpus": os.cpu_count() or 1,
+        "events_per_session": EVENTS_PER_SESSION,
+        **{
+            f"s{sessions}_{key}": round(float(value), 3)
+            for sessions, row in results.items()
+            for key, value in row.items()
+        },
+    })
+    for sessions, row in results.items():
+        # Steady-state streaming must be dominated by deltas: full frames
+        # happen at subscribe time and on retention gaps, not per tick.
+        assert row["deltas_sent"] >= row["snapshots_sent"], (
+            f"{sessions} sessions: {row['snapshots_sent']} full frames vs "
+            f"{row['deltas_sent']} deltas -- the stream fell off the delta path"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual timing entry point
+    results: dict[str, object] = {"cpus": os.cpu_count() or 1}
+    session = _headline_session()
+    delta_sizes, full_sizes, frame_times = _drag_payload_sizes(
+        session, start_high=990.0, step=0.2,
+        events=MEASURED_EVENTS, warmup=WARMUP_EVENTS)
+    results["headline"] = {
+        "rows": HEADLINE_ROWS,
+        "median_delta_bytes": float(np.median(delta_sizes)),
+        "median_full_bytes": float(np.median(full_sizes)),
+        "payload_ratio": round(float(np.median(full_sizes) / np.median(delta_sizes)), 2),
+        "frame_p95_ms": round(float(np.quantile(frame_times, 0.95)) * 1e3, 2),
+    }
+    print(f"headline: {results['headline']}")
+    sweep = {}
+    table = locality_table(40_000)
+    for sessions in SESSION_COUNTS:
+        row = asyncio.run(_drive_sessions(table, sessions))
+        sweep[str(sessions)] = row
+        print(f"{sessions:>3} sessions: {row['events_per_sec']:8.0f} ev/s  "
+              f"p95 {row['p95_run_ms']:7.2f} ms  "
+              f"median update {row['median_update_bytes']:8.0f} B  "
+              f"wire {row['wire_saved_ratio']:.1f}x smaller")
+    results["sessions"] = sweep
+    with open("BENCH_stream.json", "w") as fh:
+        json.dump(results, fh, indent=2)
+    print("wrote BENCH_stream.json")

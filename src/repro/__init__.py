@@ -24,6 +24,8 @@ one-shot facade over the same engine.
 """
 
 from repro.core import (
+    FeedbackDelta,
+    FeedbackFrame,
     PipelineConfig,
     PreparedQuery,
     QueryEngine,
@@ -58,6 +60,8 @@ __all__ = [
     "PipelineConfig",
     "ScreenSpec",
     "QueryFeedback",
+    "FeedbackFrame",
+    "FeedbackDelta",
     "ReductionMethod",
     "RelevanceScale",
     "Query",

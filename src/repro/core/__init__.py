@@ -39,7 +39,13 @@ from repro.core.reduction import (
     ReductionMethod,
 )
 from repro.core.relevance import RelevanceEvaluator, relevance_factors, RelevanceScale
-from repro.core.result import NodeFeedback, QueryFeedback, FeedbackStatistics
+from repro.core.result import (
+    FeedbackDelta,
+    FeedbackFrame,
+    FeedbackStatistics,
+    NodeFeedback,
+    QueryFeedback,
+)
 from repro.core.plan import CacheStats, EvaluationCache, PlanEvaluator, compile_plan
 from repro.core.shard import (
     ShardedPlanEvaluator,
@@ -71,6 +77,8 @@ __all__ = [
     "NodeFeedback",
     "QueryFeedback",
     "FeedbackStatistics",
+    "FeedbackDelta",
+    "FeedbackFrame",
     "CacheStats",
     "EvaluationCache",
     "PlanEvaluator",

@@ -61,7 +61,12 @@ from repro.core.shard import (
     shutdown_executors,
 )
 from repro.core.relevance import RelevanceScale, relevance_factors
-from repro.core.result import FeedbackStatistics, QueryFeedback
+from repro.core.result import (
+    FeedbackDelta,
+    FeedbackFrame,
+    FeedbackStatistics,
+    QueryFeedback,
+)
 from repro.query.builder import Query
 from repro.query.expr import AndNode, NodePath, PredicateLeaf, QueryNode
 from repro.query.fingerprint import stable_fingerprint
@@ -246,6 +251,39 @@ class _RelevanceState:
     """Cached relevance column for one overall-distance column identity."""
 
     column_key: str
+    scale: RelevanceScale
+    target_max: float
+    relevance: np.ndarray
+
+
+@dataclass
+class _ResultCountState:
+    """Per-shard popcounts of the root fulfilment mask for one column identity.
+
+    ``result_count`` used to be the last O(n) statistic recomputed on every
+    event (a full popcount of the root exact mask).  The mask can only
+    change where the root column changed, so the per-shard counts are
+    patched exactly like the relevance column: recount the dirty shards,
+    reuse every clean shard's cached count, sum in O(shard_count).
+    """
+
+    column_key: str
+    mask: np.ndarray
+    per_shard: np.ndarray
+    total: int
+
+
+@dataclass
+class _FrameState:
+    """What the previous execution's frame looked like, for delta derivation."""
+
+    frame_id: int
+    n: int
+    display_order: np.ndarray
+    #: Ascending copy of ``display_order`` (the displayed *set*).
+    displayed_sorted: np.ndarray
+    #: Root value key + relevance parameters of the previous frame.
+    root_key: str | None
     scale: RelevanceScale
     target_max: float
     relevance: np.ndarray
@@ -615,6 +653,12 @@ class PreparedQuery:
         #: Incremental displayed-set / relevance state (percentage path).
         self._displayed_state: _DisplayedState | None = None
         self._relevance_state: _RelevanceState | None = None
+        #: Per-shard popcounts backing the incremental ``result_count``.
+        self._result_count_state: _ResultCountState | None = None
+        #: Monotonically increasing frame id; each execute() returns the
+        #: next frame, stamped with a delta against the previous one.
+        self._frame_counter = 0
+        self._frame_state: _FrameState | None = None
 
     def _query_shape_fingerprint(self) -> str:
         """Identity of the parts that determine the evaluation table."""
@@ -708,6 +752,7 @@ class PreparedQuery:
                 self._slice_token = f"pq-{next(_SLICE_TOKENS)}"
                 self._displayed_state = None
                 self._relevance_state = None
+                self._result_count_state = None
             self._plan_shape = shape
         if self.executions > 0:
             # The query is being re-executed interactively: mark the range
@@ -945,15 +990,114 @@ class PreparedQuery:
                 root_key, scale, target_max, relevance)
         return relevance
 
+    def _result_count_incremental(self, mask: np.ndarray,
+                                  sharded: ShardedTable | None,
+                                  root_delta) -> int:
+        """``result_count`` from per-shard mask popcounts, patched per event.
+
+        The root fulfilment mask changes only inside the shards the root
+        delta marks dirty (a mask entry is a pure function of the row's
+        distances), so cached clean-shard counts stay exact; the sum over
+        shards equals ``np.count_nonzero(mask)`` bit for bit.  Without a
+        usable relation (monolithic execution, cold run, reshape) the count
+        falls back to the direct popcount.
+        """
+        root_key = root_delta.value_key if root_delta is not None else None
+        if sharded is None or root_key is None or len(mask) != len(sharded.table):
+            return int(np.count_nonzero(mask))
+        bounds = sharded.bounds
+        state = self._result_count_state
+        if state is not None and len(state.per_shard) == len(bounds):
+            if state.mask is mask or state.column_key == root_key:
+                # Same mask object (wholesale cache hit) or same column
+                # identity: the count is provably unchanged.
+                self._result_count_state = _ResultCountState(
+                    root_key, mask, state.per_shard, state.total)
+                self.engine.evaluation_cache(self.table).record_result_count_patch()
+                return state.total
+            if (root_delta.dirty is not None
+                    and root_delta.base_key == state.column_key):
+                per_shard = state.per_shard.copy()
+                for i in sorted(root_delta.dirty):
+                    start, stop = bounds[i]
+                    per_shard[i] = np.count_nonzero(mask[start:stop])
+                total = int(per_shard.sum())
+                self._result_count_state = _ResultCountState(
+                    root_key, mask, per_shard, total)
+                self.engine.evaluation_cache(self.table).record_result_count_patch()
+                return total
+        per_shard = np.array(
+            [np.count_nonzero(mask[start:stop]) for start, stop in bounds],
+            dtype=np.int64,
+        )
+        total = int(per_shard.sum())
+        self._result_count_state = _ResultCountState(root_key, mask, per_shard, total)
+        return total
+
+    def _frame_delta(self, display_order: np.ndarray, displayed_sorted: np.ndarray,
+                     relevance: np.ndarray, root_key: str | None,
+                     sharded: ShardedTable | None, root_delta,
+                     n: int) -> FeedbackDelta | None:
+        """Delta of the frame being built against the previous frame (if any).
+
+        Displayed-set membership changes are exact set differences of two
+        capacity-bounded index arrays; the relevance spans reuse the dirty
+        shard certificate the engine already validated for this event.
+        """
+        prev = self._frame_state
+        if prev is None or prev.n != n:
+            return None
+        if (len(display_order) == len(prev.display_order)
+                and np.array_equal(display_order, prev.display_order)):
+            entered = np.empty(0, dtype=np.intp)
+            left = np.empty(0, dtype=np.intp)
+            order_unchanged = True
+        else:
+            entered = np.setdiff1d(displayed_sorted, prev.displayed_sorted,
+                                   assume_unique=True)
+            left = np.setdiff1d(prev.displayed_sorted, displayed_sorted,
+                                assume_unique=True)
+            order_unchanged = False
+        spans: tuple[tuple[int, int], ...] | None = None
+        same_params = (prev.scale is self.config.relevance_scale
+                       and prev.target_max == self.config.target_max)
+        if relevance is prev.relevance:
+            spans = ()
+        elif same_params and root_key is not None and root_key == prev.root_key:
+            # Identical root column and relevance parameters: the values are
+            # bit-identical even when the array object was rebuilt.
+            spans = ()
+        elif (same_params and sharded is not None and root_delta is not None
+                and root_delta.dirty is not None
+                and root_delta.base_key == prev.root_key):
+            spans = tuple(sharded.bounds[i] for i in sorted(root_delta.dirty))
+        return FeedbackDelta(
+            base_frame_id=prev.frame_id,
+            entered=entered,
+            left=left,
+            order_unchanged=order_unchanged,
+            relevance_spans=spans,
+        )
+
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
-    def execute(self, changes: Sequence | None = None) -> QueryFeedback:
+    def execute(self, changes: Sequence | None = None) -> FeedbackFrame:
         """Re-execute the prepared query, recomputing only dirty subtrees.
 
         ``changes`` (optional) are applied first via :meth:`apply_change` --
         a convenience for scripted feedback loops; events applied directly
         to the shared condition tree are detected just the same.
+
+        Returns a :class:`~repro.core.result.FeedbackFrame`: the full
+        feedback (a :class:`~repro.core.result.QueryFeedback`, so existing
+        consumers are unaffected) stamped with a monotonically increasing
+        ``frame_id`` and, when the engine's incremental bookkeeping proved
+        a relation to the previous frame, a
+        :class:`~repro.core.result.FeedbackDelta` naming exactly the rows
+        that entered/left the displayed set and the row spans whose
+        relevance may have changed -- what the streaming service layers
+        ship instead of O(n) snapshots.
         """
         if changes:
             for event in changes:
@@ -1052,11 +1196,18 @@ class PreparedQuery:
         relevance = self._relevance_incremental(
             overall.normalized_distances, sharded, root_delta
         )
+        # The sharded evaluator already derived the root's value key for its
+        # node delta (same fingerprint function, same capacity/target_max);
+        # only the monolithic path needs the plan walk.
+        root_key = (root_delta.value_key if root_delta is not None
+                    else self._plan.value_key(capacity_items, self.config.target_max))
         statistics = FeedbackStatistics(
             num_objects=n,
             num_displayed=len(display_order),
             percentage_displayed=(len(display_order) / n) if n else 0.0,
-            num_results=overall.result_count,
+            num_results=self._result_count_incremental(
+                overall.exact_mask, sharded if incremental else None, root_delta
+            ),
         )
         self.executions += 1
         extra = {
@@ -1071,7 +1222,25 @@ class PreparedQuery:
             # service metrics: how many shards the event actually touched
             # and how many node columns were patched vs. served wholesale.
             extra["incremental"] = evaluator.event_report()
-        return QueryFeedback(
+        displayed_sorted = np.sort(display_order)
+        delta = self._frame_delta(
+            display_order, displayed_sorted, relevance, root_key,
+            sharded, root_delta, n,
+        )
+        self._frame_counter += 1
+        frame_id = self._frame_counter
+        base_frame_id = self._frame_state.frame_id if self._frame_state else None
+        self._frame_state = _FrameState(
+            frame_id=frame_id,
+            n=n,
+            display_order=display_order,
+            displayed_sorted=displayed_sorted,
+            root_key=root_key,
+            scale=self.config.relevance_scale,
+            target_max=self.config.target_max,
+            relevance=relevance,
+        )
+        return FeedbackFrame(
             table=table,
             query_description=self.query.describe(),
             node_feedback=node_feedback,
@@ -1080,4 +1249,7 @@ class PreparedQuery:
             statistics=statistics,
             display_capacity=capacity_items,
             extra=extra,
+            frame_id=frame_id,
+            base_frame_id=base_frame_id,
+            delta=delta,
         )

@@ -260,6 +260,10 @@ class CacheStats:
     bounds_shortcircuits: int = 0
     #: Displayed-set selections patched from cached per-shard top-k partials.
     displayed_patches: int = 0
+    #: Result counts served from per-shard mask popcounts (dirty shards
+    #: recounted, clean shards' cached counts reused) instead of a full
+    #: O(n) popcount of the root fulfilment mask.
+    result_count_patches: int = 0
     #: Executions that ran with dirty-shard tracking enabled.
     incremental_events: int = 0
 
@@ -277,6 +281,7 @@ class CacheStats:
             "shards_reused": self.shards_reused,
             "bounds_shortcircuits": self.bounds_shortcircuits,
             "displayed_patches": self.displayed_patches,
+            "result_count_patches": self.result_count_patches,
             "incremental_events": self.incremental_events,
         }
 
@@ -374,6 +379,10 @@ class EvaluationCache:
     def record_displayed_patch(self) -> None:
         with self._lock:
             self.stats.displayed_patches += 1
+
+    def record_result_count_patch(self) -> None:
+        with self._lock:
+            self.stats.result_count_patches += 1
 
     def record_slice(self, *, hit: bool, recomputed: int, reused: int,
                      shortcircuit: bool = False) -> None:

@@ -18,24 +18,50 @@ Entry points:
 
 from repro.service.coalesce import CoalescingQueue
 from repro.service.metrics import LatencyWindow, ServiceMetrics, SessionMetrics
-from repro.service.protocol import FeedbackProtocolServer, parse_event, serve
+from repro.service.protocol import (
+    FeedbackProtocolServer,
+    ProtocolError,
+    parse_event,
+    serve,
+)
 from repro.service.service import FeedbackService, ServiceConfig
-from repro.service.session import ServiceSession, SessionLimitError, SessionRegistry
-from repro.service.snapshot import FrameSnapshot, WindowCache, window_fingerprint
+from repro.service.session import (
+    ServiceSession,
+    SessionLimitError,
+    SessionRegistry,
+    UnknownSessionError,
+)
+from repro.service.snapshot import (
+    FrameGapError,
+    FrameSnapshot,
+    WindowCache,
+    apply_frame_update,
+    delta_payload,
+    frame_payload,
+    frame_state,
+    window_fingerprint,
+)
 
 __all__ = [
     "FeedbackService",
     "ServiceConfig",
     "FeedbackProtocolServer",
+    "ProtocolError",
     "serve",
     "parse_event",
     "CoalescingQueue",
     "SessionRegistry",
     "ServiceSession",
     "SessionLimitError",
+    "UnknownSessionError",
     "FrameSnapshot",
+    "FrameGapError",
     "WindowCache",
     "window_fingerprint",
+    "frame_payload",
+    "delta_payload",
+    "frame_state",
+    "apply_frame_update",
     "LatencyWindow",
     "SessionMetrics",
     "ServiceMetrics",

@@ -2,11 +2,15 @@
 
 Stdlib-only (``asyncio`` streams + ``json``): one JSON object per line in
 each direction, so the protocol can be driven by ``nc``, a five-line
-client, or the bundled example.  Requests carry an ``op``:
+client, or the bundled example.  Requests carry an ``op``.
+
+**v1 operations** (the request/response summary protocol):
 
 ``{"op": "open", "query": "...", "config": {"percentage": 0.4}}``
     Prepare a session; replies ``{"ok": true, "session": "s1", ...}`` with
-    the initial frame summary.
+    the initial frame summary.  ``"protocol": 2`` in the request negotiates
+    the v2 frame stream; the reply echoes the granted ``protocol`` and the
+    session's current ``frame_id`` either way.
 ``{"op": "event", "session": "s1", "event": {"type": "range", "path": [0],
 "low": 10, "high": 20}}``
     Enqueue one modification; replies immediately with the queue verdict
@@ -23,8 +27,33 @@ client, or the bundled example.  Requests carry an ``op``:
 ``{"op": "ping"}``
     Introspection and lifecycle.
 
-Errors never kill the connection: a malformed line or an unknown session
-replies ``{"ok": false, "error": "..."}`` and the stream continues.
+**v2 operations** (the versioned delta-frame stream; see
+``docs/protocol.md`` for the full message reference):
+
+``{"op": "subscribe", "session": "s1"}``
+    Reply with a full frame (``mode: "snapshot"``: statistics, display
+    order and every window's cell arrays) and start tracking this
+    connection's acknowledged ``frame_id`` for the session.
+``{"op": "delta", "session": "s1", "wait": true}``
+    The streaming pull.  When the client's acknowledged frame is still in
+    the session's retention ring (``ServiceConfig.frame_retention`` recent
+    frames; the previous frame always is), the reply is ``mode: "delta"``
+    -- changed window cells, displayed-set changes, fresh statistics --
+    *unless* the full frame would be smaller on the wire (degenerate
+    drags), in which case ``mode: "snapshot"`` is sent; a base that fell
+    out of the ring or mismatches also resyncs with a full frame.  A
+    client already holding the current frame gets the tiny ``mode:
+    "unchanged"`` answer.  ``base_frame_id`` may be passed to override the
+    tracked ack.
+``{"op": "resync", "session": "s1"}``
+    Unconditionally reply with a full frame and re-ack it.
+
+Errors never kill the connection: a malformed line, a bad ``frame_id`` or
+an unknown session replies with a structured error frame ``{"ok": false,
+"code": "...", "error": "..."}`` and the stream continues.  Error codes:
+``parse-error`` (the line was not JSON), ``bad-request`` (missing/invalid
+fields, unknown event types), ``unknown-op``, ``unknown-session``,
+``bad-frame-id``, ``session-limit`` and ``internal``.
 """
 
 from __future__ import annotations
@@ -40,17 +69,51 @@ from repro.interact.events import (
     SetThreshold,
     SetWeight,
 )
-from repro.service.service import FeedbackService
+from repro.service.service import FeedbackService, SessionLimitError
+from repro.service.session import UnknownSessionError
+from repro.service.snapshot import delta_payload
 from repro.vis.colormap import VisDBColormap
 from repro.vis.render import png_bytes
 
-__all__ = ["FeedbackProtocolServer", "parse_event", "serve"]
+__all__ = ["FeedbackProtocolServer", "ProtocolError", "parse_event", "serve"]
 
 #: Pipeline-config fields a remote client may override per session.
 _ALLOWED_CONFIG = {
     "percentage", "pixels_per_item", "shard_count", "max_workers",
     "multipeak_z", "target_max",
 }
+
+#: Protocol versions the server can grant.
+_PROTOCOL_VERSIONS = (1, 2)
+
+
+class ProtocolError(ValueError):
+    """A malformed or unserviceable request, answered with an error frame.
+
+    ``code`` is the machine-readable error class (stable across releases);
+    the message stays human-oriented.  Raising this never drops the
+    connection -- the handler turns it into ``{"ok": false, "code": ...,
+    "error": ...}`` and keeps reading.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+class _SessionRunError(Exception):
+    """A pipeline failure surfaced through a well-formed request.
+
+    Wraps errors re-raised by ``FeedbackService.snapshot()`` (a poisoned
+    session's last run) so the error frame reports ``internal`` -- the
+    client's request was fine; the server-side run was not.  Without the
+    wrapper a pipeline ``ValueError`` would hit the generic bad-request
+    mapping and tell a correct client to fix its message.
+    """
+
+    def __init__(self, cause: Exception):
+        super().__init__(f"{type(cause).__name__}: {cause}")
+        self.cause = cause
 
 
 def parse_event(payload: dict) -> SessionEvent:
@@ -76,17 +139,40 @@ def parse_event(payload: dict) -> SessionEvent:
 class FeedbackProtocolServer:
     """Serve a :class:`FeedbackService` over newline-delimited JSON."""
 
+    #: Stream buffer limit for connections (both directions).  Full v2
+    #: frames carry whole window cell arrays on one line, which overflows
+    #: asyncio's 64 KiB default; clients reading frames should open their
+    #: connection with (at least) this same limit.
+    STREAM_LIMIT = 2 ** 24
+
     def __init__(self, service: FeedbackService, host: str = "127.0.0.1",
-                 port: int = 0):
+                 port: int = 0, limit: int = STREAM_LIMIT):
         self.service = service
         self.host = host
         self.port = port
+        self.limit = limit
         self._server: asyncio.AbstractServer | None = None
         self._colormap = VisDBColormap()
+        #: Wire accounting of the v2 stream: how many updates went out as
+        #: deltas vs full frames, their encoded sizes, and the bytes the
+        #: size-based choice saved against always-full snapshots.  Served
+        #: by the ``metrics`` op so the payoff is observable in production.
+        self.wire_stats: dict[str, int] = {
+            "deltas_sent": 0,
+            "snapshots_sent": 0,
+            "unchanged_sent": 0,
+            "resyncs": 0,
+            "delta_bytes": 0,
+            "snapshot_bytes": 0,
+            "bytes_saved": 0,
+            "errors_sent": 0,
+        }
 
     # ------------------------------------------------------------------ #
     async def start(self) -> "FeedbackProtocolServer":
-        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=self.limit
+        )
         self.port = self._server.sockets[0].getsockname()[1]
         return self
 
@@ -105,17 +191,26 @@ class FeedbackProtocolServer:
     # ------------------------------------------------------------------ #
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
+        # Per-connection v2 state: the last frame id this client
+        # acknowledged (was sent a frame for), per session.
+        acked: dict[str, int] = {}
         try:
             while True:
                 line = await reader.readline()
                 if not line:
                     break
                 try:
-                    request = json.loads(line)
-                    response = await self._dispatch(request)
+                    try:
+                        request = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        raise ProtocolError(
+                            "parse-error", f"line is not valid JSON: {exc}"
+                        ) from None
+                    encoded = await self._dispatch(request, acked)
                 except Exception as exc:  # noqa: BLE001 - protocol boundary
-                    response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
-                writer.write(json.dumps(response).encode() + b"\n")
+                    encoded = json.dumps(self._error_frame(exc)).encode()
+                    self.wire_stats["errors_sent"] += 1
+                writer.write(encoded + b"\n")
                 await writer.drain()
         finally:
             # No await here: the handler may be ending because the server is
@@ -123,13 +218,71 @@ class FeedbackProtocolServer:
             # a cancelled task just re-raises into the loop's exception hook.
             writer.close()
 
-    async def _dispatch(self, request: dict) -> dict:
+    @staticmethod
+    def _error_frame(exc: Exception) -> dict:
+        """Structured error frame for any failure behind one request.
+
+        Every malformed or unserviceable message -- unknown op, bad frame
+        id, non-JSON line, unknown session -- answers with a frame instead
+        of dropping the connection; ``code`` gives clients a stable switch.
+        """
+        if isinstance(exc, ProtocolError):
+            code = exc.code
+        elif isinstance(exc, SessionLimitError):
+            code = "session-limit"
+        elif isinstance(exc, UnknownSessionError):
+            code = "unknown-session"
+        elif isinstance(exc, _SessionRunError):
+            return {"ok": False, "code": "internal", "error": str(exc)}
+        elif isinstance(exc, (KeyError, ValueError, TypeError)):
+            # A missing request field raises KeyError('field').
+            code = "bad-request"
+        else:
+            code = "internal"
+        return {"ok": False, "code": code,
+                "error": f"{type(exc).__name__}: {exc}"}
+
+    async def _settled_snapshot(self, session_id: str, wait: bool):
+        """A session's snapshot with failures mapped to stable wire codes.
+
+        A session that was closed or expired while the wait was pending is
+        gone from the client's point of view (``unknown-session``, not the
+        admission-control ``session-limit`` its exception type suggests);
+        any error a pipeline run left behind is a server-side failure
+        (``internal``), not a malformed request.
+        """
+        try:
+            return await self.service.snapshot(session_id, wait=wait)
+        except UnknownSessionError:
+            raise
+        except SessionLimitError as exc:
+            raise UnknownSessionError(str(exc)) from exc
+        except Exception as exc:  # noqa: BLE001 - session-run boundary
+            raise _SessionRunError(exc) from exc
+
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, request: dict, acked: dict[str, int]) -> bytes:
+        """Serve one request; returns the encoded response line (no newline)."""
         if not isinstance(request, dict):
-            raise ValueError("request must be a JSON object")
+            raise ProtocolError("bad-request", "request must be a JSON object")
         op = request.get("op")
+        if op in ("subscribe", "delta", "resync"):
+            return await self._dispatch_v2(op, request, acked)
+        response = await self._dispatch_v1(op, request, acked)
+        return json.dumps(response).encode()
+
+    async def _dispatch_v1(self, op, request: dict,
+                           acked: dict[str, int]) -> dict:
         if op == "ping":
             return {"ok": True, "pong": True}
         if op == "open":
+            protocol = request.get("protocol", 1)
+            if protocol not in _PROTOCOL_VERSIONS:
+                raise ProtocolError(
+                    "bad-request",
+                    f"unsupported protocol {protocol!r} (supported: "
+                    f"{list(_PROTOCOL_VERSIONS)})",
+                )
             overrides = {
                 key: value
                 for key, value in (request.get("config") or {}).items()
@@ -139,14 +292,14 @@ class FeedbackProtocolServer:
                 request["query"], **overrides
             )
             snapshot = await self.service.snapshot(session_id)
-            return {"ok": True, "session": session_id,
+            return {"ok": True, "session": session_id, "protocol": protocol,
                     **snapshot.as_dict(top=int(request.get("top", 0)))}
         if op == "event":
             event = parse_event(request.get("event"))
             verdict = await self.service.submit(request["session"], event)
             return {"ok": True, **verdict}
         if op == "snapshot":
-            snapshot = await self.service.snapshot(
+            snapshot = await self._settled_snapshot(
                 request["session"], wait=bool(request.get("wait", True))
             )
             body = snapshot.as_dict(top=int(request.get("top", 10)))
@@ -169,11 +322,84 @@ class FeedbackProtocolServer:
                     entry["png"] = encoded[tuple(entry["path"])]
             return {"ok": True, **body}
         if op == "metrics":
-            return {"ok": True, "metrics": self.service.metrics_report()}
+            return {"ok": True,
+                    "metrics": {**self.service.metrics_report(),
+                                "wire": dict(self.wire_stats)}}
         if op == "close":
             await self.service.close_session(request["session"])
+            acked.pop(request["session"], None)
             return {"ok": True}
-        raise ValueError(f"unknown op {op!r}")
+        raise ProtocolError("unknown-op", f"unknown op {op!r}")
+
+    async def _dispatch_v2(self, op: str, request: dict,
+                           acked: dict[str, int]) -> bytes:
+        """The v2 frame stream: subscribe / delta / resync."""
+        session_id = request.get("session")
+        if not isinstance(session_id, str):
+            raise ProtocolError("bad-request", "'session' must be a string")
+        wait = bool(request.get("wait", True))
+        # Validate before awaiting: a rejectable request must not first
+        # block behind the session's queued pipeline runs (the connection
+        # is a serial request/response line).
+        base_given = "base_frame_id" in request
+        base = request.get("base_frame_id")
+        if op == "delta" and base is not None and (
+                isinstance(base, bool) or not isinstance(base, int) or base < 0):
+            raise ProtocolError(
+                "bad-frame-id",
+                f"'base_frame_id' must be a non-negative integer, got {base!r}",
+            )
+        snapshot = await self._settled_snapshot(session_id, wait=wait)
+        # Frame serialization walks whole window cell arrays (O(pixels),
+        # several ms for real layouts): run it off the event loop like the
+        # PNG path above, so one streaming client's pull cannot stall every
+        # other connection's event firehose.
+        loop = asyncio.get_running_loop()
+        if op in ("subscribe", "resync"):
+            encoded = await loop.run_in_executor(None, snapshot.payload_bytes)
+            acked[session_id] = snapshot.frame_id
+            self.wire_stats["snapshots_sent"] += 1
+            if op == "resync":
+                self.wire_stats["resyncs"] += 1
+            self.wire_stats["snapshot_bytes"] += len(encoded)
+            return encoded
+        # op == "delta"
+        if not base_given:
+            base = acked.get(session_id)
+        if base == snapshot.frame_id:
+            self.wire_stats["unchanged_sent"] += 1
+            return json.dumps({
+                "ok": True, "type": "frame", "mode": "unchanged",
+                "session": session_id, "frame_id": snapshot.frame_id,
+                "statistics": snapshot.statistics.as_dict(),
+            }).encode()
+        session = self.service.registry.get(session_id)
+        base_snapshot = None
+        if session is not None and base is not None:
+            base_snapshot = session.retained_frame(base)
+        full = await loop.run_in_executor(None, snapshot.payload_bytes)
+        if base_snapshot is not None and base_snapshot is not snapshot:
+            # The client's acked frame is still retained: encode the delta
+            # against it, then let payload size pick the winner.  A
+            # degenerate drag (most cells changed) can make the delta
+            # *larger* than the frame -- sending the smaller one keeps the
+            # wire optimal either way.  Cell diffing + encoding is CPU work
+            # too; same off-loop treatment.
+            delta = await loop.run_in_executor(None, lambda: json.dumps(
+                {"ok": True, **delta_payload(base_snapshot, snapshot)}
+            ).encode())
+            if len(delta) <= len(full):
+                acked[session_id] = snapshot.frame_id
+                self.wire_stats["deltas_sent"] += 1
+                self.wire_stats["delta_bytes"] += len(delta)
+                self.wire_stats["bytes_saved"] += len(full) - len(delta)
+                return delta
+        # Gap (the base fell out of the retention ring), mismatch, or the
+        # delta lost on size: resync with the full frame.
+        acked[session_id] = snapshot.frame_id
+        self.wire_stats["snapshots_sent"] += 1
+        self.wire_stats["snapshot_bytes"] += len(full)
+        return full
 
 
 async def serve(service: FeedbackService, host: str = "127.0.0.1",

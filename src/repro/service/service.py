@@ -65,6 +65,13 @@ class ServiceConfig:
     #: default: the log grows with session lifetime.  The differential
     #: stress tests switch it on to replay sessions serially.
     record_batches: bool = False
+    #: Recent frames retained per session for the v2 delta stream: a client
+    #: whose acknowledged frame is still in the ring gets a delta, anything
+    #: older resyncs with a full snapshot.  Retained frames share their
+    #: arrays with the render/node caches, so the footprint is bounded and
+    #: small; 1 disables multi-frame catch-up (previous-frame deltas only
+    #: happen when the client pulls every frame).
+    frame_retention: int = 4
 
     def __post_init__(self) -> None:
         if self.max_sessions < 1:
@@ -77,6 +84,8 @@ class ServiceConfig:
             raise ValueError("idle_ttl must be positive (or None)")
         if self.sweep_interval <= 0:
             raise ValueError("sweep_interval must be positive")
+        if self.frame_retention < 1:
+            raise ValueError("frame_retention must be at least 1")
 
 
 class FeedbackService:
@@ -214,6 +223,7 @@ class FeedbackService:
             session = self.registry.add(
                 prepared, max_queue_depth=self.config.max_queue_depth,
                 layout=self.layout, record_batches=self.config.record_batches,
+                frame_retention=self.config.frame_retention,
             )
             self._rotation.append(session.id)
             # The initial run gives the client its first frame and warms
@@ -309,6 +319,7 @@ class FeedbackService:
                 "shards_reused": engine["shards_reused"],
                 "bounds_shortcircuits": engine["bounds_shortcircuits"],
                 "displayed_patches": engine["displayed_patches"],
+                "result_count_patches": engine["result_count_patches"],
             },
         }
 

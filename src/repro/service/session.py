@@ -38,7 +38,8 @@ from repro.service.metrics import SessionMetrics
 from repro.service.snapshot import FrameSnapshot, WindowCache
 from repro.vis.layout import MultiWindowLayout
 
-__all__ = ["ServiceSession", "SessionRegistry", "SessionLimitError"]
+__all__ = ["ServiceSession", "SessionRegistry", "SessionLimitError",
+           "UnknownSessionError"]
 
 #: Event types a service session executes (they modify the prepared query).
 QUERY_EVENTS = (SetQueryRange, SetThreshold, SetWeight, SetPercentageDisplayed)
@@ -48,6 +49,18 @@ class SessionLimitError(RuntimeError):
     """Raised when admission control refuses a new session."""
 
 
+class UnknownSessionError(KeyError):
+    """A session id that does not exist (closed, expired, or never opened).
+
+    A ``KeyError`` subclass so callers treating registry lookups as plain
+    mapping access keep working; the protocol adapter maps it by *type* to
+    the stable ``unknown-session`` wire error code.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message
+        return self.args[0] if self.args else ""
+
+
 class ServiceSession:
     """One interactive session multiplexed onto the shared engine."""
 
@@ -55,6 +68,7 @@ class ServiceSession:
                  max_queue_depth: int = 64,
                  layout: MultiWindowLayout | None = None,
                  record_batches: bool = False,
+                 frame_retention: int = 4,
                  clock=time.monotonic):
         self.id = session_id
         self.prepared = prepared
@@ -71,6 +85,14 @@ class ServiceSession:
         self.error: Exception | None = None
         self.feedback: QueryFeedback | None = None
         self.snapshot: FrameSnapshot | None = None
+        #: Recent snapshots, newest last, replaced in one assignment so the
+        #: protocol layer (event-loop side) always reads a consistent ring
+        #: while runs complete on worker threads.  Retention bounds how far
+        #: a streaming client may lag and still be served a delta instead
+        #: of a full resync; the ring shares its arrays with the render and
+        #: node caches, so retained frames are cheap.
+        self.frame_retention = max(1, int(frame_retention))
+        self.frame_history: tuple[FrameSnapshot, ...] = ()
         #: With ``record_batches``: the batches actually executed, in order
         #: -- a serial replay of their concatenation is the session's
         #: reference semantics (what the differential stress test replays).
@@ -110,6 +132,23 @@ class ServiceSession:
     def ready(self) -> bool:
         """True if the session has pending events and no batch in flight."""
         return not self.closed and not self.running and bool(self.queue)
+
+    @property
+    def frames(self) -> tuple[FrameSnapshot | None, FrameSnapshot | None]:
+        """The ``(previous, current)`` snapshot pair (None-padded)."""
+        history = self.frame_history
+        if not history:
+            return (None, None)
+        if len(history) == 1:
+            return (None, history[0])
+        return (history[-2], history[-1])
+
+    def retained_frame(self, frame_id: int) -> FrameSnapshot | None:
+        """The retained snapshot with ``frame_id``, if still in the ring."""
+        for snapshot in self.frame_history:
+            if snapshot.frame_id == frame_id:
+                return snapshot
+        return None
 
     def take_batch(self) -> list[SessionEvent]:
         """Drain the queue for one pipeline run (scheduler only)."""
@@ -166,10 +205,14 @@ class ServiceSession:
             rendered_fresh=fresh,
             run_seconds=elapsed,
             display_unchanged=display_unchanged,
+            frame_id=getattr(feedback, "frame_id", self.sequence),
+            base_frame_id=getattr(feedback, "base_frame_id", None),
         )
         if display_unchanged:
             self.metrics.snapshots_reused += 1
         self.feedback = feedback
+        self.frame_history = (
+            self.frame_history + (snapshot,))[-self.frame_retention:]
         self.snapshot = snapshot
         self.error = None
         self.metrics.runs += 1
@@ -197,6 +240,7 @@ class SessionRegistry:
     def create(self, query, *, max_queue_depth: int = 64,
                layout: MultiWindowLayout | None = None,
                record_batches: bool = False,
+               frame_retention: int = 4,
                session_id: str | None = None, **overrides) -> ServiceSession:
         """Prepare a query on the shared engine and register a session for it.
 
@@ -210,12 +254,14 @@ class SessionRegistry:
         prepared = self.engine.prepare(query, **overrides)
         return self.add(
             prepared, max_queue_depth=max_queue_depth, layout=layout,
-            record_batches=record_batches, session_id=session_id,
+            record_batches=record_batches, frame_retention=frame_retention,
+            session_id=session_id,
         )
 
     def add(self, prepared: PreparedQuery, *, max_queue_depth: int = 64,
             layout: MultiWindowLayout | None = None,
             record_batches: bool = False,
+            frame_retention: int = 4,
             session_id: str | None = None) -> ServiceSession:
         """Register a session for an already-prepared query (loop-side, no I/O)."""
         if session_id is None:
@@ -224,7 +270,8 @@ class SessionRegistry:
             raise ValueError(f"session id {session_id!r} already exists")
         session = ServiceSession(
             session_id, prepared, max_queue_depth=max_queue_depth,
-            layout=layout, record_batches=record_batches, clock=self._clock,
+            layout=layout, record_batches=record_batches,
+            frame_retention=frame_retention, clock=self._clock,
         )
         self._sessions[session_id] = session
         return session
@@ -233,7 +280,7 @@ class SessionRegistry:
         """Look a session up and refresh its idle timer."""
         session = self._sessions.get(session_id)
         if session is None:
-            raise KeyError(f"unknown session {session_id!r}")
+            raise UnknownSessionError(f"unknown session {session_id!r}")
         session.touch()
         return session
 
@@ -244,7 +291,7 @@ class SessionRegistry:
         """Remove a session; its in-flight run (if any) finishes harmlessly."""
         session = self._sessions.pop(session_id, None)
         if session is None:
-            raise KeyError(f"unknown session {session_id!r}")
+            raise UnknownSessionError(f"unknown session {session_id!r}")
         session.closed = True
         session.queue.clear()
         session.idle.set()

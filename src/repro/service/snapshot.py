@@ -1,4 +1,4 @@
-"""Frame snapshots: the response unit of the feedback service.
+"""Frame snapshots and the versioned frame/delta wire model.
 
 One pipeline run produces one :class:`FrameSnapshot` -- the relevance
 feedback plus the rendered visualization windows of the paper's
@@ -8,12 +8,24 @@ displayed item order and the node's distances *at those items*) and
 re-renders only windows whose fingerprint changed: after a weight change
 deep in an OR subtree, the untouched predicate windows are served from the
 cache byte-for-byte.
+
+The second half of this module is the **v2 wire model**: a client-side
+frame is a plain JSON-able dictionary (statistics + display order + the
+windows' cell arrays), :func:`frame_payload` encodes a snapshot as a full
+frame, :func:`delta_payload` encodes only what changed against a base
+snapshot (cell patches per window, computed through
+:meth:`~repro.vis.window.VisualizationWindow.diff_cells`), and
+:func:`apply_frame_update` is the reference client: applying a delta
+stream reconstructs -- field for field -- the frame a cold full snapshot
+would show.  The differential suite in ``tests/test_stream_delta.py``
+enforces exactly that equivalence.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -24,7 +36,19 @@ from repro.vis.arrangement import window_for_node
 from repro.vis.layout import MultiWindowLayout
 from repro.vis.window import VisualizationWindow
 
-__all__ = ["FrameSnapshot", "WindowCache", "window_fingerprint"]
+__all__ = [
+    "FrameSnapshot",
+    "WindowCache",
+    "window_fingerprint",
+    "FrameGapError",
+    "path_key",
+    "parse_path_key",
+    "window_state",
+    "frame_payload",
+    "delta_payload",
+    "frame_state",
+    "apply_frame_update",
+]
 
 
 def _digest(array: np.ndarray) -> str:
@@ -46,7 +70,10 @@ def window_fingerprint(feedback: QueryFeedback, path: NodePath,
     window size and the pixels-per-item block factor.  Distances of items
     outside the displayed set cannot change the window, so they are
     deliberately not part of the fingerprint -- that is what makes the cache
-    hit when an event reshuffles only off-screen items.
+    hit when an event reshuffles only off-screen items.  The window *title*
+    (the node label, which embeds the current bounds) is deliberately not
+    covered either: :class:`WindowCache` refreshes a stale title on the hit
+    path without re-rendering a single pixel.
     """
     return stable_fingerprint(
         "window", tuple(path), width, height, pixels_per_item,
@@ -74,6 +101,30 @@ class FrameSnapshot:
     #: from the previous frame -- the run was served entirely from caches,
     #: so clients may skip re-uploading pixel data.
     display_unchanged: bool = False
+    #: Engine frame version of this snapshot (monotonic per session) and
+    #: the frame it was derived from; what the v2 delta stream acks.
+    frame_id: int = 0
+    base_frame_id: int | None = None
+    #: Lazily cached wire encoding of the full v2 frame (see
+    #: :meth:`payload_bytes`).
+    _encoded_payload: bytes | None = field(default=None, repr=False, compare=False)
+
+    def payload_bytes(self) -> bytes:
+        """The full v2 frame payload of this snapshot, encoded exactly once.
+
+        Serializing a full frame walks every window's cell arrays
+        (O(pixels)); every ``delta`` pull needs the encoded size for the
+        delta-vs-snapshot choice, and ``subscribe``/``resync``/gap replies
+        send the bytes themselves -- so many streaming clients would
+        otherwise re-serialize the same unchanged frame once per pull.
+        The snapshot is immutable after construction, and a racing double
+        encode would produce identical bytes, so the lazy cache needs no
+        lock.
+        """
+        if self._encoded_payload is None:
+            self._encoded_payload = json.dumps(
+                {"ok": True, **frame_payload(self)}).encode()
+        return self._encoded_payload
 
     def as_dict(self, top: int = 10) -> dict[str, object]:
         """JSON-serializable summary (protocol form, without pixel data)."""
@@ -87,6 +138,8 @@ class FrameSnapshot:
             "statistics": self.statistics.as_dict(),
             "run_ms": round(self.run_seconds * 1e3, 3),
             "display_unchanged": self.display_unchanged,
+            "frame_id": self.frame_id,
+            "base_frame_id": self.base_frame_id,
             "windows": [
                 {
                     "path": list(path),
@@ -137,7 +190,19 @@ class WindowCache:
             cached = self._cache.get(path)
             if cached is not None and cached[0] == fingerprint:
                 self.hits += 1
-                result[path] = cached[1]
+                window = cached[1]
+                label = feedback.node_feedback[path].label
+                if window.title != label:
+                    # Same pixels, new title (a slider move rewrites the
+                    # node label every tick): rewrap the cached arrays
+                    # instead of re-rendering -- and keep the refreshed
+                    # title cached so the next hit compares equal.
+                    window = VisualizationWindow(
+                        label, window.distances, window.item_ids,
+                        dict(window.metadata),
+                    )
+                    self._cache[path] = (fingerprint, window)
+                result[path] = window
                 continue
             self.misses += 1
             window = window_for_node(
@@ -155,3 +220,215 @@ class WindowCache:
 
     def clear(self) -> None:
         self._cache.clear()
+
+
+# --------------------------------------------------------------------------- #
+# The v2 wire model: full frames, deltas and the reference client
+# --------------------------------------------------------------------------- #
+class FrameGapError(ValueError):
+    """A delta's base frame does not match the client's current frame.
+
+    The reference client raises this instead of guessing; a real client
+    answers it with a ``resync`` request for a full frame.
+    """
+
+
+def path_key(path: NodePath) -> str:
+    """Wire form of a node path (JSON object keys must be strings)."""
+    return "/".join(str(i) for i in path)
+
+
+def parse_path_key(key: str) -> NodePath:
+    """Inverse of :func:`path_key` (the empty string is the root path)."""
+    if not key:
+        return ()
+    return tuple(int(part) for part in key.split("/"))
+
+
+def _encode_distances(values: np.ndarray) -> list:
+    """Flat distance list with ``None`` for NaN (JSON has no NaN literal)."""
+    return [None if v != v else v for v in values.reshape(-1).tolist()]
+
+
+def window_state(window: VisualizationWindow) -> dict:
+    """The client-side form of one window: geometry plus flat cell arrays."""
+    return {
+        "title": window.title,
+        "width": window.width,
+        "height": window.height,
+        "distances": _encode_distances(window.distances),
+        "item_ids": window.item_ids.reshape(-1).tolist(),
+    }
+
+
+def frame_payload(snapshot: FrameSnapshot) -> dict:
+    """Encode a snapshot as a full v2 frame (``mode: "snapshot"``).
+
+    This is the resync unit: everything a client needs to rebuild its
+    frame state from nothing.  The windows dominate the size -- O(pixels)
+    per window -- which is exactly what :func:`delta_payload` avoids.
+    """
+    return {
+        "type": "frame",
+        "mode": "snapshot",
+        "session": snapshot.session_id,
+        "sequence": snapshot.sequence,
+        "events_applied": snapshot.events_applied,
+        "run_ms": round(snapshot.run_seconds * 1e3, 3),
+        "frame_id": snapshot.frame_id,
+        "base_frame_id": snapshot.base_frame_id,
+        "statistics": snapshot.statistics.as_dict(),
+        "display_order": snapshot.feedback.display_order.tolist(),
+        "windows": {
+            path_key(path): window_state(window)
+            for path, window in snapshot.windows.items()
+        },
+    }
+
+
+def delta_payload(base: FrameSnapshot, snapshot: FrameSnapshot) -> dict:
+    """Encode ``snapshot`` as a delta against ``base`` (``mode: "delta"``).
+
+    Per window, the encoding is chosen cell-diff first: an identical window
+    object (the render-cache hit that dominates steady drags) costs a
+    one-entry ``{"unchanged": true}``, a changed window ships only its
+    changed cells, and a window with no cell-level relation (new path,
+    resized, retitled) ships wholesale.  The displayed order is included in
+    full only when it changed -- it is capacity-bounded, never O(n).
+
+    Applying the result to a client state holding ``base`` reconstructs
+    exactly the state :func:`frame_payload` of ``snapshot`` would build.
+    """
+    base_order = base.feedback.display_order
+    new_order = snapshot.feedback.display_order
+    if len(base_order) == len(new_order) and np.array_equal(base_order, new_order):
+        display: dict = {"unchanged": True}
+    else:
+        new_sorted = np.sort(new_order)
+        old_sorted = np.sort(base_order)
+        display = {
+            "order": new_order.tolist(),
+            "entered": np.setdiff1d(new_sorted, old_sorted,
+                                    assume_unique=True).tolist(),
+            "left": np.setdiff1d(old_sorted, new_sorted,
+                                 assume_unique=True).tolist(),
+        }
+    windows: dict[str, dict] = {}
+    for path, window in snapshot.windows.items():
+        key = path_key(path)
+        previous = base.windows.get(path)
+        diff = window.diff_cells(previous)
+        if diff is None:
+            windows[key] = {"full": window_state(window)}
+            continue
+        # A slider move rewrites the node label (the window title) on every
+        # tick while usually leaving the pixels alone; titles therefore ride
+        # the cell patch as a field instead of forcing a full window.
+        title_changed = previous.title != window.title
+        if len(diff) == 0 and not title_changed:
+            windows[key] = {"unchanged": True}
+        else:
+            distances = window.distances.reshape(-1)[diff]
+            item_ids = window.item_ids.reshape(-1)[diff]
+            entry: dict = {"cells": [
+                [int(i), None if d != d else float(d), int(item)]
+                for i, d, item in zip(diff.tolist(), distances.tolist(),
+                                      item_ids.tolist())
+            ]}
+            if title_changed:
+                entry["title"] = window.title
+            windows[key] = entry
+    removed = [
+        path_key(path) for path in base.windows if path not in snapshot.windows
+    ]
+    payload = {
+        "type": "frame",
+        "mode": "delta",
+        "session": snapshot.session_id,
+        "sequence": snapshot.sequence,
+        "events_applied": snapshot.events_applied,
+        "run_ms": round(snapshot.run_seconds * 1e3, 3),
+        "frame_id": snapshot.frame_id,
+        "base_frame_id": base.frame_id,
+        "statistics": snapshot.statistics.as_dict(),
+        "display": display,
+        "windows": windows,
+    }
+    if removed:
+        payload["removed_windows"] = removed
+    return payload
+
+
+def frame_state(payload: dict) -> dict:
+    """The reconstructable client state carried by a full frame payload."""
+    return {
+        "frame_id": payload["frame_id"],
+        "statistics": payload["statistics"],
+        "display_order": payload["display_order"],
+        "windows": payload["windows"],
+    }
+
+
+def apply_frame_update(state: dict | None, payload: dict) -> dict:
+    """The reference client: fold one v2 payload into the frame state.
+
+    * ``mode: "snapshot"`` replaces the state wholesale (works from None);
+    * ``mode: "unchanged"`` (the server's "you are current" answer) keeps
+      the state, after checking the frame id actually matches;
+    * ``mode: "delta"`` requires ``state["frame_id"] ==
+      payload["base_frame_id"]`` -- on any gap or mismatch a
+      :class:`FrameGapError` is raised and the client should resync.
+
+    The function never mutates ``state``; unchanged windows are shared
+    between the old and new state (they are never mutated in place either).
+    """
+    mode = payload.get("mode")
+    if mode == "snapshot":
+        return frame_state(payload)
+    if mode == "unchanged":
+        if state is None or state["frame_id"] != payload["frame_id"]:
+            raise FrameGapError(
+                f"server says frame {payload.get('frame_id')} is current but the "
+                f"client holds {None if state is None else state['frame_id']}"
+            )
+        return state
+    if mode != "delta":
+        raise ValueError(f"unknown frame mode {mode!r}")
+    if state is None or state["frame_id"] != payload["base_frame_id"]:
+        raise FrameGapError(
+            f"delta base {payload.get('base_frame_id')} does not match client "
+            f"frame {None if state is None else state['frame_id']}"
+        )
+    display = payload["display"]
+    order = state["display_order"] if display.get("unchanged") else display["order"]
+    windows: dict[str, dict] = {}
+    for key, entry in payload["windows"].items():
+        if "full" in entry:
+            windows[key] = entry["full"]
+            continue
+        previous = state["windows"].get(key)
+        if previous is None:
+            raise FrameGapError(
+                f"delta patches window {key!r} the client does not have"
+            )
+        if entry.get("unchanged"):
+            windows[key] = previous
+            continue
+        distances = list(previous["distances"])
+        item_ids = list(previous["item_ids"])
+        for index, distance, item in entry["cells"]:
+            distances[index] = distance
+            item_ids[index] = item
+        windows[key] = {
+            "title": entry.get("title", previous["title"]),
+            "width": previous["width"],
+            "height": previous["height"],
+            "distances": distances,
+            "item_ids": item_ids,
+        }
+    return {
+        "frame_id": payload["frame_id"],
+        "statistics": payload["statistics"],
+        "display_order": order,
+        "windows": windows,
+    }

@@ -13,7 +13,8 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["write_ppm", "write_png", "png_bytes", "upscale", "save_window"]
+__all__ = ["write_ppm", "write_png", "png_bytes", "patch_rgb", "upscale",
+           "save_window"]
 
 
 def _as_rgb_array(image: np.ndarray) -> np.ndarray:
@@ -71,6 +72,31 @@ def write_png(image: np.ndarray, path: str | Path) -> Path:
     path = Path(path)
     path.write_bytes(png_bytes(image))
     return path
+
+
+def patch_rgb(rgb: np.ndarray, window, indices: np.ndarray, colormap,
+              background: tuple[int, int, int] = (20, 20, 20)) -> np.ndarray:
+    """Recolor only the given flat cells of a previously rendered window.
+
+    ``rgb`` is a ``height x width x 3`` uint8 buffer previously produced by
+    :meth:`~repro.vis.window.VisualizationWindow.to_rgb` (without
+    highlighting); ``indices`` are flat cell indices as reported by
+    :meth:`~repro.vis.window.VisualizationWindow.diff_cells`.  Only those
+    cells are re-colormapped, so a streaming client pays O(changed cells)
+    per delta frame instead of re-rendering the window.  The buffer is
+    updated in place and returned; the result is bit-identical to a full
+    ``window.to_rgb(colormap)`` render.
+    """
+    indices = np.asarray(indices, dtype=np.intp)
+    if len(indices) == 0:
+        return rgb
+    flat = rgb.reshape(-1, 3)
+    distances = window.distances.reshape(-1)[indices]
+    item_ids = window.item_ids.reshape(-1)[indices]
+    colors = colormap(distances)
+    colors[item_ids < 0] = np.array(background, dtype=np.uint8)
+    flat[indices] = colors
+    return rgb
 
 
 def upscale(image: np.ndarray, factor: int) -> np.ndarray:

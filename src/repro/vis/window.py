@@ -78,6 +78,45 @@ class VisualizationWindow:
             rgb[mask] = np.array(highlight_color, dtype=np.uint8)
         return rgb
 
+    def diff_cells(self, base: "VisualizationWindow | None") -> np.ndarray | None:
+        """Flat indices of the cells that differ from ``base``.
+
+        The unit of change is one pixel cell: a cell differs when its
+        distance (NaN-aware) or its item id does.  Returns None when no
+        cell-level relation exists (no base, or a different window
+        geometry) -- the caller must then ship the window wholesale.  The
+        common streaming case, an identical window object served from the
+        render cache, short-circuits to an empty diff without comparing
+        arrays.
+        """
+        if base is None or base.distances.shape != self.distances.shape:
+            return None
+        if base is self or (base.distances is self.distances
+                            and base.item_ids is self.item_ids):
+            return np.empty(0, dtype=np.intp)
+        base_d = base.distances.ravel()
+        new_d = self.distances.ravel()
+        same = (base_d == new_d) | (np.isnan(base_d) & np.isnan(new_d))
+        same &= base.item_ids.ravel() == self.item_ids.ravel()
+        return np.nonzero(~same)[0]
+
+    def with_cells(self, indices: np.ndarray, distances: np.ndarray,
+                   item_ids: np.ndarray) -> "VisualizationWindow":
+        """A copy of this window with the given flat cells replaced.
+
+        The patch-application side of :meth:`diff_cells`: applying a diff's
+        indices with the new window's values to the base window reproduces
+        the new window exactly.
+        """
+        new_d = self.distances.copy()
+        new_i = self.item_ids.copy()
+        flat_d = new_d.reshape(-1)
+        flat_i = new_i.reshape(-1)
+        indices = np.asarray(indices, dtype=np.intp)
+        flat_d[indices] = np.asarray(distances, dtype=float)
+        flat_i[indices] = np.asarray(item_ids, dtype=np.intp)
+        return VisualizationWindow(self.title, new_d, new_i, dict(self.metadata))
+
     def position_of_item(self, row_index: int) -> tuple[int, int] | None:
         """(x, y) of the first pixel showing ``row_index``, or None if absent."""
         matches = np.argwhere(self.item_ids == row_index)

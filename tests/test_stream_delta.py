@@ -1,0 +1,633 @@
+"""Differential suite for the v2 delta-frame stream.
+
+The binding contract of the FeedbackFrame redesign: a client that applies
+``delta`` + ``resync`` payloads reconstructs -- field for field, after a
+JSON round trip -- exactly the frame state a cold full snapshot of the
+same query state would produce.  Randomized query/mutation sequences (the
+generators of the differential harness) are replayed across shard counts
+{1, 2, 7, 32}; every step checks the replayed client state against a cold
+single-shard reference.
+
+Around that sit unit tests for the pieces: engine-level frame versioning
+(:class:`~repro.core.result.FeedbackFrame` ids and proven entered/left/
+relevance-span deltas), the incremental ``result_count``, window cell
+diff/patch round trips (including O(changed cells) RGB patching), and the
+protocol-level v1/v2 negotiation plus the structured-error paths for
+malformed messages.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import copy
+import json
+
+import numpy as np
+import pytest
+
+from repro import PipelineConfig, QueryEngine, ScreenSpec
+from repro.core.result import FeedbackFrame
+from repro.interact.events import SetQueryRange, SetWeight
+from repro.query.builder import Query, between, condition
+from repro.query.expr import AndNode, OrNode
+from repro.service import (
+    FeedbackService,
+    ServiceConfig,
+    ServiceSession,
+    apply_frame_update,
+    delta_payload,
+    frame_payload,
+    frame_state,
+    serve,
+)
+from repro.service.protocol import FeedbackProtocolServer
+from repro.service.snapshot import FrameGapError, parse_path_key, path_key
+from repro.storage.table import Table
+from repro.vis.colormap import VisDBColormap
+from repro.vis.layout import MultiWindowLayout
+from repro.vis.render import patch_rgb
+from repro.vis.window import VisualizationWindow
+
+from test_differential import (
+    random_condition,
+    random_config,
+    random_events,
+    random_table,
+)
+
+SHARD_COUNTS = (1, 2, 7, 32)
+CASES = 10
+EVENTS_PER_CASE = 4
+
+
+def small_layout() -> MultiWindowLayout:
+    """Small windows keep the JSON payloads test-sized; the codec paths are
+    identical at any geometry."""
+    return MultiWindowLayout(window_width=24, window_height=24)
+
+
+def canonical(payload):
+    """JSON round trip: exactly what a wire client would have received."""
+    return json.loads(json.dumps(payload))
+
+
+def encode_update(previous, snapshot, base_frame_id):
+    """What the server sends to a client acknowledged at ``base_frame_id``.
+
+    Mirrors the protocol adapter's decision: ``unchanged`` when the client
+    is current, a delta when it holds the previous frame (unless the full
+    frame is smaller on the wire), a full snapshot otherwise.
+    """
+    if base_frame_id == snapshot.frame_id:
+        return {
+            "type": "frame", "mode": "unchanged",
+            "frame_id": snapshot.frame_id,
+            "statistics": snapshot.statistics.as_dict(),
+        }
+    full = frame_payload(snapshot)
+    if previous is not None and base_frame_id == previous.frame_id:
+        delta = delta_payload(previous, snapshot)
+        if len(json.dumps(delta)) <= len(json.dumps(full)):
+            return delta
+    return full
+
+
+def reconstructable(state: dict) -> dict:
+    """The client state minus its frame id (cold references renumber)."""
+    return canonical({k: v for k, v in state.items() if k != "frame_id"})
+
+
+def cold_reference_state(source, prepared) -> dict:
+    """Frame state of a cold single-shard snapshot of the current query state."""
+    engine = QueryEngine(source, prepared.config.with_(shard_count=1, max_workers=1))
+    cold = engine.prepare(Query(
+        name="cold", tables=list(prepared.query.tables),
+        condition=copy.deepcopy(prepared.query.condition),
+    ))
+    session = ServiceSession("cold", cold, layout=small_layout())
+    snapshot = session.execute_batch([])
+    return reconstructable(frame_state(frame_payload(snapshot)))
+
+
+# --------------------------------------------------------------------------- #
+# The differential contract: delta replay == cold snapshot
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(CASES))
+def test_delta_replay_reconstructs_cold_snapshots(seed):
+    rng = np.random.default_rng(411_000 + seed)
+    table = random_table(rng)
+    root = random_condition(rng)
+    config = random_config(rng)
+    events = random_events(rng, root, EVENTS_PER_CASE)
+    for shards in SHARD_COUNTS:
+        engine = QueryEngine(table, config.with_(shard_count=shards, max_workers=2))
+        prepared = engine.prepare(Query(
+            name=f"stream-{seed}", tables=[table.name],
+            condition=copy.deepcopy(root),
+        ))
+        session = ServiceSession(f"s{shards}", prepared, layout=small_layout())
+        snapshot = session.execute_batch([])
+        state = apply_frame_update(None, canonical(frame_payload(snapshot)))
+        assert reconstructable(state) == cold_reference_state(table, prepared), (
+            f"seed={seed} shards={shards} initial frame"
+        )
+        for step, event in enumerate(events):
+            session.execute_batch([event])
+            previous, current = session.frames
+            update = canonical(encode_update(previous, current, state["frame_id"]))
+            state = apply_frame_update(state, update)
+            assert state["frame_id"] == current.frame_id
+            assert reconstructable(state) == cold_reference_state(table, prepared), (
+                f"seed={seed} shards={shards} step={step} event={event!r} "
+                f"mode={update['mode']}"
+            )
+
+
+def test_delta_replay_with_interleaved_resyncs():
+    """A stream that alternates deltas and resyncs converges identically."""
+    rng = np.random.default_rng(77)
+    table = random_table(rng)
+    root = random_condition(rng)
+    config = random_config(rng)
+    events = random_events(rng, root, 6)
+    engine = QueryEngine(table, config.with_(shard_count=7, max_workers=2))
+    prepared = engine.prepare(Query(
+        name="resync", tables=[table.name], condition=copy.deepcopy(root)))
+    session = ServiceSession("s", prepared, layout=small_layout())
+    state = apply_frame_update(
+        None, canonical(frame_payload(session.execute_batch([]))))
+    for step, event in enumerate(events):
+        session.execute_batch([event])
+        previous, current = session.frames
+        if step % 2 == 0:
+            update = encode_update(previous, current, state["frame_id"])
+        else:
+            update = frame_payload(current)  # forced resync
+        state = apply_frame_update(state, canonical(update))
+        assert reconstructable(state) == cold_reference_state(table, prepared)
+
+
+def test_delta_gap_raises_and_resync_recovers():
+    table = small_locality_table()
+    prepared = QueryEngine(
+        table, PipelineConfig(percentage=0.2, shard_count=4, max_workers=2),
+    ).prepare(Query(name="gap", tables=[table.name], condition=AndNode([
+        between("t", 100.0, 800.0), condition("a", ">", 10.0)])))
+    session = ServiceSession("s", prepared, layout=small_layout())
+    state = apply_frame_update(
+        None, canonical(frame_payload(session.execute_batch([]))))
+    # Two frames advance while the client sleeps: the delta of the newest
+    # pair no longer bases on the client's frame.
+    session.execute_batch([SetQueryRange((0,), 100.0, 790.0)])
+    session.execute_batch([SetQueryRange((0,), 100.0, 780.0)])
+    previous, current = session.frames
+    stale_delta = canonical(delta_payload(previous, current))
+    with pytest.raises(FrameGapError):
+        apply_frame_update(state, stale_delta)
+    # An "unchanged" answer for a frame the client does not hold is a gap too.
+    with pytest.raises(FrameGapError):
+        apply_frame_update(state, {"mode": "unchanged", "frame_id": current.frame_id})
+    # Recovery: a resync (full frame) re-bases the client exactly.
+    state = apply_frame_update(state, canonical(frame_payload(current)))
+    assert reconstructable(state) == cold_reference_state(table, prepared)
+
+
+def small_locality_table(n: int = 2_000, seed: int = 13) -> Table:
+    rng = np.random.default_rng(seed)
+    t = np.sort(rng.uniform(0.0, 1000.0, n))
+    return Table("Local", {
+        "t": t,
+        "a": t * 0.1 + rng.normal(0.0, 4.0, n),
+        "b": rng.uniform(0.0, 100.0, n),
+    })
+
+
+# --------------------------------------------------------------------------- #
+# Engine-level frame versioning
+# --------------------------------------------------------------------------- #
+def drag_prepared(shards: int = 8):
+    table = small_locality_table(n=4_000)
+    config = PipelineConfig(screen=ScreenSpec(width=48, height=48),
+                            percentage=0.1, shard_count=shards, max_workers=2)
+    prepared = QueryEngine(table, config).prepare(Query(
+        name="frames", tables=[table.name],
+        condition=AndNode([
+            between("t", 50.0, 900.0),
+            OrNode([condition("a", ">", 20.0), condition("b", "<", 80.0)]),
+        ]),
+    ))
+    return table, prepared
+
+
+def test_frame_ids_are_monotonic_and_chained():
+    _, prepared = drag_prepared()
+    frames = [prepared.execute()]
+    for k in range(3):
+        frames.append(prepared.execute(
+            changes=[SetQueryRange((0,), 50.0, 895.0 - 2.0 * k)]))
+    assert all(isinstance(f, FeedbackFrame) for f in frames)
+    ids = [f.frame_id for f in frames]
+    assert ids == sorted(ids) and len(set(ids)) == len(ids)
+    assert frames[0].base_frame_id is None and frames[0].delta is None
+    for older, newer in zip(frames, frames[1:]):
+        assert newer.base_frame_id == older.frame_id
+        assert newer.delta is not None
+        assert newer.delta.base_frame_id == older.frame_id
+    assert frames[1].materialize() is frames[1]
+
+
+def test_frame_delta_entered_left_match_brute_force():
+    _, prepared = drag_prepared()
+    previous = prepared.execute()
+    for k, high in enumerate((870.0, 700.0, 890.0, 400.0)):
+        frame = prepared.execute(changes=[SetQueryRange((0,), 50.0, high)])
+        delta = frame.delta
+        assert delta is not None
+        old_set = set(previous.display_order.tolist())
+        new_set = set(frame.display_order.tolist())
+        assert set(delta.entered.tolist()) == new_set - old_set, f"step {k}"
+        assert set(delta.left.tolist()) == old_set - new_set, f"step {k}"
+        assert delta.order_unchanged == bool(
+            np.array_equal(frame.display_order, previous.display_order))
+        previous = frame
+
+
+def test_frame_delta_relevance_spans_are_sound():
+    """Rows outside the claimed spans must have bit-identical relevance."""
+    _, prepared = drag_prepared()
+    previous = prepared.execute()
+    for k in range(6):
+        frame = prepared.execute(
+            changes=[SetQueryRange((0,), 50.0, 897.0 - 1.5 * k)])
+        spans = frame.delta.relevance_spans
+        if spans is None:
+            previous = frame
+            continue
+        changed = np.zeros(len(frame.relevance), dtype=bool)
+        for start, stop in spans:
+            changed[start:stop] = True
+        np.testing.assert_array_equal(
+            frame.relevance[~changed], previous.relevance[~changed])
+        updates = frame.relevance_updates()
+        assert sum(stop - start for start, stop, _ in updates) == int(changed.sum())
+        previous = frame
+
+
+def test_no_op_execute_yields_empty_delta():
+    _, prepared = drag_prepared()
+    prepared.execute()
+    frame = prepared.execute()
+    delta = frame.delta
+    assert delta is not None and delta.order_unchanged
+    assert len(delta.entered) == 0 and len(delta.left) == 0
+    assert delta.relevance_spans == ()
+    assert delta.changed_row_estimate(len(frame.relevance)) == 0
+
+
+# --------------------------------------------------------------------------- #
+# Incremental result_count
+# --------------------------------------------------------------------------- #
+def test_result_count_matches_popcount_and_patches():
+    table, prepared = drag_prepared(shards=8)
+    stats = prepared.engine.evaluation_cache(prepared.table).stats
+    prepared.execute()
+    before = stats.result_count_patches
+    for k in range(5):
+        frame = prepared.execute(
+            changes=[SetQueryRange((0,), 50.0, 896.0 - 1.0 * k)])
+        assert frame.statistics.num_results == int(
+            np.count_nonzero(frame.overall.exact_mask))
+    assert stats.result_count_patches > before, (
+        "steady micro-moves must serve result_count from per-shard popcounts"
+    )
+
+
+def test_result_count_monolithic_path_unchanged():
+    table, prepared = drag_prepared(shards=1)
+    stats = prepared.engine.evaluation_cache(prepared.table).stats
+    for k in range(3):
+        frame = prepared.execute(
+            changes=[SetQueryRange((0,), 50.0, 896.0 - 1.0 * k)])
+        assert frame.statistics.num_results == int(
+            np.count_nonzero(frame.overall.exact_mask))
+    assert stats.result_count_patches == 0
+
+
+# --------------------------------------------------------------------------- #
+# Window cell diff / patch primitives
+# --------------------------------------------------------------------------- #
+def random_window(rng, title="w", shape=(9, 11)) -> VisualizationWindow:
+    distances = rng.uniform(0.0, 255.0, shape)
+    item_ids = rng.integers(-1, 40, shape)
+    distances[item_ids < 0] = np.nan
+    return VisualizationWindow(title, distances, item_ids)
+
+
+def test_window_diff_and_patch_round_trip():
+    rng = np.random.default_rng(5)
+    base = random_window(rng)
+    new = random_window(rng)
+    diff = new.diff_cells(base)
+    assert diff is not None and len(diff) > 0
+    patched = base.with_cells(
+        diff, new.distances.reshape(-1)[diff], new.item_ids.reshape(-1)[diff])
+    np.testing.assert_array_equal(patched.item_ids, new.item_ids)
+    np.testing.assert_array_equal(
+        np.isnan(patched.distances), np.isnan(new.distances))
+    finite = ~np.isnan(new.distances)
+    np.testing.assert_array_equal(patched.distances[finite], new.distances[finite])
+
+
+def test_window_diff_identity_and_geometry():
+    rng = np.random.default_rng(6)
+    window = random_window(rng)
+    assert len(window.diff_cells(window)) == 0
+    clone = VisualizationWindow(
+        window.title, window.distances.copy(), window.item_ids.copy())
+    assert len(window.diff_cells(clone)) == 0
+    other = random_window(rng, shape=(5, 5))
+    assert window.diff_cells(other) is None
+    assert window.diff_cells(None) is None
+
+
+def test_patch_rgb_matches_full_render():
+    rng = np.random.default_rng(7)
+    colormap = VisDBColormap()
+    base = random_window(rng)
+    new = random_window(rng)
+    rgb = base.to_rgb(colormap)
+    diff = new.diff_cells(base)
+    patched = patch_rgb(rgb, new, diff, colormap)
+    np.testing.assert_array_equal(patched, new.to_rgb(colormap))
+    # Empty patch is a no-op on an up-to-date buffer.
+    np.testing.assert_array_equal(
+        patch_rgb(patched.copy(), new, np.empty(0, dtype=np.intp), colormap),
+        new.to_rgb(colormap))
+
+
+def test_path_key_round_trip():
+    for path in [(), (0,), (1, 2), (10, 0, 3)]:
+        assert parse_path_key(path_key(path)) == path
+
+
+# --------------------------------------------------------------------------- #
+# Protocol: v1/v2 negotiation and structured errors
+# --------------------------------------------------------------------------- #
+async def _request(reader, writer, payload: dict) -> dict:
+    writer.write(json.dumps(payload).encode() + b"\n")
+    await writer.drain()
+    return json.loads(await reader.readline())
+
+
+def _service_table(seed: int = 0, n: int = 400) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table("Demo", {
+        "a": rng.uniform(0.0, 100.0, n),
+        "b": rng.uniform(0.0, 10.0, n),
+    })
+
+
+def _small_service(table) -> FeedbackService:
+    return FeedbackService(
+        table,
+        PipelineConfig(screen=ScreenSpec(width=64, height=64), percentage=0.4),
+        service_config=ServiceConfig(max_inflight=2),
+        layout=small_layout(),
+    )
+
+
+async def _connect(server):
+    return await asyncio.open_connection(
+        "127.0.0.1", server.port, limit=FeedbackProtocolServer.STREAM_LIMIT)
+
+
+def test_protocol_negotiation_v1_and_v2_round_trips():
+    table = _service_table()
+
+    async def main():
+        async with _small_service(table) as service:
+            server = await serve(service)
+            reader, writer = await _connect(server)
+            # v1 (default): summary responses, no v2 framing required.
+            v1 = await _request(reader, writer,
+                                {"op": "open", "query": "a between 20 and 70"})
+            assert v1["ok"] and v1["protocol"] == 1 and v1["frame_id"] == 1
+            # v2: negotiated explicitly; the granted version is echoed.
+            v2 = await _request(reader, writer, {
+                "op": "open", "query": "a between 10 and 60", "protocol": 2,
+            })
+            assert v2["ok"] and v2["protocol"] == 2
+            sid = v2["session"]
+            # An unsupported version is a structured error, not a hangup.
+            v3 = await _request(reader, writer, {
+                "op": "open", "query": "a between 10 and 60", "protocol": 3,
+            })
+            assert v3["ok"] is False and v3["code"] == "bad-request"
+
+            sub = await _request(reader, writer, {"op": "subscribe", "session": sid})
+            assert sub["ok"] and sub["mode"] == "snapshot"
+            state = apply_frame_update(None, sub)
+            # Current client pulling again: the tiny "unchanged" answer.
+            unchanged = await _request(reader, writer, {"op": "delta", "session": sid})
+            assert unchanged["mode"] == "unchanged"
+            state = apply_frame_update(state, unchanged)
+            # One slider move -> one delta; applying it must reproduce the
+            # resync state bit for bit.
+            for low in (22.0, 24.0):
+                await _request(reader, writer, {
+                    "op": "event", "session": sid,
+                    "event": {"type": "range", "path": [], "low": low, "high": 60.0},
+                })
+                update = await _request(reader, writer, {"op": "delta", "session": sid})
+                assert update["ok"] and update["mode"] in ("delta", "snapshot")
+                state = apply_frame_update(state, update)
+                resync = await _request(reader, writer, {"op": "resync", "session": sid})
+                assert resync["mode"] == "snapshot"
+                assert reconstructable(state) == reconstructable(frame_state(resync))
+                assert state["frame_id"] == resync["frame_id"]
+                state = apply_frame_update(state, resync)
+            metrics = await _request(reader, writer, {"op": "metrics"})
+            wire = metrics["metrics"]["wire"]
+            assert wire["deltas_sent"] >= 1 and wire["snapshots_sent"] >= 3
+            assert wire["bytes_saved"] > 0
+            writer.close()
+            await server.aclose()
+
+    asyncio.run(main())
+
+
+def test_protocol_malformed_messages_get_structured_errors():
+    table = _service_table()
+
+    async def main():
+        async with _small_service(table) as service:
+            server = await serve(service)
+            reader, writer = await _connect(server)
+            opened = await _request(reader, writer, {
+                "op": "open", "query": "a between 20 and 70", "protocol": 2,
+            })
+            sid = opened["session"]
+
+            # Non-JSON line: parse-error, connection stays up.
+            writer.write(b"definitely{not json\n")
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            assert response["ok"] is False and response["code"] == "parse-error"
+
+            cases = [
+                ({"op": "warp"}, "unknown-op"),
+                ({"op": "delta", "session": sid, "base_frame_id": "x"},
+                 "bad-frame-id"),
+                ({"op": "delta", "session": sid, "base_frame_id": -2},
+                 "bad-frame-id"),
+                ({"op": "delta", "session": sid, "base_frame_id": True},
+                 "bad-frame-id"),
+                ({"op": "delta", "session": "s404"}, "unknown-session"),
+                ({"op": "subscribe", "session": 7}, "bad-request"),
+                ({"op": "snapshot", "session": "s404"}, "unknown-session"),
+                ({"op": "event", "session": sid,
+                  "event": {"type": "range", "path": []}}, "bad-request"),
+                ({"op": "event", "session": sid,
+                  "event": {"type": "sideways", "path": []}}, "bad-request"),
+                ({"op": "open"}, "bad-request"),
+            ]
+            for request, code in cases:
+                response = await _request(reader, writer, request)
+                assert response["ok"] is False, request
+                assert response["code"] == code, (request, response)
+                assert response["error"]
+                # The stream survives every error.
+                assert (await _request(reader, writer, {"op": "ping"}))["pong"]
+
+            errors = (await _request(reader, writer, {"op": "metrics"}))[
+                "metrics"]["wire"]["errors_sent"]
+            assert errors == len(cases) + 1
+            writer.close()
+            await server.aclose()
+
+    asyncio.run(main())
+
+
+def test_protocol_poisoned_session_reports_internal_not_bad_request():
+    """A pipeline failure surfaced by a well-formed pull is code 'internal'."""
+    table = _service_table()
+
+    async def main():
+        async with _small_service(table) as service:
+            server = await serve(service)
+            reader, writer = await _connect(server)
+            opened = await _request(reader, writer, {
+                "op": "open", "query": "a between 20 and 70", "protocol": 2,
+            })
+            sid = opened["session"]
+            # The event parses fine but its path addresses no node, so the
+            # run fails server-side and poisons the session's next pull.
+            await _request(reader, writer, {
+                "op": "event", "session": sid,
+                "event": {"type": "range", "path": [9], "low": 1.0, "high": 2.0},
+            })
+            response = await _request(reader, writer, {"op": "delta", "session": sid})
+            assert response["ok"] is False and response["code"] == "internal", response
+            # The connection (and other sessions) survive the failure.
+            assert (await _request(reader, writer, {"op": "ping"}))["pong"]
+            writer.close()
+            await server.aclose()
+
+    asyncio.run(main())
+
+
+def test_settled_snapshot_maps_closed_wait_to_unknown_session():
+    """A session closed/expired mid-wait is gone, not an admission refusal."""
+    from repro.service import SessionLimitError, UnknownSessionError
+    table = _service_table()
+
+    async def main():
+        async with _small_service(table) as service:
+            server = FeedbackProtocolServer(service)
+
+            async def closed_while_waiting(session_id, wait=True):
+                raise SessionLimitError(
+                    f"session {session_id!r} was closed while awaiting its snapshot")
+
+            service.snapshot = closed_while_waiting
+            with pytest.raises(UnknownSessionError):
+                await server._settled_snapshot("s1", True)
+            assert server._error_frame(
+                UnknownSessionError("unknown session 's1'"))["code"] == "unknown-session"
+
+    asyncio.run(main())
+
+
+def test_protocol_delta_after_gap_resyncs_with_full_frame():
+    """A base that fell out of the retention ring gets a full snapshot."""
+    table = _service_table()
+
+    async def main():
+        service = FeedbackService(
+            table,
+            PipelineConfig(screen=ScreenSpec(width=64, height=64), percentage=0.4),
+            # Only the current frame is retained: any lag is a gap.
+            service_config=ServiceConfig(max_inflight=2, frame_retention=1),
+            layout=small_layout(),
+        )
+        async with service:
+            server = await serve(service)
+            reader, writer = await _connect(server)
+            opened = await _request(reader, writer, {
+                "op": "open", "query": "a between 20 and 70", "protocol": 2,
+            })
+            sid = opened["session"]
+            sub = await _request(reader, writer, {"op": "subscribe", "session": sid})
+            state = apply_frame_update(None, sub)
+            stale_id = state["frame_id"]
+            await _request(reader, writer, {
+                "op": "event", "session": sid,
+                "event": {"type": "range", "path": [], "low": 25.0, "high": 70.0},
+            })
+            update = await _request(reader, writer, {
+                "op": "delta", "session": sid, "base_frame_id": stale_id,
+            })
+            assert update["mode"] == "snapshot", "a gap must resync, never guess"
+            state = apply_frame_update(state, update)
+            resync = await _request(reader, writer, {"op": "resync", "session": sid})
+            assert reconstructable(state) == reconstructable(frame_state(resync))
+            writer.close()
+            await server.aclose()
+
+    asyncio.run(main())
+
+
+def test_protocol_lagging_client_catches_up_within_retention_ring():
+    """A client several frames behind (but retained) still gets a delta."""
+    table = _service_table()
+
+    async def main():
+        async with _small_service(table) as service:
+            server = await serve(service)
+            reader, writer = await _connect(server)
+            opened = await _request(reader, writer, {
+                "op": "open", "query": "a between 20 and 70", "protocol": 2,
+            })
+            sid = opened["session"]
+            sub = await _request(reader, writer, {"op": "subscribe", "session": sid})
+            state = apply_frame_update(None, sub)
+            # Three settled frames pass without the client pulling; the
+            # default retention (4) still holds its base.
+            for low in (22.0, 24.0, 26.0):
+                await _request(reader, writer, {
+                    "op": "event", "session": sid,
+                    "event": {"type": "range", "path": [], "low": low, "high": 70.0},
+                })
+                await _request(reader, writer,
+                               {"op": "snapshot", "session": sid, "top": 0})
+            update = await _request(reader, writer, {"op": "delta", "session": sid})
+            assert update["mode"] == "delta", (
+                "a lag inside the retention ring must be served a delta"
+            )
+            state = apply_frame_update(state, update)
+            resync = await _request(reader, writer, {"op": "resync", "session": sid})
+            assert reconstructable(state) == reconstructable(frame_state(resync))
+            writer.close()
+            await server.aclose()
+
+    asyncio.run(main())
