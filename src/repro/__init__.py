@@ -23,6 +23,12 @@ Quickstart::
 one-shot facade over the same engine.
 """
 
+from repro.backend import (
+    ExecBackend,
+    available_backends,
+    register_backend,
+    unregister_backend,
+)
 from repro.core import (
     FeedbackDelta,
     FeedbackFrame,
@@ -48,9 +54,13 @@ from repro.query.builder import between, condition
 from repro.service import FeedbackProtocolServer, FeedbackService, ServiceConfig
 from repro.storage import Database, Table
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "ExecBackend",
+    "available_backends",
+    "register_backend",
+    "unregister_backend",
     "QueryEngine",
     "PreparedQuery",
     "VisualFeedbackQuery",

@@ -1,0 +1,55 @@
+"""Pluggable shard-execution backends.
+
+A backend owns *where* shard work runs; the evaluator owns *what* is
+computed.  Two implementations ship in-tree -- ``threads`` (the default:
+the in-process shared thread pool) and ``process`` (a persistent
+zero-copy shared-memory worker pool) -- and third parties add more via
+:func:`register_backend`.  See ``docs/backends.md`` for the contract.
+
+Importing this package installs an ``atexit`` hook that drains the shared
+thread executors and terminates the worker pool, so interpreter shutdown
+never hangs on live pools even when no one called ``QueryEngine.close()``.
+"""
+
+from __future__ import annotations
+
+import atexit
+
+from repro.backend.base import ExecBackend
+from repro.backend.process import ProcessBackend, shutdown_process_backend
+from repro.backend.registry import (
+    available_backends,
+    create_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.backend.threads import ThreadsBackend
+
+__all__ = [
+    "ExecBackend",
+    "ProcessBackend",
+    "ThreadsBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+    "shutdown_all",
+    "unregister_backend",
+]
+
+register_backend("threads", ThreadsBackend)
+register_backend("process", ProcessBackend)
+
+
+def shutdown_all(drain_timeout: float = 5.0) -> None:
+    """Drain shared thread executors and stop the worker pool (idempotent).
+
+    Runs automatically at interpreter exit; anything shut down here is
+    respawned lazily if an engine keeps executing afterwards.
+    """
+    from repro.core.shard import shutdown_executors
+
+    shutdown_process_backend()
+    shutdown_executors(drain_timeout=drain_timeout)
+
+
+atexit.register(shutdown_all)

@@ -1,0 +1,120 @@
+"""The :class:`ExecBackend` contract: a backend owns *where* shard work runs.
+
+The sharded evaluator (:class:`~repro.core.shard.ShardedPlanEvaluator`)
+keeps every decision that affects *what* is computed -- fingerprints,
+dirty-shard tracking, certificate short-circuits, bounds resolution, merge
+order -- on the coordinator.  A backend is only consulted for the
+embarrassingly parallel per-shard kernels, and it answers in one of two
+ways:
+
+* return the full assembled array (computed wherever it likes), or
+* return ``None``, meaning "compute it in-process" -- the evaluator then
+  runs the exact same per-shard code it always ran.
+
+``None`` doubles as the fault path: a backend that loses a worker, hits a
+timeout or cannot pickle a predicate simply declines the operation, counts
+the incident in :meth:`stats`, and the event completes on the in-process
+cold path -- the same degrade-to-correct philosophy the dirty-shard
+certificates use.  Because every answer a backend *does* give must be
+bit-identical to the in-process computation (same function over the same
+bits), the differential suite in ``tests/test_differential.py`` runs
+parameterized over every registered backend.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.shard import ShardedTable
+
+__all__ = ["ExecBackend"]
+
+
+class ExecBackend:
+    """Base class (and no-op default) for shard-execution backends.
+
+    Subclasses override the hooks they can accelerate; everything left at
+    the default keeps the evaluator's in-process behaviour.  One instance
+    is created per :class:`~repro.core.engine.QueryEngine` (registry
+    factories are called per engine), so counters in :meth:`stats` are
+    engine-scoped even when the heavy machinery behind them (thread pools,
+    worker processes) is shared process-wide.
+    """
+
+    #: Registry name; set by subclasses.
+    name: str = "?"
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def prepare(self, sharded: "ShardedTable") -> None:
+        """Called once per execute, before evaluation, with the sharded table.
+
+        Backends that publish table columns out-of-process do so here
+        (idempotently -- the same table must not be re-published on every
+        event).
+        """
+
+    def close(self) -> None:
+        """Release backend resources (idempotent).
+
+        Called from :meth:`QueryEngine.close` and from the interpreter
+        ``atexit`` hook; must never hang on live work.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Execution hooks
+    # ------------------------------------------------------------------ #
+    def local_executor(self, shard_count: int,
+                       max_workers: int | None) -> Executor | None:
+        """Executor for the coordinator-side per-shard closures (None = inline).
+
+        The evaluator's normalization/combination/summary stages map plain
+        closures over shard indexes; those cannot cross a process boundary,
+        so every backend chooses what (if any) in-process pool serves them.
+        """
+        return None
+
+    def leaf_signed(self, predicate, sharded: "ShardedTable") -> np.ndarray | None:
+        """Full-table signed distances of one predicate leaf, or None.
+
+        Must equal ``concatenate(predicate.signed_distances(shard) for
+        shard in shards)`` bit for bit when answered.
+        """
+        return None
+
+    def leaf_mask(self, predicate, sharded: "ShardedTable") -> np.ndarray | None:
+        """Full-table exact fulfilment mask of one predicate leaf, or None.
+
+        Must equal ``concatenate(predicate.exact_mask(shard) for shard in
+        shards)`` bit for bit when answered.
+        """
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, int]:
+        """Engine-scoped counters; keys shared by every backend.
+
+        ``offloaded_ops`` counts hooks answered by the backend,
+        ``fallbacks`` hooks declined after a failure (crash, timeout,
+        unpicklable work), ``worker_restarts`` pool respawns this instance
+        triggered.  Gauges (``worker_count``, ``workers_alive``,
+        ``published_tables``, ``published_bytes``) describe shared
+        infrastructure and are reported as current values, not deltas.
+        """
+        return {
+            "offloaded_ops": 0,
+            "fallbacks": 0,
+            "worker_restarts": 0,
+            "traffic_bytes": 0,
+            "published_tables": 0,
+            "published_bytes": 0,
+            "worker_count": 0,
+            "workers_alive": 0,
+        }

@@ -1,0 +1,391 @@
+"""``process`` backend: a persistent shared-memory worker pool.
+
+Leaf kernels (signed distances, exact fulfilment masks) run in a pool of
+spawned worker processes that map the table's published columns zero-copy
+from shared memory (:mod:`repro.backend.shm`).  Per-event pipe traffic is
+only pickled predicates, shard spans and block names -- never column
+data -- which is what makes the process boundary cheaper than the columns
+it parallelises over.
+
+One worker pool is shared process-wide (reference-counted by backend
+instances, spawned lazily, respawned lazily after a failure) because the
+natural unit of parallelism is the machine, not the engine: the
+differential suite runs dozens of engines over the same tables and must
+not spawn dozens of pools.  The ``spawn`` start method is used
+deliberately -- the engine executes on threads (FeedbackService sessions),
+and forking a threaded coordinator risks inheriting held locks.
+
+Failure taxonomy (the robustness story -- same degrade-to-correct
+philosophy as the dirty-shard certificates):
+
+* op rejected or unserialisable work -> the op falls back to the
+  in-process cold path (``fallbacks`` counter); the pool stays up.
+* dead pipe / timeout (worker crashed or wedged) -> the op falls back,
+  the pool is torn down and respawned on next use (``worker_restarts``).
+
+Either way the event completes bit-identically on the coordinator.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import threading
+import time
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.backend.base import ExecBackend
+from repro.backend.shm import PublishedTable, ShmColumnStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.shard import ShardedTable
+
+__all__ = [
+    "ProcessBackend",
+    "WorkerOpError",
+    "WorkerPoolError",
+    "shutdown_process_backend",
+]
+
+
+class WorkerPoolError(RuntimeError):
+    """Transport-level failure: a worker died, a pipe broke, or an op
+    timed out.  The pool can no longer be trusted and is respawned."""
+
+
+class WorkerOpError(RuntimeError):
+    """A worker (still healthy) rejected an op, or the op could not be
+    serialised in the first place.  The pool stays up."""
+
+
+class _WorkerPool:
+    """Spawned workers, one duplex pipe each, ops serialised by a lock."""
+
+    def __init__(self, size: int):
+        ctx = multiprocessing.get_context("spawn")
+        self.size = size
+        self.lock = threading.RLock()
+        #: Publication keys every live worker has attached.
+        self.attached: set[str] = set()
+        self.workers: list[tuple[Any, Any]] = []
+        from repro.backend.worker import worker_main
+        for i in range(size):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(target=worker_main, args=(child,),
+                               name=f"repro-exec-{i}", daemon=True)
+            proc.start()
+            child.close()
+            self.workers.append((proc, parent))
+
+    def pids(self) -> list[int]:
+        return [proc.pid for proc, _ in self.workers]
+
+    def alive_count(self) -> int:
+        return sum(1 for proc, _ in self.workers if proc.is_alive())
+
+    def broadcast(self, messages: list[dict[str, Any]],
+                  timeout: float) -> tuple[list[dict[str, Any]], int, int]:
+        """Send ``messages[i]`` to worker ``i`` and collect one reply each.
+
+        Every message is serialised before anything is sent, so a pickling
+        failure raises :class:`WorkerOpError` with the pipes still aligned.
+        Returns ``(replies, bytes_out, bytes_in)``.
+        """
+        try:
+            payloads = [pickle.dumps(m, protocol=pickle.HIGHEST_PROTOCOL)
+                        for m in messages]
+        except Exception as exc:
+            raise WorkerOpError(f"could not serialise op: {exc!r}") from exc
+        bytes_out = sum(len(p) for p in payloads)
+        bytes_in = 0
+        deadline = time.monotonic() + timeout
+        with self.lock:
+            try:
+                for (_, conn), payload in zip(self.workers, payloads):
+                    conn.send_bytes(payload)
+                replies: list[dict[str, Any]] = []
+                for proc, conn in self.workers[:len(payloads)]:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not conn.poll(remaining):
+                        raise WorkerPoolError(
+                            f"worker {proc.pid} timed out after {timeout:.0f}s")
+                    data = conn.recv_bytes()
+                    bytes_in += len(data)
+                    replies.append(pickle.loads(data))
+            except WorkerPoolError:
+                raise
+            except Exception as exc:
+                raise WorkerPoolError(f"worker pipe failed: {exc!r}") from exc
+        for reply in replies:
+            if not reply.get("ok"):
+                raise WorkerOpError(str(reply.get("error", "worker op failed")))
+        return replies, bytes_out, bytes_in
+
+    def terminate(self) -> None:
+        """Tear the pool down; never blocks on live work for long."""
+        with self.lock:
+            for _, conn in self.workers:
+                try:
+                    conn.close()
+                except Exception:  # pragma: no cover
+                    pass
+            for proc, _ in self.workers:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc, _ in self.workers:
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - stuck in a kernel
+                    proc.kill()
+                    proc.join(timeout=1.0)
+
+
+# --------------------------------------------------------------------------- #
+# Process-wide shared state
+# --------------------------------------------------------------------------- #
+_STATE_LOCK = threading.RLock()
+_POOL: _WorkerPool | None = None
+_POOL_REFS = 0
+
+
+def _notify_evict(published: PublishedTable) -> None:
+    """Tell live workers to drop their mappings of an evicted table."""
+    with _STATE_LOCK:
+        pool = _POOL
+    if pool is None or published.key not in pool.attached:
+        return
+    pool.attached.discard(published.key)
+    try:
+        pool.broadcast(
+            [{"op": "drop", "table_id": published.key}] * pool.size,
+            timeout=30.0,
+        )
+    except WorkerPoolError:
+        _discard_pool(pool)
+    except Exception:  # pragma: no cover - best effort
+        pass
+
+
+_STORE = ShmColumnStore(on_evict=_notify_evict)
+
+
+def _get_pool(size: int) -> _WorkerPool:
+    """The shared pool, spawned lazily (first requester fixes the size)."""
+    global _POOL
+    with _STATE_LOCK:
+        if _POOL is None:
+            _POOL = _WorkerPool(size)
+        return _POOL
+
+
+def _discard_pool(pool: _WorkerPool) -> None:
+    """Drop a failed pool; the next op respawns a fresh one lazily."""
+    global _POOL
+    with _STATE_LOCK:
+        if _POOL is pool:
+            _POOL = None
+    pool.terminate()
+
+
+def _acquire_ref() -> None:
+    global _POOL_REFS
+    with _STATE_LOCK:
+        _POOL_REFS += 1
+
+
+def _release_ref() -> None:
+    global _POOL_REFS, _POOL
+    with _STATE_LOCK:
+        _POOL_REFS = max(0, _POOL_REFS - 1)
+        if _POOL_REFS:
+            return
+        pool, _POOL = _POOL, None
+    if pool is not None:
+        pool.terminate()
+
+
+def shutdown_process_backend() -> None:
+    """Terminate the shared pool and destroy every published table.
+
+    Registered ``atexit`` (see :mod:`repro.backend`) so interpreter
+    shutdown never hangs on live workers; safe to call any time -- open
+    backends respawn the pool lazily on their next op.
+    """
+    global _POOL
+    with _STATE_LOCK:
+        pool, _POOL = _POOL, None
+    if pool is not None:
+        pool.terminate()
+    _STORE.close()
+
+
+# --------------------------------------------------------------------------- #
+# The backend
+# --------------------------------------------------------------------------- #
+class ProcessBackend(ExecBackend):
+    """Shard leaf kernels in a shared-memory worker pool; merge locally.
+
+    Coordinator-only stages (normalisation, combination, summaries,
+    dirty-shard patching) keep running on the shared thread pool -- they
+    operate on the evaluator's own caches and are memory-bound, so the
+    win from crossing the process boundary is in the leaf kernels.
+    """
+
+    name = "process"
+
+    #: Transport timeout per broadcast, seconds.  Generous: a timeout is
+    #: treated as a dead pool, so it must only fire when something is
+    #: genuinely wedged, not on a loaded CI machine.
+    op_timeout = 120.0
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max_workers
+        self._lock = threading.Lock()
+        self._counters = {
+            "offloaded_ops": 0,
+            "fallbacks": 0,
+            "worker_restarts": 0,
+            "traffic_bytes": 0,
+        }
+        self._closed = False
+        _acquire_ref()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def _pool_size(self) -> int:
+        if self.max_workers is not None:
+            return max(1, self.max_workers)
+        return max(1, os.cpu_count() or 1)
+
+    def prepare(self, sharded: "ShardedTable") -> None:
+        """Publish the table's columns ahead of the first leaf op."""
+        if self._closed or sharded.shard_count <= 1 or len(sharded.table) == 0:
+            return
+        try:
+            _STORE.publish(sharded.table)
+        except Exception:
+            # Publication failure is not fatal: leaf ops will retry and
+            # fall back in-process if it keeps failing.
+            pass
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        _release_ref()
+
+    # ------------------------------------------------------------------ #
+    # Execution hooks
+    # ------------------------------------------------------------------ #
+    def local_executor(self, shard_count: int, max_workers: int | None):
+        from repro.core.shard import resolve_worker_count, shared_executor
+        return shared_executor(resolve_worker_count(max_workers, shard_count))
+
+    def leaf_signed(self, predicate, sharded: "ShardedTable") -> np.ndarray | None:
+        return self._leaf(predicate, sharded, "signed")
+
+    def leaf_mask(self, predicate, sharded: "ShardedTable") -> np.ndarray | None:
+        return self._leaf(predicate, sharded, "mask")
+
+    def _leaf(self, predicate, sharded: "ShardedTable",
+              kind: str) -> np.ndarray | None:
+        if self._closed:
+            return None
+        rows = len(sharded.table)
+        if rows == 0 or sharded.shard_count <= 1:
+            return None
+        pool: _WorkerPool | None = None
+        try:
+            published = _STORE.publish(sharded.table)
+            pool = _get_pool(self._pool_size())
+            traffic = self._ensure_attached(pool, published)
+            result, op_traffic = self._run_leaf(
+                pool, published, predicate, sharded, kind, rows)
+            with self._lock:
+                self._counters["offloaded_ops"] += 1
+                self._counters["traffic_bytes"] += traffic + op_traffic
+            return result
+        except WorkerOpError:
+            self._count_fallback()
+            return None
+        except WorkerPoolError:
+            self._count_fallback(restart=True)
+            if pool is not None:
+                _discard_pool(pool)
+            return None
+        except Exception:
+            self._count_fallback()
+            return None
+
+    def _ensure_attached(self, pool: _WorkerPool,
+                         published: PublishedTable) -> int:
+        """Attach ``published`` on every worker once per pool generation."""
+        if published.key in pool.attached:
+            return 0
+        msg = {"op": "attach", "manifest": published.manifest}
+        _, bytes_out, bytes_in = pool.broadcast([msg] * pool.size,
+                                                self.op_timeout)
+        pool.attached.add(published.key)
+        return bytes_out + bytes_in
+
+    def _run_leaf(self, pool: _WorkerPool, published: PublishedTable,
+                  predicate, sharded: "ShardedTable", kind: str,
+                  rows: int) -> tuple[np.ndarray, int]:
+        """Fan one leaf kernel out over the pool, gather via a shared block."""
+        spans: list[list[tuple[int, int]]] = [[] for _ in range(pool.size)]
+        for i, (start, stop) in enumerate(sharded.bounds):
+            if stop > start:
+                spans[i % pool.size].append((start, stop))
+        dtype = np.float64 if kind == "signed" else np.bool_
+        out = shared_memory.SharedMemory(
+            create=True, size=max(1, rows * dtype().itemsize))
+        try:
+            messages = [
+                {
+                    "op": "leaf",
+                    "table_id": published.key,
+                    "kind": kind,
+                    "predicate": predicate,
+                    "spans": spans[w],
+                    "out": out.name,
+                }
+                for w in range(pool.size)
+            ]
+            _, bytes_out, bytes_in = pool.broadcast(messages, self.op_timeout)
+            result = np.ndarray(rows, dtype=dtype, buffer=out.buf).copy()
+        finally:
+            try:
+                out.close()
+                out.unlink()
+            except Exception:  # pragma: no cover
+                pass
+        return result, bytes_out + bytes_in
+
+    def _count_fallback(self, restart: bool = False) -> None:
+        with self._lock:
+            self._counters["fallbacks"] += 1
+            if restart:
+                self._counters["worker_restarts"] += 1
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def worker_pids(self) -> list[int]:
+        """Pids of the shared pool's workers ([] while no pool is up)."""
+        with _STATE_LOCK:
+            pool = _POOL
+        return pool.pids() if pool is not None else []
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            counters = dict(self._counters)
+        with _STATE_LOCK:
+            pool = _POOL
+        counters["worker_count"] = pool.size if pool is not None else 0
+        counters["workers_alive"] = pool.alive_count() if pool is not None else 0
+        counters.update(_STORE.stats())
+        return counters

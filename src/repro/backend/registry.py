@@ -1,0 +1,92 @@
+"""Provider registry for shard-execution backends.
+
+Backends are registered under a short name and instantiated per engine via
+their factory, so third-party packages extend the system additively::
+
+    from repro.backend import register_backend
+
+    register_backend("arrow-mmap", ArrowMmapBackend)
+
+Selection happens through ``PipelineConfig(backend=...)`` or the
+``REPRO_BACKEND`` environment variable; both validate against this
+registry and raise ``ValueError`` naming the registered backends on an
+unknown name, mirroring the ``REPRO_SHARDS`` contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.backend.base import ExecBackend
+
+__all__ = [
+    "available_backends",
+    "create_backend",
+    "register_backend",
+    "unregister_backend",
+]
+
+#: Factories take the engine's configured ``max_workers`` (or None) and
+#: return a fresh backend instance; one instance per engine keeps stats
+#: and lifecycle per-engine even when pools behind them are shared.
+BackendFactory = Callable[..., ExecBackend]
+
+_REGISTRY: dict[str, BackendFactory] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_backend(name: str, factory: BackendFactory, *,
+                     replace: bool = False) -> None:
+    """Register ``factory`` under ``name``.
+
+    Duplicate registration raises ``ValueError`` unless ``replace=True``
+    (explicit override is allowed; silent shadowing is not).
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError("backend name must be a non-empty string")
+    if not callable(factory):
+        raise ValueError(f"backend factory for {name!r} must be callable")
+    with _REGISTRY_LOCK:
+        if name in _REGISTRY and not replace:
+            raise ValueError(
+                f"backend {name!r} is already registered; "
+                "pass replace=True to override"
+            )
+        _REGISTRY[name] = factory
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (unknown name raises ``ValueError``)."""
+    with _REGISTRY_LOCK:
+        if name not in _REGISTRY:
+            raise ValueError(f"backend {name!r} is not registered")
+        del _REGISTRY[name]
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of all registered backends, sorted."""
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_REGISTRY))
+
+
+def create_backend(name: str, *, max_workers: int | None = None) -> ExecBackend:
+    """Instantiate the backend registered under ``name``.
+
+    Raises ``ValueError`` listing the registered names when ``name`` is
+    unknown -- the same failure shape as an invalid ``REPRO_SHARDS``.
+    """
+    with _REGISTRY_LOCK:
+        factory = _REGISTRY.get(name)
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+    if factory is None:
+        raise ValueError(
+            f"unknown execution backend {name!r}; registered backends: {known}"
+        )
+    backend = factory(max_workers=max_workers)
+    if not isinstance(backend, ExecBackend):
+        raise TypeError(
+            f"backend factory for {name!r} returned {type(backend).__name__}, "
+            "expected an ExecBackend"
+        )
+    return backend

@@ -1,0 +1,227 @@
+"""Coordinator-side shared-memory column store.
+
+A table's columns are published exactly once per coordinator process:
+numeric columns are copied raw into ``multiprocessing.shared_memory``
+blocks (workers then map them zero-copy), object columns are pickled once
+into their own block.  What crosses the pipe afterwards is only a
+*manifest* -- block names, dtypes and lengths -- so per-event traffic
+never includes column data.
+
+The store is bounded: publications beyond :data:`MAX_PUBLISHED_TABLES`
+evict the least-recently-used table (closing and unlinking its blocks and
+notifying the eviction callback so worker processes drop their mappings).
+Re-publishing an evicted table allocates fresh blocks under a new
+publication key, so stale worker mappings can never be confused with the
+new ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import threading
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.table import Table
+
+__all__ = [
+    "MAX_PUBLISHED_TABLES",
+    "PublishedTable",
+    "ShmColumnStore",
+    "attach_block",
+    "build_table_from_manifest",
+]
+
+#: Published-table LRU capacity (matches the engine's table-cache scale).
+MAX_PUBLISHED_TABLES = 8
+
+_PUBLICATION_SEQ = itertools.count(1)
+
+
+def attach_block(name: str) -> shared_memory.SharedMemory:
+    """Open an existing shared-memory block without adopting ownership.
+
+    Attaching registers the name with the resource tracker (Python <=
+    3.12 does so unconditionally), but worker processes are spawned
+    children and therefore share the coordinator's tracker process, where
+    the registration is an idempotent no-op: the name stays tracked until
+    the coordinator's ``unlink``.  Nothing to undo here -- attempting to
+    unregister from a worker would remove the name from the *shared*
+    tracker and break the coordinator's cleanup.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+class PublishedTable:
+    """One table's published blocks plus the manifest workers attach from."""
+
+    def __init__(self, key: str, manifest: dict[str, Any],
+                 blocks: list[shared_memory.SharedMemory], nbytes: int):
+        self.key = key
+        self.manifest = manifest
+        self.blocks = blocks
+        self.nbytes = nbytes
+        self.closed = False
+
+    def destroy(self) -> None:
+        """Close and unlink every block (idempotent).
+
+        Workers that still hold mappings keep valid memory until they drop
+        them -- unlinking only removes the names.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        for shm in self.blocks:
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:  # pragma: no cover - already gone
+                pass
+
+
+class ShmColumnStore:
+    """LRU-bounded registry of published tables, keyed by ``Table.export_id``."""
+
+    def __init__(self, max_tables: int = MAX_PUBLISHED_TABLES,
+                 on_evict: Callable[[PublishedTable], None] | None = None):
+        self._lock = threading.Lock()
+        self._tables: dict[str, PublishedTable] = {}
+        self._max_tables = max_tables
+        self._on_evict = on_evict
+
+    def publish(self, table: "Table") -> PublishedTable:
+        """Publish ``table``'s columns (idempotent per ``export_id``)."""
+        export_id = table.export_id
+        with self._lock:
+            published = self._tables.get(export_id)
+            if published is not None:
+                # LRU touch: move to the most-recent end.
+                self._tables.pop(export_id)
+                self._tables[export_id] = published
+                return published
+        published = self._build(table)
+        evicted: list[PublishedTable] = []
+        with self._lock:
+            existing = self._tables.get(export_id)
+            if existing is not None:  # lost a publish race; keep the winner
+                published.destroy()
+                return existing
+            self._tables[export_id] = published
+            while len(self._tables) > self._max_tables:
+                oldest_key = next(iter(self._tables))
+                evicted.append(self._tables.pop(oldest_key))
+        for old in evicted:
+            if self._on_evict is not None:
+                self._on_evict(old)
+            old.destroy()
+        return published
+
+    def _build(self, table: "Table") -> PublishedTable:
+        key = f"{table.export_id}.{next(_PUBLICATION_SEQ)}"
+        rows = len(table)
+        blocks: list[shared_memory.SharedMemory] = []
+        columns: list[dict[str, Any]] = []
+        nbytes = 0
+        try:
+            for name, array in table.export_columns().items():
+                if array.dtype.kind == "f":
+                    size = max(1, array.nbytes)
+                    shm = shared_memory.SharedMemory(create=True, size=size)
+                    blocks.append(shm)
+                    if rows:
+                        dest = np.ndarray(rows, dtype=np.float64, buffer=shm.buf)
+                        dest[:] = array
+                    columns.append({"name": name, "kind": "f8", "shm": shm.name})
+                    nbytes += size
+                else:
+                    payload = pickle.dumps(array, protocol=pickle.HIGHEST_PROTOCOL)
+                    shm = shared_memory.SharedMemory(
+                        create=True, size=max(1, len(payload)))
+                    blocks.append(shm)
+                    shm.buf[:len(payload)] = payload
+                    columns.append({
+                        "name": name,
+                        "kind": "object",
+                        "shm": shm.name,
+                        "nbytes": len(payload),
+                    })
+                    nbytes += len(payload)
+        except Exception:
+            for shm in blocks:
+                try:
+                    shm.close()
+                    shm.unlink()
+                except Exception:  # pragma: no cover
+                    pass
+            raise
+        manifest = {
+            "table_id": key,
+            "name": table.name,
+            "rows": rows,
+            "columns": columns,
+        }
+        return PublishedTable(key, manifest, blocks, nbytes)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "published_tables": len(self._tables),
+                "published_bytes": sum(p.nbytes for p in self._tables.values()),
+            }
+
+    def close(self) -> None:
+        """Destroy every publication (idempotent)."""
+        with self._lock:
+            tables = list(self._tables.values())
+            self._tables.clear()
+        for published in tables:
+            if self._on_evict is not None:
+                try:
+                    self._on_evict(published)
+                except Exception:  # pragma: no cover - shutdown path
+                    pass
+            published.destroy()
+
+
+def build_table_from_manifest(
+    manifest: dict[str, Any],
+) -> tuple["Table", list[shared_memory.SharedMemory]]:
+    """Reconstruct a table over published blocks (worker side, zero-copy).
+
+    Numeric columns are ndarray views straight over the mapped blocks;
+    object columns are unpickled once at attach time.  Returns the table
+    plus the block handles the caller must keep alive (and close when the
+    table is dropped).
+    """
+    from repro.storage.table import Table
+
+    rows = manifest["rows"]
+    blocks: list[shared_memory.SharedMemory] = []
+    columns: dict[str, np.ndarray] = {}
+    try:
+        for spec in manifest["columns"]:
+            shm = attach_block(spec["shm"])
+            blocks.append(shm)
+            if spec["kind"] == "f8":
+                columns[spec["name"]] = np.ndarray(
+                    rows, dtype=np.float64, buffer=shm.buf)
+            else:
+                payload = bytes(shm.buf[:spec["nbytes"]])
+                columns[spec["name"]] = pickle.loads(payload)
+    except Exception:
+        for shm in blocks:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover
+                pass
+        raise
+    if not columns:
+        table = Table.empty(manifest["name"], [])
+    else:
+        table = Table.adopt_columns(manifest["name"], columns)
+    return table, blocks

@@ -1,0 +1,111 @@
+"""Worker-process entrypoint for the ``process`` execution backend.
+
+Each worker owns one duplex pipe to the coordinator and serves a tiny
+op-code protocol.  Columns never travel over the pipe: an ``attach`` op
+carries only a shared-memory manifest, after which the worker holds a
+zero-copy table reconstruction; ``leaf`` ops carry a pickled predicate
+plus shard spans and write their results into a per-call output block the
+coordinator allocated.  A failing op produces an error reply and leaves
+the worker alive -- only a dead pipe (coordinator gone) or an explicit
+``exit`` ends the loop, so one poisonous message cannot wedge the pool.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+import numpy as np
+
+from repro.backend.shm import attach_block, build_table_from_manifest
+
+__all__ = ["worker_main"]
+
+
+class _AttachedTable:
+    """A reconstructed table plus the block handles keeping it mapped."""
+
+    def __init__(self, manifest: dict[str, Any]):
+        self.table, self.blocks = build_table_from_manifest(manifest)
+
+    def close(self) -> None:
+        for shm in self.blocks:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+
+
+def _run_leaf(tables: dict[str, _AttachedTable], msg: dict[str, Any]) -> None:
+    """Compute signed distances / exact masks for this worker's spans."""
+    entry = tables[msg["table_id"]]
+    rows = len(entry.table)
+    out = attach_block(msg["out"])
+    try:
+        dtype = np.float64 if msg["kind"] == "signed" else np.bool_
+        dest = np.ndarray(rows, dtype=dtype, buffer=out.buf)
+        predicate = msg["predicate"]
+        for start, stop in msg["spans"]:
+            shard = entry.table.slice_rows(start, stop)
+            if msg["kind"] == "signed":
+                piece = np.asarray(predicate.signed_distances(shard),
+                                   dtype=np.float64)
+            else:
+                piece = np.asarray(predicate.exact_mask(shard), dtype=bool)
+            dest[start:stop] = piece
+    finally:
+        out.close()
+
+
+def worker_main(conn) -> None:
+    """Serve ops from ``conn`` until the pipe dies or ``exit`` arrives."""
+    tables: dict[str, _AttachedTable] = {}
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            except Exception as exc:
+                # recv() consumed a whole frame but could not unpickle it
+                # (e.g. the predicate's module is not importable here); the
+                # protocol stream is still aligned, so report and continue.
+                try:
+                    conn.send({"ok": False, "error": f"recv: {exc!r}"})
+                    continue
+                except Exception:
+                    break
+            op = msg.get("op")
+            try:
+                if op == "exit":
+                    conn.send({"ok": True})
+                    break
+                if op == "ping":
+                    conn.send({"ok": True, "pid": os.getpid()})
+                elif op == "attach":
+                    table_id = msg["manifest"]["table_id"]
+                    if table_id not in tables:
+                        tables[table_id] = _AttachedTable(msg["manifest"])
+                    conn.send({"ok": True})
+                elif op == "drop":
+                    entry = tables.pop(msg["table_id"], None)
+                    if entry is not None:
+                        entry.close()
+                    conn.send({"ok": True})
+                elif op == "leaf":
+                    _run_leaf(tables, msg)
+                    conn.send({"ok": True})
+                else:
+                    conn.send({"ok": False, "error": f"unknown op {op!r}"})
+            except Exception as exc:
+                try:
+                    conn.send({"ok": False, "error": f"{op}: {exc!r}"})
+                except Exception:
+                    break
+    finally:
+        for entry in tables.values():
+            entry.close()
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover
+            pass

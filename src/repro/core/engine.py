@@ -79,7 +79,31 @@ from repro.storage.index import SortedIndex
 from repro.storage.table import Table
 
 __all__ = ["ScreenSpec", "PipelineConfig", "QueryEngine", "PreparedQuery",
-           "default_shard_count"]
+           "default_backend_name", "default_shard_count"]
+
+
+def default_backend_name() -> str:
+    """Execution backend used when the config leaves ``backend`` unset.
+
+    Reads the ``REPRO_BACKEND`` environment variable (the CI
+    ``backend-process`` leg runs the suite with ``REPRO_BACKEND=process``);
+    unset or empty means ``"threads"``, the classic in-process path.  A
+    name that is set but not registered raises ``ValueError`` listing the
+    registered backends -- the same fail-fast contract as
+    :func:`default_shard_count`.
+    """
+    from repro.backend import available_backends
+
+    value = os.environ.get("REPRO_BACKEND", "").strip()
+    if not value:
+        return "threads"
+    if value not in available_backends():
+        known = ", ".join(available_backends()) or "(none)"
+        raise ValueError(
+            f"REPRO_BACKEND names an unknown execution backend {value!r}; "
+            f"registered backends: {known}"
+        )
+    return value
 
 
 def default_shard_count() -> int:
@@ -163,6 +187,12 @@ class PipelineConfig:
     #: select pass (the pre-incremental behaviour); results are
     #: bit-identical either way.
     incremental_shards: bool = True
+    #: Execution backend for sharded work ("threads", "process", or any
+    #: name registered via :func:`repro.backend.register_backend`).  None
+    #: defers to the ``REPRO_BACKEND`` environment variable (default
+    #: "threads"); every backend is bit-identical -- like sharding, it
+    #: only changes *where* the same arrays are computed.
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.pixels_per_item not in (1, 4, 16):
@@ -187,6 +217,20 @@ class PipelineConfig:
             if value < 1:
                 raise ValueError(
                     f"{name} must be a positive integer or None, got {value!r}"
+                )
+        if self.backend is not None:
+            from repro.backend import available_backends
+
+            if not isinstance(self.backend, str):
+                raise ValueError(
+                    f"backend must be a registered backend name or None, "
+                    f"got {self.backend!r}"
+                )
+            if self.backend not in available_backends():
+                known = ", ".join(available_backends()) or "(none)"
+                raise ValueError(
+                    f"unknown execution backend {self.backend!r}; "
+                    f"registered backends: {known}"
                 )
 
     def with_(self, **changes) -> "PipelineConfig":
@@ -392,6 +436,10 @@ class QueryEngine:
         # Per (table, shard count): the row-range partitioning with its
         # per-shard prefetch caches and indexes.
         self._sharded: dict[tuple[int, int], tuple[Table, ShardedTable]] = {}
+        # Lazily instantiated execution backends, one per backend name used
+        # by this engine; created through the provider registry so stats
+        # and close() stay engine-scoped.
+        self._backends: dict[str, "ExecBackend"] = {}
         # Guards the shared per-table state above: the feedback service
         # prepares and executes sessions on concurrent worker threads, and
         # every execution resolves its caches through these dictionaries.
@@ -424,6 +472,10 @@ class QueryEngine:
             self._caches.clear()
             self._prefetch.clear()
             self._sharded.clear()
+            backends = list(self._backends.values())
+            self._backends.clear()
+        for backend in backends:
+            backend.close()
         shutdown_executors()
 
     def __enter__(self) -> "QueryEngine":
@@ -431,6 +483,25 @@ class QueryEngine:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def execution_backend(self, name: str) -> "ExecBackend":
+        """The engine's backend instance for ``name`` (created on first use).
+
+        Instances come from the provider registry
+        (:func:`repro.backend.create_backend`), one per name per engine, so
+        their counters are engine-scoped and :meth:`close` can release them
+        deterministically.
+        """
+        from repro.backend import create_backend
+
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("QueryEngine is closed")
+            backend = self._backends.get(name)
+            if backend is None:
+                backend = create_backend(name, max_workers=self.config.max_workers)
+                self._backends[name] = backend
+            return backend
 
     def stats(self) -> dict[str, int]:
         """Aggregate cache counters across every evaluation table.
@@ -445,6 +516,7 @@ class QueryEngine:
             prefetch = [entry[1] for entry in self._prefetch.values()]
             for _, sharded in self._sharded.values():
                 prefetch.extend(sharded.prefetch)
+            backends = list(self._backends.values())
         totals: dict[str, int] = {key: 0 for key in CacheStats().as_dict()}
         totals.update({
             "prefetch_hits": 0, "prefetch_misses": 0, "prefetch_evictions": 0,
@@ -457,7 +529,35 @@ class QueryEngine:
             totals["prefetch_hits"] += stats["hits"]
             totals["prefetch_misses"] += stats["misses"]
             totals["prefetch_evictions"] += stats["evictions"]
+        totals["backend"] = self._backend_stats(backends)
         return totals
+
+    def _backend_stats(self, backends: "list[ExecBackend]") -> dict:
+        """Merged view of this engine's backend instances.
+
+        Counters (ops, fallbacks, restarts, traffic) sum across instances;
+        gauges describing shared infrastructure (worker/publication state)
+        take the maximum so a pool is not double-counted when several
+        backend instances share it.
+        """
+        from repro.backend import ExecBackend
+
+        gauges = {"worker_count", "workers_alive",
+                  "published_tables", "published_bytes"}
+        merged: dict = dict(ExecBackend().stats())
+        try:
+            merged["name"] = self.config.backend or default_backend_name()
+        except ValueError:
+            merged["name"] = self.config.backend or "threads"
+        for backend in backends:
+            for key, value in backend.stats().items():
+                if not isinstance(value, int):
+                    continue
+                if key in gauges:
+                    merged[key] = max(merged.get(key, 0), value)
+                else:
+                    merged[key] = merged.get(key, 0) + value
+        return merged
 
     # ------------------------------------------------------------------ #
     # Preparation
@@ -639,6 +739,10 @@ class PreparedQuery:
         #: so the execution mode cannot flip mid-session with the
         #: environment; the per-shard state built by refresh() stays valid.
         self.shard_count = max(1, config.shard_count or default_shard_count())
+        #: Effective execution backend, resolved once for the same reason:
+        #: where shard work runs must not flip mid-session with the
+        #: environment.
+        self.backend_name = config.backend or default_backend_name()
         self.executions = 0
         self._join_leaves: list[PredicateLeaf] | None = None
         self._effective: QueryNode | None = None
@@ -1125,8 +1229,10 @@ class PreparedQuery:
             incremental = False
             if shard_count > 1:
                 sharded = self.engine.sharded_table(table, shard_count)
-                executor = shared_executor(
-                    resolve_worker_count(self.config.max_workers, shard_count)
+                backend = self.engine.execution_backend(self.backend_name)
+                backend.prepare(sharded)
+                executor = backend.local_executor(
+                    shard_count, self.config.max_workers
                 )
                 incremental = self.config.incremental_shards
                 evaluator = ShardedPlanEvaluator(
@@ -1137,6 +1243,7 @@ class PreparedQuery:
                     executor=executor,
                     incremental=incremental,
                     slice_token=self._slice_token,
+                    backend=backend,
                 )
             else:
                 evaluator = PlanEvaluator(

@@ -50,7 +50,7 @@ from repro.query.expr import (
 )
 from repro.query.fingerprint import stable_fingerprint
 from repro.query.predicates import RangePredicate
-from repro.storage.cache import PrefetchCache
+from repro.storage.cache import MAX_UNION_DISJUNCTS, PrefetchCache
 
 __all__ = [
     "LeafPlan",
@@ -674,6 +674,34 @@ class PlanEvaluator:
             )
         return np.asarray(predicate.exact_mask(self.table), dtype=bool)
 
+    def _union_boxes(self, plan: CompositePlan) -> list[dict] | None:
+        """One query box per child when an OR's mask can use the union cache.
+
+        Eligible when every child is a range-predicate leaf over a numeric
+        column and there are 2..``MAX_UNION_DISJUNCTS`` of them -- exactly
+        the shape :meth:`PrefetchCache.fulfilment_mask_union` answers from
+        one cached union region.  A row fulfils the OR iff it fulfils some
+        disjunct, and both paths use the identical closed-interval filter
+        (NaN excluded), so the union mask is bit-identical to OR-ing the
+        per-leaf masks.
+        """
+        if plan.rule is not CombinationRule.OR:
+            return None
+        if not 2 <= len(plan.children) <= MAX_UNION_DISJUNCTS:
+            return None
+        boxes: list[dict] = []
+        for child in plan.children:
+            if not isinstance(child, LeafPlan):
+                return None
+            predicate = getattr(child.node, "predicate", None)
+            if not isinstance(predicate, RangePredicate):
+                return None
+            if not (self.table.has_column(predicate.attribute)
+                    and self.table.is_numeric(predicate.attribute)):
+                return None
+            boxes.append({predicate.attribute: (predicate.low, predicate.high)})
+        return boxes
+
     def _composite_columns(self, plan: CompositePlan, path: NodePath,
                            feedback: dict[NodePath, NodeFeedback]) -> _NodeColumns:
         # Children are always walked so that every node path gets feedback;
@@ -696,9 +724,13 @@ class PlanEvaluator:
             for c in child_columns:
                 exact &= c.exact_mask
         else:
-            exact = np.zeros(len(self.table), dtype=bool)
-            for c in child_columns:
-                exact |= c.exact_mask
+            boxes = self._union_boxes(plan) if self.prefetch is not None else None
+            if boxes is not None:
+                exact = self.prefetch.fulfilment_mask_union(boxes)
+            else:
+                exact = np.zeros(len(self.table), dtype=bool)
+                for c in child_columns:
+                    exact |= c.exact_mask
         columns = _NodeColumns(normalized=normalized, signed=None, exact_mask=exact, raw=combined)
         self.cache.put_node(value_key, columns)
         return columns

@@ -37,7 +37,7 @@ import os
 import threading
 from concurrent.futures import Executor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, TypeVar, Union
+from typing import TYPE_CHECKING, Callable, TypeVar, Union
 
 import numpy as np
 
@@ -70,6 +70,9 @@ from repro.query.predicates import RangePredicate
 from repro.storage.cache import PrefetchCache
 from repro.storage.index import SortedIndex
 from repro.storage.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backend.base import ExecBackend
 
 __all__ = [
     "shard_bounds",
@@ -496,13 +499,18 @@ class ShardedPlanEvaluator(PlanEvaluator):
                  cache: EvaluationCache | None = None,
                  executor: Executor | None = None,
                  incremental: bool = True,
-                 slice_token: str = ""):
+                 slice_token: str = "",
+                 backend: "ExecBackend | None" = None):
         super().__init__(sharded.table, display_capacity, target_max=target_max,
                          cache=cache, prefetch=None)
         self.sharded = sharded
         self.executor = executor
         self.incremental = incremental
         self.slice_token = slice_token
+        #: Optional :class:`repro.backend.base.ExecBackend` given first
+        #: refusal on leaf kernels; ``None`` (or a declined op) keeps the
+        #: in-process per-shard computation below.
+        self.backend = backend
         #: :class:`NodeDelta` per node path of the latest :meth:`evaluate`.
         self.node_deltas: dict[NodePath, NodeDelta] = {}
         #: raw_key -> (base raw_key, dirty shard set) learned while
@@ -644,6 +652,10 @@ class ShardedPlanEvaluator(PlanEvaluator):
         entry = self._valid_entry(path)
         dirty = self._children_dirty(entry, child_keys, weights, plan.rule, path)
         bounds = self.sharded.bounds
+        # OR over <= MAX_UNION_DISJUNCTS numeric range leaves: answer the
+        # mask from the per-shard cached union regions (bit-identical to
+        # OR-ing the leaf masks; see PlanEvaluator._union_boxes).
+        union_boxes = self._union_boxes(plan)
         if dirty is not None:
             # Children changed only inside the dirty shards (and with
             # unchanged weights/rule), so the combined column and the
@@ -663,6 +675,9 @@ class ShardedPlanEvaluator(PlanEvaluator):
                     )
 
                 def mask_one(i: int) -> np.ndarray:
+                    if union_boxes is not None:
+                        return self.sharded.prefetch[i].fulfilment_mask_union(
+                            union_boxes)
                     start, stop = bounds[i]
                     if plan.rule is CombinationRule.AND:
                         piece = np.ones(stop - start, dtype=bool)
@@ -696,6 +711,12 @@ class ShardedPlanEvaluator(PlanEvaluator):
                 exact = np.ones(len(self.table), dtype=bool)
                 for c in child_columns:
                     exact &= c.exact_mask
+            elif union_boxes is not None:
+                def mask_union(i: int) -> np.ndarray:
+                    return self.sharded.prefetch[i].fulfilment_mask_union(
+                        union_boxes)
+
+                exact = np.concatenate(self._map_shards(mask_union))
             else:
                 exact = np.zeros(len(self.table), dtype=bool)
                 for c in child_columns:
@@ -769,7 +790,9 @@ class ShardedPlanEvaluator(PlanEvaluator):
             return np.asarray(predicate.signed_distances(self.sharded.shards[i]),
                               dtype=float)
 
-        signed = np.concatenate(self._map_shards(one))
+        signed = self._backend_leaf_signed(predicate)
+        if signed is None:
+            signed = np.concatenate(self._map_shards(one))
         return _LeafRaw(
             signed=signed,
             raw=np.abs(signed),
@@ -860,7 +883,9 @@ class ShardedPlanEvaluator(PlanEvaluator):
                 return np.asarray(predicate.signed_distances(self.sharded.shards[i]),
                                   dtype=float)
 
-            signed = np.concatenate(self._map_shards(one))
+            signed = self._backend_leaf_signed(predicate)
+            if signed is None:
+                signed = np.concatenate(self._map_shards(one))
             result = _LeafRaw(
                 signed=signed,
                 raw=np.abs(signed),
@@ -893,10 +918,26 @@ class ShardedPlanEvaluator(PlanEvaluator):
             def one(i: int) -> np.ndarray:
                 return self.sharded.prefetch[i].fulfilment_mask(ranges)
         else:
+            mask = self._backend_leaf_mask(predicate)
+            if mask is not None:
+                return mask
+
             def one(i: int) -> np.ndarray:
                 return np.asarray(predicate.exact_mask(self.sharded.shards[i]), dtype=bool)
 
         return np.concatenate(self._map_shards(one))
+
+    def _backend_leaf_signed(self, predicate) -> np.ndarray | None:
+        """Offer one leaf's signed distances to the backend (None = declined)."""
+        if self.backend is None:
+            return None
+        return self.backend.leaf_signed(predicate, self.sharded)
+
+    def _backend_leaf_mask(self, predicate) -> np.ndarray | None:
+        """Offer one leaf's fulfilment mask to the backend (None = declined)."""
+        if self.backend is None:
+            return None
+        return self.backend.leaf_mask(predicate, self.sharded)
 
     # ------------------------------------------------------------------ #
     # Normalization / combination

@@ -311,6 +311,9 @@ class FeedbackService:
                 session.id: session.metrics_snapshot() for session in self.registry
             },
             "engine": engine,
+            # Execution-backend health: which backend serves shard work,
+            # worker liveness, and how often events fell back in-process.
+            "backend": engine.get("backend"),
             "incremental": {
                 "events": engine["incremental_events"],
                 "slice_hits": engine["slice_hits"],

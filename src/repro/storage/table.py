@@ -8,12 +8,17 @@ argument rests on the whole pipeline being O(n log n), dominated by sorting.
 
 from __future__ import annotations
 
+import itertools
+import os
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 __all__ = ["Table", "ColumnStats"]
+
+#: Process-wide counter backing :attr:`Table.export_id` tokens.
+_EXPORT_IDS = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -97,6 +102,44 @@ class Table:
     def empty(cls, name: str, column_names: Sequence[str]) -> "Table":
         """Create a table with the given columns and zero rows."""
         return cls(name, {c: np.empty(0, dtype=np.float64) for c in column_names})
+
+    @classmethod
+    def adopt_columns(cls, name: str,
+                      columns: Mapping[str, np.ndarray]) -> "Table":
+        """Wrap pre-validated column arrays without copying them.
+
+        The storage contract must already hold: one-dimensional arrays,
+        ``float64`` for numeric data and ``object`` for everything else,
+        all of equal length.  This is how execution backends reconstruct a
+        table over shared-memory buffers zero-copy, and how bulk producers
+        (e.g. cross-product materialisation) avoid a second full copy of
+        freshly gathered columns.  The adopted arrays are referenced, not
+        copied -- callers hand over ownership and must not mutate them.
+        """
+        length: int | None = None
+        adopted: dict[str, np.ndarray] = {}
+        for col_name, array in columns.items():
+            if not isinstance(array, np.ndarray) or array.ndim != 1:
+                raise ValueError(
+                    f"column {col_name!r} must be a one-dimensional ndarray"
+                )
+            if array.dtype != np.float64 and array.dtype != object:
+                raise ValueError(
+                    f"column {col_name!r} has dtype {array.dtype}; "
+                    "adopt_columns requires float64 or object columns"
+                )
+            if length is None:
+                length = len(array)
+            elif len(array) != length:
+                raise ValueError(
+                    f"column {col_name!r} has length {len(array)}, expected {length}"
+                )
+            adopted[col_name] = array
+        new = cls.__new__(cls)
+        new.name = name
+        new._columns = adopted
+        new._length = length if length is not None else 0
+        return new
 
     # ------------------------------------------------------------------ #
     # Basic protocol
@@ -234,6 +277,42 @@ class Table:
             c: np.concatenate([t.column(c) for t in tables]) for c in column_names
         }
         return Table(name, columns)
+
+    # ------------------------------------------------------------------ #
+    # Out-of-process export
+    # ------------------------------------------------------------------ #
+    @property
+    def export_id(self) -> str:
+        """Stable identity token for this table's column buffers.
+
+        Assigned on first access and constant for the object's lifetime,
+        the token is what execution backends key shared-memory
+        publications by: a table is published to worker processes at most
+        once, and repeated prepares (or several engines over the same
+        table, as in the differential suite) resolve to the same blocks.
+        The process id is embedded so tokens from different coordinator
+        processes can never collide on a shared-memory namespace.
+        """
+        token = self.__dict__.get("_export_id")
+        if token is None:
+            token = f"t{os.getpid()}-{next(_EXPORT_IDS)}"
+            self._export_id = token
+        return token
+
+    def export_columns(self) -> dict[str, np.ndarray]:
+        """Column arrays in publication form: contiguous, insertion order.
+
+        Numeric columns come back as C-contiguous ``float64`` arrays whose
+        raw buffers can be copied into (or mapped from) shared memory;
+        object columns are returned as-is for the caller to serialise.
+        Contiguity is the only transformation -- values are never altered,
+        which is what lets a worker-side reconstruction stay bit-identical
+        to the coordinator's view.
+        """
+        return {
+            c: np.ascontiguousarray(col) if col.dtype.kind == "f" else col
+            for c, col in self._columns.items()
+        }
 
     # ------------------------------------------------------------------ #
     # Statistics

@@ -1,0 +1,429 @@
+"""ExecBackend subsystem tests.
+
+Covers the provider registry, backend selection/validation through
+``PipelineConfig(backend=...)`` and ``REPRO_BACKEND``, the shared-memory
+process pool (offload, fault injection, respawn, shutdown), and the OR-node
+union fast path through :meth:`PrefetchCache.query_union`.
+
+The crash tests deliberately kill workers of the *shared* process pool;
+the pool is discarded and lazily respawned, so later tests (and the
+differential suite) see a fresh pool.
+"""
+
+import copy
+import os
+import pickle
+import signal
+import time
+
+import numpy as np
+import pytest
+
+import repro.backend
+from repro import (
+    PipelineConfig,
+    Query,
+    QueryEngine,
+    VisualFeedbackQuery,
+    available_backends,
+    between,
+    condition,
+    register_backend,
+    unregister_backend,
+)
+from repro.backend import ExecBackend, create_backend
+from repro.backend.threads import ThreadsBackend
+from repro.core.engine import default_backend_name
+from repro.query import AndNode, OrNode, PredicateLeaf
+from repro.query.predicates import StringMatchPredicate
+from repro.storage.table import Table
+
+
+# --------------------------------------------------------------------------- #
+# Fixtures and helpers
+# --------------------------------------------------------------------------- #
+def make_table(n: int = 4_000, seed: int = 0) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table("T", {
+        "a": rng.normal(0.0, 10.0, n),
+        "b": rng.normal(5.0, 3.0, n),
+        "s": np.array([f"row{i % 5}" for i in range(n)], dtype=object),
+    })
+
+
+def make_condition(string_predicate=None):
+    """AND of a range band and an OR with a non-range (string) arm.
+
+    The string leaf has no prefetch representation, so with the process
+    backend its signed distances and exact mask are offloaded to workers.
+    """
+    leaf = PredicateLeaf(string_predicate
+                         or StringMatchPredicate("s", "row3"))
+    return AndNode([
+        between("a", -5.0, 15.0),
+        OrNode([between("b", 2.0, 6.0), leaf]),
+    ])
+
+
+def build_prepared(backend, shards, *, table=None, cond=None, max_workers=2):
+    table = table if table is not None else make_table()
+    config = PipelineConfig(shard_count=shards, max_workers=max_workers,
+                            backend=backend, percentage=0.4)
+    engine = QueryEngine(table, config)
+    query = Query(name="backend-test", tables=[table.name],
+                  condition=cond if cond is not None else make_condition())
+    return engine, table, engine.prepare(query)
+
+
+def cold_frame(table, prepared):
+    """From-scratch single-shard run of the prepared query's current state."""
+    return VisualFeedbackQuery(
+        table,
+        copy.deepcopy(prepared.query),
+        prepared.config.with_(shard_count=1, max_workers=1, backend="threads"),
+    ).execute()
+
+
+def assert_frames_identical(reference, frame, context=""):
+    assert np.array_equal(reference.display_order, frame.display_order), context
+    for key in reference.node_feedback:
+        ref = reference.node_feedback[key].normalized_distances
+        got = frame.node_feedback[key].normalized_distances
+        assert np.array_equal(ref, got, equal_nan=True), (context, key)
+
+
+def wait_until(predicate, timeout=10.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+def test_builtin_backends_registered():
+    names = available_backends()
+    assert "threads" in names and "process" in names
+
+
+def test_register_duplicate_raises_unless_replace():
+    register_backend("tb-dup", ThreadsBackend)
+    try:
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("tb-dup", ThreadsBackend)
+        sentinel = []
+
+        def factory(max_workers=None):
+            sentinel.append(max_workers)
+            return ThreadsBackend(max_workers=max_workers)
+
+        register_backend("tb-dup", factory, replace=True)
+        backend = create_backend("tb-dup", max_workers=3)
+        assert isinstance(backend, ThreadsBackend)
+        assert sentinel == [3]
+    finally:
+        unregister_backend("tb-dup")
+    assert "tb-dup" not in available_backends()
+    with pytest.raises(ValueError, match="not registered"):
+        unregister_backend("tb-dup")
+
+
+def test_register_rejects_bad_names_and_factories():
+    with pytest.raises(ValueError):
+        register_backend("", ThreadsBackend)
+    with pytest.raises(ValueError):
+        register_backend("tb-bad", "not-a-factory")
+
+
+def test_create_backend_unknown_lists_registered():
+    with pytest.raises(ValueError) as excinfo:
+        create_backend("no-such-backend")
+    message = str(excinfo.value)
+    assert "no-such-backend" in message
+    assert "threads" in message and "process" in message
+
+
+def test_create_backend_rejects_non_backend_factory():
+    register_backend("tb-broken", lambda max_workers=None: object())
+    try:
+        with pytest.raises(TypeError, match="ExecBackend"):
+            create_backend("tb-broken")
+    finally:
+        unregister_backend("tb-broken")
+
+
+def test_third_party_backend_participates_end_to_end():
+    """A registered custom backend is selectable via config and consulted."""
+    calls = {"prepare": 0, "leaf_signed": 0}
+
+    class RecordingBackend(ExecBackend):
+        name = "tb-recording"
+
+        def __init__(self, max_workers=None):
+            self.max_workers = max_workers
+
+        def prepare(self, sharded):
+            calls["prepare"] += 1
+
+        def leaf_signed(self, predicate, sharded):
+            calls["leaf_signed"] += 1
+            return None  # decline: evaluator must run in-process
+
+    register_backend("tb-recording", RecordingBackend)
+    try:
+        engine, table, prepared = build_prepared("tb-recording", 4)
+        frame = prepared.execute()
+        assert_frames_identical(cold_frame(table, prepared), frame,
+                                "custom backend declining every op")
+        assert calls["prepare"] >= 1
+        assert calls["leaf_signed"] >= 1
+        assert engine.stats()["backend"]["name"] == "tb-recording"
+        engine.close()
+    finally:
+        unregister_backend("tb-recording")
+
+
+def test_backend_instances_are_per_engine():
+    e1 = QueryEngine(make_table(), PipelineConfig(backend="process",
+                                                  shard_count=2, max_workers=2))
+    e2 = QueryEngine(make_table(seed=1), PipelineConfig(backend="process",
+                                                        shard_count=2,
+                                                        max_workers=2))
+    try:
+        b1 = e1.execution_backend("process")
+        b2 = e2.execution_backend("process")
+        assert b1 is not b2
+        assert e1.execution_backend("process") is b1  # cached per engine
+    finally:
+        e1.close()
+        e2.close()
+
+
+# --------------------------------------------------------------------------- #
+# Selection and validation (REPRO_BACKEND / PipelineConfig.backend)
+# --------------------------------------------------------------------------- #
+def test_default_backend_name_env(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    assert default_backend_name() == "threads"
+    monkeypatch.setenv("REPRO_BACKEND", "")
+    assert default_backend_name() == "threads"
+    monkeypatch.setenv("REPRO_BACKEND", "process")
+    assert default_backend_name() == "process"
+
+
+def test_default_backend_name_unknown_env_raises(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "bogus")
+    with pytest.raises(ValueError) as excinfo:
+        default_backend_name()
+    message = str(excinfo.value)
+    assert "bogus" in message and "threads" in message
+
+
+def test_pipeline_config_backend_validation():
+    assert PipelineConfig(backend=None).backend is None
+    assert PipelineConfig(backend="threads").backend == "threads"
+    assert PipelineConfig(backend="process").backend == "process"
+    with pytest.raises(ValueError) as excinfo:
+        PipelineConfig(backend="no-such-backend")
+    assert "threads" in str(excinfo.value)
+    with pytest.raises(ValueError):
+        PipelineConfig(backend=3)
+
+
+def test_engine_stats_report_backend_name(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    engine = QueryEngine(make_table(), PipelineConfig(shard_count=2))
+    try:
+        assert engine.stats()["backend"]["name"] == "threads"
+    finally:
+        engine.close()
+
+
+# --------------------------------------------------------------------------- #
+# Process backend: offload and bit-identity
+# --------------------------------------------------------------------------- #
+def test_process_backend_offloads_and_matches_cold():
+    engine, table, prepared = build_prepared("process", 4)
+    try:
+        frame = prepared.execute()
+        assert_frames_identical(cold_frame(table, prepared), frame, "initial")
+        stats = engine.stats()["backend"]
+        assert stats["name"] == "process"
+        assert stats["offloaded_ops"] >= 1
+        assert stats["published_tables"] >= 1
+        assert stats["published_bytes"] > 0
+        assert stats["worker_count"] == 2
+        assert stats["workers_alive"] == 2
+        # Per-event traffic excludes columns: orders of magnitude below the
+        # published column bytes even after several events.
+        assert stats["traffic_bytes"] < stats["published_bytes"]
+
+        prepared.condition.children[1].children[0].predicate.high = 5.0
+        frame = prepared.execute()
+        assert_frames_identical(cold_frame(table, prepared), frame, "event")
+    finally:
+        engine.close()
+
+
+def test_process_backend_service_metrics_surface():
+    engine, table, prepared = build_prepared("process", 4)
+    try:
+        prepared.execute()
+        backend = engine.stats()["backend"]
+        for key in ("offloaded_ops", "fallbacks", "worker_restarts",
+                    "traffic_bytes", "worker_count", "workers_alive",
+                    "published_tables", "published_bytes", "name"):
+            assert key in backend
+    finally:
+        engine.close()
+
+
+# --------------------------------------------------------------------------- #
+# Fault injection
+# --------------------------------------------------------------------------- #
+def test_killed_worker_falls_back_bit_identical_and_respawns():
+    engine, table, prepared = build_prepared("process", 4)
+    try:
+        prepared.execute()
+        backend = engine.execution_backend("process")
+        before = backend.stats()
+        assert before["offloaded_ops"] >= 1
+        pids = backend.worker_pids()
+        assert len(pids) == 2
+
+        os.kill(pids[0], signal.SIGKILL)
+        assert wait_until(lambda: backend.stats()["workers_alive"] < 2), \
+            "killed worker still reported alive"
+
+        # Dirty the offloaded string leaf so the next execute must consult
+        # the backend again: the dead pool is detected, the event completes
+        # on the in-process cold path, and a fresh pool serves the rest.
+        prepared.condition.children[1].children[1].predicate.target = "row2"
+        frame = prepared.execute()
+        assert_frames_identical(cold_frame(table, prepared), frame,
+                                "event against a killed worker")
+
+        after = backend.stats()
+        assert after["fallbacks"] >= before["fallbacks"] + 1
+        assert after["worker_restarts"] == before["worker_restarts"] + 1
+
+        # The pool was respawned lazily: fresh pids, everything alive, and
+        # subsequent events offload again.
+        prepared.condition.children[1].children[1].predicate.target = "row4"
+        frame = prepared.execute()
+        assert_frames_identical(cold_frame(table, prepared), frame,
+                                "event after respawn")
+        respawned = backend.stats()
+        assert respawned["workers_alive"] == 2
+        assert respawned["offloaded_ops"] > after["offloaded_ops"]
+        new_pids = backend.worker_pids()
+        assert new_pids and pids[0] not in new_pids
+    finally:
+        engine.close()
+
+
+class _UnpicklablePredicate(StringMatchPredicate):
+    """Crosses deepcopy fine but refuses to cross a pipe."""
+
+    def __deepcopy__(self, memo):
+        return _UnpicklablePredicate(self.attribute, self.target)
+
+    def __reduce_ex__(self, protocol):
+        raise pickle.PicklingError("deliberately unpicklable predicate")
+
+
+def test_unpicklable_predicate_falls_back_without_restart():
+    cond = make_condition(string_predicate=_UnpicklablePredicate("s", "row3"))
+    engine, table, prepared = build_prepared("process", 4, cond=cond)
+    try:
+        frame = prepared.execute()
+        assert_frames_identical(cold_frame(table, prepared), frame,
+                                "unpicklable leaf")
+        stats = engine.stats()["backend"]
+        assert stats["fallbacks"] >= 1
+        # A coordinator-side pickle failure is the op's fault, not the
+        # pool's: no restart, workers stay up.
+        assert stats["worker_restarts"] == 0
+        assert stats["workers_alive"] == stats["worker_count"] > 0
+    finally:
+        engine.close()
+
+
+def test_shutdown_all_drains_pool_and_respawns_on_demand():
+    engine, table, prepared = build_prepared("process", 4)
+    try:
+        prepared.execute()
+        backend = engine.execution_backend("process")
+        assert backend.stats()["workers_alive"] > 0
+
+        repro.backend.shutdown_all()
+        assert backend.worker_pids() == []
+        drained = backend.stats()
+        assert drained["workers_alive"] == 0
+        assert drained["published_tables"] == 0
+
+        # The shutdown hook must not wedge the engine: the next event
+        # republished the table and respawned the pool on demand.
+        prepared.condition.children[1].children[1].predicate.target = "row1"
+        frame = prepared.execute()
+        assert_frames_identical(cold_frame(table, prepared), frame,
+                                "event after shutdown_all")
+        assert backend.stats()["workers_alive"] > 0
+    finally:
+        engine.close()
+
+
+# --------------------------------------------------------------------------- #
+# OR-node union fast path (PrefetchCache.query_union)
+# --------------------------------------------------------------------------- #
+def _union_condition():
+    return OrNode([between("a", -5.0, 5.0), between("b", 2.0, 8.0)])
+
+
+def _union_stats(prefetch):
+    return prefetch.stats()["by_shape"]["union"]
+
+
+def test_or_mask_uses_union_prefetch_monolithic():
+    table = make_table()
+    config = PipelineConfig(shard_count=1, max_workers=1, percentage=0.3)
+    engine = QueryEngine(table, config)
+    try:
+        prepared = engine.prepare(Query(name="union", tables=[table.name],
+                                        condition=_union_condition()))
+        reference = cold_frame(table, prepared)
+        assert_frames_identical(reference, prepared.execute(), "union initial")
+        first = _union_stats(engine.prefetch_for(table))
+        assert first["misses"] >= 1
+
+        # Narrowing one arm stays inside the fetched region: a union hit.
+        prepared.condition.children[0].predicate.high = 4.0
+        assert_frames_identical(cold_frame(table, prepared),
+                                prepared.execute(), "union narrowed")
+        second = _union_stats(engine.prefetch_for(table))
+        assert second["hits"] >= first["hits"] + 1
+    finally:
+        engine.close()
+
+
+def test_or_mask_uses_union_prefetch_sharded():
+    table = make_table()
+    config = PipelineConfig(shard_count=4, max_workers=2, percentage=0.3)
+    engine = QueryEngine(table, config)
+    try:
+        prepared = engine.prepare(Query(name="union", tables=[table.name],
+                                        condition=_union_condition()))
+        assert_frames_identical(cold_frame(table, prepared),
+                                prepared.execute(), "sharded union initial")
+        shards = engine.sharded_table(prepared.table, 4).prefetch
+        assert sum(_union_stats(p)["misses"] for p in shards) >= 1
+
+        prepared.condition.children[0].predicate.high = 4.0
+        assert_frames_identical(cold_frame(table, prepared),
+                                prepared.execute(), "sharded union narrowed")
+        assert sum(_union_stats(p)["hits"] for p in shards) >= 1
+    finally:
+        engine.close()

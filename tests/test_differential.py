@@ -16,6 +16,13 @@ With ``CASES x EVENTS_PER_CASE`` = 200 randomized query/mutation states
 sharding layer -- and any future backend behind
 :class:`~repro.core.engine.QueryEngine` -- be refactored freely.
 
+The random cases and the adversarial dirty-tracking cases additionally run
+once per **registered execution backend** (``threads``, ``process``, plus
+anything third parties register): the ExecBackend contract is that a
+backend only changes where the per-shard kernels run, so every backend
+must reproduce the cold single-shard bits exactly -- including the
+incremental/dirty-tracking steps and the all-hit replay.
+
 On failure the harness shrinks the mutation sequence to the shortest
 failing prefix and reports the case seed, so a repro is one
 ``_check_case(seed, max_events=k)`` call away.
@@ -29,6 +36,7 @@ import numpy as np
 import pytest
 
 from repro import PipelineConfig, QueryEngine, ScreenSpec, VisualFeedbackQuery
+from repro.backend import available_backends
 from repro.core.reduction import ReductionMethod
 from repro.datasets import environmental_database
 from repro.interact.events import (
@@ -45,6 +53,7 @@ from repro.storage.table import Table
 SHARD_COUNTS = (1, 2, 7, 32)
 CASES = 40
 EVENTS_PER_CASE = 5
+BACKENDS = available_backends()
 
 
 # --------------------------------------------------------------------------- #
@@ -181,7 +190,8 @@ def cold_reference(source, prepared):
 # --------------------------------------------------------------------------- #
 # Case execution and shrinking
 # --------------------------------------------------------------------------- #
-def _check_case(seed: int, max_events: int = EVENTS_PER_CASE) -> None:
+def _check_case(seed: int, max_events: int = EVENTS_PER_CASE,
+                backend: str = "threads") -> None:
     rng = np.random.default_rng(987_000 + seed)
     table = random_table(rng)
     root = random_condition(rng)
@@ -189,7 +199,8 @@ def _check_case(seed: int, max_events: int = EVENTS_PER_CASE) -> None:
     events = random_events(rng, root, EVENTS_PER_CASE)[:max_events]
 
     prepared = {
-        shards: QueryEngine(table, config.with_(shard_count=shards, max_workers=2))
+        shards: QueryEngine(table, config.with_(shard_count=shards, max_workers=2,
+                                                backend=backend))
         .prepare(Query(name=f"case-{seed}", tables=[table.name],
                        condition=copy.deepcopy(root)))
         for shards in SHARD_COUNTS
@@ -219,22 +230,24 @@ def _check_case(seed: int, max_events: int = EVENTS_PER_CASE) -> None:
         )
 
 
-def _shrink(seed: int) -> str:
+def _shrink(seed: int, backend: str = "threads") -> str:
     """Shortest failing event prefix for a failing seed (for the repro hint)."""
     for k in range(EVENTS_PER_CASE + 1):
         try:
-            _check_case(seed, max_events=k)
+            _check_case(seed, max_events=k, backend=backend)
         except AssertionError as exc:
-            return f"minimal repro: _check_case({seed}, max_events={k}) -- {exc}"
+            return (f"minimal repro: _check_case({seed}, max_events={k}, "
+                    f"backend={backend!r}) -- {exc}")
     return "failure did not reproduce during shrinking (flaky environment?)"
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("seed", range(CASES))
-def test_differential_random_case(seed):
+def test_differential_random_case(seed, backend):
     try:
-        _check_case(seed)
+        _check_case(seed, backend=backend)
     except AssertionError:
-        raise AssertionError(_shrink(seed)) from None
+        raise AssertionError(_shrink(seed, backend=backend)) from None
 
 
 # --------------------------------------------------------------------------- #
@@ -307,10 +320,12 @@ def _locality_table(n: int = 6_000, seed: int = 23) -> Table:
     return Table("Local", {"t": t, "a": a, "b": b})
 
 
-def _drive_against_cold(table, condition_root, config, events, context):
+def _drive_against_cold(table, condition_root, config, events, context,
+                        backend="threads"):
     """Prepare per shard count, apply each event, compare against cold runs."""
     prepared = {
-        shards: QueryEngine(table, config.with_(shard_count=shards, max_workers=2))
+        shards: QueryEngine(table, config.with_(shard_count=shards, max_workers=2,
+                                                backend=backend))
         .prepare(Query(name="adv", tables=[table.name],
                        condition=copy.deepcopy(condition_root)))
         for shards in SHARD_COUNTS
@@ -335,8 +350,9 @@ def _drive_against_cold(table, condition_root, config, events, context):
     return prepared
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("percentage", [0.1, None])
-def test_differential_repeated_same_leaf_micro_moves(percentage):
+def test_differential_repeated_same_leaf_micro_moves(percentage, backend):
     """Many tiny moves of one slider: the patch-chain case (interior moves
     whose resolved bounds rarely change), across both reduction paths."""
     table = _locality_table()
@@ -347,10 +363,13 @@ def test_differential_repeated_same_leaf_micro_moves(percentage):
     config = PipelineConfig(screen=ScreenSpec(width=64, height=64),
                             percentage=percentage)
     events = [SetQueryRange((0,), 50.0, 900.0 - 2.5 * (k + 1)) for k in range(12)]
-    _drive_against_cold(table, root, config, events, f"micro pct={percentage}")
+    _drive_against_cold(table, root, config, events,
+                        f"micro pct={percentage} backend={backend}",
+                        backend=backend)
 
 
-def test_differential_moves_crossing_shard_boundaries():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_differential_moves_crossing_shard_boundaries(backend):
     """Band sweeps that enter, span and leave shard boundaries."""
     table = _locality_table(n=4_096)
     root = AndNode([between("t", 100.0, 500.0), condition("a", ">", 10.0)])
@@ -360,7 +379,8 @@ def test_differential_moves_crossing_shard_boundaries():
     # inside one shard, and jump back across many.
     highs = [880.0, 620.0, 615.0, 610.0, 940.0, 130.0, 480.0]
     events = [SetQueryRange((0,), 100.0, high) for high in highs]
-    _drive_against_cold(table, root, config, events, "boundary")
+    _drive_against_cold(table, root, config, events, f"boundary backend={backend}",
+                        backend=backend)
 
 
 def test_differential_moves_changing_global_bounds():
