@@ -19,7 +19,13 @@ prefetch fast path):
 * the zero-copy boundary itself: bytes published once into shared memory
   vs. bytes crossing the pipe for one slider event.  The ratio is pickled
   message sizes over a fixed topology, so it is deterministic and gated
-  in ``check_regression.py`` (``traffic_ratio``).
+  in ``check_regression.py`` (``traffic_ratio``);
+* the pipeline reply contract: one slider event runs the whole plan as a
+  ``shard_pipeline`` session whose replies carry only bounds partials,
+  popcounts and summaries -- O(partials) bytes, independent of the rows
+  per shard.  ``reply_ratio`` (per-shard column bytes / per-event reply
+  bytes) is likewise a protocol byte count, gated in
+  ``check_regression.py``.
 
 ``extra_info`` lands in ``BENCH_backend.json``, which CI uploads as an
 artifact next to the other BENCH_* trajectories.
@@ -144,6 +150,17 @@ def test_backend_cold_throughput_1m(benchmark):
     assert event_traffic > 0, "the event did not consult the backend"
     traffic_ratio = after["published_bytes"] / event_traffic
 
+    # The pipeline reply contract: the event ran the whole plan in the
+    # workers, and what came back over the pipes is partials/popcounts/
+    # summaries -- kilobytes against the megabytes of columns each shard
+    # holds, independent of rows per shard.
+    assert after["pipeline_ops"] > before["pipeline_ops"], (
+        "the event did not take the whole-pipeline offload")
+    event_reply = after["reply_bytes"] - before["reply_bytes"]
+    assert event_reply > 0, "pipeline replies recorded no bytes"
+    per_shard_column_bytes = ROWS * 8 * 4 // SHARDS  # four f8 columns
+    reply_ratio = per_shard_column_bytes / event_reply
+
     benchmark.extra_info.update({
         "rows": ROWS,
         "shards": SHARDS,
@@ -155,6 +172,8 @@ def test_backend_cold_throughput_1m(benchmark):
         "published_bytes": after["published_bytes"],
         "event_traffic_bytes": event_traffic,
         "traffic_ratio": round(traffic_ratio, 1),
+        "event_reply_bytes": event_reply,
+        "reply_ratio": round(reply_ratio, 1),
     })
 
     # Columns cross the boundary once; events cross in kilobytes.  This is
@@ -164,6 +183,11 @@ def test_backend_cold_throughput_1m(benchmark):
         f"per-event traffic too close to the published column volume: "
         f"{event_traffic} bytes moved vs {after['published_bytes']} published "
         f"({traffic_ratio:.0f}x)"
+    )
+    assert reply_ratio >= 50.0, (
+        f"pipeline replies too close to per-shard column volume: "
+        f"{event_reply} reply bytes vs {per_shard_column_bytes} bytes per "
+        f"shard ({reply_ratio:.0f}x)"
     )
     if ENOUGH_CPUS:
         assert speedup >= 2.0, (

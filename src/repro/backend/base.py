@@ -95,6 +95,29 @@ class ExecBackend:
         """
         return None
 
+    def shard_pipeline(self, sharded: "ShardedTable",
+                       spec: dict) -> dict | None:
+        """Run a whole plan's per-shard pipeline out-of-process, or None.
+
+        ``spec`` is the picklable plan description built by
+        :meth:`ShardedPlanEvaluator._pipeline_spec`: post-order node
+        entries (leaf predicates / composite rules + weights), the
+        level grouping, each node's ``keep`` count and which nodes
+        resolve their bounds through the partial merge, and an optional
+        root top-k target.  A backend that accepts must run leaf ->
+        normalization -> combination -> mask for every shard span and
+        reply *partials only* over its control channel -- bounds
+        partials, mask popcounts and per-shard summaries -- returning
+        per node id the assembled full-table ``raw`` / ``normalized`` /
+        ``mask`` (+ ``signed`` for leaves) columns, the resolved bounds,
+        the summary matrix and per-shard popcounts, plus per-shard
+        :class:`~repro.core.reduction.TopKCandidates` for the root when
+        requested.  Every array must be bit-identical to the in-process
+        cold computation; ``None`` (any fault, ineligible plan) keeps
+        the evaluator on its in-process path.
+        """
+        return None
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
@@ -104,7 +127,11 @@ class ExecBackend:
         ``offloaded_ops`` counts hooks answered by the backend,
         ``fallbacks`` hooks declined after a failure (crash, timeout,
         unpicklable work), ``worker_restarts`` pool respawns this instance
-        triggered.  Gauges (``worker_count``, ``workers_alive``,
+        triggered.  ``pipeline_ops`` / ``pipeline_fallbacks`` break out the
+        :meth:`shard_pipeline` hook, and ``reply_bytes`` totals the bytes
+        that came back over the control channel for accepted pipeline ops
+        (the quantity the partials-only contract keeps independent of rows
+        per shard).  Gauges (``worker_count``, ``workers_alive``,
         ``published_tables``, ``published_bytes``) describe shared
         infrastructure and are reported as current values, not deltas.
         """
@@ -113,6 +140,9 @@ class ExecBackend:
             "fallbacks": 0,
             "worker_restarts": 0,
             "traffic_bytes": 0,
+            "pipeline_ops": 0,
+            "pipeline_fallbacks": 0,
+            "reply_bytes": 0,
             "published_tables": 0,
             "published_bytes": 0,
             "worker_count": 0,

@@ -1,0 +1,259 @@
+"""Whole-pipeline offload protocol for the ``process`` backend.
+
+One *pipeline op* runs leaf evaluation, reduced normalization,
+combination and fulfilment masks for a whole plan inside the worker pool,
+over the table columns the workers already have mapped from shared
+memory.  The op is a short session of broadcast rounds, one per plan
+level, because the reduced normalization of every node needs its global
+``(d_min, d_max)`` resolved before the node can be normalized (and a
+composite combined from its children's normalized columns):
+
+1. ``pipeline_start`` -- workers compute every leaf's signed distances,
+   raw distances and exact mask over their shards, writing the columns
+   into one coordinator-allocated output block; the reply carries only
+   per-leaf per-shard :class:`~repro.core.reduction.DistanceBoundsPartial`
+   partials (for nodes on the partial-merge bounds path) and mask
+   popcounts.
+2. ``pipeline_level`` (once per composite level) -- the coordinator
+   resolves the previous level's bounds (merging partials, or one direct
+   partition over the block for nodes whose ``keep`` is too large for
+   partials -- the same adaptive cutoff the in-process path uses) and
+   broadcasts them; workers normalize the resolved nodes, combine this
+   level's composites and reply with the next round of partials, mask
+   popcounts and per-shard order-statistic summaries.
+3. ``pipeline_finish`` -- resolves the top level, normalizes it, and
+   optionally returns per-shard :class:`~repro.core.reduction.TopKCandidates`
+   partials of the root column for the displayed-set selection.
+
+Column data crosses the process boundary only through the shared-memory
+output block; the pipe replies are partials, popcounts and summaries --
+O(screen budget + shard count) bytes per event, independent of the rows
+per shard.  Every value written or replied is produced by the exact
+functions the in-process evaluator runs over the same bits, so the
+assembled result is bit-identical to the in-process cold path.
+
+This module is imported on both sides of the pipe and depends only on
+NumPy-level machinery (:mod:`repro.core.reduction`,
+:mod:`repro.core.normalization`, :mod:`repro.core.combine`,
+:mod:`repro.backend.shm`) -- never on the plan/evaluator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+import numpy as np
+
+from repro.backend.shm import attach_block
+from repro.core.combine import CombinationRule, combine_columns
+from repro.core.normalization import apply_normalization
+from repro.core.reduction import (
+    distance_bounds_partial,
+    shard_summary,
+    topk_candidates,
+)
+
+__all__ = [
+    "PIPELINE_OPS",
+    "WorkerPipeline",
+    "next_pipeline_token",
+    "pipeline_layout",
+]
+
+#: Op codes served by :func:`repro.backend.worker.worker_main`.
+PIPELINE_OPS = (
+    "pipeline_start",
+    "pipeline_level",
+    "pipeline_finish",
+    "pipeline_abort",
+)
+
+_TOKEN_SEQ = itertools.count(1)
+
+
+def next_pipeline_token() -> str:
+    """A coordinator-unique token naming one pipeline session."""
+    return f"pipeline.{next(_TOKEN_SEQ)}"
+
+
+def pipeline_layout(nodes: list[dict[str, Any]],
+                    rows: int) -> tuple[int, dict[int, dict[str, int]]]:
+    """Byte offsets of every node's columns in the shared output block.
+
+    Per node: ``raw`` (f8), ``normalized`` (f8) and ``mask`` (bool);
+    leaves additionally get ``signed`` (f8).  Offsets are 8-byte aligned
+    so the f8 views are always aligned regardless of the bool columns.
+    Both sides derive the layout from the spec, so only block name and
+    spec cross the pipe.
+    """
+    offsets: dict[int, dict[str, int]] = {}
+    cursor = 0
+
+    def reserve(nbytes: int) -> int:
+        nonlocal cursor
+        start = cursor
+        cursor += (nbytes + 7) & ~7
+        return start
+
+    for node in nodes:
+        entry = {
+            "raw": reserve(rows * 8),
+            "normalized": reserve(rows * 8),
+            "mask": reserve(rows),
+        }
+        if node["kind"] == "leaf":
+            entry["signed"] = reserve(rows * 8)
+        offsets[node["id"]] = entry
+    return max(1, cursor), offsets
+
+
+class WorkerPipeline:
+    """Worker-side state of one pipeline session.
+
+    Holds the attached output block and the per-node column views over
+    it; each round method returns the reply payload (partials, popcounts,
+    summaries) for this worker's shards.
+    """
+
+    def __init__(self, table, msg: dict[str, Any]):
+        spec = msg["spec"]
+        self.token: str = spec["token"]
+        self.rows: int = spec["rows"]
+        self.target_max: float = spec["target_max"]
+        self.nodes: dict[int, dict[str, Any]] = {
+            node["id"]: node for node in spec["nodes"]
+        }
+        self.order: list[int] = [node["id"] for node in spec["nodes"]]
+        self.partial_ids = frozenset(spec["partial_nodes"])
+        self.table = table
+        self.shards: list[tuple[int, int, int]] = [
+            (int(i), int(start), int(stop)) for i, start, stop in msg["shards"]
+        ]
+        self.block = attach_block(msg["out"])
+        _, offsets = pipeline_layout(spec["nodes"], self.rows)
+        self.views: dict[int, dict[str, np.ndarray]] = {}
+        for node_id, offs in offsets.items():
+            views = {
+                "raw": np.ndarray(self.rows, dtype=np.float64,
+                                  buffer=self.block.buf, offset=offs["raw"]),
+                "normalized": np.ndarray(self.rows, dtype=np.float64,
+                                         buffer=self.block.buf,
+                                         offset=offs["normalized"]),
+                "mask": np.ndarray(self.rows, dtype=np.bool_,
+                                   buffer=self.block.buf, offset=offs["mask"]),
+            }
+            if "signed" in offs:
+                views["signed"] = np.ndarray(self.rows, dtype=np.float64,
+                                             buffer=self.block.buf,
+                                             offset=offs["signed"])
+            self.views[node_id] = views
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> dict[str, Any]:
+        """Leaf kernels over this worker's shards; reply partials only."""
+        partials: dict[int, dict[int, Any]] = {}
+        popcounts: dict[int, dict[int, int]] = {}
+        for node_id in self.order:
+            node = self.nodes[node_id]
+            if node["kind"] != "leaf":
+                continue
+            predicate = node["predicate"]
+            views = self.views[node_id]
+            for shard_no, start, stop in self.shards:
+                shard = self.table.slice_rows(start, stop)
+                signed = np.asarray(predicate.signed_distances(shard),
+                                    dtype=np.float64)
+                raw = np.abs(signed)
+                mask = np.asarray(predicate.exact_mask(shard), dtype=bool)
+                views["signed"][start:stop] = signed
+                views["raw"][start:stop] = raw
+                views["mask"][start:stop] = mask
+                self._summarise(node_id, node, shard_no, raw, mask,
+                                partials, popcounts)
+        return {"partials": partials, "popcounts": popcounts}
+
+    def level(self, msg: dict[str, Any]) -> dict[str, Any]:
+        """Normalize the resolved nodes, combine this level's composites."""
+        summaries = self._normalize_round(msg)
+        partials: dict[int, dict[int, Any]] = {}
+        popcounts: dict[int, dict[int, int]] = {}
+        for node_id in msg.get("combine", ()):
+            node = self.nodes[node_id]
+            rule = CombinationRule[node["rule"]]
+            weights = np.asarray(node["weights"], dtype=float)
+            children = node["children"]
+            views = self.views[node_id]
+            for shard_no, start, stop in self.shards:
+                columns = [
+                    self.views[child]["normalized"][start:stop]
+                    for child in children
+                ]
+                combined = combine_columns(rule, columns, weights)
+                views["raw"][start:stop] = combined
+                if rule is CombinationRule.AND:
+                    mask = np.ones(stop - start, dtype=bool)
+                    for child in children:
+                        mask &= self.views[child]["mask"][start:stop]
+                else:
+                    mask = np.zeros(stop - start, dtype=bool)
+                    for child in children:
+                        mask |= self.views[child]["mask"][start:stop]
+                views["mask"][start:stop] = mask
+                self._summarise(node_id, node, shard_no, combined, mask,
+                                partials, popcounts)
+        return {"partials": partials, "popcounts": popcounts,
+                "summaries": summaries}
+
+    def finish(self, msg: dict[str, Any]) -> dict[str, Any]:
+        """Normalize the top level; optional root top-k partials."""
+        summaries = self._normalize_round(msg)
+        topk: dict[int, Any] = {}
+        request = msg.get("topk")
+        if request is not None:
+            root_id, target = request
+            normalized = self.views[root_id]["normalized"]
+            for shard_no, start, stop in self.shards:
+                topk[shard_no] = topk_candidates(
+                    normalized[start:stop], target, offset=start)
+        return {"summaries": summaries, "topk": topk}
+
+    def close(self) -> None:
+        self.views.clear()
+        try:
+            self.block.close()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+
+    # ------------------------------------------------------------------ #
+    def _summarise(self, node_id: int, node: dict[str, Any], shard_no: int,
+                   raw: np.ndarray, mask: np.ndarray,
+                   partials: dict, popcounts: dict) -> None:
+        if node_id in self.partial_ids:
+            partials.setdefault(node_id, {})[shard_no] = \
+                distance_bounds_partial(raw, node["keep"])
+        popcounts.setdefault(node_id, {})[shard_no] = int(np.count_nonzero(mask))
+
+    def _normalize_round(self, msg: dict[str, Any]) -> dict[int, dict[int, tuple]]:
+        """Apply resolved bounds; summarise direct-path nodes per shard.
+
+        Nodes resolved through the partial merge get their summaries from
+        the partials on the coordinator; only the direct-partition nodes
+        (``summaries_for``) need the per-shard counting pass here -- the
+        same :func:`~repro.core.reduction.shard_summary` the in-process
+        certificate path runs.
+        """
+        resolved: dict[int, tuple | None] = msg.get("resolved", {})
+        wants_summary = set(msg.get("summaries_for", ()))
+        summaries: dict[int, dict[int, tuple]] = {}
+        for node_id, bounds in resolved.items():
+            d_min, d_max = bounds if bounds is not None else (None, None)
+            views = self.views[node_id]
+            for shard_no, start, stop in self.shards:
+                views["normalized"][start:stop] = apply_normalization(
+                    views["raw"][start:stop], d_min, d_max,
+                    target_max=self.target_max)
+                if node_id in wants_summary:
+                    summaries.setdefault(node_id, {})[shard_no] = shard_summary(
+                        views["raw"][start:stop], d_max)
+        return summaries

@@ -39,7 +39,15 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.backend.base import ExecBackend
+from repro.backend.pipeline import next_pipeline_token, pipeline_layout
 from repro.backend.shm import PublishedTable, ShmColumnStore
+from repro.core.normalization import reduced_bounds
+from repro.core.reduction import (
+    EMPTY_SHARD_SUMMARY,
+    merge_distance_bounds_many,
+    resolve_distance_bounds,
+    summaries_from_partials,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.shard import ShardedTable
@@ -69,6 +77,13 @@ class _WorkerPool:
         ctx = multiprocessing.get_context("spawn")
         self.size = size
         self.lock = threading.RLock()
+        #: Set under ``lock`` when a broadcast failed part-way: some
+        #: workers may hold unread replies (or never got their message),
+        #: so the pipes are no longer request/reply aligned.  A broken
+        #: pool refuses every further broadcast -- reusing it would pair
+        #: requests with stale replies and return *wrong data*, not an
+        #: error.  ``_get_pool`` discards and respawns it.
+        self.broken = False
         #: Publication keys every live worker has attached.
         self.attached: set[str] = set()
         self.workers: list[tuple[Any, Any]] = []
@@ -93,6 +108,11 @@ class _WorkerPool:
 
         Every message is serialised before anything is sent, so a pickling
         failure raises :class:`WorkerOpError` with the pipes still aligned.
+        Any transport failure -- a ``send_bytes`` that breaks midway
+        through the loop just as much as a recv/timeout -- marks the pool
+        :attr:`broken` before raising :class:`WorkerPoolError`: workers
+        already sent to have unread replies queued, so the pipes are
+        misaligned and the pool must never be reused.
         Returns ``(replies, bytes_out, bytes_in)``.
         """
         try:
@@ -104,6 +124,8 @@ class _WorkerPool:
         bytes_in = 0
         deadline = time.monotonic() + timeout
         with self.lock:
+            if self.broken:
+                raise WorkerPoolError("pool is broken (pipes misaligned)")
             try:
                 for (_, conn), payload in zip(self.workers, payloads):
                     conn.send_bytes(payload)
@@ -111,6 +133,7 @@ class _WorkerPool:
                 for proc, conn in self.workers[:len(payloads)]:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0 or not conn.poll(remaining):
+                        self.broken = True
                         raise WorkerPoolError(
                             f"worker {proc.pid} timed out after {timeout:.0f}s")
                     data = conn.recv_bytes()
@@ -119,6 +142,7 @@ class _WorkerPool:
             except WorkerPoolError:
                 raise
             except Exception as exc:
+                self.broken = True
                 raise WorkerPoolError(f"worker pipe failed: {exc!r}") from exc
         for reply in replies:
             if not reply.get("ok"):
@@ -173,8 +197,19 @@ _STORE = ShmColumnStore(on_evict=_notify_evict)
 
 
 def _get_pool(size: int) -> _WorkerPool:
-    """The shared pool, spawned lazily (first requester fixes the size)."""
+    """The shared pool, spawned lazily (first requester fixes the size).
+
+    A pool marked broken by a misaligned broadcast is replaced here, so
+    the fault costs one respawn instead of poisoning later ops.
+    """
     global _POOL
+    with _STATE_LOCK:
+        if _POOL is not None and _POOL.broken:
+            stale, _POOL = _POOL, None
+        else:
+            stale = None
+    if stale is not None:
+        stale.terminate()
     with _STATE_LOCK:
         if _POOL is None:
             _POOL = _WorkerPool(size)
@@ -249,6 +284,9 @@ class ProcessBackend(ExecBackend):
             "fallbacks": 0,
             "worker_restarts": 0,
             "traffic_bytes": 0,
+            "pipeline_ops": 0,
+            "pipeline_fallbacks": 0,
+            "reply_bytes": 0,
         }
         self._closed = False
         _acquire_ref()
@@ -299,8 +337,12 @@ class ProcessBackend(ExecBackend):
         if rows == 0 or sharded.shard_count <= 1:
             return None
         pool: _WorkerPool | None = None
+        published: PublishedTable | None = None
         try:
             published = _STORE.publish(sharded.table)
+            # Pinned across attach + op: a concurrent publish eviction
+            # would otherwise unlink the blocks this broadcast references.
+            _STORE.pin(published)
             pool = _get_pool(self._pool_size())
             traffic = self._ensure_attached(pool, published)
             result, op_traffic = self._run_leaf(
@@ -320,6 +362,9 @@ class ProcessBackend(ExecBackend):
         except Exception:
             self._count_fallback()
             return None
+        finally:
+            if published is not None:
+                _STORE.unpin(published)
 
     def _ensure_attached(self, pool: _WorkerPool,
                          published: PublishedTable) -> int:
@@ -365,11 +410,236 @@ class ProcessBackend(ExecBackend):
                 pass
         return result, bytes_out + bytes_in
 
-    def _count_fallback(self, restart: bool = False) -> None:
+    # ------------------------------------------------------------------ #
+    # Whole-pipeline offload
+    # ------------------------------------------------------------------ #
+    def shard_pipeline(self, sharded: "ShardedTable",
+                       spec: dict) -> dict | None:
+        """Run a whole plan's per-shard stages in the pool (see base class).
+
+        The op is a session of broadcast rounds (one per plan level, see
+        :mod:`repro.backend.pipeline`); every round's reply carries only
+        partials, popcounts and summaries, totalled into ``reply_bytes``.
+        Any fault inside the session aborts it (workers drop their state)
+        and declines the op -- the evaluator reruns in-process,
+        bit-identically.
+        """
+        if self._closed:
+            return None
+        rows = len(sharded.table)
+        if rows == 0 or sharded.shard_count <= 1:
+            return None
+        spec = dict(spec, token=next_pipeline_token())
+        pool: _WorkerPool | None = None
+        published: PublishedTable | None = None
+        try:
+            published = _STORE.publish(sharded.table)
+            # Pinned for the whole session: a concurrent publish eviction
+            # would otherwise unlink blocks the session's broadcasts
+            # reference mid-flight.
+            _STORE.pin(published)
+            pool = _get_pool(self._pool_size())
+            result, traffic, reply_bytes = self._run_pipeline(
+                pool, published, spec, sharded, rows)
+            with self._lock:
+                self._counters["offloaded_ops"] += 1
+                self._counters["pipeline_ops"] += 1
+                self._counters["traffic_bytes"] += traffic
+                self._counters["reply_bytes"] += reply_bytes
+            return result
+        except WorkerOpError:
+            self._count_fallback(pipeline=True)
+            return None
+        except WorkerPoolError:
+            self._count_fallback(restart=True, pipeline=True)
+            if pool is not None:
+                _discard_pool(pool)
+            return None
+        except Exception:
+            self._count_fallback(pipeline=True)
+            return None
+        finally:
+            if published is not None:
+                _STORE.unpin(published)
+
+    def _run_pipeline(self, pool: _WorkerPool, published: PublishedTable,
+                      spec: dict, sharded: "ShardedTable",
+                      rows: int) -> tuple[dict, int, int]:
+        """Drive one pipeline session; returns ``(result, traffic, reply)``.
+
+        Holds the pool lock across all rounds (broadcast re-acquires it
+        re-entrantly), so concurrent leaf ops and evict notifications
+        queue behind the session instead of interleaving with its
+        request/reply pairs.
+        """
+        nodes = {node["id"]: node for node in spec["nodes"]}
+        levels = spec["levels"]
+        shard_count = sharded.shard_count
+        with pool.lock:
+            traffic = self._ensure_attached(pool, published)
+            total_bytes, offsets = pipeline_layout(spec["nodes"], rows)
+            block = shared_memory.SharedMemory(create=True, size=total_bytes)
+            started = False
+            try:
+                shards: list[list[tuple[int, int, int]]] = [
+                    [] for _ in range(pool.size)]
+                for i, (start, stop) in enumerate(sharded.bounds):
+                    shards[i % pool.size].append((i, start, stop))
+                messages = [{
+                    "op": "pipeline_start",
+                    "table_id": published.key,
+                    "spec": spec,
+                    "out": block.name,
+                    "shards": shards[w],
+                } for w in range(pool.size)]
+                replies, bytes_out, bytes_in = pool.broadcast(
+                    messages, self.op_timeout)
+                started = True
+                reply_bytes = bytes_in
+                traffic += bytes_out + bytes_in
+                partials: dict[int, dict] = {}
+                popcounts: dict[int, dict] = {}
+                summaries: dict[int, dict] = {}
+                topk_parts = self._gather(
+                    replies, partials, popcounts, summaries)
+                result_nodes: dict[int, dict] = {}
+                for level_no in range(1, len(levels) + 1):
+                    resolved_msg, summary_ids = self._resolve_level(
+                        levels[level_no - 1], nodes, spec, shard_count,
+                        partials, block, offsets, rows, result_nodes)
+                    finish = level_no == len(levels)
+                    msg: dict[str, Any] = {
+                        "op": "pipeline_finish" if finish else "pipeline_level",
+                        "token": spec["token"],
+                        "resolved": resolved_msg,
+                        "summaries_for": summary_ids,
+                    }
+                    if finish:
+                        target = spec.get("topk_target")
+                        msg["topk"] = ((levels[-1][0], target)
+                                       if target is not None else None)
+                    else:
+                        msg["combine"] = levels[level_no]
+                    replies, bytes_out, bytes_in = pool.broadcast(
+                        [msg] * pool.size, self.op_timeout)
+                    reply_bytes += bytes_in
+                    traffic += bytes_out + bytes_in
+                    topk_parts = self._gather(
+                        replies, partials, popcounts, summaries)
+                # The finish round ran on every worker: sessions are gone.
+                started = False
+                for node_id in nodes:
+                    entry = result_nodes[node_id]
+                    if entry["summaries"] is None:
+                        per_shard = summaries.get(node_id)
+                        if per_shard is None:
+                            entry["summaries"] = np.asarray(
+                                [EMPTY_SHARD_SUMMARY] * shard_count,
+                                dtype=float)
+                        else:
+                            entry["summaries"] = np.asarray(
+                                [per_shard[s] for s in range(shard_count)],
+                                dtype=float)
+                    offs = offsets[node_id]
+                    entry["raw"] = np.ndarray(
+                        rows, dtype=np.float64, buffer=block.buf,
+                        offset=offs["raw"]).copy()
+                    entry["normalized"] = np.ndarray(
+                        rows, dtype=np.float64, buffer=block.buf,
+                        offset=offs["normalized"]).copy()
+                    entry["mask"] = np.ndarray(
+                        rows, dtype=np.bool_, buffer=block.buf,
+                        offset=offs["mask"]).copy()
+                    if "signed" in offs:
+                        entry["signed"] = np.ndarray(
+                            rows, dtype=np.float64, buffer=block.buf,
+                            offset=offs["signed"]).copy()
+                    entry["popcounts"] = [
+                        int(popcounts[node_id][s]) for s in range(shard_count)]
+                topk = None
+                if spec.get("topk_target") is not None:
+                    topk = [topk_parts[s] for s in range(shard_count)]
+                return {"nodes": result_nodes, "topk": topk}, traffic, reply_bytes
+            except BaseException:
+                # Workers may still hold session state (and the output
+                # block mapped); clear it while we still own the pool so
+                # no other op can interleave before the abort.  A broken
+                # pool is unusable either way and gets discarded upstream.
+                if started and not pool.broken:
+                    try:
+                        pool.broadcast(
+                            [{"op": "pipeline_abort", "token": spec["token"]}]
+                            * pool.size,
+                            self.op_timeout)
+                    except Exception:
+                        pass
+                raise
+            finally:
+                try:
+                    block.close()
+                    block.unlink()
+                except Exception:  # pragma: no cover
+                    pass
+
+    @staticmethod
+    def _gather(replies: list[dict[str, Any]], partials: dict,
+                popcounts: dict, summaries: dict) -> dict:
+        """Merge one round's per-worker payloads (disjoint shard subsets)."""
+        topk: dict[int, Any] = {}
+        for reply in replies:
+            for node_id, per_shard in reply.get("partials", {}).items():
+                partials.setdefault(node_id, {}).update(per_shard)
+            for node_id, per_shard in reply.get("popcounts", {}).items():
+                popcounts.setdefault(node_id, {}).update(per_shard)
+            for node_id, per_shard in reply.get("summaries", {}).items():
+                summaries.setdefault(node_id, {}).update(per_shard)
+            topk.update(reply.get("topk", {}))
+        return topk
+
+    @staticmethod
+    def _resolve_level(level_ids: list[int], nodes: dict, spec: dict,
+                       shard_count: int, partials: dict, block,
+                       offsets: dict, rows: int,
+                       result_nodes: dict) -> tuple[dict, list[int]]:
+        """Resolve one level's bounds exactly as the in-process path does.
+
+        Partial-path nodes merge their per-shard bounds partials (shard
+        order, associative algebra) and derive their summaries from them;
+        direct-path nodes run one :func:`reduced_bounds` partition over
+        the raw column -- read locally from the shared block, zero pipe
+        bytes -- and have the workers count their summaries next round.
+        """
+        partial_ids = set(spec["partial_nodes"])
+        resolved_msg: dict[int, tuple | None] = {}
+        summary_ids: list[int] = []
+        for node_id in level_ids:
+            keep = nodes[node_id]["keep"]
+            if node_id in partial_ids:
+                per_shard = [partials[node_id][s] for s in range(shard_count)]
+                resolved = resolve_distance_bounds(
+                    merge_distance_bounds_many(per_shard))
+                node_summaries = summaries_from_partials(per_shard, resolved)
+            else:
+                raw_view = np.ndarray(rows, dtype=np.float64,
+                                      buffer=block.buf,
+                                      offset=offsets[node_id]["raw"])
+                resolved = reduced_bounds(raw_view, keep)
+                node_summaries = None
+                if resolved is not None:
+                    summary_ids.append(node_id)
+            resolved_msg[node_id] = resolved
+            result_nodes[node_id] = {
+                "resolved": resolved, "summaries": node_summaries}
+        return resolved_msg, summary_ids
+
+    def _count_fallback(self, restart: bool = False,
+                        pipeline: bool = False) -> None:
         with self._lock:
             self._counters["fallbacks"] += 1
             if restart:
                 self._counters["worker_restarts"] += 1
+            if pipeline:
+                self._counters["pipeline_fallbacks"] += 1
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -13,6 +13,17 @@ notifying the eviction callback so worker processes drop their mappings).
 Re-publishing an evicted table allocates fresh blocks under a new
 publication key, so stale worker mappings can never be confused with the
 new ones.
+
+A publication an op is actively broadcasting against can be *pinned*
+(:meth:`ShmColumnStore.pin`): eviction of a pinned table is deferred --
+the entry leaves the LRU immediately (so capacity is respected for new
+publications) but the blocks stay linked and the eviction callback stays
+unsent until the last pin drops.  Without the deferral, an LRU eviction
+racing an in-flight broadcast would unlink blocks whose names that
+broadcast already carries: a worker attaching them mid-op would fail (or
+the drop notification would interleave with the op's own messages), and
+the op would fault spuriously.  The near-misses are counted
+(``evict_deferred`` in :meth:`stats`).
 """
 
 from __future__ import annotations
@@ -93,6 +104,36 @@ class ShmColumnStore:
         self._tables: dict[str, PublishedTable] = {}
         self._max_tables = max_tables
         self._on_evict = on_evict
+        #: Pin counts by publication key; pinned tables cannot be destroyed.
+        self._pins: dict[str, int] = {}
+        #: Publications evicted from the LRU while pinned, awaiting the
+        #: last unpin to be notified/destroyed.
+        self._retiring: dict[str, PublishedTable] = {}
+        self._evict_deferred = 0
+
+    def pin(self, published: PublishedTable) -> None:
+        """Hold ``published``'s blocks linked across an in-flight op."""
+        with self._lock:
+            self._pins[published.key] = self._pins.get(published.key, 0) + 1
+
+    def unpin(self, published: PublishedTable) -> None:
+        """Release one pin; a deferred eviction completes on the last one."""
+        retired: PublishedTable | None = None
+        with self._lock:
+            count = self._pins.get(published.key, 0) - 1
+            if count > 0:
+                self._pins[published.key] = count
+            else:
+                self._pins.pop(published.key, None)
+                retired = self._retiring.pop(published.key, None)
+        if retired is not None:
+            self._retire(retired)
+
+    def _retire(self, old: PublishedTable) -> None:
+        """Notify workers, then destroy -- outside the store lock."""
+        if self._on_evict is not None:
+            self._on_evict(old)
+        old.destroy()
 
     def publish(self, table: "Table") -> PublishedTable:
         """Publish ``table``'s columns (idempotent per ``export_id``)."""
@@ -114,11 +155,18 @@ class ShmColumnStore:
             self._tables[export_id] = published
             while len(self._tables) > self._max_tables:
                 oldest_key = next(iter(self._tables))
-                evicted.append(self._tables.pop(oldest_key))
+                old = self._tables.pop(oldest_key)
+                if self._pins.get(old.key):
+                    # A broadcast referencing this publication key is in
+                    # flight: unlinking now would yank the blocks out from
+                    # under it.  Park the publication; the last unpin
+                    # finishes the eviction.
+                    self._retiring[old.key] = old
+                    self._evict_deferred += 1
+                else:
+                    evicted.append(old)
         for old in evicted:
-            if self._on_evict is not None:
-                self._on_evict(old)
-            old.destroy()
+            self._retire(old)
         return published
 
     def _build(self, table: "Table") -> PublishedTable:
@@ -172,13 +220,21 @@ class ShmColumnStore:
             return {
                 "published_tables": len(self._tables),
                 "published_bytes": sum(p.nbytes for p in self._tables.values()),
+                "evict_deferred": self._evict_deferred,
             }
 
     def close(self) -> None:
-        """Destroy every publication (idempotent)."""
+        """Destroy every publication (idempotent).
+
+        Shutdown path: pins are not honoured here -- any op still in
+        flight is already doomed (the pool is being terminated) and falls
+        back in-process.
+        """
         with self._lock:
-            tables = list(self._tables.values())
+            tables = list(self._tables.values()) + list(self._retiring.values())
             self._tables.clear()
+            self._retiring.clear()
+            self._pins.clear()
         for published in tables:
             if self._on_evict is not None:
                 try:

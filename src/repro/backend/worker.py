@@ -5,9 +5,14 @@ op-code protocol.  Columns never travel over the pipe: an ``attach`` op
 carries only a shared-memory manifest, after which the worker holds a
 zero-copy table reconstruction; ``leaf`` ops carry a pickled predicate
 plus shard spans and write their results into a per-call output block the
-coordinator allocated.  A failing op produces an error reply and leaves
-the worker alive -- only a dead pipe (coordinator gone) or an explicit
-``exit`` ends the loop, so one poisonous message cannot wedge the pool.
+coordinator allocated.  The ``pipeline_*`` ops
+(:mod:`repro.backend.pipeline`) run a whole plan's per-shard stages as a
+short session of rounds, writing every column into one shared output
+block and replying only partials.  A failing op produces an error reply
+and leaves the worker alive (an open pipeline session is torn down, so
+the next op starts clean) -- only a dead pipe (coordinator gone) or an
+explicit ``exit`` ends the loop, so one poisonous message cannot wedge
+the pool.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.backend.pipeline import WorkerPipeline
 from repro.backend.shm import attach_block, build_table_from_manifest
 
 __all__ = ["worker_main"]
@@ -60,6 +66,14 @@ def _run_leaf(tables: dict[str, _AttachedTable], msg: dict[str, Any]) -> None:
 def worker_main(conn) -> None:
     """Serve ops from ``conn`` until the pipe dies or ``exit`` arrives."""
     tables: dict[str, _AttachedTable] = {}
+    pipeline: WorkerPipeline | None = None
+
+    def drop_pipeline() -> None:
+        nonlocal pipeline
+        if pipeline is not None:
+            pipeline.close()
+            pipeline = None
+
     try:
         while True:
             try:
@@ -95,14 +109,39 @@ def worker_main(conn) -> None:
                 elif op == "leaf":
                     _run_leaf(tables, msg)
                     conn.send({"ok": True})
+                elif op == "pipeline_start":
+                    drop_pipeline()
+                    pipeline = WorkerPipeline(
+                        tables[msg["table_id"]].table, msg)
+                    conn.send({"ok": True, **pipeline.start()})
+                elif op in ("pipeline_level", "pipeline_finish"):
+                    if pipeline is None or pipeline.token != msg["token"]:
+                        conn.send({"ok": False,
+                                   "error": f"{op}: no matching session"})
+                    elif op == "pipeline_level":
+                        conn.send({"ok": True, **pipeline.level(msg)})
+                    else:
+                        payload = pipeline.finish(msg)
+                        drop_pipeline()
+                        conn.send({"ok": True, **payload})
+                elif op == "pipeline_abort":
+                    drop_pipeline()
+                    conn.send({"ok": True})
                 else:
                     conn.send({"ok": False, "error": f"unknown op {op!r}"})
             except Exception as exc:
+                # A half-done pipeline session has no defined state to
+                # resume from; drop it so the error reply leaves the worker
+                # clean for the next (unrelated) op.
+                if op in ("pipeline_start", "pipeline_level",
+                          "pipeline_finish"):
+                    drop_pipeline()
                 try:
                     conn.send({"ok": False, "error": f"{op}: {exc!r}"})
                 except Exception:
                     break
     finally:
+        drop_pipeline()
         for entry in tables.values():
             entry.close()
         try:

@@ -935,7 +935,9 @@ class PreparedQuery:
     # ------------------------------------------------------------------ #
     def _displayed_incremental(self, distances: np.ndarray, sharded: ShardedTable,
                                method: ReductionMethod, root_delta,
-                               executor) -> np.ndarray | None:
+                               executor,
+                               pipeline_topk: tuple[int, list] | None = None,
+                               ) -> np.ndarray | None:
         """Percentage-path displayed set from cached per-shard top-k partials.
 
         Returns None when this path does not apply (other reduction methods,
@@ -1022,7 +1024,13 @@ class PreparedQuery:
             start, stop = bounds[i]
             return topk_candidates(distances[start:stop], target, offset=start)
 
-        if executor is not None and len(bounds) > 1:
+        if (pipeline_topk is not None and pipeline_topk[0] == target
+                and len(pipeline_topk[1]) == len(bounds)):
+            # An accepted pipeline op already built the per-shard partials
+            # worker-side, over the same normalized bits with the same
+            # function and offsets -- identical by construction.
+            partials = list(pipeline_topk[1])
+        elif executor is not None and len(bounds) > 1:
             partials = list(executor.map(one, range(len(bounds))))
         else:
             partials = [one(i) for i in range(len(bounds))]
@@ -1245,6 +1253,16 @@ class PreparedQuery:
                     slice_token=self._slice_token,
                     backend=backend,
                 )
+                # When the displayed set will be built from per-shard
+                # top-k partials (percentage path, below the adaptive
+                # cutoff -- the same conditions _displayed_incremental
+                # checks), ask an accepted pipeline op to return the
+                # root's partials alongside, saving the coordinator pass.
+                if (incremental and self.config.percentage is not None
+                        and n > 0):
+                    target = max(1, int(round(self.config.percentage * n)))
+                    if target < n and target * shard_count <= n // 2:
+                        evaluator.pipeline_topk_target = target
             else:
                 evaluator = PlanEvaluator(
                     table,
@@ -1267,6 +1285,7 @@ class PreparedQuery:
                 displayed = self._displayed_incremental(
                     overall.normalized_distances, sharded, method,
                     root_delta, executor,
+                    pipeline_topk=getattr(evaluator, "pipeline_topk", None),
                 )
                 if displayed is None:
                     displayed = sharded_select_display_set(

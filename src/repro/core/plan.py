@@ -223,6 +223,10 @@ class _LRU:
             self._data.move_to_end(key)
         return value
 
+    def contains(self, key: str) -> bool:
+        """Membership test without touching recency."""
+        return key in self._data
+
     def put(self, key: str, value) -> None:
         self._data[key] = value
         self._data.move_to_end(key)
@@ -333,6 +337,16 @@ class EvaluationCache:
             self._raw.put(key, value)
             self.stats.leaf_evictions = self._raw.evictions
 
+    def peek_raw(self, key: str) -> bool:
+        """True when the raw column is cached; no stats, no LRU touch.
+
+        Eligibility probes (is there any work to offload?) use this so
+        they neither skew the hit/miss counters nor promote entries the
+        probe itself is not going to read.
+        """
+        with self._lock:
+            return self._raw.contains(key)
+
     # Normalized node columns --------------------------------------------- #
     def get_node(self, key: str) -> _NodeColumns | None:
         with self._lock:
@@ -347,6 +361,11 @@ class EvaluationCache:
         with self._lock:
             self._nodes.put(key, value)
             self.stats.node_evictions = self._nodes.evictions
+
+    def peek_node(self, key: str) -> bool:
+        """True when the node column is cached; no stats, no LRU touch."""
+        with self._lock:
+            return self._nodes.contains(key)
 
     # Range-leaf history ---------------------------------------------------- #
     def range_history(self, attribute: str) -> _RangeHistory | None:

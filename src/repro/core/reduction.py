@@ -38,6 +38,15 @@ __all__ = [
     "merge_topk_candidates",
     "merge_topk_candidates_many",
     "resolve_topk",
+    "DistanceBoundsPartial",
+    "distance_bounds_partial",
+    "empty_distance_bounds",
+    "merge_distance_bounds",
+    "merge_distance_bounds_many",
+    "resolve_distance_bounds",
+    "EMPTY_SHARD_SUMMARY",
+    "shard_summary",
+    "summaries_from_partials",
 ]
 
 
@@ -337,15 +346,205 @@ def select_display_set(distances: np.ndarray, capacity: int, n_selection_predica
     if method is ReductionMethod.QUANTILE:
         return select_by_quantile(distances, p)
     if method is ReductionMethod.MULTIPEAK:
-        finite_order = np.argsort(np.where(np.isfinite(distances), distances, np.inf),
-                                  kind="stable")
-        n_finite = int(np.sum(np.isfinite(distances)))
-        if n_finite == 0:
-            return np.empty(0, dtype=np.intp)
-        target = max(1, int(round(p * n)))
-        r_min = max(1, int(round(target * (1.0 - multipeak_slack))))
-        r_max = min(n_finite, max(r_min, int(round(target * (1.0 + multipeak_slack)))))
-        sorted_distances = distances[finite_order[:n_finite]]
-        cut = multipeak_cut(sorted_distances, r_min, r_max, z=multipeak_z)
-        return np.sort(finite_order[:cut])
+        return _select_multipeak(distances, p, multipeak_slack, multipeak_z)
     raise ValueError(f"unsupported reduction method: {method!r}")
+
+
+def _select_multipeak(distances: np.ndarray, p: float,
+                      multipeak_slack: float,
+                      multipeak_z: int | None) -> np.ndarray:
+    n = len(distances)
+    finite_order = np.argsort(np.where(np.isfinite(distances), distances, np.inf),
+                              kind="stable")
+    n_finite = int(np.sum(np.isfinite(distances)))
+    if n_finite == 0:
+        return np.empty(0, dtype=np.intp)
+    target = max(1, int(round(p * n)))
+    r_min = max(1, int(round(target * (1.0 - multipeak_slack))))
+    r_max = min(n_finite, max(r_min, int(round(target * (1.0 + multipeak_slack)))))
+    sorted_distances = distances[finite_order[:n_finite]]
+    cut = multipeak_cut(sorted_distances, r_min, r_max, z=multipeak_z)
+    return np.sort(finite_order[:cut])
+
+
+# --------------------------------------------------------------------------- #
+# Mergeable normalization-bounds algebra
+# --------------------------------------------------------------------------- #
+# Lives here (not in repro.core.shard) so that worker processes of the
+# ``process`` execution backend can construct and summarise partials over
+# their shard spans without importing the plan/evaluator machinery: this
+# module depends on NumPy only.  :mod:`repro.core.shard` re-exports every
+# name for its callers and keeps the merge/resolve responsibilities on the
+# coordinator.
+
+@dataclass(frozen=True)
+class DistanceBoundsPartial:
+    """Mergeable summary of one shard's finite distances.
+
+    Retains the ``min(capacity, count)`` smallest finite values (as a
+    multiset, order irrelevant), the finite maximum and the finite count --
+    enough to resolve, after merging all shards, the exact global ``d_min``
+    and the exact global ``keep``-th smallest value ``d_max`` that
+    :func:`~repro.core.normalization.reduced_normalization` computes, for
+    any ``keep <= capacity``.
+
+    The merge is associative and commutative: the smallest-``k`` multiset of
+    a union equals the smallest-``k`` of the two sides' smallest-``k``
+    multisets, maxima and counts merge trivially, and the empty partial
+    (an all-NaN or zero-row shard) is the identity element.
+    """
+
+    capacity: int
+    count: int
+    smallest: np.ndarray
+    maximum: float
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if len(self.smallest) != min(self.capacity, self.count):
+            raise ValueError("partial must retain min(capacity, count) values")
+
+
+def empty_distance_bounds(capacity: int) -> DistanceBoundsPartial:
+    """The merge identity: a shard with no finite values."""
+    return DistanceBoundsPartial(
+        capacity=capacity, count=0,
+        smallest=np.empty(0, dtype=float), maximum=float("-inf"),
+    )
+
+
+def distance_bounds_partial(values: np.ndarray, capacity: int) -> DistanceBoundsPartial:
+    """Summarise one shard of a distance column (NaN/inf values are skipped)."""
+    values = np.asarray(values, dtype=float)
+    finite = values[np.isfinite(values)] if len(values) else values
+    if len(finite) > capacity:
+        smallest = np.partition(finite, capacity - 1)[:capacity]
+    else:
+        smallest = finite.copy()
+    maximum = float(finite.max()) if len(finite) else float("-inf")
+    return DistanceBoundsPartial(
+        capacity=capacity, count=len(finite), smallest=smallest, maximum=maximum
+    )
+
+
+def merge_distance_bounds(a: DistanceBoundsPartial,
+                          b: DistanceBoundsPartial) -> DistanceBoundsPartial:
+    """Merge two partials of the same capacity (associative, commutative)."""
+    if a.capacity != b.capacity:
+        raise ValueError(f"cannot merge partials with capacities {a.capacity} != {b.capacity}")
+    smallest = np.concatenate([a.smallest, b.smallest])
+    if len(smallest) > a.capacity:
+        smallest = np.partition(smallest, a.capacity - 1)[: a.capacity]
+    return DistanceBoundsPartial(
+        capacity=a.capacity,
+        count=a.count + b.count,
+        smallest=smallest,
+        maximum=max(a.maximum, b.maximum),
+    )
+
+
+def merge_distance_bounds_many(partials: "list[DistanceBoundsPartial]") -> DistanceBoundsPartial:
+    """Merge many partials with one concatenation and a single partition.
+
+    Resolves to exactly the same ``(d_min, d_max)`` as a pairwise
+    :func:`merge_distance_bounds` reduction (the smallest-``k`` multiset of a
+    union is merge-order-independent), but does the selection work once --
+    the shape the per-shard slice cache hits on every event, where most
+    partials come from the cache and only the dirty shards' are fresh.
+    """
+    if not partials:
+        raise ValueError("merge_distance_bounds_many needs at least one partial")
+    capacity = partials[0].capacity
+    for partial in partials[1:]:
+        if partial.capacity != capacity:
+            raise ValueError(
+                f"cannot merge partials with capacities {capacity} != {partial.capacity}"
+            )
+    if len(partials) == 1:
+        return partials[0]
+    smallest = np.concatenate([p.smallest for p in partials])
+    if len(smallest) > capacity:
+        smallest = np.partition(smallest, capacity - 1)[:capacity]
+    return DistanceBoundsPartial(
+        capacity=capacity,
+        count=sum(p.count for p in partials),
+        smallest=smallest,
+        maximum=max(p.maximum for p in partials),
+    )
+
+
+def resolve_distance_bounds(partial: DistanceBoundsPartial,
+                            keep: int | None = None) -> tuple[float, float] | None:
+    """The global ``(d_min, d_max)`` of the merged column, or None if no finite value.
+
+    ``keep`` defaults to the partial's capacity and must not exceed it.
+    Both bounds are exact elements of the original column, so they equal --
+    bit for bit -- what the monolithic
+    :func:`~repro.core.normalization.reduced_normalization` derives.
+    """
+    keep = partial.capacity if keep is None else keep
+    if not 1 <= keep <= partial.capacity:
+        raise ValueError(f"keep must be in [1, {partial.capacity}], got {keep}")
+    if partial.count == 0:
+        return None
+    if keep >= partial.count:
+        d_max = partial.maximum
+    else:
+        d_max = float(np.partition(partial.smallest, keep - 1)[keep - 1])
+    return float(partial.smallest.min()), d_max
+
+
+#: Summary row of a shard with no finite values (the counting identity).
+EMPTY_SHARD_SUMMARY = (0.0, float("inf"), float("-inf"), 0.0, 0.0)
+
+
+def shard_summary(values: np.ndarray, d_max: float) -> tuple:
+    """Order-statistic summary of one shard against a candidate ``d_max``.
+
+    Returns ``(finite_count, min, max, count < d_max, count <= d_max)``.
+    Comparisons against a NaN ``d_max`` (an all-NaN previous resolve) are
+    all False, yielding zero counts -- which can never certify, only force
+    the full resolve, so a stale ``d_max`` stays harmless.
+    """
+    values = np.asarray(values, dtype=float)
+    finite = np.isfinite(values)
+    if not finite.any():
+        return EMPTY_SHARD_SUMMARY
+    finite_values = values[finite] if not finite.all() else values
+    return (
+        float(len(finite_values)),
+        float(finite_values.min()),
+        float(finite_values.max()),
+        float(np.count_nonzero(finite_values < d_max)),
+        float(np.count_nonzero(finite_values <= d_max)),
+    )
+
+
+def summaries_from_partials(partials: "Sequence[DistanceBoundsPartial]",
+                            resolved: tuple[float, float] | None) -> np.ndarray:
+    """Per-shard summary rows derived from bounds partials (no column pass).
+
+    Every value below ``d_max`` is retained in a partial's
+    smallest-``capacity`` multiset, and an undercounted ``count<=`` -- ties
+    cut beyond the capacity -- can only fail a future certificate early,
+    never falsely pass it.  With ``resolved`` None (no finite value in the
+    column) every row is the counting identity.
+    """
+    if resolved is None:
+        return np.asarray([EMPTY_SHARD_SUMMARY] * len(partials), dtype=float)
+    d_max = resolved[1]
+    rows = []
+    for partial in partials:
+        if partial.count == 0:
+            rows.append(EMPTY_SHARD_SUMMARY)
+            continue
+        smallest = partial.smallest
+        rows.append((
+            float(partial.count),
+            float(smallest.min()) if len(smallest) else float("inf"),
+            float(partial.maximum),
+            float(np.count_nonzero(smallest < d_max)),
+            float(np.count_nonzero(smallest <= d_max)),
+        ))
+    return np.asarray(rows, dtype=float)

@@ -50,18 +50,29 @@ from repro.core.normalization import (
     reduced_bounds,
 )
 from repro.core.plan import (
+    CompositePlan,
     EvaluationCache,
+    LeafPlan,
     PlanEvaluator,
     ShardSliceEntry,
     _LeafRaw,
     _NodeColumns,
 )
 from repro.core.reduction import (
+    EMPTY_SHARD_SUMMARY as _EMPTY_SUMMARY,
+    DistanceBoundsPartial,
     ReductionMethod,
     display_fraction,
+    distance_bounds_partial,
+    empty_distance_bounds,
+    merge_distance_bounds,
+    merge_distance_bounds_many,
     merge_topk_candidates_many,
+    resolve_distance_bounds,
     resolve_topk,
     select_display_set,
+    shard_summary as _shard_summary,
+    summaries_from_partials,
     topk_candidates,
 )
 from repro.query.expr import NodePath, PredicateLeaf, SubqueryNode
@@ -232,148 +243,11 @@ def shutdown_executors(drain_timeout: float = 60.0) -> None:
 # --------------------------------------------------------------------------- #
 # Merge algebra: normalization bounds
 # --------------------------------------------------------------------------- #
-@dataclass(frozen=True)
-class DistanceBoundsPartial:
-    """Mergeable summary of one shard's finite distances.
-
-    Retains the ``min(capacity, count)`` smallest finite values (as a
-    multiset, order irrelevant), the finite maximum and the finite count --
-    enough to resolve, after merging all shards, the exact global ``d_min``
-    and the exact global ``keep``-th smallest value ``d_max`` that
-    :func:`~repro.core.normalization.reduced_normalization` computes, for
-    any ``keep <= capacity``.
-
-    The merge is associative and commutative: the smallest-``k`` multiset of
-    a union equals the smallest-``k`` of the two sides' smallest-``k``
-    multisets, maxima and counts merge trivially, and the empty partial
-    (an all-NaN or zero-row shard) is the identity element.
-    """
-
-    capacity: int
-    count: int
-    smallest: np.ndarray
-    maximum: float
-
-    def __post_init__(self) -> None:
-        if self.capacity < 1:
-            raise ValueError("capacity must be at least 1")
-        if len(self.smallest) != min(self.capacity, self.count):
-            raise ValueError("partial must retain min(capacity, count) values")
-
-
-def empty_distance_bounds(capacity: int) -> DistanceBoundsPartial:
-    """The merge identity: a shard with no finite values."""
-    return DistanceBoundsPartial(
-        capacity=capacity, count=0,
-        smallest=np.empty(0, dtype=float), maximum=float("-inf"),
-    )
-
-
-def distance_bounds_partial(values: np.ndarray, capacity: int) -> DistanceBoundsPartial:
-    """Summarise one shard of a distance column (NaN/inf values are skipped)."""
-    values = np.asarray(values, dtype=float)
-    finite = values[np.isfinite(values)] if len(values) else values
-    if len(finite) > capacity:
-        smallest = np.partition(finite, capacity - 1)[:capacity]
-    else:
-        smallest = finite.copy()
-    maximum = float(finite.max()) if len(finite) else float("-inf")
-    return DistanceBoundsPartial(
-        capacity=capacity, count=len(finite), smallest=smallest, maximum=maximum
-    )
-
-
-def merge_distance_bounds(a: DistanceBoundsPartial,
-                          b: DistanceBoundsPartial) -> DistanceBoundsPartial:
-    """Merge two partials of the same capacity (associative, commutative)."""
-    if a.capacity != b.capacity:
-        raise ValueError(f"cannot merge partials with capacities {a.capacity} != {b.capacity}")
-    smallest = np.concatenate([a.smallest, b.smallest])
-    if len(smallest) > a.capacity:
-        smallest = np.partition(smallest, a.capacity - 1)[: a.capacity]
-    return DistanceBoundsPartial(
-        capacity=a.capacity,
-        count=a.count + b.count,
-        smallest=smallest,
-        maximum=max(a.maximum, b.maximum),
-    )
-
-
-def merge_distance_bounds_many(partials: "list[DistanceBoundsPartial]") -> DistanceBoundsPartial:
-    """Merge many partials with one concatenation and a single partition.
-
-    Resolves to exactly the same ``(d_min, d_max)`` as a pairwise
-    :func:`merge_distance_bounds` reduction (the smallest-``k`` multiset of a
-    union is merge-order-independent), but does the selection work once --
-    the shape the per-shard slice cache hits on every event, where most
-    partials come from the cache and only the dirty shards' are fresh.
-    """
-    if not partials:
-        raise ValueError("merge_distance_bounds_many needs at least one partial")
-    capacity = partials[0].capacity
-    for partial in partials[1:]:
-        if partial.capacity != capacity:
-            raise ValueError(
-                f"cannot merge partials with capacities {capacity} != {partial.capacity}"
-            )
-    if len(partials) == 1:
-        return partials[0]
-    smallest = np.concatenate([p.smallest for p in partials])
-    if len(smallest) > capacity:
-        smallest = np.partition(smallest, capacity - 1)[:capacity]
-    return DistanceBoundsPartial(
-        capacity=capacity,
-        count=sum(p.count for p in partials),
-        smallest=smallest,
-        maximum=max(p.maximum for p in partials),
-    )
-
-
-def resolve_distance_bounds(partial: DistanceBoundsPartial,
-                            keep: int | None = None) -> tuple[float, float] | None:
-    """The global ``(d_min, d_max)`` of the merged column, or None if no finite value.
-
-    ``keep`` defaults to the partial's capacity and must not exceed it.
-    Both bounds are exact elements of the original column, so they equal --
-    bit for bit -- what the monolithic
-    :func:`~repro.core.normalization.reduced_normalization` derives.
-    """
-    keep = partial.capacity if keep is None else keep
-    if not 1 <= keep <= partial.capacity:
-        raise ValueError(f"keep must be in [1, {partial.capacity}], got {keep}")
-    if partial.count == 0:
-        return None
-    if keep >= partial.count:
-        d_max = partial.maximum
-    else:
-        d_max = float(np.partition(partial.smallest, keep - 1)[keep - 1])
-    return float(partial.smallest.min()), d_max
-
-
-#: Summary row of a shard with no finite values (the counting identity).
-_EMPTY_SUMMARY = (0.0, float("inf"), float("-inf"), 0.0, 0.0)
-
-
-def _shard_summary(values: np.ndarray, d_max: float) -> tuple:
-    """Order-statistic summary of one shard against a candidate ``d_max``.
-
-    Returns ``(finite_count, min, max, count < d_max, count <= d_max)``.
-    Comparisons against a NaN ``d_max`` (an all-NaN previous resolve) are
-    all False, yielding zero counts -- which can never certify, only force
-    the full resolve, so a stale ``d_max`` stays harmless.
-    """
-    values = np.asarray(values, dtype=float)
-    finite = np.isfinite(values)
-    if not finite.any():
-        return _EMPTY_SUMMARY
-    finite_values = values[finite] if not finite.all() else values
-    return (
-        float(len(finite_values)),
-        float(finite_values.min()),
-        float(finite_values.max()),
-        float(np.count_nonzero(finite_values < d_max)),
-        float(np.count_nonzero(finite_values <= d_max)),
-    )
+# The partial/merge/resolve algebra itself lives in
+# :mod:`repro.core.reduction` (NumPy-only, so the process backend's worker
+# processes can build partials over their shard spans without importing the
+# plan machinery); it is re-imported above and re-exported here for the
+# evaluator's callers and tests.
 
 
 # --------------------------------------------------------------------------- #
@@ -519,6 +393,16 @@ class ShardedPlanEvaluator(PlanEvaluator):
         #: Slice generation this evaluation started under; entries are
         #: stamped with it so a concurrent cache clear() drops them.
         self._slice_generation = self.cache.slice_generation()
+        #: Set by the engine when the displayed-set selection could use
+        #: per-shard root top-k partials (percentage path, incremental).
+        self.pipeline_topk_target: int | None = None
+        #: ``(target, [TopKCandidates per shard])`` from an accepted
+        #: pipeline op, for the engine's displayed-set construction.
+        self.pipeline_topk: tuple[int, list] | None = None
+        #: Per-node-path per-shard fulfilment-mask popcounts from an
+        #: accepted pipeline op (reply-side aggregate; the full masks
+        #: live in the shared block / node cache).
+        self.pipeline_popcounts: dict[NodePath, list[int]] | None = None
 
     # ------------------------------------------------------------------ #
     def _map_shards(self, fn: Callable[[int], T]) -> list[T]:
@@ -554,7 +438,174 @@ class ShardedPlanEvaluator(PlanEvaluator):
         self._slice_generation = self.cache.slice_generation()
         if self.incremental:
             self.cache.record_incremental_event()
+        # Whole-pipeline offload: when the backend accepts, it seeds the
+        # raw/node/slice caches with the assembled (bit-identical) columns,
+        # so the in-process walk below is pure cache hits and the feedback
+        # frames are built by the exact same code path as always.  A
+        # declined or faulted op leaves the caches untouched and the walk
+        # computes everything in-process.
+        self._try_pipeline(plan)
         return super().evaluate(plan)
+
+    # ------------------------------------------------------------------ #
+    # Whole-pipeline offload
+    # ------------------------------------------------------------------ #
+    def _pipeline_spec(self, plan) -> tuple[dict, list] | None:
+        """The picklable pipeline spec, or None when the plan is ineligible.
+
+        Eligibility keeps the offload where it wins and cannot diverge:
+        pure predicate plans only (range leaves keep the coordinator's
+        index/prefetch delta machinery, subquery distances may read
+        whole-table state), a root the node LRU cannot serve wholesale,
+        and at least one leaf whose raw column actually needs computing
+        (weight-only moves patch in-process from clean slices).
+        """
+        n = len(self.table)
+        meta: list[tuple[object, NodePath, int]] = []
+
+        def walk(node, path: NodePath) -> int | None:
+            if isinstance(node, LeafPlan):
+                if not isinstance(node.node, PredicateLeaf):
+                    return None
+                if isinstance(node.node.predicate, RangePredicate):
+                    return None
+                meta.append((node, path, 0))
+                return 0
+            if not isinstance(node, CompositePlan):
+                return None
+            child_levels = []
+            for i, child in enumerate(node.children):
+                level = walk(child, path + (i,))
+                if level is None:
+                    return None
+                child_levels.append(level)
+            level = max(child_levels) + 1
+            meta.append((node, path, level))
+            return level
+
+        if walk(plan, ()) is None:
+            return None
+        if self.cache.peek_node(
+                plan.value_key(self.display_capacity, self.target_max)):
+            return None
+        if not any(
+            isinstance(pnode, LeafPlan) and not self.cache.peek_raw(pnode.raw_key)
+            for pnode, _, _ in meta
+        ):
+            return None
+        ids = {path: node_id for node_id, (_, path, _) in enumerate(meta)}
+        shard_count = self.sharded.shard_count
+        nodes_spec: list[dict] = []
+        levels: dict[int, list[int]] = {}
+        partial_nodes: list[int] = []
+        for node_id, (pnode, path, level) in enumerate(meta):
+            keep = normalization_keep_count(
+                pnode.node.weight, self.display_capacity, max(n, 1))
+            if keep * shard_count <= n // 2:
+                partial_nodes.append(node_id)
+            if isinstance(pnode, LeafPlan):
+                entry = {"id": node_id, "kind": "leaf",
+                         "predicate": pnode.node.predicate, "keep": keep}
+            else:
+                entry = {
+                    "id": node_id, "kind": "composite",
+                    "rule": pnode.rule.name,
+                    "children": [ids[path + (i,)]
+                                 for i in range(len(pnode.children))],
+                    "weights": [float(child.weight)
+                                for child in pnode.children],
+                    "keep": keep,
+                }
+            nodes_spec.append(entry)
+            levels.setdefault(level, []).append(node_id)
+        spec = {
+            "rows": n,
+            "target_max": self.target_max,
+            "nodes": nodes_spec,
+            "levels": [levels[level] for level in sorted(levels)],
+            "partial_nodes": partial_nodes,
+            "topk_target": self.pipeline_topk_target,
+        }
+        return spec, meta
+
+    def _try_pipeline(self, plan) -> bool:
+        """Offer the whole plan to the backend's pipeline op.
+
+        On success, every node's assembled columns are installed into the
+        raw/node LRUs and (when incremental) the per-site slice entries --
+        with the same provenance and the same cold-run slice accounting
+        the in-process path would record -- then the regular plan walk
+        serves them back out.  Returns False when declined; nothing is
+        cached then.
+        """
+        self.pipeline_topk = None
+        self.pipeline_popcounts = None
+        backend = self.backend
+        if (backend is None or self.sharded.shard_count <= 1
+                or len(self.table) == 0):
+            return False
+        built = self._pipeline_spec(plan)
+        if built is None:
+            return False
+        spec, meta = built
+        result = backend.shard_pipeline(self.sharded, spec)
+        if result is None:
+            return False
+        shard_count = self.sharded.shard_count
+        popcounts: dict[NodePath, list[int]] = {}
+        for node_id, (pnode, path, _level) in enumerate(meta):
+            data = result["nodes"][node_id]
+            value_key = pnode.value_key(self.display_capacity, self.target_max)
+            if isinstance(pnode, LeafPlan):
+                predicate = pnode.node.predicate
+                raw = _LeafRaw(
+                    signed=data["signed"],
+                    raw=data["raw"],
+                    exact_mask=data["mask"],
+                    supports_direction=predicate.supports_direction,
+                )
+                self.cache.put_raw(pnode.raw_key, raw)
+                columns = _NodeColumns(
+                    normalized=data["normalized"],
+                    signed=data["signed"] if predicate.supports_direction
+                    else None,
+                    exact_mask=data["mask"],
+                    raw=data["raw"],
+                )
+                slice_extra: dict = {"raw_key": pnode.raw_key}
+            else:
+                columns = _NodeColumns(
+                    normalized=data["normalized"], signed=None,
+                    exact_mask=data["mask"], raw=data["raw"],
+                )
+                slice_extra = {
+                    "child_keys": tuple(
+                        child.value_key(self.display_capacity, self.target_max)
+                        for child in pnode.children),
+                    "child_weights": tuple(
+                        float(child.weight) for child in pnode.children),
+                    "rule": pnode.rule,
+                }
+            self.cache.put_node(value_key, columns)
+            if self.incremental:
+                self.cache.put_slice(self._site_key(path), ShardSliceEntry(
+                    value_key=value_key,
+                    columns=columns,
+                    resolved=data["resolved"],
+                    summaries=data["summaries"],
+                    target_max=self.target_max,
+                    shard_count=shard_count,
+                    generation=self._slice_generation,
+                    **slice_extra,
+                ))
+                self.cache.record_slice(
+                    hit=False, recomputed=shard_count, reused=0)
+            popcounts[path] = data["popcounts"]
+        self.pipeline_popcounts = popcounts
+        topk = result.get("topk")
+        if topk is not None and spec["topk_target"] is not None:
+            self.pipeline_topk = (spec["topk_target"], topk)
+        return True
 
     def event_report(self) -> dict[str, object]:
         """Dirty-shard attribution of the latest :meth:`evaluate` call.
@@ -1096,22 +1147,9 @@ class ShardedPlanEvaluator(PlanEvaluator):
         if resolved is None:
             return np.asarray(
                 [_EMPTY_SUMMARY] * self.sharded.shard_count, dtype=float)
-        d_max = resolved[1]
         if partials is not None:
-            rows = []
-            for partial in partials:
-                if partial.count == 0:
-                    rows.append(_EMPTY_SUMMARY)
-                    continue
-                smallest = partial.smallest
-                rows.append((
-                    float(partial.count),
-                    float(smallest.min()) if len(smallest) else float("inf"),
-                    float(partial.maximum),
-                    float(np.count_nonzero(smallest < d_max)),
-                    float(np.count_nonzero(smallest <= d_max)),
-                ))
-            return np.asarray(rows, dtype=float)
+            return summaries_from_partials(partials, resolved)
+        d_max = resolved[1]
         rows = self._map_shards(
             lambda i: _shard_summary(values[bounds[i][0]:bounds[i][1]], d_max)
         )

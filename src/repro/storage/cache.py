@@ -13,6 +13,7 @@ the underlying table.
 from __future__ import annotations
 
 import threading
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Sequence
 
@@ -29,9 +30,11 @@ Range = tuple[float | None, float | None]
 
 #: Upper bound on the number of disjuncts the union-region fast path
 #: accepts; beyond it OR-shaped requests fall back to one fetch per
-#: disjunct (a cached union of many boxes costs more to cover-check and
-#: filter than the scans it saves).
-MAX_UNION_DISJUNCTS = 4
+#: disjunct.  The merged-interval cover (:meth:`CachedUnionRegion.covers`)
+#: answers the common single-attribute case in one bisection per requested
+#: box instead of the quadratic pairwise scan, so the bound is set by
+#: per-arm filter cost rather than cover-check cost.
+MAX_UNION_DISJUNCTS = 16
 
 
 def _contains(outer: Range, inner: Range) -> bool:
@@ -89,21 +92,86 @@ class CachedUnionRegion:
 
     ``disjuncts`` are the widened boxes actually fetched; ``row_indices``
     is the union of their rows.  The region covers a requested union when
-    every requested box is contained in some cached box -- a sufficient
+    the cached union provably contains every requested box -- a sufficient
     condition (the cached union then contains the requested union), and
     exactness is restored by re-filtering the candidates against the
     requested disjuncts.
+
+    When every cached disjunct constrains exactly one shared attribute
+    (the typical OR: several bands on one slider), containment is decided
+    against a merged-interval cover of that attribute rather than the
+    pairwise box scan.  The cover is strictly more complete: it accepts a
+    request straddling two *overlapping* cached arms (``[1, 2] | [2, 3]``
+    covers ``[1.5, 2.5]``, which no individual cached box does) and costs
+    one bisection per requested box instead of one comparison per cached
+    arm.  Multi-attribute or mixed-attribute disjunct sets fall back to
+    the pairwise check.
     """
 
     disjuncts: list[dict[str, Range]]
     row_indices: np.ndarray
     hits: int = 0
+    #: Lazily built by the first ``covers`` call (under the owning cache's
+    #: lock); ``None`` after building means the cover is inapplicable.
+    _cover: "tuple[str, list[float], list[float]] | None" = field(
+        default=None, init=False, repr=False, compare=False)
+    _cover_built: bool = field(default=False, init=False, repr=False,
+                               compare=False)
+
+    def _interval_cover(self) -> "tuple[str, list[float], list[float]] | None":
+        """Disjoint merged intervals over the one shared attribute.
+
+        Returns ``(attribute, lows, highs)`` with ``lows`` sorted and the
+        intervals pairwise disjoint, or ``None`` when the disjuncts do not
+        all constrain exactly one common attribute.  ``None`` bounds map
+        to +/-inf; closed intervals merge when they touch.
+        """
+        attr: str | None = None
+        intervals: list[tuple[float, float]] = []
+        for cached in self.disjuncts:
+            constrained = [c for c, r in cached.items() if r != (None, None)]
+            if len(constrained) != 1:
+                return None
+            if attr is None:
+                attr = constrained[0]
+            elif constrained[0] != attr:
+                return None
+            low, high = cached[constrained[0]]
+            intervals.append((
+                float("-inf") if low is None else low,
+                float("inf") if high is None else high,
+            ))
+        if attr is None:
+            return None
+        intervals.sort()
+        lows = [intervals[0][0]]
+        highs = [intervals[0][1]]
+        for low, high in intervals[1:]:
+            if low <= highs[-1]:
+                highs[-1] = max(highs[-1], high)
+            else:
+                lows.append(low)
+                highs.append(high)
+        return attr, lows, highs
 
     def covers(self, requested: "list[dict[str, Range]]") -> bool:
-        return all(
-            any(_box_covers(cached, box) for cached in self.disjuncts)
-            for box in requested
-        )
+        if not self._cover_built:
+            self._cover = self._interval_cover()
+            self._cover_built = True
+        if self._cover is None:
+            return all(
+                any(_box_covers(cached, box) for cached in self.disjuncts)
+                for box in requested
+            )
+        attr, lows, highs = self._cover
+        for box in requested:
+            low, high = box.get(attr, (None, None))
+            low = float("-inf") if low is None else low
+            high = float("inf") if high is None else high
+            index = bisect_right(lows, low) - 1
+            if index < 0 or highs[index] < high:
+                return False
+        return True
 
 
 @dataclass
@@ -145,8 +213,10 @@ class PrefetchCache:
     evictions: int = 0
     #: Per-shape breakdown of the aggregate hit/fetch counters: "box" for
     #: conjunctive requests, "union" for OR-shaped ones served by the
-    #: union-region fast path, "union_fallback" counting the per-disjunct
-    #: scans taken when a union request exceeds :data:`MAX_UNION_DISJUNCTS`.
+    #: union-region fast path, "union_fallback" counting oversize union
+    #: requests (beyond :data:`MAX_UNION_DISJUNCTS`) that had to scan at
+    #: least one arm -- fallbacks answered entirely from cached boxes
+    #: count as box hits only.
     shape_counts: dict = field(default_factory=lambda: {
         "box": {"hits": 0, "misses": 0},
         "union": {"hits": 0, "misses": 0},
@@ -328,9 +398,29 @@ class PrefetchCache:
         if len(boxes) == 1:
             return self.query(boxes[0])
         if len(boxes) > MAX_UNION_DISJUNCTS:
-            with self._lock:
-                self.shape_counts["union_fallback"] += 1
-            pieces = [self.query(box) for box in boxes]
+            # Per-disjunct fallback: each arm goes through the ordinary
+            # box hit/fetch accounting.  ``union_fallback`` counts the
+            # event only when at least one arm actually scanned -- a
+            # fallback answered entirely from cached boxes used to be
+            # recorded as a fallback *and* per-box hits, reading as a
+            # miss-shaped event despite touching no data.
+            pieces = []
+            fetched = False
+            for box in boxes:
+                with self._lock:
+                    region = self._covering(box)
+                    if region is not None:
+                        region.hits += 1
+                        self.cache_hits += 1
+                        self.shape_counts["box"]["hits"] += 1
+                        rows = region.row_indices
+                if region is None:
+                    fetched = True
+                    rows = self._fetch(box)
+                pieces.append(self._filter(rows, box))
+            if fetched:
+                with self._lock:
+                    self.shape_counts["union_fallback"] += 1
             return np.unique(np.concatenate(pieces))
         with self._lock:
             region = None

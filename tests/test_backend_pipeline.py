@@ -1,0 +1,324 @@
+"""Whole-pipeline offload tests for the process backend.
+
+Covers the ``shard_pipeline`` protocol end to end (offload fires, replies
+are partials-only, output is bit-identical to the cold in-process run),
+the fault paths it leans on (broken-pool detection after a partial
+broadcast failure, deferred shm eviction while a publication is pinned),
+and fault injection against the pipeline op itself: a worker killed
+mid-session, unpicklable plan state, and shm eviction pressure racing an
+offload -- each must degrade to a bit-identical in-process run.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+import repro.backend.process as proc
+from repro import PipelineConfig, Query, QueryEngine, condition
+from repro.backend.process import WorkerOpError, WorkerPoolError, _WorkerPool
+from repro.backend.shm import ShmColumnStore
+from repro.query import AndNode, OrNode, PredicateLeaf
+from repro.query.predicates import StringMatchPredicate
+
+from test_backend import (
+    _UnpicklablePredicate,
+    assert_frames_identical,
+    cold_frame,
+    make_table,
+    wait_until,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------------- #
+def pipeline_condition(string_predicate=None):
+    """A plan the pipeline op accepts whole: no range leaves anywhere.
+
+    Range leaves keep their index/prefetch/history machinery in-process,
+    so a tree of attribute-threshold and string leaves is the shape that
+    offloads leaf -> normalize -> combine -> mask end to end.
+    """
+    leaf = PredicateLeaf(string_predicate or StringMatchPredicate("s", "row3"))
+    return AndNode([
+        condition("a", "<", 5.0),
+        OrNode([condition("b", ">=", 3.0), leaf]),
+    ])
+
+
+def build_pipeline_prepared(shards=4, *, table=None, cond=None, max_workers=2):
+    table = table if table is not None else make_table()
+    config = PipelineConfig(shard_count=shards, max_workers=max_workers,
+                            backend="process", percentage=0.4)
+    engine = QueryEngine(table, config)
+    query = Query(name="pipeline-test", tables=[table.name],
+                  condition=cond if cond is not None else pipeline_condition())
+    return engine, table, engine.prepare(query)
+
+
+# --------------------------------------------------------------------------- #
+# Offload and bit-identity
+# --------------------------------------------------------------------------- #
+def test_pipeline_offload_fires_and_matches_cold():
+    engine, table, prepared = build_pipeline_prepared(4)
+    try:
+        frame = prepared.execute()
+        assert_frames_identical(cold_frame(table, prepared), frame, "cold")
+        stats = engine.stats()["backend"]
+        assert stats["pipeline_ops"] >= 1
+        assert stats["pipeline_fallbacks"] == 0
+        assert stats["reply_bytes"] > 0
+        # Replies carry partials/popcounts/summaries, never columns: far
+        # below one node's worth of column bytes even for a whole plan.
+        assert stats["reply_bytes"] < len(table) * 8
+
+        # Interior micro-moves keep offloading through the pipeline op.
+        before = stats["pipeline_ops"]
+        for value in (4.0, 4.5, 3.0):
+            prepared.condition.children[0].predicate.value = value
+            frame = prepared.execute()
+            assert_frames_identical(cold_frame(table, prepared), frame,
+                                    f"threshold {value}")
+        after = engine.stats()["backend"]
+        assert after["pipeline_ops"] > before
+        assert after["pipeline_fallbacks"] == 0
+    finally:
+        engine.close()
+
+
+def test_pipeline_offload_matches_cold_many_shards():
+    engine, table, prepared = build_pipeline_prepared(32)
+    try:
+        frame = prepared.execute()
+        assert_frames_identical(cold_frame(table, prepared), frame,
+                                "cold 32 shards")
+        assert engine.stats()["backend"]["pipeline_ops"] >= 1
+    finally:
+        engine.close()
+
+
+def test_range_leaves_stay_in_process():
+    """Plans with range leaves decline the pipeline (prefetch/index path)."""
+    from repro import between
+    cond = AndNode([between("a", -5.0, 15.0), condition("b", ">=", 3.0)])
+    engine, table, prepared = build_pipeline_prepared(4, cond=cond)
+    try:
+        frame = prepared.execute()
+        assert_frames_identical(cold_frame(table, prepared), frame,
+                                "range plan")
+        assert engine.stats()["backend"]["pipeline_ops"] == 0
+    finally:
+        engine.close()
+
+
+# --------------------------------------------------------------------------- #
+# Satellite: broken-pool detection (pipe misalignment on partial failure)
+# --------------------------------------------------------------------------- #
+def test_partial_broadcast_failure_marks_pool_broken_and_refuses_reuse():
+    """A broadcast that fails between send and recv poisons the pipes.
+
+    Worker 0 is healthy and has a reply queued by the time the send to
+    the killed worker 1 raises; reusing the pool would pair the *next*
+    request with that stale reply and return wrong data.  The pool must
+    mark itself broken, refuse every further broadcast, and be replaced
+    by ``_get_pool``.
+    """
+    pool = _WorkerPool(2)
+    replacement = None
+    try:
+        replies, _, _ = pool.broadcast([{"op": "ping"}] * 2, timeout=30.0)
+        assert [r["ok"] for r in replies] == [True, True]
+
+        victim = pool.workers[1][0]
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=10.0)
+        assert not victim.is_alive()
+
+        # Send to worker 0 succeeds (its reply queues); send to the dead
+        # worker 1 raises mid-loop -> transport failure, pool broken.
+        with pytest.raises(WorkerPoolError):
+            pool.broadcast([{"op": "ping"}] * 2, timeout=30.0)
+        assert pool.broken
+
+        # A broken pool refuses instantly, before touching any pipe --
+        # worker 0 still holds its unread reply and must never serve
+        # another request/reply pair.
+        with pytest.raises(WorkerPoolError, match="broken"):
+            pool.broadcast([{"op": "ping"}] * 2, timeout=30.0)
+
+        # _get_pool discards the broken pool and respawns a fresh one.
+        with proc._STATE_LOCK:
+            saved = proc._POOL
+            proc._POOL = pool
+        try:
+            replacement = proc._get_pool(2)
+            assert replacement is not pool
+            assert not replacement.broken
+            replies, _, _ = replacement.broadcast([{"op": "ping"}] * 2,
+                                                  timeout=30.0)
+            assert [r["ok"] for r in replies] == [True, True]
+            assert pool.alive_count() == 0  # broken pool was terminated
+        finally:
+            with proc._STATE_LOCK:
+                if proc._POOL is replacement:
+                    proc._POOL = saved
+    finally:
+        pool.terminate()
+        if replacement is not None:
+            replacement.terminate()
+
+
+def test_op_error_keeps_pool_aligned_and_usable():
+    """A worker-side op failure is a clean reply: pipes stay aligned."""
+    pool = _WorkerPool(2)
+    try:
+        with pytest.raises(WorkerOpError):
+            pool.broadcast([{"op": "no-such-op"}] * 2, timeout=30.0)
+        assert not pool.broken
+        replies, _, _ = pool.broadcast([{"op": "ping"}] * 2, timeout=30.0)
+        assert [r["ok"] for r in replies] == [True, True]
+    finally:
+        pool.terminate()
+
+
+# --------------------------------------------------------------------------- #
+# Satellite: shm eviction deferred while a broadcast holds a pin
+# --------------------------------------------------------------------------- #
+def test_shm_eviction_deferred_until_unpin():
+    evicted = []
+    store = ShmColumnStore(max_tables=1, on_evict=evicted.append)
+    t1, t2 = make_table(seed=1), make_table(seed=2)
+    try:
+        p1 = store.publish(t1)
+        store.pin(p1)
+
+        # Publishing t2 evicts t1 from the LRU, but the pin defers the
+        # unlink: blocks stay linked, workers are not told to drop.
+        p2 = store.publish(t2)
+        assert evicted == []
+        assert not p1.closed
+        stats = store.stats()
+        assert stats["evict_deferred"] == 1
+        assert stats["published_tables"] == 1  # t1 left the LRU already
+
+        store.unpin(p1)
+        assert evicted == [p1]
+        assert p1.closed
+        assert not p2.closed
+    finally:
+        store.close()
+
+
+def test_shm_nested_pins_all_must_drop():
+    evicted = []
+    store = ShmColumnStore(max_tables=1, on_evict=evicted.append)
+    t1, t2 = make_table(seed=3), make_table(seed=4)
+    try:
+        p1 = store.publish(t1)
+        store.pin(p1)
+        store.pin(p1)
+        store.publish(t2)
+        store.unpin(p1)
+        assert evicted == [] and not p1.closed  # one pin still held
+        store.unpin(p1)
+        assert evicted == [p1] and p1.closed
+    finally:
+        store.close()
+
+
+# --------------------------------------------------------------------------- #
+# Fault injection against the pipeline op
+# --------------------------------------------------------------------------- #
+def test_pipeline_worker_killed_falls_back_bit_identical():
+    engine, table, prepared = build_pipeline_prepared(4)
+    try:
+        prepared.execute()
+        backend = engine.execution_backend("process")
+        before = backend.stats()
+        assert before["pipeline_ops"] >= 1
+        pids = backend.worker_pids()
+
+        os.kill(pids[0], signal.SIGKILL)
+        assert wait_until(lambda: backend.stats()["workers_alive"] < 2), \
+            "killed worker still reported alive"
+
+        # The next event's pipeline session hits the dead pipe, aborts,
+        # and the evaluator reruns in-process -- bit-identically.
+        prepared.condition.children[0].predicate.value = 2.0
+        frame = prepared.execute()
+        assert_frames_identical(cold_frame(table, prepared), frame,
+                                "pipeline op against a killed worker")
+        after = backend.stats()
+        assert after["pipeline_fallbacks"] >= before["pipeline_fallbacks"] + 1
+        assert after["worker_restarts"] >= before["worker_restarts"] + 1
+
+        # The pool respawned lazily; later events offload again.
+        prepared.condition.children[0].predicate.value = 6.0
+        frame = prepared.execute()
+        assert_frames_identical(cold_frame(table, prepared), frame,
+                                "pipeline op after respawn")
+        assert backend.stats()["pipeline_ops"] > after["pipeline_ops"]
+    finally:
+        engine.close()
+
+
+def test_pipeline_unpicklable_state_falls_back_without_restart():
+    cond = pipeline_condition(
+        string_predicate=_UnpicklablePredicate("s", "row3"))
+    engine, table, prepared = build_pipeline_prepared(4, cond=cond)
+    try:
+        frame = prepared.execute()
+        assert_frames_identical(cold_frame(table, prepared), frame,
+                                "unpicklable pipeline spec")
+        stats = engine.stats()["backend"]
+        assert stats["pipeline_fallbacks"] >= 1
+        # Serialisation fails before anything is sent: the op's fault,
+        # not the pool's -- no restart, pipes stay aligned.
+        assert stats["worker_restarts"] == 0
+        assert stats["workers_alive"] == stats["worker_count"] > 0
+    finally:
+        engine.close()
+
+
+def test_pipeline_survives_eviction_pressure_racing_offload():
+    """Offloads stay bit-identical while every publish evicts the rest.
+
+    With the store capacity forced to one table, a second engine's
+    publication evicts the first's publication while the first may still
+    broadcast against it -- exactly the race the pin/deferred-unlink path
+    exists for.
+    """
+    saved_max = proc._STORE._max_tables
+    proc._STORE._max_tables = 1
+    engine_a, table_a, prepared_a = build_pipeline_prepared(
+        4, table=make_table(seed=11))
+    engine_b, table_b, prepared_b = build_pipeline_prepared(
+        4, table=make_table(seed=12))
+    try:
+        # Hold a pin on A's publication across B's publish, the way a
+        # long pipeline session would, so B's eviction of A is deferred.
+        published_a = proc._STORE.publish(table_a)
+        proc._STORE.pin(published_a)
+        try:
+            assert_frames_identical(cold_frame(table_b, prepared_b),
+                                    prepared_b.execute(), "B under pin")
+            assert proc._STORE.stats()["evict_deferred"] >= 1
+            assert not published_a.closed
+        finally:
+            proc._STORE.unpin(published_a)
+
+        # Alternate events: each engine's op republishes its own table,
+        # evicting the other's; every frame must stay bit-identical.
+        for value in (4.0, 2.0):
+            prepared_a.condition.children[0].predicate.value = value
+            assert_frames_identical(cold_frame(table_a, prepared_a),
+                                    prepared_a.execute(), f"A {value}")
+            prepared_b.condition.children[0].predicate.value = value
+            assert_frames_identical(cold_frame(table_b, prepared_b),
+                                    prepared_b.execute(), f"B {value}")
+    finally:
+        proc._STORE._max_tables = saved_max
+        engine_a.close()
+        engine_b.close()

@@ -216,6 +216,104 @@ def test_union_covers_requires_every_arm_contained():
     assert not region.covers([{"a": (1.0, 9.0)}, {"a": (45.0, 59.0)}])
 
 
+def test_union_cover_merges_overlapping_arms():
+    """The interval cover accepts a request straddling overlapping arms.
+
+    ``[0, 6] | [4, 10]`` contains every row with ``a`` in ``[0, 10]``, so
+    a requested box ``[3, 8]`` is covered even though no single cached
+    box contains it -- the case the pairwise check used to miss.
+    """
+    region = CachedUnionRegion(
+        disjuncts=[{"a": (0.0, 6.0)}, {"a": (4.0, 10.0)}],
+        row_indices=np.arange(3),
+    )
+    assert region.covers([{"a": (3.0, 8.0)}])
+    assert region.covers([{"a": (0.0, 10.0)}])
+    assert not region.covers([{"a": (3.0, 11.0)}])
+    # Touching closed intervals merge too.
+    touching = CachedUnionRegion(
+        disjuncts=[{"a": (0.0, 5.0)}, {"a": (5.0, 10.0)}],
+        row_indices=np.arange(3),
+    )
+    assert touching.covers([{"a": (2.0, 8.0)}])
+
+
+def test_union_cover_handles_open_bounds_and_foreign_attributes():
+    region = CachedUnionRegion(
+        disjuncts=[{"a": (None, 5.0)}, {"a": (20.0, None)}],
+        row_indices=np.arange(3),
+    )
+    assert region.covers([{"a": (None, 4.0)}, {"a": (25.0, None)}])
+    assert not region.covers([{"a": (10.0, 15.0)}])
+    # A box on a different attribute needs every `a` covered: not here.
+    assert not region.covers([{"b": (0.0, 1.0)}])
+    assert not region.covers([{}])
+
+
+def test_union_cover_multi_attribute_falls_back_pairwise():
+    """Mixed/multi-attribute disjuncts keep the pairwise semantics."""
+    region = CachedUnionRegion(
+        disjuncts=[{"a": (0.0, 10.0)}, {"b": (0.0, 5.0)}],
+        row_indices=np.arange(3),
+    )
+    assert region.covers([{"a": (1.0, 9.0)}, {"b": (1.0, 4.0)}])
+    assert not region.covers([{"a": (1.0, 12.0)}])
+    multi = CachedUnionRegion(
+        disjuncts=[{"a": (0.0, 10.0), "b": (0.0, 5.0)},
+                   {"a": (20.0, 30.0), "b": (0.0, 5.0)}],
+        row_indices=np.arange(3),
+    )
+    assert multi.covers([{"a": (1.0, 9.0), "b": (1.0, 4.0)}])
+    assert not multi.covers([{"a": (1.0, 9.0)}])
+
+
+def test_union_mid_size_served_by_union_region(table):
+    """8 disjuncts (beyond the historical bound of 4) use the union path."""
+    disjuncts = [
+        {"a": (float(k * 12), float(k * 12 + 4))} for k in range(8)
+    ]
+    cache = PrefetchCache(table, margin=0.1)
+    np.testing.assert_array_equal(
+        cache.query_union(disjuncts), brute_union(table, disjuncts))
+    stats = cache.stats()
+    assert stats["by_shape"]["union"]["misses"] == 1
+    assert stats["by_shape"]["union_fallback"] == 0
+    # A narrowing drag on one arm hits the cached union region.
+    disjuncts[3] = {"a": (37.0, 39.0)}
+    np.testing.assert_array_equal(
+        cache.query_union(disjuncts), brute_union(table, disjuncts))
+    assert cache.stats()["by_shape"]["union"]["hits"] == 1
+
+
+def test_union_fallback_not_counted_when_served_from_cached_boxes(table):
+    """An oversize union answered entirely from cached boxes is no fallback.
+
+    The old accounting bumped ``union_fallback`` unconditionally, so a
+    request fully covered by previously widened boxes read as a
+    miss-shaped event despite touching no data.
+    """
+    boxes = [
+        {"a": (float(k * 5), float(k * 5 + 2))}
+        for k in range(MAX_UNION_DISJUNCTS + 1)
+    ]
+    cache = PrefetchCache(table, margin=0.25,
+                          max_regions=len(boxes) + 2)
+    for box in boxes:
+        cache.query(box)  # prime one widened region per arm
+    fetches = cache.fetches
+    np.testing.assert_array_equal(
+        cache.query_union(boxes), brute_union(table, boxes))
+    stats = cache.stats()
+    assert cache.fetches == fetches  # no scans: every arm hit
+    assert stats["by_shape"]["union_fallback"] == 0
+    assert stats["by_shape"]["box"]["hits"] == len(boxes)
+    # Widen one arm past its cached region: now a real fallback event.
+    boxes[0] = {"a": (0.0, 60.0)}
+    np.testing.assert_array_equal(
+        cache.query_union(boxes), brute_union(table, boxes))
+    assert cache.stats()["by_shape"]["union_fallback"] == 1
+
+
 def test_union_clear_resets_shape_stats(table):
     cache = PrefetchCache(table)
     cache.query_union([{"a": (10.0, 20.0)}, {"a": (60.0, 70.0)}])
