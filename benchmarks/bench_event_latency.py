@@ -37,6 +37,7 @@ import numpy as np
 
 from repro import PipelineConfig, QueryEngine
 from repro.interact.events import SetQueryRange
+from repro.obs import Tracer, use_trace, write_chrome_trace
 from repro.query.builder import Query, between, condition
 from repro.query.expr import AndNode, OrNode
 from repro.storage.table import Table
@@ -229,6 +230,83 @@ def test_event_latency_size_sweep(benchmark):
     small = rows[str(SIZES[0])]["p50_ms"]
     large = rows[str(SIZES[-1])]["p50_ms"]
     assert large < small * (SIZES[-1] / SIZES[0]) * 0.5
+
+
+# --------------------------------------------------------------------------- #
+# Trace overhead: the same drag with span tracing on vs off
+# --------------------------------------------------------------------------- #
+TRACE_ARTIFACT = "TRACE_event_latency.json"
+
+
+def test_event_latency_trace_overhead(benchmark):
+    """Enabled tracing must cost <= ~5% on the headline micro-move drag.
+
+    Two engines over the same table run the identical interleaved event
+    stream (the repo's noise-cancelling trick); one side records a full
+    span tree per event through :mod:`repro.obs`, the other runs bare.
+    ``trace_overhead_ratio`` = untraced p50 / traced p50 (1.0 = free,
+    0.95 = 5% overhead) is gated in CI against an absolute 0.95 floor --
+    and the traced side's last few traces land in ``TRACE_event_latency
+    .json`` as a Perfetto-loadable artifact of the run itself.
+    """
+    table = locality_table(250_000)
+    _, traced = _prepare(table, incremental=True)
+    _, untraced = _prepare(table, incremental=True)
+    tracer = Tracer(enabled=True, budget_ms=None, ring_size=8)
+
+    times_traced, times_untraced = [], []
+    high = 990.0
+    for k in range(WARMUP_EVENTS + MEASURED_EVENTS):
+        high -= 0.2
+        event = [SetQueryRange((0,), 5.0, high)]
+        trace = tracer.start("event", step=k)
+        t0 = time.perf_counter()
+        with use_trace(trace):
+            traced.execute(changes=list(event))
+        traced_elapsed = time.perf_counter() - t0
+        tracer.finish(trace)
+        t0 = time.perf_counter()
+        untraced.execute(changes=list(event))
+        untraced_elapsed = time.perf_counter() - t0
+        if k >= WARMUP_EVENTS:
+            times_traced.append(traced_elapsed)
+            times_untraced.append(untraced_elapsed)
+
+    p50_traced, p95_traced = _quantiles(times_traced)
+    p50_untraced, p95_untraced = _quantiles(times_untraced)
+    ratio = p50_untraced / p50_traced
+
+    recent = tracer.recent_traces()
+    write_chrome_trace(TRACE_ARTIFACT, recent)
+    spans_per_event = sum(len(t.spans) for t in recent) / len(recent)
+
+    high_box = [980.0]
+
+    def one_event():
+        high_box[0] -= 0.2
+        trace = tracer.start("event")
+        with use_trace(trace):
+            result = traced.execute(
+                changes=[SetQueryRange((0,), 5.0, high_box[0])])
+        tracer.finish(trace)
+        return result
+
+    benchmark.pedantic(one_event, rounds=3, iterations=1)
+    benchmark.extra_info.update({
+        "rows": 250_000,
+        "shards": SHARDS,
+        "p50_traced_ms": round(p50_traced * 1e3, 3),
+        "p95_traced_ms": round(p95_traced * 1e3, 3),
+        "p50_untraced_ms": round(p50_untraced * 1e3, 3),
+        "p95_untraced_ms": round(p95_untraced * 1e3, 3),
+        "spans_per_event": round(spans_per_event, 1),
+        "trace_overhead_ratio": round(ratio, 3),
+    })
+    # Sanity only (the CI gate owns the 0.95 floor): a catastrophic
+    # overhead regression should fail loudly even in a local run.
+    assert ratio >= 0.5, (
+        f"tracing roughly doubled event latency: traced p50 "
+        f"{p50_traced * 1e3:.2f} ms vs untraced {p50_untraced * 1e3:.2f} ms")
 
 
 # --------------------------------------------------------------------------- #

@@ -12,6 +12,12 @@ noisy neighbour slows both sides of the ratio, so a >20% drop means the
 fast path itself regressed, not the machine.  Absolute latencies in the
 same JSON files are recorded for the trajectory but never gated.
 
+A baseline value may also be written as ``{"min": X}``: an *absolute
+floor* with no tolerance scaling, for metrics whose acceptable bound is
+a contract rather than a measured headline (e.g. ``trace_overhead_ratio``
+must stay >= 0.95 -- tracing may cost at most ~5% -- regardless of what
+any past run measured).
+
 Usage (what .github/workflows/ci.yml runs)::
 
     python benchmarks/check_regression.py \
@@ -71,15 +77,23 @@ def main(argv: list[str] | None = None) -> int:
                     failures.append(
                         f"{file_name}:{test_name}:{metric}: missing from extra_info")
                     continue
-                floor = baseline * (1.0 - args.tolerance)
+                if isinstance(baseline, dict):
+                    # {"min": X}: an absolute floor, no tolerance applied.
+                    floor = float(baseline["min"])
+                    shown = floor
+                    detail = f"absolute floor {floor}"
+                else:
+                    shown = float(baseline)
+                    floor = shown * (1.0 - args.tolerance)
+                    detail = (f"baseline {baseline}, "
+                              f"tolerance {args.tolerance:.0%}")
                 ok = float(current) >= floor
-                rows.append((test_name, metric, float(baseline), float(current),
+                rows.append((test_name, metric, shown, float(current),
                              floor, "ok" if ok else "REGRESSED"))
                 if not ok:
                     failures.append(
                         f"{test_name}:{metric} regressed: {current} < "
-                        f"{floor:.2f} (baseline {baseline}, "
-                        f"tolerance {args.tolerance:.0%})")
+                        f"{floor:.2f} ({detail})")
 
     if rows:
         width = max(len(r[0]) for r in rows) + 2

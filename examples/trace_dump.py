@@ -1,0 +1,147 @@
+"""Pull slow-event traces from a running feedback service into Perfetto.
+
+Connects to a :class:`~repro.service.FeedbackService` exposed over the
+JSON-lines protocol, fetches the retained traces of events that blew
+``ServiceConfig.trace_budget_ms`` via the ``trace`` op, prints each
+event's explain record (which certificate failed, how many shards
+recomputed, whether the backend fell back), and writes the whole set as
+Chrome trace-event JSON -- open the file at https://ui.perfetto.dev to
+see the stitched span tree from protocol receive down to the worker
+kernels.
+
+Run against a live server::
+
+    python examples/trace_dump.py HOST PORT [--out traces.json]
+    [--session s1] [--recent]
+
+or with no arguments as a self-contained demo: it starts a traced
+service over the synthetic environmental database, drives one cold open
+plus a drag burst through the protocol, then dumps its own slow ring::
+
+    python examples/trace_dump.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+
+from repro.obs import write_chrome_trace
+from repro.service.protocol import FeedbackProtocolServer
+
+
+async def request(reader, writer, payload: dict) -> dict:
+    writer.write(json.dumps(payload).encode() + b"\n")
+    await writer.drain()
+    response = json.loads(await reader.readline())
+    if not response.get("ok"):
+        raise RuntimeError(f"server error [{response.get('code')}]: "
+                           f"{response.get('error')}")
+    return response
+
+
+async def dump_traces(host: str, port: int, out: str,
+                      session: str | None = None,
+                      include_recent: bool = False) -> int:
+    """Fetch retained traces over the wire and write ``out``; returns count."""
+    reader, writer = await asyncio.open_connection(
+        host, port, limit=FeedbackProtocolServer.STREAM_LIMIT)
+    try:
+        payload: dict = {"op": "trace", "include_recent": include_recent}
+        if session is not None:
+            payload["session"] = session
+        response = await request(reader, writer, payload)
+    finally:
+        writer.close()
+    traces = response["traces"]
+    for trace in traces:
+        header = (f"trace #{trace['trace_id']} {trace['name']!r} "
+                  f"session={trace['attrs'].get('session')} "
+                  f"{trace['duration_ms']:.1f} ms, {len(trace['spans'])} spans")
+        explain = trace.get("explain")
+        if explain is None:
+            print(header)
+            continue
+        print(f"{header}  [SLOW, budget {explain['budget_ms']} ms]")
+        for failure in explain["certificates_failed"]:
+            print(f"  certificate failed: {failure['certificate']} "
+                  f"at node {failure['node']} ({failure['span']})")
+        print(f"  shards recomputed/reused: {explain['shards_recomputed']}"
+              f"/{explain['shards_reused']}, "
+              f"root dirty: {explain['root_dirty_shards']}, "
+              f"backend fallbacks: {explain['backend_fallbacks']}, "
+              f"worker restarts: {explain['worker_restarts']}")
+        for slow in explain["slowest_spans"]:
+            print(f"    {slow['duration_ms']:8.2f} ms  {slow['name']}")
+    if traces:
+        write_chrome_trace(out, traces)
+        print(f"\nwrote {len(traces)} trace(s) to {out} "
+              f"-- open at https://ui.perfetto.dev")
+    else:
+        print("no retained traces (is the service running with "
+              "ServiceConfig(trace_enabled=True)?)")
+    return len(traces)
+
+
+async def demo(out: str) -> None:
+    """Self-contained: traced service + drag burst + dump, one process."""
+    from repro import FeedbackService, PipelineConfig, ServiceConfig
+    from repro.datasets import environmental_database
+    from repro.service import serve
+
+    database = environmental_database(hours=1200, stations=3, seed=3)
+    config = ServiceConfig(
+        trace_enabled=True,
+        # A deliberately tight budget so the demo's events land in the
+        # slow ring; production budgets are tens to hundreds of ms.
+        trace_budget_ms=0.5,
+    )
+    async with FeedbackService(database, PipelineConfig(percentage=0.3),
+                               service_config=config) as service:
+        server = await serve(service)
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", server.port, limit=FeedbackProtocolServer.STREAM_LIMIT)
+        opened = await request(reader, writer, {
+            "op": "open",
+            "query": ("SELECT * FROM Weather WHERE Temperature > 12 "
+                      "AND Humidity BETWEEN 30 AND 80"),
+        })
+        session = opened["session"]
+        for step in range(40):
+            await request(reader, writer, {
+                "op": "event", "session": session,
+                "event": {"type": "threshold", "path": [0],
+                          "value": 12.0 + step * 0.1},
+            })
+        await request(reader, writer, {"op": "snapshot", "session": session,
+                                       "top": 3})
+        writer.close()
+        await dump_traces("127.0.0.1", server.port, out, session=session)
+        await server.aclose()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Dump a feedback service's slow-event traces for Perfetto")
+    parser.add_argument("host", nargs="?", help="server host (omit for demo)")
+    parser.add_argument("port", nargs="?", type=int, help="server port")
+    parser.add_argument("--out", default="traces.json",
+                        help="output Chrome trace-event JSON path")
+    parser.add_argument("--session", default=None,
+                        help="only this session's traces")
+    parser.add_argument("--recent", action="store_true",
+                        help="include the recent (fast) trace ring too")
+    args = parser.parse_args()
+    if args.host is None:
+        asyncio.run(demo(args.out))
+    elif args.port is None:
+        parser.error("PORT is required when HOST is given")
+    else:
+        asyncio.run(dump_traces(args.host, args.port, args.out,
+                                session=args.session,
+                                include_recent=args.recent))
+
+
+if __name__ == "__main__":
+    main()

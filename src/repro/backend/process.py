@@ -48,6 +48,7 @@ from repro.core.reduction import (
     resolve_distance_bounds,
     summaries_from_partials,
 )
+from repro.obs import trace as obs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.shard import ShardedTable
@@ -366,14 +367,41 @@ class ProcessBackend(ExecBackend):
             if published is not None:
                 _STORE.unpin(published)
 
+    def _broadcast(self, pool: _WorkerPool, messages: list[dict],
+                   name: str, **attrs: Any):
+        """``pool.broadcast`` wrapped in a span when a trace is ambient.
+
+        Tags each message with ``trace=True`` so workers time the op on
+        their own clock and ship span records back in the reply; those
+        records are stitched under this round's span so the parent trace
+        shows coordinator wait and worker compute side by side.  Without
+        an ambient trace this is a plain broadcast -- no tag, no span,
+        byte-identical pipe traffic.
+        """
+        if not obs.trace_active():
+            return pool.broadcast(messages, self.op_timeout)
+        for m in messages:
+            m["trace"] = True
+        with obs.span(name, workers=pool.size, **attrs) as round_span:
+            replies, bytes_out, bytes_in = pool.broadcast(
+                messages, self.op_timeout)
+            round_span.annotate(bytes_out=bytes_out, bytes_in=bytes_in)
+            for reply in replies:
+                records = reply.get("spans")
+                if records:
+                    round_span.trace.add_remote_spans(
+                        round_span.span_id, records,
+                        tid=f"worker-{reply.get('pid', '?')}")
+        return replies, bytes_out, bytes_in
+
     def _ensure_attached(self, pool: _WorkerPool,
                          published: PublishedTable) -> int:
         """Attach ``published`` on every worker once per pool generation."""
         if published.key in pool.attached:
             return 0
         msg = {"op": "attach", "manifest": published.manifest}
-        _, bytes_out, bytes_in = pool.broadcast([msg] * pool.size,
-                                                self.op_timeout)
+        _, bytes_out, bytes_in = self._broadcast(
+            pool, [msg] * pool.size, "backend.attach", table=published.key)
         pool.attached.add(published.key)
         return bytes_out + bytes_in
 
@@ -400,7 +428,8 @@ class ProcessBackend(ExecBackend):
                 }
                 for w in range(pool.size)
             ]
-            _, bytes_out, bytes_in = pool.broadcast(messages, self.op_timeout)
+            _, bytes_out, bytes_in = self._broadcast(
+                pool, messages, "backend.broadcast", op="leaf", kind=kind)
             result = np.ndarray(rows, dtype=dtype, buffer=out.buf).copy()
         finally:
             try:
@@ -492,8 +521,8 @@ class ProcessBackend(ExecBackend):
                     "out": block.name,
                     "shards": shards[w],
                 } for w in range(pool.size)]
-                replies, bytes_out, bytes_in = pool.broadcast(
-                    messages, self.op_timeout)
+                replies, bytes_out, bytes_in = self._broadcast(
+                    pool, messages, "pipeline.round", op="pipeline_start")
                 started = True
                 reply_bytes = bytes_in
                 traffic += bytes_out + bytes_in
@@ -520,8 +549,9 @@ class ProcessBackend(ExecBackend):
                                        if target is not None else None)
                     else:
                         msg["combine"] = levels[level_no]
-                    replies, bytes_out, bytes_in = pool.broadcast(
-                        [msg] * pool.size, self.op_timeout)
+                    replies, bytes_out, bytes_in = self._broadcast(
+                        pool, [msg] * pool.size, "pipeline.round",
+                        op=msg["op"])
                     reply_bytes += bytes_in
                     traffic += bytes_out + bytes_in
                     topk_parts = self._gather(
@@ -640,6 +670,13 @@ class ProcessBackend(ExecBackend):
                 self._counters["worker_restarts"] += 1
             if pipeline:
                 self._counters["pipeline_fallbacks"] += 1
+        # Lands on the ambient span (leaf.raw / pipeline.offload) so the
+        # slow-event explain record can report that the answer was served
+        # by the in-process fallback rather than the pool.
+        if restart:
+            obs.annotate(backend_fallbacks=1, worker_restarts=1)
+        else:
+            obs.annotate(backend_fallbacks=1)
 
     # ------------------------------------------------------------------ #
     # Introspection

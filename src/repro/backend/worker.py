@@ -18,6 +18,7 @@ the pool.
 from __future__ import annotations
 
 import os
+import time
 from typing import Any
 
 import numpy as np
@@ -26,6 +27,29 @@ from repro.backend.pipeline import WorkerPipeline
 from repro.backend.shm import attach_block, build_table_from_manifest
 
 __all__ = ["worker_main"]
+
+
+def _op_spans(msg: dict[str, Any], t0: float, op: str,
+              **attrs: Any) -> dict[str, Any]:
+    """Worker-side span records for one op, when the coordinator asked.
+
+    Timed on this worker's own ``perf_counter`` -- the coordinator cannot
+    share a clock with us, so spans ship as ``(start, dur)`` relative to
+    the op start and get stitched under the broadcast span that awaited
+    this reply (:meth:`repro.obs.trace.Trace.add_remote_spans`).  Without
+    ``msg["trace"]`` the reply stays exactly as before: zero extra bytes.
+    """
+    if not msg.get("trace"):
+        return {}
+    return {
+        "pid": os.getpid(),
+        "spans": [{
+            "name": f"worker.{op}",
+            "start": 0.0,
+            "dur": time.perf_counter() - t0,
+            "attrs": {"pid": os.getpid(), **attrs},
+        }],
+    }
 
 
 class _AttachedTable:
@@ -107,23 +131,34 @@ def worker_main(conn) -> None:
                         entry.close()
                     conn.send({"ok": True})
                 elif op == "leaf":
+                    t0 = time.perf_counter()
                     _run_leaf(tables, msg)
-                    conn.send({"ok": True})
+                    conn.send({"ok": True,
+                               **_op_spans(msg, t0, "leaf",
+                                           kind=msg["kind"],
+                                           shards=len(msg["spans"]))})
                 elif op == "pipeline_start":
                     drop_pipeline()
+                    t0 = time.perf_counter()
                     pipeline = WorkerPipeline(
                         tables[msg["table_id"]].table, msg)
-                    conn.send({"ok": True, **pipeline.start()})
+                    conn.send({"ok": True, **pipeline.start(),
+                               **_op_spans(msg, t0, "pipeline_start")})
                 elif op in ("pipeline_level", "pipeline_finish"):
                     if pipeline is None or pipeline.token != msg["token"]:
                         conn.send({"ok": False,
                                    "error": f"{op}: no matching session"})
                     elif op == "pipeline_level":
-                        conn.send({"ok": True, **pipeline.level(msg)})
+                        t0 = time.perf_counter()
+                        payload = pipeline.level(msg)
+                        conn.send({"ok": True, **payload,
+                                   **_op_spans(msg, t0, "pipeline_level")})
                     else:
+                        t0 = time.perf_counter()
                         payload = pipeline.finish(msg)
                         drop_pipeline()
-                        conn.send({"ok": True, **payload})
+                        conn.send({"ok": True, **payload,
+                                   **_op_spans(msg, t0, "pipeline_finish")})
                 elif op == "pipeline_abort":
                     drop_pipeline()
                     conn.send({"ok": True})

@@ -36,6 +36,7 @@ from typing import Sequence, Union
 import numpy as np
 
 from repro.core.normalization import NORMALIZED_MAX
+from repro.obs import trace as obs
 from repro.core.plan import (
     CacheStats,
     CompositePlan,
@@ -1214,7 +1215,8 @@ class PreparedQuery:
         if changes:
             for event in changes:
                 self.apply_change(event)
-        self.refresh()
+        with obs.span("engine.refresh"):
+            self.refresh()
         condition = self._effective
         table = self.table
         n = len(table)
@@ -1271,7 +1273,12 @@ class PreparedQuery:
                     cache=self.engine.evaluation_cache(table),
                     prefetch=self.engine.prefetch_for(table),
                 )
-            node_feedback = evaluator.evaluate(self._plan)
+            with obs.span("plan.evaluate", shards=shard_count,
+                          backend=self.backend_name if shard_count > 1 else None
+                          ) as eval_span:
+                node_feedback = evaluator.evaluate(self._plan)
+                if incremental:
+                    eval_span.annotate(**evaluator.event_report())
             overall = node_feedback[()]
             root_delta = evaluator.node_deltas.get(()) if incremental else None
             pixel_budget = max(1, self.config.screen.pixels // self.config.pixels_per_item)
@@ -1282,31 +1289,38 @@ class PreparedQuery:
             )
             displayed = None
             if sharded is not None:
-                displayed = self._displayed_incremental(
-                    overall.normalized_distances, sharded, method,
-                    root_delta, executor,
-                    pipeline_topk=getattr(evaluator, "pipeline_topk", None),
-                )
-                if displayed is None:
-                    displayed = sharded_select_display_set(
+                with obs.span("displayed.select", method=method.name) as sel:
+                    displayed = self._displayed_incremental(
+                        overall.normalized_distances, sharded, method,
+                        root_delta, executor,
+                        pipeline_topk=getattr(evaluator, "pipeline_topk", None),
+                    )
+                    # The displayed-set certificate: the per-shard top-k
+                    # partial path held (patched/reused) or the selection
+                    # fell back to a full sharded pass.
+                    sel.annotate(certificate="displayed-topk", node="()",
+                                 certified=displayed is not None)
+                    if displayed is None:
+                        displayed = sharded_select_display_set(
+                            overall.normalized_distances,
+                            sharded,
+                            capacity=pixel_budget,
+                            n_selection_predicates=n_predicates,
+                            method=method,
+                            percentage=self.config.percentage,
+                            multipeak_z=self.config.multipeak_z,
+                            executor=executor,
+                        )
+            else:
+                with obs.span("displayed.select", method=method.name):
+                    displayed = select_display_set(
                         overall.normalized_distances,
-                        sharded,
                         capacity=pixel_budget,
                         n_selection_predicates=n_predicates,
                         method=method,
                         percentage=self.config.percentage,
                         multipeak_z=self.config.multipeak_z,
-                        executor=executor,
                     )
-            else:
-                displayed = select_display_set(
-                    overall.normalized_distances,
-                    capacity=pixel_budget,
-                    n_selection_predicates=n_predicates,
-                    method=method,
-                    percentage=self.config.percentage,
-                    multipeak_z=self.config.multipeak_z,
-                )
         if len(displayed) > capacity_items:
             # More items fall inside the quantile window than fit on screen
             # (ties at the threshold): keep the closest ones.
@@ -1319,21 +1333,24 @@ class PreparedQuery:
         display_order = displayed[
             np.argsort(overall.normalized_distances[displayed], kind="stable")
         ]
-        relevance = self._relevance_incremental(
-            overall.normalized_distances, sharded, root_delta
-        )
+        with obs.span("relevance.update"):
+            relevance = self._relevance_incremental(
+                overall.normalized_distances, sharded, root_delta
+            )
         # The sharded evaluator already derived the root's value key for its
         # node delta (same fingerprint function, same capacity/target_max);
         # only the monolithic path needs the plan walk.
         root_key = (root_delta.value_key if root_delta is not None
                     else self._plan.value_key(capacity_items, self.config.target_max))
+        with obs.span("result_count"):
+            num_results = self._result_count_incremental(
+                overall.exact_mask, sharded if incremental else None, root_delta
+            )
         statistics = FeedbackStatistics(
             num_objects=n,
             num_displayed=len(display_order),
             percentage_displayed=(len(display_order) / n) if n else 0.0,
-            num_results=self._result_count_incremental(
-                overall.exact_mask, sharded if incremental else None, root_delta
-            ),
+            num_results=num_results,
         )
         self.executions += 1
         extra = {
@@ -1349,10 +1366,11 @@ class PreparedQuery:
             # and how many node columns were patched vs. served wholesale.
             extra["incremental"] = evaluator.event_report()
         displayed_sorted = np.sort(display_order)
-        delta = self._frame_delta(
-            display_order, displayed_sorted, relevance, root_key,
-            sharded, root_delta, n,
-        )
+        with obs.span("frame.delta"):
+            delta = self._frame_delta(
+                display_order, displayed_sorted, relevance, root_key,
+                sharded, root_delta, n,
+            )
         self._frame_counter += 1
         frame_id = self._frame_counter
         base_frame_id = self._frame_state.frame_id if self._frame_state else None

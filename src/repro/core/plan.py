@@ -39,6 +39,7 @@ import numpy as np
 from repro.core.combine import CombinationRule, combine_columns
 from repro.core.normalization import NORMALIZED_MAX, reduced_normalization
 from repro.core.result import NodeFeedback
+from repro.obs import trace as obs
 from repro.query.expr import (
     AndNode,
     NodePath,
@@ -541,10 +542,13 @@ class PlanEvaluator:
     # ------------------------------------------------------------------ #
     def _evaluate(self, plan: PlanNode, path: NodePath,
                   feedback: dict[NodePath, NodeFeedback]) -> _NodeColumns:
-        if isinstance(plan, LeafPlan):
-            columns = self._leaf_columns(plan, path)
-        else:
-            columns = self._composite_columns(plan, path, feedback)
+        is_leaf = isinstance(plan, LeafPlan)
+        with obs.span("node.evaluate", node=str(path),
+                      kind="leaf" if is_leaf else "composite"):
+            if is_leaf:
+                columns = self._leaf_columns(plan, path)
+            else:
+                columns = self._composite_columns(plan, path, feedback)
         feedback[path] = NodeFeedback(
             path=path,
             label=plan.node.label,
@@ -561,12 +565,18 @@ class PlanEvaluator:
         value_key = plan.value_key(self.display_capacity, self.target_max)
         columns = self.cache.get_node(value_key)
         if columns is not None:
+            obs.annotate(cache="node-hit")
             return columns
         raw = self.cache.get_raw(plan.raw_key)
         if raw is None:
-            raw = self._compute_leaf_raw(plan.node, plan.raw_key)
+            with obs.span("leaf.raw"):
+                raw = self._compute_leaf_raw(plan.node, plan.raw_key)
             self.cache.put_raw(plan.raw_key, raw)
-        normalized = self._normalize(raw.raw, plan.node.weight)
+            obs.annotate(cache="miss")
+        else:
+            obs.annotate(cache="raw-hit")
+        with obs.span("normalize"):
+            normalized = self._normalize(raw.raw, plan.node.weight)
         columns = _NodeColumns(
             normalized=normalized,
             signed=raw.signed if raw.supports_direction else None,
@@ -732,24 +742,29 @@ class PlanEvaluator:
         value_key = plan.value_key(self.display_capacity, self.target_max)
         columns = self.cache.get_node(value_key)
         if columns is not None:
+            obs.annotate(cache="node-hit")
             return columns
+        obs.annotate(cache="miss")
         weights = np.array([child.weight for child in plan.children], dtype=float)
-        combined = self._combine(
-            plan.rule, [c.normalized for c in child_columns], weights
-        )
-        normalized = self._normalize(combined, plan.node.weight)
-        if plan.rule is CombinationRule.AND:
-            exact = np.ones(len(self.table), dtype=bool)
-            for c in child_columns:
-                exact &= c.exact_mask
-        else:
-            boxes = self._union_boxes(plan) if self.prefetch is not None else None
-            if boxes is not None:
-                exact = self.prefetch.fulfilment_mask_union(boxes)
-            else:
-                exact = np.zeros(len(self.table), dtype=bool)
+        with obs.span("combine", rule=plan.rule.name):
+            combined = self._combine(
+                plan.rule, [c.normalized for c in child_columns], weights
+            )
+        with obs.span("normalize"):
+            normalized = self._normalize(combined, plan.node.weight)
+        with obs.span("mask"):
+            if plan.rule is CombinationRule.AND:
+                exact = np.ones(len(self.table), dtype=bool)
                 for c in child_columns:
-                    exact |= c.exact_mask
+                    exact &= c.exact_mask
+            else:
+                boxes = self._union_boxes(plan) if self.prefetch is not None else None
+                if boxes is not None:
+                    exact = self.prefetch.fulfilment_mask_union(boxes)
+                else:
+                    exact = np.zeros(len(self.table), dtype=bool)
+                    for c in child_columns:
+                        exact |= c.exact_mask
         columns = _NodeColumns(normalized=normalized, signed=None, exact_mask=exact, raw=combined)
         self.cache.put_node(value_key, columns)
         return columns

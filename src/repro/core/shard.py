@@ -75,6 +75,7 @@ from repro.core.reduction import (
     summaries_from_partials,
     topk_candidates,
 )
+from repro.obs import trace as obs
 from repro.query.expr import NodePath, PredicateLeaf, SubqueryNode
 from repro.query.fingerprint import stable_fingerprint
 from repro.query.predicates import RangePredicate
@@ -444,7 +445,9 @@ class ShardedPlanEvaluator(PlanEvaluator):
         # frames are built by the exact same code path as always.  A
         # declined or faulted op leaves the caches untouched and the walk
         # computes everything in-process.
-        self._try_pipeline(plan)
+        with obs.span("pipeline.offload") as offload:
+            accepted = self._try_pipeline(plan)
+            offload.annotate(accepted=accepted)
         return super().evaluate(plan)
 
     # ------------------------------------------------------------------ #
@@ -1109,6 +1112,9 @@ class ShardedPlanEvaluator(PlanEvaluator):
                     hit=True, recomputed=len(dirty),
                     reused=shard_count - len(dirty), shortcircuit=True,
                 )
+            obs.annotate(certificate="bounds", certified=certified,
+                         shortcircuit=True, shards_recomputed=len(dirty),
+                         shards_reused=shard_count - len(dirty))
             out_dirty: frozenset | None = dirty
         else:
             out = np.empty(n, dtype=float)
@@ -1129,6 +1135,12 @@ class ShardedPlanEvaluator(PlanEvaluator):
                 )
             else:
                 summaries = None
+            if patched:
+                # A patch was attempted and every shard renormalized: the
+                # counting certificate failed (or certified *moved* bounds).
+                obs.annotate(certificate="bounds", certified=certified,
+                             shortcircuit=False,
+                             shards_recomputed=shard_count, shards_reused=0)
             out_dirty = None
         return normalized, resolved, summaries, out_dirty
 

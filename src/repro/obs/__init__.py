@@ -1,0 +1,43 @@
+"""Observability: span tracing and the unified metrics registry.
+
+``repro.obs`` is the cross-cutting layer the rest of the pipeline reports
+into: :mod:`repro.obs.trace` times one event end to end (protocol receive
+through worker kernels to the wire send) and :mod:`repro.obs.metrics`
+holds every counter behind one :class:`~repro.obs.metrics.MetricsRegistry`.
+Instrumentation call sites use the ambient helpers (:func:`span`,
+:func:`annotate`), which cost one context-variable read when tracing is
+off.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    Span,
+    Trace,
+    Tracer,
+    annotate,
+    build_explain,
+    chrome_trace_events,
+    current_trace,
+    span,
+    trace_active,
+    use_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "Tracer",
+    "annotate",
+    "build_explain",
+    "chrome_trace_events",
+    "current_trace",
+    "span",
+    "trace_active",
+    "use_trace",
+    "write_chrome_trace",
+]

@@ -1,112 +1,139 @@
 """Counters and latency quantiles for the feedback service.
 
-Everything here is deliberately cheap -- plain ints and a bounded sample
-window -- because the metrics are updated on the hot path of every event
-and every pipeline run.  Percentiles are computed on demand from the most
-recent samples (a full-precision histogram would be overkill for a p50/p95
-readout of an interactive loop).
+Storage lives in :mod:`repro.obs.metrics`: every counter here is an atomic
+:class:`~repro.obs.metrics.Counter` in a shared
+:class:`~repro.obs.metrics.MetricsRegistry`, because the same counter is
+bumped from the scheduler loop *and* executor threads (a bare ``+= 1``
+races).  :class:`SessionMetrics`/:class:`ServiceMetrics` are views: they
+expose the historical attribute names read-only (tests and callers keep
+reading ``metrics.events_received``) and their ``snapshot()`` dictionaries
+keep the exact keys CI asserts on; writers go through :meth:`inc`.
+
+Latency quantiles come from :class:`~repro.obs.metrics.Histogram`, whose
+``percentile`` copies the sample window under the lock and sorts the copy
+outside it -- the metrics read path must not hold the lock for an
+O(n log n) sort while ``record()`` contends from executor threads.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import deque
+from repro.obs.metrics import Histogram, MetricsRegistry
 
 __all__ = ["LatencyWindow", "SessionMetrics", "ServiceMetrics"]
 
 
-class LatencyWindow:
+class LatencyWindow(Histogram):
     """A bounded window of recent durations with nearest-rank percentiles."""
 
     def __init__(self, maxlen: int = 512):
-        self._samples: "deque[float]" = deque(maxlen=maxlen)
-        self._lock = threading.Lock()
-        self.count = 0
+        super().__init__(window=maxlen)
 
     def record(self, seconds: float) -> None:
-        with self._lock:
-            self._samples.append(float(seconds))
-            self.count += 1
-
-    def percentile(self, q: float) -> float:
-        """Nearest-rank percentile (``q`` in [0, 100]) over the window, in seconds."""
-        if not 0.0 <= q <= 100.0:
-            raise ValueError("q must be in [0, 100]")
-        with self._lock:
-            samples = sorted(self._samples)
-        if not samples:
-            return 0.0
-        rank = max(1, int(-(-q * len(samples) // 100)))  # ceil without floats
-        return samples[min(rank, len(samples)) - 1]
-
-    @property
-    def p50(self) -> float:
-        return self.percentile(50.0)
-
-    @property
-    def p95(self) -> float:
-        return self.percentile(95.0)
+        self.observe(seconds)
 
 
-class SessionMetrics:
+class _CounterView:
+    """Shared machinery: named atomic counters + read-only attribute views."""
+
+    #: Counter names, in report order; subclasses define them.
+    COUNTERS: tuple[str, ...] = ()
+    #: Registry name prefix (``session``/``service``).
+    PREFIX = ""
+
+    def __init__(self, registry: MetricsRegistry | None = None, **labels: str):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.labels = labels
+        self._counters = {
+            name: self.registry.counter(f"{self.PREFIX}_{name}", **labels)
+            for name in self.COUNTERS
+        }
+        self.run_latency = LatencyWindow()
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Atomically bump one counter (the only mutation path)."""
+        self._counters[name].inc(amount)
+
+    def set(self, name: str, value: int) -> None:
+        """Overwrite a counter mirroring an external total (render cache)."""
+        self._counters[name].set(value)
+
+    def __getattr__(self, name: str):
+        # Only consulted for names missing from the instance dict: serve
+        # the counter values so ``metrics.events_received`` keeps reading.
+        try:
+            return self.__dict__["_counters"][name].value
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def release(self) -> None:
+        """Drop this view's counters from the registry (session closed)."""
+        for name in self.COUNTERS:
+            self.registry.remove(f"{self.PREFIX}_{name}", **self.labels)
+
+
+class SessionMetrics(_CounterView):
     """Per-session counters, updated by the queue, scheduler and executor."""
 
-    def __init__(self):
-        self.events_received = 0
-        self.events_coalesced = 0
-        self.events_shed = 0
-        self.events_executed = 0
-        self.runs = 0
-        self.render_hits = 0
-        self.render_misses = 0
-        #: Runs whose displayed set (hence every window) was provably
-        #: unchanged -- the frame was served without re-rendering anything.
-        self.snapshots_reused = 0
-        self.run_latency = LatencyWindow()
+    PREFIX = "session"
+    COUNTERS = (
+        "events_received",
+        "events_coalesced",
+        "events_shed",
+        "events_executed",
+        "runs",
+        "render_hits",
+        "render_misses",
+        # Runs whose displayed set (hence every window) was provably
+        # unchanged -- the frame was served without re-rendering anything.
+        "snapshots_reused",
+    )
 
     def snapshot(self, queue_depth: int = 0) -> dict[str, object]:
         """One row of the metrics report (all durations in milliseconds)."""
+        counters = self._counters
         return {
-            "events_received": self.events_received,
-            "events_coalesced": self.events_coalesced,
-            "events_shed": self.events_shed,
-            "events_executed": self.events_executed,
-            "runs": self.runs,
+            "events_received": counters["events_received"].value,
+            "events_coalesced": counters["events_coalesced"].value,
+            "events_shed": counters["events_shed"].value,
+            "events_executed": counters["events_executed"].value,
+            "runs": counters["runs"].value,
             "queue_depth": queue_depth,
-            "render_hits": self.render_hits,
-            "render_misses": self.render_misses,
-            "snapshots_reused": self.snapshots_reused,
+            "render_hits": counters["render_hits"].value,
+            "render_misses": counters["render_misses"].value,
+            "snapshots_reused": counters["snapshots_reused"].value,
             "run_p50_ms": round(self.run_latency.p50 * 1e3, 3),
             "run_p95_ms": round(self.run_latency.p95 * 1e3, 3),
         }
 
 
-class ServiceMetrics:
+class ServiceMetrics(_CounterView):
     """Global counters of one :class:`~repro.service.service.FeedbackService`."""
 
-    def __init__(self):
-        self.sessions_opened = 0
-        self.sessions_closed = 0
-        self.sessions_expired = 0
-        self.sessions_rejected = 0
-        self.events_received = 0
-        self.events_coalesced = 0
-        self.events_shed = 0
-        self.events_executed = 0
-        self.runs = 0
-        self.run_latency = LatencyWindow()
+    PREFIX = "service"
+    COUNTERS = (
+        "sessions_opened",
+        "sessions_closed",
+        "sessions_expired",
+        "sessions_rejected",
+        "events_received",
+        "events_coalesced",
+        "events_shed",
+        "events_executed",
+        "runs",
+    )
 
     def snapshot(self) -> dict[str, object]:
+        counters = self._counters
         return {
-            "sessions_opened": self.sessions_opened,
-            "sessions_closed": self.sessions_closed,
-            "sessions_expired": self.sessions_expired,
-            "sessions_rejected": self.sessions_rejected,
-            "events_received": self.events_received,
-            "events_coalesced": self.events_coalesced,
-            "events_shed": self.events_shed,
-            "events_executed": self.events_executed,
-            "runs": self.runs,
+            "sessions_opened": counters["sessions_opened"].value,
+            "sessions_closed": counters["sessions_closed"].value,
+            "sessions_expired": counters["sessions_expired"].value,
+            "sessions_rejected": counters["sessions_rejected"].value,
+            "events_received": counters["events_received"].value,
+            "events_coalesced": counters["events_coalesced"].value,
+            "events_shed": counters["events_shed"].value,
+            "events_executed": counters["events_executed"].value,
+            "runs": counters["runs"].value,
             "run_p50_ms": round(self.run_latency.p50 * 1e3, 3),
             "run_p95_ms": round(self.run_latency.p95 * 1e3, 3),
         }

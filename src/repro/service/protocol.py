@@ -26,6 +26,16 @@ client, or the bundled example.  Requests carry an ``op``.
 ``{"op": "metrics"}``, ``{"op": "close", "session": "s1"}``,
 ``{"op": "ping"}``
     Introspection and lifecycle.
+``{"op": "trace", "session": "s1", "include_recent": false, "limit": 16,
+"format": "chrome"}``
+    Slow-event forensics: the retained traces of events that blew
+    ``ServiceConfig.trace_budget_ms`` (full span tree + explain record),
+    newest last.  All arguments optional -- ``session`` filters to one
+    session, ``include_recent`` adds the ring of recent (fast) traces,
+    ``format: "chrome"`` returns Chrome trace-event JSON that loads
+    straight into Perfetto.  Requires the service to run with
+    ``ServiceConfig(trace_enabled=True)``; otherwise replies with zero
+    traces.
 
 **v2 operations** (the versioned delta-frame stream; see
 ``docs/protocol.md`` for the full message reference):
@@ -61,6 +71,7 @@ from __future__ import annotations
 import asyncio
 import base64
 import json
+import time
 
 from repro.interact.events import (
     SessionEvent,
@@ -69,6 +80,7 @@ from repro.interact.events import (
     SetThreshold,
     SetWeight,
 )
+from repro.obs import chrome_trace_events
 from repro.service.service import FeedbackService, SessionLimitError
 from repro.service.session import UnknownSessionError
 from repro.service.snapshot import delta_payload
@@ -199,6 +211,11 @@ class FeedbackProtocolServer:
                 line = await reader.readline()
                 if not line:
                     break
+                # Timestamp the receive before any parsing: event traces
+                # backdate their root span to this instant, so queueing and
+                # JSON decode are visible inside the trace, not before it.
+                received_at = time.perf_counter()
+                pending_trace = None
                 try:
                     try:
                         request = json.loads(line)
@@ -206,12 +223,18 @@ class FeedbackProtocolServer:
                         raise ProtocolError(
                             "parse-error", f"line is not valid JSON: {exc}"
                         ) from None
-                    encoded = await self._dispatch(request, acked)
+                    encoded, pending_trace = await self._dispatch(
+                        request, acked, received_at)
                 except Exception as exc:  # noqa: BLE001 - protocol boundary
                     encoded = json.dumps(self._error_frame(exc)).encode()
                     self.wire_stats["errors_sent"] += 1
+                send_t0 = time.perf_counter()
                 writer.write(encoded + b"\n")
                 await writer.drain()
+                if pending_trace is not None:
+                    span_id = pending_trace.begin(
+                        "wire.send", t0=send_t0, bytes=len(encoded) + 1)
+                    pending_trace.end(span_id)
         finally:
             # No await here: the handler may be ending because the server is
             # closing (task cancellation), and awaiting wait_closed() inside
@@ -260,21 +283,50 @@ class FeedbackProtocolServer:
         except Exception as exc:  # noqa: BLE001 - session-run boundary
             raise _SessionRunError(exc) from exc
 
+    @staticmethod
+    def _take_trace(snapshot):
+        """Detach a snapshot's trace for encode/send span attachment.
+
+        The first pull that delivers a frame claims its trace: subsequent
+        pulls of the same settled snapshot (a polling client) would
+        otherwise append an encode+send leg per poll and grow ring traces
+        without bound.
+        """
+        trace = snapshot.trace
+        snapshot.trace = None
+        return trace
+
     # ------------------------------------------------------------------ #
-    async def _dispatch(self, request: dict, acked: dict[str, int]) -> bytes:
-        """Serve one request; returns the encoded response line (no newline)."""
+    async def _dispatch(self, request: dict, acked: dict[str, int],
+                        received_at: float | None = None):
+        """Serve one request; returns ``(encoded_response, trace_or_None)``.
+
+        The second element is the pipeline trace of the frame being
+        delivered (when one exists): the connection handler closes the
+        loop by timing the actual socket write into it as ``wire.send``.
+        """
         if not isinstance(request, dict):
             raise ProtocolError("bad-request", "request must be a JSON object")
         op = request.get("op")
         if op in ("subscribe", "delta", "resync"):
             return await self._dispatch_v2(op, request, acked)
-        response = await self._dispatch_v1(op, request, acked)
-        return json.dumps(response).encode()
+        response, trace = await self._dispatch_v1(
+            op, request, acked, received_at)
+        if trace is not None:
+            t0 = time.perf_counter()
+            encoded = json.dumps(response).encode()
+            span_id = trace.begin("frame.encode", t0=t0, mode="summary",
+                                  bytes=len(encoded))
+            trace.end(span_id)
+        else:
+            encoded = json.dumps(response).encode()
+        return encoded, trace
 
-    async def _dispatch_v1(self, op, request: dict,
-                           acked: dict[str, int]) -> dict:
+    async def _dispatch_v1(self, op, request: dict, acked: dict[str, int],
+                           received_at: float | None = None):
+        """Serve one v1 request; returns ``(response_dict, trace_or_None)``."""
         if op == "ping":
-            return {"ok": True, "pong": True}
+            return {"ok": True, "pong": True}, None
         if op == "open":
             protocol = request.get("protocol", 1)
             if protocol not in _PROTOCOL_VERSIONS:
@@ -292,12 +344,14 @@ class FeedbackProtocolServer:
                 request["query"], **overrides
             )
             snapshot = await self.service.snapshot(session_id)
-            return {"ok": True, "session": session_id, "protocol": protocol,
-                    **snapshot.as_dict(top=int(request.get("top", 0)))}
+            return ({"ok": True, "session": session_id, "protocol": protocol,
+                     **snapshot.as_dict(top=int(request.get("top", 0)))},
+                    self._take_trace(snapshot))
         if op == "event":
             event = parse_event(request.get("event"))
-            verdict = await self.service.submit(request["session"], event)
-            return {"ok": True, **verdict}
+            verdict = await self.service.submit(
+                request["session"], event, received_at=received_at)
+            return {"ok": True, **verdict}, None
         if op == "snapshot":
             snapshot = await self._settled_snapshot(
                 request["session"], wait=bool(request.get("wait", True))
@@ -320,20 +374,34 @@ class FeedbackProtocolServer:
                 encoded = await asyncio.get_running_loop().run_in_executor(None, encode)
                 for entry in body["windows"]:
                     entry["png"] = encoded[tuple(entry["path"])]
-            return {"ok": True, **body}
+            return {"ok": True, **body}, self._take_trace(snapshot)
         if op == "metrics":
             return {"ok": True,
                     "metrics": {**self.service.metrics_report(),
-                                "wire": dict(self.wire_stats)}}
+                                "wire": dict(self.wire_stats)}}, None
+        if op == "trace":
+            traces = self.service.trace_report(
+                session_id=request.get("session"),
+                include_recent=bool(request.get("include_recent", False)),
+                limit=int(request.get("limit", 16)),
+            )
+            if request.get("format") == "chrome":
+                return {"ok": True, "chrome": chrome_trace_events(traces),
+                        "count": len(traces)}, None
+            return {"ok": True, "traces": traces,
+                    "count": len(traces)}, None
         if op == "close":
             await self.service.close_session(request["session"])
             acked.pop(request["session"], None)
-            return {"ok": True}
+            return {"ok": True}, None
         raise ProtocolError("unknown-op", f"unknown op {op!r}")
 
     async def _dispatch_v2(self, op: str, request: dict,
-                           acked: dict[str, int]) -> bytes:
-        """The v2 frame stream: subscribe / delta / resync."""
+                           acked: dict[str, int]):
+        """The v2 frame stream: subscribe / delta / resync.
+
+        Returns ``(encoded_frame, trace_or_None)`` like :meth:`_dispatch`.
+        """
         session_id = request.get("session")
         if not isinstance(session_id, str):
             raise ProtocolError("bad-request", "'session' must be a string")
@@ -355,14 +423,27 @@ class FeedbackProtocolServer:
         # PNG path above, so one streaming client's pull cannot stall every
         # other connection's event firehose.
         loop = asyncio.get_running_loop()
+        trace = self._take_trace(snapshot)
+
+        def timed_encode(name, fn, **attrs):
+            t0 = time.perf_counter()
+            payload = fn()
+            if trace is not None:
+                span_id = trace.begin(name, t0=t0, bytes=len(payload),
+                                      **attrs)
+                trace.end(span_id)
+            return payload
+
         if op in ("subscribe", "resync"):
-            encoded = await loop.run_in_executor(None, snapshot.payload_bytes)
+            encoded = await loop.run_in_executor(
+                None, lambda: timed_encode(
+                    "frame.encode", snapshot.payload_bytes, mode="snapshot"))
             acked[session_id] = snapshot.frame_id
             self.wire_stats["snapshots_sent"] += 1
             if op == "resync":
                 self.wire_stats["resyncs"] += 1
             self.wire_stats["snapshot_bytes"] += len(encoded)
-            return encoded
+            return encoded, trace
         # op == "delta"
         if not base_given:
             base = acked.get(session_id)
@@ -372,12 +453,14 @@ class FeedbackProtocolServer:
                 "ok": True, "type": "frame", "mode": "unchanged",
                 "session": session_id, "frame_id": snapshot.frame_id,
                 "statistics": snapshot.statistics.as_dict(),
-            }).encode()
+            }).encode(), None
         session = self.service.registry.get(session_id)
         base_snapshot = None
         if session is not None and base is not None:
             base_snapshot = session.retained_frame(base)
-        full = await loop.run_in_executor(None, snapshot.payload_bytes)
+        full = await loop.run_in_executor(
+            None, lambda: timed_encode(
+                "frame.encode", snapshot.payload_bytes, mode="snapshot"))
         if base_snapshot is not None and base_snapshot is not snapshot:
             # The client's acked frame is still retained: encode the delta
             # against it, then let payload size pick the winner.  A
@@ -385,21 +468,26 @@ class FeedbackProtocolServer:
             # *larger* than the frame -- sending the smaller one keeps the
             # wire optimal either way.  Cell diffing + encoding is CPU work
             # too; same off-loop treatment.
-            delta = await loop.run_in_executor(None, lambda: json.dumps(
-                {"ok": True, **delta_payload(base_snapshot, snapshot)}
-            ).encode())
+            delta = await loop.run_in_executor(
+                None, lambda: timed_encode(
+                    "delta.encode",
+                    lambda: json.dumps({
+                        "ok": True,
+                        **delta_payload(base_snapshot, snapshot),
+                    }).encode(),
+                    base_frame=base_snapshot.frame_id))
             if len(delta) <= len(full):
                 acked[session_id] = snapshot.frame_id
                 self.wire_stats["deltas_sent"] += 1
                 self.wire_stats["delta_bytes"] += len(delta)
                 self.wire_stats["bytes_saved"] += len(full) - len(delta)
-                return delta
+                return delta, trace
         # Gap (the base fell out of the retention ring), mismatch, or the
         # delta lost on size: resync with the full frame.
         acked[session_id] = snapshot.frame_id
         self.wire_stats["snapshots_sent"] += 1
         self.wire_stats["snapshot_bytes"] += len(full)
-        return full
+        return full, trace
 
 
 async def serve(service: FeedbackService, host: str = "127.0.0.1",

@@ -36,6 +36,8 @@ from dataclasses import dataclass
 
 from repro.core.engine import PipelineConfig, QueryEngine
 from repro.interact.events import SessionEvent
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs import trace as obs
 from repro.service.metrics import ServiceMetrics
 from repro.service.session import ServiceSession, SessionLimitError, SessionRegistry
 from repro.service.snapshot import FrameSnapshot
@@ -72,6 +74,17 @@ class ServiceConfig:
     #: small; 1 disables multi-frame catch-up (previous-frame deltas only
     #: happen when the client pulls every frame).
     frame_retention: int = 4
+    #: Span tracing of the event path (see :mod:`repro.obs.trace`).  Off by
+    #: default: disabled tracing costs one context-variable read per
+    #: instrumentation point.
+    trace_enabled: bool = False
+    #: Fraction of events traced when tracing is on (1.0 = every event).
+    trace_sample: float = 1.0
+    #: Events slower than this keep their full span tree plus an explain
+    #: record in the slow ring, retrievable via the ``trace`` protocol op.
+    trace_budget_ms: float = 250.0
+    #: Bounded rings of retained traces (recent / over-budget).
+    trace_ring: int = 32
 
     def __post_init__(self) -> None:
         if self.max_sessions < 1:
@@ -86,6 +99,12 @@ class ServiceConfig:
             raise ValueError("sweep_interval must be positive")
         if self.frame_retention < 1:
             raise ValueError("frame_retention must be at least 1")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ValueError("trace_sample must be in [0, 1]")
+        if self.trace_budget_ms < 0:
+            raise ValueError("trace_budget_ms must be non-negative")
+        if self.trace_ring < 1:
+            raise ValueError("trace_ring must be at least 1")
 
 
 class FeedbackService:
@@ -121,8 +140,20 @@ class FeedbackService:
             self._owns_engine = True
         self.config = service_config or ServiceConfig()
         self.layout = layout or MultiWindowLayout()
-        self.registry = SessionRegistry(self.engine)
-        self.metrics = ServiceMetrics()
+        #: The unified metrics registry: service and session counters live
+        #: in it directly; the engine's cache/backend stats are report-time
+        #: collectors.  ``metrics_report()`` is a view over this.
+        self.obs = MetricsRegistry()
+        self.obs.register_collector("engine", self.engine.stats)
+        self.registry = SessionRegistry(self.engine, metrics_registry=self.obs)
+        self.metrics = ServiceMetrics(self.obs)
+        self.tracer = Tracer(
+            enabled=self.config.trace_enabled,
+            sample_rate=self.config.trace_sample,
+            budget_ms=self.config.trace_budget_ms,
+            ring_size=self.config.trace_ring,
+            slow_ring_size=self.config.trace_ring,
+        )
         self._rotation: "deque[str]" = deque()
         self._inflight = 0
         #: Sessions admitted and not yet closed/expired, including opens
@@ -205,7 +236,7 @@ class FeedbackService:
         """
         self._require_started()
         if self._admitted >= self.config.max_sessions:
-            self.metrics.sessions_rejected += 1
+            self.metrics.inc("sessions_rejected")
             raise SessionLimitError(
                 f"session limit reached ({self.config.max_sessions}); retry later"
             )
@@ -227,8 +258,16 @@ class FeedbackService:
             )
             self._rotation.append(session.id)
             # The initial run gives the client its first frame and warms
-            # the session's plan against the shared caches.
-            await loop.run_in_executor(self._executor, session.execute_batch, [])
+            # the session's plan against the shared caches.  It is traced
+            # like any event: the cold execution is exactly the run worth
+            # explaining when it blows the budget.
+            trace = self.tracer.start("open", session=session.id)
+            await loop.run_in_executor(
+                self._executor,
+                (lambda: session.execute_batch([])) if trace is None
+                else (lambda: session.execute_batch([], trace=trace)),
+            )
+            self.tracer.finish(trace)
         except Exception:
             # A session whose very first prepare/execution fails is not
             # admitted (and never counted as opened or closed).
@@ -240,25 +279,49 @@ class FeedbackService:
                 except ValueError:
                     pass
             raise
-        self.metrics.sessions_opened += 1
+        self.metrics.inc("sessions_opened")
         session.idle.set()
         return session.id
 
-    async def submit(self, session_id: str, event: SessionEvent) -> dict[str, object]:
+    async def submit(self, session_id: str, event: SessionEvent,
+                     received_at: float | None = None) -> dict[str, object]:
         """Enqueue one event; returns the queue verdict immediately.
 
         The response never waits for execution: feedback is pulled with
         :meth:`snapshot` (typically at the client's frame rate), which is
         what lets bursts coalesce behind the running frame.
+
+        ``received_at`` (a ``perf_counter`` timestamp) lets the protocol
+        layer backdate the trace to when the wire bytes arrived, so the
+        span tree covers parse + routing, not just the queue.
         """
         self._require_started()
         session = self.registry.attach(session_id)
         status = session.enqueue(event)
-        self.metrics.events_received += 1
+        self.metrics.inc("events_received")
         if status == "coalesced":
-            self.metrics.events_coalesced += 1
+            self.metrics.inc("events_coalesced")
         elif status == "shed":
-            self.metrics.events_shed += 1
+            self.metrics.inc("events_shed")
+        # Trace lifecycle: the first submit after a dispatch opens the
+        # batch's trace (root backdated to the wire receive) and starts the
+        # coalesce-wait span; later submits coalescing into the same batch
+        # only mark themselves on it.  The scheduler takes the pending
+        # trace when it drains the batch.
+        if session.pending_trace is None:
+            trace = self.tracer.start(
+                "event", t0=received_at, session=session_id)
+            if trace is not None:
+                recv = trace.begin("protocol.receive", t0=received_at,
+                                   event=type(event).__name__, status=status)
+                trace.end(recv)
+                wait = trace.begin("coalesce.wait")
+                session.pending_trace = (trace, wait)
+        else:
+            trace, _ = session.pending_trace
+            recv = trace.begin("protocol.receive", t0=received_at,
+                               event=type(event).__name__, status=status)
+            trace.end(recv)
         self._wake.set()
         return {"status": status, "queue_depth": session.queue.depth}
 
@@ -289,7 +352,7 @@ class FeedbackService:
     async def close_session(self, session_id: str) -> None:
         self._require_started()
         self.registry.close(session_id)
-        self.metrics.sessions_closed += 1
+        self.metrics.inc("sessions_closed")
         self._admitted -= 1
         try:
             self._rotation.remove(session_id)
@@ -326,6 +389,31 @@ class FeedbackService:
             },
         }
 
+    def trace_report(self, session_id: str | None = None,
+                     include_recent: bool = False,
+                     limit: int = 16) -> list[dict[str, object]]:
+        """Retained traces, newest last (what the ``trace`` protocol op serves).
+
+        By default only the *slow* ring (events over
+        :attr:`ServiceConfig.trace_budget_ms`, each carrying its explain
+        record); ``include_recent`` adds the ring of recent traces.
+        ``session_id`` filters to one session's traces.
+        """
+        traces = self.tracer.slow_traces()
+        if include_recent:
+            seen = {id(t) for t in traces}
+            traces = [
+                t for t in self.tracer.recent_traces() if id(t) not in seen
+            ] + traces
+        if session_id is not None:
+            traces = [
+                t for t in traces if t.attrs.get("session") == session_id
+            ]
+        traces.sort(key=lambda t: t.trace_id)
+        if limit > 0:
+            traces = traces[-limit:]
+        return [t.to_dict() for t in traces]
+
     # ------------------------------------------------------------------ #
     # Scheduler
     # ------------------------------------------------------------------ #
@@ -342,7 +430,7 @@ class FeedbackService:
                 if self.config.idle_ttl is not None and loop.time() >= next_sweep:
                     next_sweep = loop.time() + self.config.sweep_interval
                     for session in self.registry.expire_idle(self.config.idle_ttl):
-                        self.metrics.sessions_expired += 1
+                        self.metrics.inc("sessions_expired")
                         self._admitted -= 1
                         try:
                             self._rotation.remove(session.id)
@@ -388,23 +476,47 @@ class FeedbackService:
             batch = session.take_batch()
             session.running = True
             self._inflight += 1
-            task = asyncio.create_task(self._run(session, batch))
+            # The batch's trace leaves the queue with the batch: close the
+            # coalesce-wait span, open the scheduler-queue span (ends when
+            # an executor thread actually picks the batch up).
+            trace = dispatch_span = None
+            if session.pending_trace is not None:
+                trace, wait_span = session.pending_trace
+                session.pending_trace = None
+                trace.end(wait_span, events=len(batch))
+                dispatch_span = trace.begin("scheduler.queue")
+            task = asyncio.create_task(self._run(session, batch, trace,
+                                                 dispatch_span))
             self._run_tasks.add(task)
             task.add_done_callback(self._run_tasks.discard)
 
-    async def _run(self, session: ServiceSession, batch: list[SessionEvent]) -> None:
+    async def _run(self, session: ServiceSession, batch: list[SessionEvent],
+                   trace: "obs.Trace | None" = None,
+                   dispatch_span: int | None = None) -> None:
         loop = asyncio.get_running_loop()
+
+        def _execute():
+            # Untraced runs keep the historical one-argument call so test
+            # doubles and wrappers around execute_batch stay compatible.
+            if trace is None:
+                return session.execute_batch(batch)
+            if dispatch_span is not None:
+                # Executor pickup: the scheduler-queue span ends here, on
+                # the worker thread, the instant before execution starts.
+                trace.end(dispatch_span)
+            return session.execute_batch(batch, trace=trace)
+
         try:
-            snapshot = await loop.run_in_executor(
-                self._executor, session.execute_batch, batch
-            )
-            self.metrics.runs += 1
-            self.metrics.events_executed += len(batch)
+            snapshot = await loop.run_in_executor(self._executor, _execute)
+            self.metrics.inc("runs")
+            self.metrics.inc("events_executed", len(batch))
             self.metrics.run_latency.record(snapshot.run_seconds)
+            self.tracer.finish(trace, run_seconds=snapshot.run_seconds)
         except Exception as exc:  # noqa: BLE001 - surfaced via snapshot()
             # A failed batch poisons only this session's next snapshot; the
             # service keeps serving everyone else.
             session.error = exc
+            self.tracer.finish(trace, error=repr(exc))
         finally:
             session.running = False
             self._inflight -= 1

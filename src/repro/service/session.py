@@ -26,6 +26,8 @@ import numpy as np
 
 from repro.core.engine import PreparedQuery, QueryEngine
 from repro.core.result import QueryFeedback
+from repro.obs import MetricsRegistry
+from repro.obs import trace as obs
 from repro.interact.events import (
     SessionEvent,
     SetPercentageDisplayed,
@@ -69,11 +71,12 @@ class ServiceSession:
                  layout: MultiWindowLayout | None = None,
                  record_batches: bool = False,
                  frame_retention: int = 4,
-                 clock=time.monotonic):
+                 clock=time.monotonic,
+                 metrics_registry: MetricsRegistry | None = None):
         self.id = session_id
         self.prepared = prepared
         self.queue = CoalescingQueue(max_depth=max_queue_depth)
-        self.metrics = SessionMetrics()
+        self.metrics = SessionMetrics(metrics_registry, session=session_id)
         self.window_cache = WindowCache(layout)
         self._clock = clock
         self.created_at = clock()
@@ -99,6 +102,10 @@ class ServiceSession:
         #: Off by default; the log grows for the life of the session.
         self.record_batches = record_batches
         self.executed_batches: list[list[SessionEvent]] = []
+        #: ``(trace, coalesce_wait_span_id)`` of the events waiting in the
+        #: queue; started by the first submit after a dispatch, taken by
+        #: the scheduler when it drains the batch.  Loop-confined.
+        self.pending_trace: tuple | None = None
         #: Set while the session has no pending events and no running batch.
         self.idle = asyncio.Event()
 
@@ -120,11 +127,11 @@ class ServiceSession:
             )
         self.touch()
         status = self.queue.put(event)
-        self.metrics.events_received += 1
+        self.metrics.inc("events_received")
         if status == "coalesced":
-            self.metrics.events_coalesced += 1
+            self.metrics.inc("events_coalesced")
         elif status == "shed":
-            self.metrics.events_shed += 1
+            self.metrics.inc("events_shed")
         self.idle.clear()
         return status
 
@@ -157,7 +164,8 @@ class ServiceSession:
     # ------------------------------------------------------------------ #
     # Executor side
     # ------------------------------------------------------------------ #
-    def execute_batch(self, batch: list[SessionEvent]) -> FrameSnapshot:
+    def execute_batch(self, batch: list[SessionEvent],
+                      trace: "obs.Trace | None" = None) -> FrameSnapshot:
         """Apply one coalesced batch and produce the next snapshot.
 
         Runs on a worker thread.  The batch may be empty (the initial run
@@ -166,20 +174,30 @@ class ServiceSession:
         wholesale (condition tree and config restored), so the live query
         state always equals the serial replay of the *recorded* batches --
         a half-applied batch can neither linger nor hide.
+
+        ``trace`` is the event's active trace, handed over explicitly
+        because contextvars do not cross ``run_in_executor``; it becomes
+        ambient here so the engine/backend spans parent correctly.
         """
         start = time.perf_counter()
-        if batch:
-            condition_backup = copy.deepcopy(self.prepared.query.condition)
-            config_backup = self.prepared.config
-            try:
-                feedback = self.prepared.execute(changes=batch)
-            except Exception:
-                self.prepared.query.condition = condition_backup
-                self.prepared.config = config_backup
-                raise
-        else:
-            feedback = self.prepared.execute()
-        windows, fresh = self.window_cache.windows(feedback)
+        with obs.use_trace(trace), \
+                obs.span("session.execute_batch",
+                         session=self.id, events=len(batch)):
+            if batch:
+                condition_backup = copy.deepcopy(self.prepared.query.condition)
+                config_backup = self.prepared.config
+                try:
+                    feedback = self.prepared.execute(changes=batch)
+                except Exception:
+                    self.prepared.query.condition = condition_backup
+                    self.prepared.config = config_backup
+                    raise
+            else:
+                feedback = self.prepared.execute()
+            with obs.span("frame.build") as frame_span:
+                windows, fresh = self.window_cache.windows(feedback)
+                frame_span.annotate(
+                    windows=len(windows), rendered_fresh=len(fresh))
         # The displayed set is provably unchanged when every window came
         # from the render cache (their fingerprints cover the display order
         # and all per-node distances at the displayed items) and the
@@ -207,18 +225,19 @@ class ServiceSession:
             display_unchanged=display_unchanged,
             frame_id=getattr(feedback, "frame_id", self.sequence),
             base_frame_id=getattr(feedback, "base_frame_id", None),
+            trace=trace,
         )
         if display_unchanged:
-            self.metrics.snapshots_reused += 1
+            self.metrics.inc("snapshots_reused")
         self.feedback = feedback
         self.frame_history = (
             self.frame_history + (snapshot,))[-self.frame_retention:]
         self.snapshot = snapshot
         self.error = None
-        self.metrics.runs += 1
-        self.metrics.events_executed += len(batch)
-        self.metrics.render_hits = self.window_cache.hits
-        self.metrics.render_misses = self.window_cache.misses
+        self.metrics.inc("runs")
+        self.metrics.inc("events_executed", len(batch))
+        self.metrics.set("render_hits", self.window_cache.hits)
+        self.metrics.set("render_misses", self.window_cache.misses)
         self.metrics.run_latency.record(elapsed)
         return snapshot
 
@@ -230,9 +249,11 @@ class ServiceSession:
 class SessionRegistry:
     """Id space and lifecycle (create / attach / expire) of service sessions."""
 
-    def __init__(self, engine: QueryEngine, clock=time.monotonic):
+    def __init__(self, engine: QueryEngine, clock=time.monotonic,
+                 metrics_registry: MetricsRegistry | None = None):
         self.engine = engine
         self._clock = clock
+        self.metrics_registry = metrics_registry
         self._sessions: dict[str, ServiceSession] = {}
         self._ids = itertools.count(1)
 
@@ -272,6 +293,7 @@ class SessionRegistry:
             session_id, prepared, max_queue_depth=max_queue_depth,
             layout=layout, record_batches=record_batches,
             frame_retention=frame_retention, clock=self._clock,
+            metrics_registry=self.metrics_registry,
         )
         self._sessions[session_id] = session
         return session
@@ -295,6 +317,8 @@ class SessionRegistry:
         session.closed = True
         session.queue.clear()
         session.idle.set()
+        # Closed sessions must not leak label sets in the shared registry.
+        session.metrics.release()
         return session
 
     def expire_idle(self, ttl_seconds: float) -> list[ServiceSession]:

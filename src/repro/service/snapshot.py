@@ -105,6 +105,10 @@ class FrameSnapshot:
     #: the frame it was derived from; what the v2 delta stream acks.
     frame_id: int = 0
     base_frame_id: int | None = None
+    #: The trace of the run that produced this frame (None when tracing is
+    #: off).  Kept on the snapshot so the protocol layer can attach its
+    #: encode/send spans to the same tree when the frame is pulled.
+    trace: object | None = field(default=None, repr=False, compare=False)
     #: Lazily cached wire encoding of the full v2 frame (see
     #: :meth:`payload_bytes`).
     _encoded_payload: bytes | None = field(default=None, repr=False, compare=False)
