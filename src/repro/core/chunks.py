@@ -1,0 +1,334 @@
+"""Chunked copy-on-write columns for the incremental hot path.
+
+The evaluation caches share frozen (read-only) column arrays across
+executions, snapshots and sessions, so a patched column used to be a
+fresh O(n) array assembled from reused clean slices plus recomputed
+dirty ones -- the "O(n) memcpy floor" named in the roadmap.  A
+:class:`ChunkedColumn` removes that floor: the column is a sequence of
+fixed-size read-only chunks, and a patch produces a *new* column that
+copies only the chunks the dirty rows intersect while aliasing every
+clean chunk from the previous column.  The frozen-array contract
+survives because chunks, not whole columns, stay read-only; consumers
+that need a contiguous ndarray go through the lazy, cached
+:meth:`ChunkedColumn.materialize` seam (or ``np.asarray``, which routes
+through ``__array__``).
+
+Design points that matter for bit-identity and safety:
+
+* the chunk grid is fixed at construction (chunk ``k`` covers rows
+  ``[k*chunk_rows, (k+1)*chunk_rows)``), so patches of patches keep
+  aliasing cheaply and never re-split data;
+* :meth:`patch` accepts unsorted, possibly duplicated row indices (the
+  range-leaf delta path concatenates a low-side and a high-side band
+  that can overlap); duplicates carry identical values, and the grouped
+  assignment writes them exactly like the fancy assignment it replaces;
+* :meth:`patch_spans` aliases *fresh* data too: a chunk fully covered
+  by a recomputed span becomes a zero-copy view of the span's piece,
+  so patching a whole dirty shard costs O(edge chunks) memcpy;
+* ``__setitem__`` raises the same ``read-only`` ``ValueError`` a frozen
+  ndarray raises, and unknown attributes delegate to the materialized
+  array, so most ndarray consumers work unchanged -- but hot-path code
+  must *not* touch attributes like ``.flags`` on a chunked column (that
+  would silently materialize); the evaluator guards those sites with
+  ``isinstance`` checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "CHUNK_ROWS",
+    "ChunkedColumn",
+    "as_array",
+    "as_chunked",
+]
+
+#: Default chunk size in rows.  128 KiB of float64 per chunk: large enough
+#: that per-chunk Python overhead is negligible against the memcpy, small
+#: enough that a few-thousand-row dirty band touches O(1) chunks of a
+#: multi-million-row column.  Read at construction time so tests can
+#: monkeypatch it to force many-chunk columns on small tables.
+CHUNK_ROWS = 16_384
+
+
+def _freeze(array: np.ndarray) -> np.ndarray:
+    if array.flags.writeable:
+        array.flags.writeable = False
+    return array
+
+
+class ChunkedColumn:
+    """An immutable column stored as fixed-size read-only chunks.
+
+    Instances are value-immutable: every mutating operation returns a new
+    column sharing the untouched chunks.  ``patched_chunks`` /
+    ``shared_chunks`` describe how the instance was built (both zero for
+    a column built from a whole array) and feed the ``chunks_patched`` /
+    ``chunks_shared`` observability counters.
+    """
+
+    __slots__ = ("_chunks", "_n", "_chunk_rows", "_dtype", "_materialized",
+                 "_slice_cache", "patched_chunks", "shared_chunks")
+
+    def __init__(self, chunks: tuple[np.ndarray, ...], n: int, chunk_rows: int,
+                 dtype, materialized: np.ndarray | None = None,
+                 patched: int = 0, shared: int = 0):
+        self._chunks = chunks
+        self._n = n
+        self._chunk_rows = chunk_rows
+        self._dtype = np.dtype(dtype)
+        self._materialized = materialized
+        self._slice_cache = None
+        self.patched_chunks = patched
+        self.shared_chunks = shared
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_array(cls, array, chunk_rows: int | None = None) -> "ChunkedColumn":
+        """Wrap a 1-D array as zero-copy chunk views (freezing the array)."""
+        array = np.asarray(array)
+        if array.ndim != 1:
+            raise ValueError("ChunkedColumn wraps 1-D columns only")
+        rows = int(chunk_rows) if chunk_rows is not None else CHUNK_ROWS
+        if rows <= 0:
+            raise ValueError("chunk_rows must be positive")
+        _freeze(array)
+        n = len(array)
+        chunks = tuple(array[i:i + rows] for i in range(0, n, rows))
+        return cls(chunks, n, rows, array.dtype, materialized=array)
+
+    # ------------------------------------------------------------------ #
+    def patch(self, rows, values) -> "ChunkedColumn":
+        """A new column with ``self[rows] = values``, copying touched chunks.
+
+        ``rows`` may be unsorted and may contain duplicates (each duplicate
+        must carry the same value, as in the range-leaf delta bands).
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        if rows.size == 0:
+            return self
+        values = np.asarray(values)
+        if rows.size > 1 and np.any(np.diff(rows) < 0):
+            order = np.argsort(rows, kind="stable")
+            rows = rows[order]
+            values = values[order]
+        if rows[0] < 0 or rows[-1] >= self._n:
+            raise IndexError("patch rows out of range")
+        size = self._chunk_rows
+        chunk_ids = rows // size
+        cuts = np.flatnonzero(np.diff(chunk_ids)) + 1
+        starts = np.concatenate(([0], cuts))
+        stops = np.concatenate((cuts, [rows.size]))
+        chunks = list(self._chunks)
+        for lo, hi in zip(starts, stops):
+            k = int(chunk_ids[lo])
+            fresh = np.array(chunks[k])
+            fresh[rows[lo:hi] - k * size] = values[lo:hi]
+            chunks[k] = _freeze(fresh)
+        patched = len(starts)
+        return ChunkedColumn(tuple(chunks), self._n, size, self._dtype,
+                             patched=patched, shared=len(chunks) - patched)
+
+    def patch_spans(self, spans) -> "ChunkedColumn":
+        """A new column with each ``(start, stop, piece)`` span replaced.
+
+        Chunks fully covered by a span become zero-copy views of the
+        span's ``piece`` (which is frozen); only chunks a span edge cuts
+        through are splice-copied.  Spans must be disjoint; two spans may
+        share an edge chunk (each splice works on the already-updated
+        chunk).
+        """
+        size = self._chunk_rows
+        chunks = list(self._chunks)
+        replaced: set[int] = set()
+        for start, stop, piece in spans:
+            start = int(start)
+            stop = int(stop)
+            if stop <= start:
+                continue
+            if start < 0 or stop > self._n:
+                raise IndexError("patch span out of range")
+            piece = _freeze(np.asarray(piece))
+            first = start // size
+            last = (stop - 1) // size
+            for k in range(first, last + 1):
+                chunk_start = k * size
+                chunk_stop = min(chunk_start + size, self._n)
+                lo = max(start, chunk_start)
+                hi = min(stop, chunk_stop)
+                if lo == chunk_start and hi == chunk_stop:
+                    chunks[k] = piece[lo - start:hi - start]
+                else:
+                    fresh = np.array(chunks[k])
+                    fresh[lo - chunk_start:hi - chunk_start] = piece[lo - start:hi - start]
+                    chunks[k] = _freeze(fresh)
+                replaced.add(k)
+        if not replaced:
+            return self
+        return ChunkedColumn(tuple(chunks), self._n, size, self._dtype,
+                             patched=len(replaced),
+                             shared=len(chunks) - len(replaced))
+
+    # ------------------------------------------------------------------ #
+    def materialize(self) -> np.ndarray:
+        """The contiguous frozen ndarray view of this column (cached)."""
+        out = self._materialized
+        if out is None:
+            out = np.empty(self._n, dtype=self._dtype)
+            position = 0
+            for chunk in self._chunks:
+                out[position:position + len(chunk)] = chunk
+                position += len(chunk)
+            self._materialized = _freeze(out)
+        return out
+
+    # ------------------------------------------------------------------ #
+    @property
+    def dtype(self):
+        return self._dtype
+
+    @property
+    def shape(self) -> tuple[int]:
+        return (self._n,)
+
+    @property
+    def size(self) -> int:
+        return self._n
+
+    @property
+    def ndim(self) -> int:
+        return 1
+
+    @property
+    def chunk_rows(self) -> int:
+        return self._chunk_rows
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._chunks)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __array__(self, dtype=None, copy=None):
+        out = self.materialize()
+        if dtype is not None and np.dtype(dtype) != out.dtype:
+            return out.astype(dtype)
+        if copy:
+            return out.copy()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ChunkedColumn(n={self._n}, chunks={len(self._chunks)}, "
+                f"chunk_rows={self._chunk_rows}, dtype={self._dtype})")
+
+    # ------------------------------------------------------------------ #
+    def __getitem__(self, key):
+        if isinstance(key, (int, np.integer)):
+            index = int(key)
+            if index < 0:
+                index += self._n
+            if not 0 <= index < self._n:
+                raise IndexError("index out of range")
+            return self._chunks[index // self._chunk_rows][index % self._chunk_rows]
+        if isinstance(key, slice):
+            return self._slice(key)
+        index = np.asarray(key)
+        if index.dtype == np.bool_:
+            return self.materialize()[index]
+        return self._gather(index)
+
+    def _slice(self, key: slice) -> np.ndarray:
+        start, stop, step = key.indices(self._n)
+        if step != 1:
+            return self.materialize()[key]
+        if self._materialized is not None:
+            return self._materialized[start:stop]
+        if stop <= start:
+            return _freeze(np.empty(0, dtype=self._dtype))
+        size = self._chunk_rows
+        first = start // size
+        last = (stop - 1) // size
+        if first == last:
+            return self._chunks[first][start - first * size:stop - first * size]
+        # Multi-chunk slices pay an O(span) assemble; the evaluator's hot
+        # path slices the same dirty-shard span from one column several
+        # times per event (summary, renormalize, select), so remember the
+        # last assembled span.  Safe because instances and the returned
+        # frozen array are both immutable.
+        cache = self._slice_cache
+        if cache is None:
+            cache = self._slice_cache = {}
+        cached = cache.get((start, stop))
+        if cached is not None:
+            return cached
+        out = np.empty(stop - start, dtype=self._dtype)
+        for k in range(first, last + 1):
+            chunk_start = k * size
+            lo = max(start, chunk_start)
+            hi = min(stop, chunk_start + len(self._chunks[k]))
+            out[lo - start:hi - start] = self._chunks[k][lo - chunk_start:hi - chunk_start]
+        out = _freeze(out)
+        if len(cache) >= 32:
+            cache.clear()
+        cache[(start, stop)] = out
+        return out
+
+    def _gather(self, index: np.ndarray) -> np.ndarray:
+        """Fancy integer gather grouped by chunk -- never materializes."""
+        index = index.astype(np.intp, copy=False)
+        if index.ndim != 1:
+            return self.materialize()[index]
+        if index.size == 0:
+            return np.empty(0, dtype=self._dtype)
+        if self._materialized is not None:
+            return self._materialized[index]
+        order = None
+        ordered = index
+        if index.size > 1 and np.any(np.diff(index) < 0):
+            order = np.argsort(index, kind="stable")
+            ordered = index[order]
+        if ordered[0] < 0 or ordered[-1] >= self._n:
+            # Negative (or out-of-range) indices: let numpy's own fancy
+            # indexing semantics and errors apply.
+            return self.materialize()[index]
+        size = self._chunk_rows
+        chunk_ids = ordered // size
+        cuts = np.flatnonzero(np.diff(chunk_ids)) + 1
+        starts = np.concatenate(([0], cuts))
+        stops = np.concatenate((cuts, [ordered.size]))
+        gathered = np.empty(ordered.size, dtype=self._dtype)
+        for lo, hi in zip(starts, stops):
+            k = int(chunk_ids[lo])
+            gathered[lo:hi] = self._chunks[k][ordered[lo:hi] - k * size]
+        if order is None:
+            return gathered
+        out = np.empty_like(gathered)
+        out[order] = gathered
+        return out
+
+    def __setitem__(self, key, value):
+        raise ValueError("assignment destination is read-only")
+
+    def __getattr__(self, name):
+        # Unknown *public* ndarray attributes (.sum, .min, .tolist, ...)
+        # delegate to the materialized array.  Dunder/private names raise so
+        # protocols (pickle, copy) never silently degrade to an ndarray.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self.materialize(), name)
+
+
+def as_chunked(column, chunk_rows: int | None = None) -> ChunkedColumn:
+    """``column`` as a :class:`ChunkedColumn` (zero-copy if already one)."""
+    if isinstance(column, ChunkedColumn):
+        return column
+    return ChunkedColumn.from_array(column, chunk_rows)
+
+
+def as_array(column) -> np.ndarray:
+    """``column`` as a contiguous ndarray (zero-cost for plain ndarrays)."""
+    if isinstance(column, ChunkedColumn):
+        return column.materialize()
+    return column

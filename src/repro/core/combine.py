@@ -107,6 +107,15 @@ def combine_columns(rule: CombinationRule, columns: list[np.ndarray],
         )
     if np.any((weight_array < 0) | (weight_array > 1)):
         raise ValueError("weights must lie in [0, 1]")
+    if len(columns) == 1 and weight_array[0] == 1.0:
+        # Single default-weight child under either rule: the combined
+        # column *is* the child column (``x * 1.0 == x`` and
+        # ``x ** 1.0 == x`` exactly).  Share the cached array rather than
+        # copying it -- callers treat combined columns as read-only (the
+        # evaluator freezes or copy-on-write-patches them), so aliasing
+        # the child is safe.  Multi-child combinations below still copy:
+        # the first column doubles as the accumulator there.
+        return columns[0]
     if rule is CombinationRule.AND:
         # ``x * 1.0 == x`` exactly, so default-weight columns skip the
         # scaling pass and accumulate directly.

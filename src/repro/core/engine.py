@@ -35,6 +35,7 @@ from typing import Sequence, Union
 
 import numpy as np
 
+from repro.core.chunks import as_chunked
 from repro.core.normalization import NORMALIZED_MAX
 from repro.obs import trace as obs
 from repro.core.plan import (
@@ -48,7 +49,11 @@ from repro.core.plan import (
 from repro.core.reduction import (
     ReductionMethod,
     display_fraction,
+    EMPTY_QUANTILE_COUNTS,
     merge_topk_candidates_many,
+    quantile_certificate,
+    quantile_rank_bounds,
+    quantile_shard_counts,
     select_display_set,
     topk_candidates,
 )
@@ -288,6 +293,39 @@ class _DisplayedState:
     threshold: float
     below: tuple
     ties: tuple
+    displayed: np.ndarray
+
+
+@dataclass
+class _QuantileState:
+    """Cached quantile-reduction decomposition for one column identity.
+
+    ``np.quantile``'s linear interpolation makes the threshold a function
+    of exactly two order statistics of the ``m`` finite distances --
+    ``v_lo``/``v_hi`` at ranks ``k_lo``/``k_hi`` (see
+    :func:`~repro.core.reduction.quantile_rank_bounds`).  ``counts`` holds
+    the per-shard :func:`~repro.core.reduction.quantile_shard_counts`
+    rows; an event recounts only the dirty shards and the summed rows
+    certify (or refute) that both order statistics still hold, in which
+    case the cached threshold *float* is provably unchanged and only the
+    dirty shards' ``selected`` index lists rebuild.  Certificate failure
+    falls back to the exact concatenate-and-quantile path, so the
+    displayed set stays bit-identical either way.
+    """
+
+    column_key: str
+    n: int
+    p: float
+    m: int
+    threshold: float
+    k_lo: int
+    k_hi: int
+    v_lo: float
+    v_hi: float
+    #: Per-shard counting rows, shape ``(shards, 5)``.
+    counts: np.ndarray
+    #: Per-shard ascending global row indices with distance <= threshold.
+    selected: tuple
     displayed: np.ndarray
 
 
@@ -758,6 +796,8 @@ class PreparedQuery:
         #: Incremental displayed-set / relevance state (percentage path).
         self._displayed_state: _DisplayedState | None = None
         self._relevance_state: _RelevanceState | None = None
+        #: Per-shard order-statistic certificate state (quantile path).
+        self._quantile_state: _QuantileState | None = None
         #: Per-shard popcounts backing the incremental ``result_count``.
         self._result_count_state: _ResultCountState | None = None
         #: Monotonically increasing frame id; each execute() returns the
@@ -857,6 +897,7 @@ class PreparedQuery:
                 self._slice_token = f"pq-{next(_SLICE_TOKENS)}"
                 self._displayed_state = None
                 self._relevance_state = None
+                self._quantile_state = None
                 self._result_count_state = None
             self._plan_shape = shape
         if self.executions > 0:
@@ -1005,12 +1046,22 @@ class PreparedQuery:
                     # stable tie rule -- per-shard lists are ascending and
                     # shard ranges are ordered, so their concatenation is
                     # the global ascending index order.
-                    take = target - total_below
-                    tie_rows = np.concatenate(
-                        [x for x in ties if len(x)] or
-                        [np.empty(0, dtype=np.intp)])
+                    # Only the first `take` ties (in global row order) are
+                    # displayed; the cached tie lists can hold O(n) rows on
+                    # heavily tied distributions, so walk the per-shard
+                    # prefixes instead of concatenating them all.
+                    need = target - total_below
                     pieces = [x for x in below if len(x)]
-                    pieces.append(tie_rows[:take])
+                    for x in ties:
+                        if need <= 0:
+                            break
+                        if not len(x):
+                            continue
+                        piece = x if len(x) <= need else x[:need]
+                        pieces.append(piece)
+                        need -= len(piece)
+                    if not pieces:
+                        pieces.append(np.empty(0, dtype=np.intp))
                     displayed = np.sort(np.concatenate(pieces))
                     displayed.flags.writeable = False
                     self._displayed_state = _DisplayedState(
@@ -1058,6 +1109,129 @@ class PreparedQuery:
                 tuple(below), tuple(ties), displayed)
         return displayed
 
+    def _quantile_incremental(self, distances, sharded: ShardedTable,
+                              root_delta, executor, capacity: int,
+                              n_selection_predicates: int,
+                              ) -> "tuple[np.ndarray, bool] | None":
+        """Quantile-path displayed set via per-shard order-statistic certificates.
+
+        Returns ``(displayed, certified)``, or None when the path does not
+        apply (incremental sharding off, size mismatch) and the caller
+        should fall back to
+        :func:`~repro.core.shard.sharded_select_display_set`.
+
+        ``certified`` True means dirty-shard recounts alone proved the
+        cached threshold element is still the p-quantile (see
+        :class:`_QuantileState`): O(dirty shards) work, no O(n)
+        concatenate or quantile.  Otherwise the exact rebuild runs here,
+        mirroring the sharded selection bit for bit, and re-seeds the
+        certificate for the next event.
+        """
+        if not self.config.incremental_shards:
+            return None
+        n = len(distances)
+        if n == 0 or n != len(sharded.table):
+            return None
+        p = display_fraction(capacity, n, n_selection_predicates)
+        cache = self.engine.evaluation_cache(self.table)
+        bounds = sharded.bounds
+        state = self._quantile_state
+        root_key = root_delta.value_key if root_delta is not None else None
+        if (state is not None and root_key is not None
+                and state.n == n and state.p == p
+                and len(state.counts) == len(bounds)):
+            if state.column_key == root_key:
+                # Same overall column identity: provably unchanged.
+                cache.record_quantile(True)
+                return state.displayed, True
+            if (root_delta.dirty is not None
+                    and root_delta.base_key == state.column_key):
+                if not root_delta.dirty:
+                    # Bit-identical column under a new fingerprint: reuse
+                    # everything, re-keyed.
+                    self._quantile_state = replace(state, column_key=root_key)
+                    cache.record_quantile(True)
+                    return state.displayed, True
+                dirty = sorted(root_delta.dirty)
+                counts = state.counts.copy()
+                for i in dirty:
+                    start, stop = bounds[i]
+                    counts[i] = quantile_shard_counts(
+                        distances[start:stop], state.v_lo, state.v_hi)
+                if quantile_certificate(counts.sum(axis=0), state.m,
+                                        state.k_lo, state.k_hi):
+                    # Both order statistics held, so np.quantile over the
+                    # (provably equal as a multiset) finite values would
+                    # return the exact cached float; only the dirty
+                    # shards' selected lists rebuild, and the per-shard
+                    # concatenation in shard order is the same global
+                    # ascending-index order the fallback produces.
+                    threshold = state.threshold
+                    selected = list(state.selected)
+                    for i in dirty:
+                        start, stop = bounds[i]
+                        part = distances[start:stop]
+                        mask = np.isfinite(part) & (part <= threshold)
+                        selected[i] = np.nonzero(mask)[0] + start
+                    displayed = np.concatenate(selected)
+                    self._quantile_state = _QuantileState(
+                        root_key, n, p, state.m, threshold,
+                        state.k_lo, state.k_hi, state.v_lo, state.v_hi,
+                        counts, tuple(selected), displayed)
+                    cache.record_quantile(True)
+                    return displayed, True
+        # Exact rebuild (cold run, certificate failure, or no usable
+        # delta), mirroring sharded_select_display_set's quantile branch
+        # bit for bit -- plus the order statistics and counting rows that
+        # seed the next event's certificate.
+        def finite_part(i: int) -> np.ndarray:
+            start, stop = bounds[i]
+            part = distances[start:stop]
+            return part[np.isfinite(part)]
+
+        if executor is not None and len(bounds) > 1:
+            finite_parts = list(executor.map(finite_part, range(len(bounds))))
+        else:
+            finite_parts = [finite_part(i) for i in range(len(bounds))]
+        finite = np.concatenate(finite_parts)
+        m = int(len(finite))
+        if m == 0:
+            threshold = v_lo = v_hi = float("nan")
+            k_lo = k_hi = 0
+            counts = np.asarray([EMPTY_QUANTILE_COUNTS] * len(bounds),
+                                dtype=float)
+            selected = tuple(np.empty(0, dtype=np.intp) for _ in bounds)
+            displayed = np.empty(0, dtype=np.intp)
+        else:
+            threshold = float(np.quantile(finite, p))
+            k_lo, k_hi = quantile_rank_bounds(m, p)
+            kth = (k_lo,) if k_lo == k_hi else (k_lo, k_hi)
+            order_stats = np.partition(finite, kth)
+            v_lo = float(order_stats[k_lo])
+            v_hi = float(order_stats[k_hi])
+            counts = np.asarray(
+                [quantile_shard_counts(part, v_lo, v_hi)
+                 for part in finite_parts],
+                dtype=float)
+
+            def select(i: int) -> np.ndarray:
+                start, stop = bounds[i]
+                part = distances[start:stop]
+                mask = np.isfinite(part) & (part <= threshold)
+                return np.nonzero(mask)[0] + start
+
+            if executor is not None and len(bounds) > 1:
+                selected = tuple(executor.map(select, range(len(bounds))))
+            else:
+                selected = tuple(select(i) for i in range(len(bounds)))
+            displayed = np.concatenate(selected)
+        if root_key is not None:
+            self._quantile_state = _QuantileState(
+                root_key, n, p, m, threshold, k_lo, k_hi, v_lo, v_hi,
+                counts, selected, displayed)
+        cache.record_quantile(False)
+        return displayed, False
+
     def _relevance_incremental(self, distances: np.ndarray,
                                sharded: ShardedTable | None,
                                root_delta) -> np.ndarray:
@@ -1084,15 +1258,20 @@ class PreparedQuery:
                     self._relevance_state = _RelevanceState(
                         root_key, scale, target_max, state.relevance)
                     return state.relevance
-                pieces = []
-                for i, (start, stop) in enumerate(sharded.bounds):
-                    if i in root_delta.dirty:
-                        pieces.append(relevance_factors(
-                            distances[start:stop], scale, target_max))
-                    else:
-                        pieces.append(state.relevance[start:stop])
-                relevance = np.concatenate(pieces)
-                relevance.flags.writeable = False
+                # The relevance column patches like the node columns do:
+                # recompute only the dirty shards' spans and splice them
+                # into the cached (chunked, copy-on-write) column --
+                # O(dirty rows + edge chunks), not an O(n) reassembly.
+                bounds = sharded.bounds
+                dirty_sorted = sorted(root_delta.dirty)
+                relevance = as_chunked(state.relevance).patch_spans([
+                    (bounds[i][0], bounds[i][1], relevance_factors(
+                        distances[bounds[i][0]:bounds[i][1]],
+                        scale, target_max))
+                    for i in dirty_sorted
+                ])
+                self.engine.evaluation_cache(self.table).record_chunks(
+                    relevance.patched_chunks, relevance.shared_chunks)
                 self._relevance_state = _RelevanceState(
                     root_key, scale, target_max, relevance)
                 return relevance
@@ -1290,16 +1469,30 @@ class PreparedQuery:
             displayed = None
             if sharded is not None:
                 with obs.span("displayed.select", method=method.name) as sel:
-                    displayed = self._displayed_incremental(
-                        overall.normalized_distances, sharded, method,
-                        root_delta, executor,
-                        pipeline_topk=getattr(evaluator, "pipeline_topk", None),
-                    )
-                    # The displayed-set certificate: the per-shard top-k
-                    # partial path held (patched/reused) or the selection
-                    # fell back to a full sharded pass.
-                    sel.annotate(certificate="displayed-topk", node="()",
-                                 certified=displayed is not None)
+                    if method is ReductionMethod.QUANTILE:
+                        quantile = self._quantile_incremental(
+                            overall.normalized_distances, sharded,
+                            root_delta, executor, pixel_budget, n_predicates,
+                        )
+                        if quantile is not None:
+                            displayed, certified = quantile
+                            # The quantile certificate: dirty-shard
+                            # recounts proved the cached threshold element
+                            # still the p-quantile, or the exact rebuild
+                            # ran (bit-identical either way).
+                            sel.annotate(certificate="quantile", node="()",
+                                         certified=certified)
+                    else:
+                        displayed = self._displayed_incremental(
+                            overall.normalized_distances, sharded, method,
+                            root_delta, executor,
+                            pipeline_topk=getattr(evaluator, "pipeline_topk", None),
+                        )
+                        # The displayed-set certificate: the per-shard top-k
+                        # partial path held (patched/reused) or the selection
+                        # fell back to a full sharded pass.
+                        sel.annotate(certificate="displayed-topk", node="()",
+                                     certified=displayed is not None)
                     if displayed is None:
                         displayed = sharded_select_display_set(
                             overall.normalized_distances,

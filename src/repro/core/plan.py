@@ -36,6 +36,7 @@ from typing import Union
 
 import numpy as np
 
+from repro.core.chunks import ChunkedColumn, as_array, as_chunked
 from repro.core.combine import CombinationRule, combine_columns
 from repro.core.normalization import NORMALIZED_MAX, reduced_normalization
 from repro.core.result import NodeFeedback
@@ -75,19 +76,30 @@ def _freeze(*arrays: np.ndarray | None) -> None:
     The cache hands the same ndarray objects to every execution (inside
     :class:`NodeFeedback`), so an in-place mutation by a consumer would
     silently corrupt all later results; freezing turns that into an error.
+
+    :class:`ChunkedColumn` values are skipped by type: their chunks are
+    already individually read-only, and touching ``.flags`` on one would
+    silently materialize the whole column on the hot path.
     """
     for array in arrays:
-        if array is not None and array.flags.writeable:
+        if array is None or isinstance(array, ChunkedColumn):
+            continue
+        if array.flags.writeable:
             array.flags.writeable = False
+
+
+#: Cached columns are plain frozen ndarrays on cold paths and chunked
+#: copy-on-write columns once the incremental patch paths have touched them.
+Column = Union[np.ndarray, ChunkedColumn]
 
 
 @dataclass
 class _LeafRaw:
     """Normalization-independent arrays of one leaf (shared across executes)."""
 
-    signed: np.ndarray
-    raw: np.ndarray
-    exact_mask: np.ndarray
+    signed: Column
+    raw: Column
+    exact_mask: Column
     supports_direction: bool
 
     def __post_init__(self) -> None:
@@ -98,10 +110,10 @@ class _LeafRaw:
 class _NodeColumns:
     """Per-node arrays for one (weights, capacity) configuration."""
 
-    normalized: np.ndarray
-    signed: np.ndarray | None
-    exact_mask: np.ndarray
-    raw: np.ndarray
+    normalized: Column
+    signed: Column | None
+    exact_mask: Column
+    raw: Column
 
     def __post_init__(self) -> None:
         _freeze(self.normalized, self.signed, self.exact_mask, self.raw)
@@ -271,6 +283,16 @@ class CacheStats:
     result_count_patches: int = 0
     #: Executions that ran with dirty-shard tracking enabled.
     incremental_events: int = 0
+    #: Chunked copy-on-write accounting across all column patches: chunks
+    #: that had to be copied (a dirty row/span intersected them) vs. chunks
+    #: aliased verbatim from the previous column.
+    chunks_patched: int = 0
+    chunks_shared: int = 0
+    #: Quantile-reduction displayed sets served by the per-shard
+    #: order-statistic certificate vs. falling back to the exact O(n)
+    #: concatenate-and-quantile path.
+    quantile_certified: int = 0
+    quantile_fallbacks: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -288,6 +310,10 @@ class CacheStats:
             "displayed_patches": self.displayed_patches,
             "result_count_patches": self.result_count_patches,
             "incremental_events": self.incremental_events,
+            "chunks_patched": self.chunks_patched,
+            "chunks_shared": self.chunks_shared,
+            "quantile_certified": self.quantile_certified,
+            "quantile_fallbacks": self.quantile_fallbacks,
         }
 
 
@@ -403,6 +429,20 @@ class EvaluationCache:
     def record_result_count_patch(self) -> None:
         with self._lock:
             self.stats.result_count_patches += 1
+
+    def record_chunks(self, patched: int, shared: int) -> None:
+        """Account one copy-on-write column patch's chunk reuse."""
+        with self._lock:
+            self.stats.chunks_patched += patched
+            self.stats.chunks_shared += shared
+
+    def record_quantile(self, certified: bool) -> None:
+        """Account one quantile-reduction selection's certificate outcome."""
+        with self._lock:
+            if certified:
+                self.stats.quantile_certified += 1
+            else:
+                self.stats.quantile_fallbacks += 1
 
     def record_slice(self, *, hit: bool, recomputed: int, reused: int,
                      shortcircuit: bool = False) -> None:
@@ -531,13 +571,38 @@ class PlanEvaluator:
         self.target_max = target_max
         self.cache = cache if cache is not None else EvaluationCache()
         self.prefetch = prefetch
+        #: Per-event chunked copy-on-write accounting (reset by ``evaluate``).
+        self._chunks_patched = 0
+        self._chunks_shared = 0
 
     # ------------------------------------------------------------------ #
     def evaluate(self, plan: PlanNode) -> dict[NodePath, NodeFeedback]:
         """Return a :class:`NodeFeedback` per node path; path ``()`` is the root."""
+        self._chunks_patched = 0
+        self._chunks_shared = 0
         feedback: dict[NodePath, NodeFeedback] = {}
         self._evaluate(plan, (), feedback)
         return feedback
+
+    # ------------------------------------------------------------------ #
+    def _record_chunks(self, column) -> None:
+        """Account a freshly patched column's chunk reuse (evaluator + cache)."""
+        patched = getattr(column, "patched_chunks", 0)
+        shared = getattr(column, "shared_chunks", 0)
+        if patched or shared:
+            self._chunks_patched += patched
+            self._chunks_shared += shared
+            self.cache.record_chunks(patched, shared)
+
+    def _chunk_marks(self) -> tuple[int, int]:
+        return (self._chunks_patched, self._chunks_shared)
+
+    def _annotate_chunks(self, marks: tuple[int, int]) -> None:
+        """Annotate the ambient span with chunk counts accrued since ``marks``."""
+        patched = self._chunks_patched - marks[0]
+        shared = self._chunks_shared - marks[1]
+        if patched or shared:
+            obs.annotate(chunks_patched=patched, chunks_shared=shared)
 
     # ------------------------------------------------------------------ #
     def _evaluate(self, plan: PlanNode, path: NodePath,
@@ -567,6 +632,7 @@ class PlanEvaluator:
         if columns is not None:
             obs.annotate(cache="node-hit")
             return columns
+        marks = self._chunk_marks()
         raw = self.cache.get_raw(plan.raw_key)
         if raw is None:
             with obs.span("leaf.raw"):
@@ -575,8 +641,11 @@ class PlanEvaluator:
             obs.annotate(cache="miss")
         else:
             obs.annotate(cache="raw-hit")
+        self._annotate_chunks(marks)
         with obs.span("normalize"):
-            normalized = self._normalize(raw.raw, plan.node.weight)
+            # Monolithic normalization is a full elementwise pass anyway, so
+            # a chunked raw column is materialized once (and cached) here.
+            normalized = self._normalize(as_array(raw.raw), plan.node.weight)
         columns = _NodeColumns(
             normalized=normalized,
             signed=raw.signed if raw.supports_direction else None,
@@ -644,17 +713,21 @@ class PlanEvaluator:
             if len(changed) > len(self.table) // 3:
                 history = None
         if history is not None:
+            # Copy-on-write: only the chunks the swept band intersects are
+            # copied; every clean chunk is aliased from the cached column.
             old = history.raw
-            signed = old.signed.copy()
-            raw = old.raw.copy()
+            signed = as_chunked(old.signed)
+            raw = as_chunked(old.raw)
             if len(changed):
                 values = np.asarray(self.table.column(attribute), dtype=float)[changed]
                 below = np.where(values < predicate.low, values - predicate.low, 0.0)
                 above = np.where(values > predicate.high, values - predicate.high, 0.0)
                 delta = below + above
                 delta = np.where(np.isnan(values), np.nan, delta)
-                signed[changed] = delta
-                raw[changed] = np.abs(delta)
+                signed = signed.patch(changed, delta)
+                raw = raw.patch(changed, np.abs(delta))
+                self._record_chunks(signed)
+                self._record_chunks(raw)
             result = _LeafRaw(
                 signed=signed,
                 raw=raw,

@@ -47,6 +47,10 @@ __all__ = [
     "EMPTY_SHARD_SUMMARY",
     "shard_summary",
     "summaries_from_partials",
+    "EMPTY_QUANTILE_COUNTS",
+    "quantile_rank_bounds",
+    "quantile_shard_counts",
+    "quantile_certificate",
 ]
 
 
@@ -548,3 +552,63 @@ def summaries_from_partials(partials: "Sequence[DistanceBoundsPartial]",
             float(np.count_nonzero(smallest <= d_max)),
         ))
     return np.asarray(rows, dtype=float)
+
+
+#: Counting row of a shard with no finite values for the quantile
+#: certificate (the counting identity).
+EMPTY_QUANTILE_COUNTS = (0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def quantile_rank_bounds(m: int, p: float) -> tuple[int, int]:
+    """0-based ranks of the order statistics ``np.quantile`` interpolates.
+
+    With the default linear interpolation the ``p``-quantile of ``m``
+    sorted finite values is a function of exactly two order statistics:
+    the values at ranks ``floor(h)`` and ``ceil(h)`` where
+    ``h = p * (m - 1)`` (the same virtual index numpy computes).  Proving
+    those two values unchanged therefore proves the quantile *float*
+    unchanged, without ever reproducing the interpolation arithmetic.
+    """
+    if m <= 0:
+        return 0, 0
+    h = p * (m - 1)
+    return int(np.floor(h)), int(np.ceil(h))
+
+
+def quantile_shard_counts(values: np.ndarray, v_lo: float, v_hi: float) -> tuple:
+    """Counting row of one shard against the two quantile order statistics.
+
+    Returns ``(finite_count, count < v_lo, count <= v_lo, count < v_hi,
+    count <= v_hi)``.  Comparisons against NaN bounds (an all-NaN column)
+    are all False, yielding zero counts -- which can only fail a future
+    certificate, never falsely pass it.
+    """
+    values = np.asarray(values, dtype=float)
+    finite = np.isfinite(values)
+    if not finite.any():
+        return EMPTY_QUANTILE_COUNTS
+    finite_values = values[finite] if not finite.all() else values
+    return (
+        float(len(finite_values)),
+        float(np.count_nonzero(finite_values < v_lo)),
+        float(np.count_nonzero(finite_values <= v_lo)),
+        float(np.count_nonzero(finite_values < v_hi)),
+        float(np.count_nonzero(finite_values <= v_hi)),
+    )
+
+
+def quantile_certificate(totals: np.ndarray, m: int, k_lo: int, k_hi: int) -> bool:
+    """Do summed counting rows prove the cached order statistics still hold?
+
+    ``totals`` is the column-wise sum of :func:`quantile_shard_counts`
+    rows (clean shards cached, dirty shards recounted).  The cached value
+    ``v`` is still the rank-``k`` order statistic iff
+    ``count(< v) <= k < count(<= v)`` -- the same counting argument the
+    displayed-set and bounds certificates use.  The finite count must also
+    be unchanged, because ``m`` itself determines the ranks.
+    """
+    if int(totals[0]) != m:
+        return False
+    if m == 0:
+        return True
+    return (totals[1] <= k_lo < totals[2]) and (totals[3] <= k_hi < totals[4])

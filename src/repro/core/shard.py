@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Callable, TypeVar, Union
 
 import numpy as np
 
+from repro.core.chunks import as_array, as_chunked
 from repro.core.combine import CombinationRule, combine_columns
 from repro.core.normalization import (
     NORMALIZED_MAX,
@@ -635,6 +636,8 @@ class ShardedPlanEvaluator(PlanEvaluator):
             "patched_nodes": patched,
             "root_dirty_shards": root_dirty,
             "shard_count": self.sharded.shard_count,
+            "chunks_patched": self._chunks_patched,
+            "chunks_shared": self._chunks_shared,
         }
 
     # ------------------------------------------------------------------ #
@@ -647,6 +650,7 @@ class ShardedPlanEvaluator(PlanEvaluator):
             # Served wholesale: identical content by fingerprint identity.
             self.node_deltas[path] = NodeDelta(value_key, value_key, frozenset())
             return columns
+        marks = self._chunk_marks()
         raw = self.cache.get_raw(plan.raw_key)
         if raw is None:
             raw = self._compute_leaf_raw(plan.node, plan.raw_key)
@@ -685,6 +689,7 @@ class ShardedPlanEvaluator(PlanEvaluator):
             ))
         base = entry.value_key if (entry is not None and dirty is not None) else None
         self.node_deltas[path] = NodeDelta(value_key, base, out_dirty)
+        self._annotate_chunks(marks)
         return columns
 
     def _composite_columns(self, plan, path: NodePath,
@@ -698,6 +703,7 @@ class ShardedPlanEvaluator(PlanEvaluator):
         if columns is not None:
             self.node_deltas[path] = NodeDelta(value_key, value_key, frozenset())
             return columns
+        marks = self._chunk_marks()
         weights = np.array([child.weight for child in plan.children], dtype=float)
         child_keys = tuple(
             child.value_key(self.display_capacity, self.target_max)
@@ -747,16 +753,19 @@ class ShardedPlanEvaluator(PlanEvaluator):
                     dirty_sorted, self._map_over(dirty_sorted, combine_one)))
                 fresh_masks = dict(zip(
                     dirty_sorted, self._map_over(dirty_sorted, mask_one)))
-                combined = np.concatenate([
-                    fresh_combined[i] if i in dirty
-                    else entry.columns.raw[start:stop]
-                    for i, (start, stop) in enumerate(bounds)
+                # Copy-on-write assembly: dirty shards' spans are spliced
+                # in (interior chunks alias the fresh pieces zero-copy);
+                # every clean chunk is shared with the cached entry.
+                combined = as_chunked(entry.columns.raw).patch_spans([
+                    (bounds[i][0], bounds[i][1], fresh_combined[i])
+                    for i in dirty_sorted
                 ])
-                exact = np.concatenate([
-                    fresh_masks[i] if i in dirty
-                    else entry.columns.exact_mask[start:stop]
-                    for i, (start, stop) in enumerate(bounds)
+                exact = as_chunked(entry.columns.exact_mask).patch_spans([
+                    (bounds[i][0], bounds[i][1], fresh_masks[i])
+                    for i in dirty_sorted
                 ])
+                self._record_chunks(combined)
+                self._record_chunks(exact)
         else:
             combined = self._combine(
                 plan.rule, [c.normalized for c in child_columns], weights
@@ -796,6 +805,7 @@ class ShardedPlanEvaluator(PlanEvaluator):
             ))
         base = entry.value_key if (entry is not None and dirty is not None) else None
         self.node_deltas[path] = NodeDelta(value_key, base, out_dirty)
+        self._annotate_chunks(marks)
         return columns
 
     def _children_dirty(self, entry: ShardSliceEntry | None,
@@ -905,27 +915,38 @@ class ShardedPlanEvaluator(PlanEvaluator):
                 history = None
         if history is not None:
             old = history.raw
-            signed = old.signed.copy()
-            raw = old.raw.copy()
-            mask = old.exact_mask.copy()
             column = self.table.column(attribute)
 
-            def update(i: int) -> None:
+            def update(i: int) -> tuple:
                 changed = changed_parts[i]
                 values = np.asarray(column, dtype=float)[changed]
                 below = np.where(values < predicate.low, values - predicate.low, 0.0)
                 above = np.where(values > predicate.high, values - predicate.high, 0.0)
                 delta = below + above
                 delta = np.where(np.isnan(values), np.nan, delta)
-                signed[changed] = delta
-                raw[changed] = np.abs(delta)
                 # Membership is "distance == 0": bit-identical to
                 # RangePredicate.exact_mask on the changed rows, unchanged
                 # (hence reusable) everywhere else.
-                mask[changed] = (values >= predicate.low) & (values <= predicate.high)
+                member = (values >= predicate.low) & (values <= predicate.high)
+                return changed, delta, np.abs(delta), member
 
-            # Shards write disjoint global row sets; safe to run in parallel.
-            self._map_over(sorted(dirty_shards), update)
+            # Per-shard delta computation fans out; the copy-on-write patch
+            # then copies only the chunks the changed rows intersect and
+            # aliases every clean chunk from the cached column.
+            updates = self._map_over(sorted(dirty_shards), update)
+            if updates:
+                changed_all = np.concatenate([u[0] for u in updates])
+                signed = as_chunked(old.signed).patch(
+                    changed_all, np.concatenate([u[1] for u in updates]))
+                raw = as_chunked(old.raw).patch(
+                    changed_all, np.concatenate([u[2] for u in updates]))
+                mask = as_chunked(old.exact_mask).patch(
+                    changed_all, np.concatenate([u[3] for u in updates]))
+                self._record_chunks(signed)
+                self._record_chunks(raw)
+                self._record_chunks(mask)
+            else:
+                signed, raw, mask = old.signed, old.raw, old.exact_mask
             result = _LeafRaw(
                 signed=signed,
                 raw=raw,
@@ -1066,6 +1087,10 @@ class ShardedPlanEvaluator(PlanEvaluator):
                         resolved = (d_min_new, float(d_max_old))
                         certified = True
         if not certified:
+            # Both resolve paths make a full pass over the column: a chunked
+            # column is materialized once here (cached on the instance) so
+            # the per-shard slices below are cheap contiguous views.
+            values = as_array(values)
             if keep * shard_count <= n // 2:
                 # Selective keep: per-shard partials are small, so the
                 # serial merge is sublinear and the partition work fans out.
@@ -1091,15 +1116,20 @@ class ShardedPlanEvaluator(PlanEvaluator):
             if not dirty:
                 normalized = old
             else:
-                pieces = []
-                for i, (start, stop) in enumerate(bounds):
-                    if i in dirty:
-                        pieces.append(apply_normalization(
-                            values[start:stop], d_min, d_max,
-                            target_max=self.target_max))
-                    else:
-                        pieces.append(old[start:stop])
-                normalized = np.concatenate(pieces)
+                dirty_sorted = sorted(dirty)
+                fresh = self._map_over(
+                    dirty_sorted,
+                    lambda i: apply_normalization(
+                        values[bounds[i][0]:bounds[i][1]], d_min, d_max,
+                        target_max=self.target_max),
+                )
+                # Copy-on-write: dirty shards' spans are spliced in, every
+                # clean chunk is aliased from the cached normalized column.
+                normalized = as_chunked(old).patch_spans([
+                    (bounds[i][0], bounds[i][1], piece)
+                    for i, piece in zip(dirty_sorted, fresh)
+                ])
+                self._record_chunks(normalized)
             if summaries is None or not certified:
                 # Entry had no summaries (or the certificate failed while
                 # the resolve still came out identical): capture fresh
@@ -1117,6 +1147,7 @@ class ShardedPlanEvaluator(PlanEvaluator):
                          shards_reused=shard_count - len(dirty))
             out_dirty: frozenset | None = dirty
         else:
+            values = as_array(values)
             out = np.empty(n, dtype=float)
 
             def apply(i: int) -> None:

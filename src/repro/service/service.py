@@ -386,6 +386,10 @@ class FeedbackService:
                 "bounds_shortcircuits": engine["bounds_shortcircuits"],
                 "displayed_patches": engine["displayed_patches"],
                 "result_count_patches": engine["result_count_patches"],
+                "chunks_patched": engine["chunks_patched"],
+                "chunks_shared": engine["chunks_shared"],
+                "quantile_certified": engine["quantile_certified"],
+                "quantile_fallbacks": engine["quantile_fallbacks"],
             },
         }
 

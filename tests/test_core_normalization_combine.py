@@ -156,3 +156,65 @@ def test_weighting_shifts_combined_distances():
     first_downweighted = combine_and(matrix, np.array([0.1, 1.0]))
     assert balanced[0] == pytest.approx(balanced[1])
     assert first_downweighted[0] < first_downweighted[1]
+
+
+# -- combine_columns single-child fast path --------------------------------- #
+def test_combine_columns_single_default_weight_child_shares_array():
+    """One child at weight 1: the combined column is the child, no copy."""
+    from repro.core.combine import combine_columns
+
+    child = np.array([1.0, 2.0, 3.0])
+    child.flags.writeable = False
+    for rule in (CombinationRule.AND, CombinationRule.OR):
+        assert combine_columns(rule, [child], np.array([1.0])) is child
+
+
+def test_combine_columns_single_child_nondefault_weight_still_copies():
+    from repro.core.combine import combine_columns
+
+    child = np.array([1.0, 4.0, 9.0])
+    scaled = combine_columns(CombinationRule.AND, [child], np.array([0.5]))
+    assert scaled is not child
+    np.testing.assert_allclose(scaled, child * 0.5)
+    powered = combine_columns(CombinationRule.OR, [child], np.array([0.5]))
+    assert powered is not child
+    np.testing.assert_allclose(powered, np.sqrt(child))
+
+
+def test_combine_columns_multi_child_keeps_accumulator_copy():
+    """The first column doubles as the accumulator: it must never alias."""
+    from repro.core.combine import combine_columns
+
+    a = np.array([1.0, 2.0])
+    b = np.array([3.0, 4.0])
+    for rule in (CombinationRule.AND, CombinationRule.OR):
+        before = a.copy()
+        result = combine_columns(rule, [a, b], np.array([1.0, 1.0]))
+        assert result is not a and result is not b
+        np.testing.assert_array_equal(a, before)
+
+
+def test_combine_columns_shared_child_survives_copy_on_write_patch():
+    """Patching a column that aliases the combined result must not leak.
+
+    The evaluator stores combined columns read-only and patches them
+    copy-on-write (ChunkedColumn), so sharing the child array is safe:
+    the patch writes into fresh chunks, never into the shared base.
+    """
+    from repro.core.chunks import as_chunked
+    from repro.core.combine import combine_columns
+
+    child = np.linspace(0.0, 255.0, 256)
+    combined = combine_columns(CombinationRule.AND, [child], np.array([1.0]))
+    assert combined is child
+    snapshot = combined.copy()
+    chunked = as_chunked(combined, chunk_rows=32)
+    patched = chunked.patch(np.array([5, 200]), np.array([-1.0, -2.0]))
+    # The shared array is untouched by the patch...
+    np.testing.assert_array_equal(combined, snapshot)
+    # ...and writing through it is impossible: sharing froze it.
+    with pytest.raises(ValueError):
+        combined[0] = 0.0
+    expected = snapshot.copy()
+    expected[[5, 200]] = [-1.0, -2.0]
+    np.testing.assert_array_equal(np.asarray(patched), expected)

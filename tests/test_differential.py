@@ -462,3 +462,114 @@ def test_differential_shard_count_beyond_rows():
         feedback = QueryEngine(table, config.with_(shard_count=shards)).prepare(
             copy.deepcopy(query)).execute()
         assert_feedback_identical(reference, feedback, f"tiny shards={shards}")
+
+
+# --------------------------------------------------------------------------- #
+# Adversarial chunked copy-on-write + quantile certificate cases (PR 9)
+# --------------------------------------------------------------------------- #
+@pytest.fixture
+def tiny_chunks(monkeypatch):
+    """Shrink the chunk grid so small tables span many chunks.
+
+    ``CHUNK_ROWS`` is read at column construction time, so patching the
+    module global makes every column built during the test many-chunked
+    -- the regime where a chunk-grid bug (mis-spliced edge chunk, stale
+    alias, off-by-one at a boundary) would corrupt output bits.
+    """
+    from repro.core import chunks
+
+    monkeypatch.setattr(chunks, "CHUNK_ROWS", 256)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_differential_micro_moves_sweeping_chunk_boundaries(tiny_chunks, backend):
+    """Micro-move chains whose dirty bands walk across chunk boundaries.
+
+    With 256-row chunks over 4096 sorted rows, each step's dirty band
+    slides a little further, repeatedly entering, straddling and leaving
+    chunk boundaries (and shard boundaries at 7/32 shards) -- every
+    splice case of ``patch``/``patch_spans`` in one drag.
+    """
+    table = _locality_table(n=4_096)
+    root = AndNode([
+        between("t", 100.0, 600.0),
+        OrNode([condition("a", ">", 20.0), condition("b", "<", 70.0)]),
+    ])
+    config = PipelineConfig(screen=ScreenSpec(width=48, height=48), percentage=0.15)
+    events = [SetQueryRange((0,), 100.0, 600.0 + 7.0 * (k + 1)) for k in range(10)]
+    _drive_against_cold(table, root, config, events,
+                        f"chunk-sweep backend={backend}", backend=backend)
+
+
+def test_differential_dirty_bands_one_chunk_and_all_chunks(tiny_chunks):
+    """Extremes of the chunk grid: bands inside exactly one chunk, then
+    moves that dirty every chunk (a global-bounds shift), then back."""
+    table = _locality_table(n=2_048)
+    root = AndNode([between("t", 300.0, 400.0), condition("a", ">", 10.0)])
+    config = PipelineConfig(screen=ScreenSpec(width=40, height=40), percentage=0.2)
+    events = [
+        SetQueryRange((0,), 300.0, 399.0),     # a handful of rows, one chunk
+        SetQueryRange((0,), 300.0, 398.5),     # again: patch of a patch
+        SetQueryRange((0,), 1100.0, 1200.0),   # beyond the data: all chunks dirty
+        SetQueryRange((0,), 300.0, 398.0),     # snap back
+        SetQueryRange((0,), 300.0, 397.5),     # one-chunk band over rebuilt columns
+    ]
+    _drive_against_cold(table, root, config, events, "chunk-extremes")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_differential_quantile_threshold_moves_across_shards(tiny_chunks, backend):
+    """Quantile reduction under moves that shift the p-quantile across shards.
+
+    percentage=None selects the quantile path.  Interior micro-moves keep
+    the threshold element in place (the order-statistic certificate should
+    hold); the large jumps rewrite enough distances that the p-quantile
+    lands in a different shard, forcing the certificate to fail and the
+    exact concatenate-and-quantile fallback to run -- both must reproduce
+    the cold bits exactly.
+    """
+    table = _locality_table(n=3_000)
+    root = AndNode([
+        between("t", 100.0, 800.0),
+        OrNode([condition("a", ">", 30.0), condition("b", "<", 60.0)]),
+    ])
+    config = PipelineConfig(screen=ScreenSpec(width=64, height=64), percentage=None)
+    events = [
+        SetQueryRange((0,), 100.0, 798.0),     # interior micro-move
+        SetQueryRange((0,), 100.0, 796.5),     # another: patch chain
+        SetQueryRange((0,), 100.0, 350.0),     # huge jump: threshold shifts shards
+        SetQueryRange((0,), 100.0, 348.0),     # micro-move at the new position
+        SetQueryRange((0,), 600.0, 900.0),     # jump the whole band elsewhere
+        SetQueryRange((0,), 600.0, 898.5),     # settle with a micro-move
+    ]
+    prepared = _drive_against_cold(table, root, config, events,
+                                   f"quantile-shift backend={backend}",
+                                   backend=backend)
+    stats = prepared[7].cache_stats
+    # Both certificate outcomes were exercised: passes (micro-moves) and
+    # the exact-fallback path (cold run + threshold shifts).
+    assert stats["quantile_certified"] > 0
+    assert stats["quantile_fallbacks"] > 0
+
+
+def test_differential_quantile_incremental_matches_disabled(tiny_chunks):
+    """Quantile path: incremental_shards=False reproduces the same bits
+    (covers the certificate machinery against the always-exact engine)."""
+    table = _locality_table(n=2_500)
+    root = AndNode([between("t", 50.0, 900.0), condition("a", ">", 20.0)])
+    config = PipelineConfig(screen=ScreenSpec(width=48, height=48), percentage=None)
+    on = QueryEngine(table, config.with_(shard_count=7, max_workers=2)).prepare(
+        Query(name="on", tables=[table.name], condition=copy.deepcopy(root)))
+    off = QueryEngine(
+        table,
+        config.with_(shard_count=7, max_workers=2, incremental_shards=False),
+    ).prepare(Query(name="off", tables=[table.name], condition=copy.deepcopy(root)))
+    on.execute()
+    off.execute()
+    for k in range(8):
+        event = SetQueryRange((0,), 50.0, 897.0 - 1.5 * k)
+        assert_feedback_identical(
+            off.execute(changes=[event]), on.execute(changes=[event]),
+            f"quantile on-vs-off step={k}",
+        )
+    assert on.cache_stats["quantile_certified"] > 0
