@@ -37,6 +37,7 @@ import os
 import time
 
 import numpy as np
+import pytest
 
 from repro import AndNode, OrNode, PipelineConfig, Query, QueryEngine, condition
 from repro.storage.table import Table
@@ -198,6 +199,83 @@ def test_backend_cold_throughput_1m(benchmark):
 
     threads.engine.close()
     process.engine.close()
+
+
+#: The remote leg needs a live worker fleet; the ``backend-remote`` CI
+#: job launches two loopback servers and sets this before running it.
+REMOTE_FLEET = os.environ.get("REPRO_REMOTE_WORKERS", "")
+
+
+@pytest.mark.skipif(not REMOTE_FLEET, reason="REPRO_REMOTE_WORKERS not set")
+def test_backend_remote_traffic_1m(benchmark):
+    """Remote fleet at 1M rows: publish-once over TCP, events in kilobytes.
+
+    The headline is ``remote_traffic_ratio``: column bytes published once
+    (mapped zero-copy by co-located servers, streamed once to cross-host
+    ones) over the wire bytes one slider event moves.  Like the process
+    backend's ``traffic_ratio`` this is a protocol byte count --
+    deterministic for a fixed topology -- and is gated as an absolute
+    floor in ``check_regression.py``.  On the loopback fleet CI runs, the
+    shared-memory plane must carry every column: zero column bytes on the
+    socket in either direction.
+    """
+    table = _table()
+    threads = _prepare(table, "threads")
+    remote = _prepare(table, "remote")
+
+    feedback_threads = threads.execute()
+    feedback_remote = remote.execute()
+    _assert_feedback_identical(feedback_threads, feedback_remote)
+
+    backend = remote.engine.execution_backend("remote")
+    warm = backend.stats()
+    assert warm["offloaded_ops"] >= 1, "remote backend never offloaded"
+    assert warm["remote_fallbacks"] == 0, warm
+    assert warm["published_bytes"] >= ROWS * 8 * 4  # four f8 columns
+
+    remote_seconds = _cold_seconds(remote)
+
+    def remote_cold():
+        _drop_caches(remote)
+        return remote.execute()
+
+    feedback_remote = benchmark.pedantic(remote_cold, rounds=3, iterations=1)
+    _assert_feedback_identical(feedback_threads, feedback_remote)
+
+    before = backend.stats()
+    remote.condition.children[0].predicate.value = 0.1
+    threads.condition.children[0].predicate.value = 0.1
+    _assert_feedback_identical(threads.execute(), remote.execute())
+    after = backend.stats()
+    assert after["remote_fallbacks"] == 0, after
+    event_wire = after["traffic_bytes"] - before["traffic_bytes"]
+    assert event_wire > 0, "the event did not consult the fleet"
+    remote_traffic_ratio = after["published_bytes"] / event_wire
+    column_bytes_delta = after["column_bytes"] - before["column_bytes"]
+
+    benchmark.extra_info.update({
+        "rows": ROWS,
+        "shards": SHARDS,
+        "fleet": REMOTE_FLEET,
+        "remote_cold_ms": round(remote_seconds * 1e3, 2),
+        "published_bytes": after["published_bytes"],
+        "event_wire_bytes": event_wire,
+        "remote_traffic_ratio": round(remote_traffic_ratio, 1),
+        "column_bytes_delta": column_bytes_delta,
+    })
+
+    assert remote_traffic_ratio >= 100.0, (
+        f"per-event wire traffic too close to the published column volume: "
+        f"{event_wire} bytes moved vs {after['published_bytes']} published "
+        f"({remote_traffic_ratio:.0f}x)"
+    )
+    assert column_bytes_delta == 0, (
+        f"loopback servers must map columns over shared memory, but "
+        f"{column_bytes_delta} column bytes crossed the socket"
+    )
+
+    threads.engine.close()
+    remote.engine.close()
 
 
 if __name__ == "__main__":  # pragma: no cover - manual timing entry point

@@ -1,14 +1,16 @@
 """Pluggable shard-execution backends.
 
 A backend owns *where* shard work runs; the evaluator owns *what* is
-computed.  Two implementations ship in-tree -- ``threads`` (the default:
-the in-process shared thread pool) and ``process`` (a persistent
-zero-copy shared-memory worker pool) -- and third parties add more via
-:func:`register_backend`.  See ``docs/backends.md`` for the contract.
+computed.  Three implementations ship in-tree -- ``threads`` (the
+default: the in-process shared thread pool), ``process`` (a persistent
+zero-copy shared-memory worker pool) and ``remote`` (a TCP worker fleet,
+``REPRO_REMOTE_WORKERS=host:port,...``) -- and third parties add more
+via :func:`register_backend`.  See ``docs/backends.md`` for the contract.
 
 Importing this package installs an ``atexit`` hook that drains the shared
-thread executors and terminates the worker pool, so interpreter shutdown
-never hangs on live pools even when no one called ``QueryEngine.close()``.
+thread executors, terminates the worker pool and closes fleet
+connections, so interpreter shutdown never hangs on live pools even when
+no one called ``QueryEngine.close()``.
 """
 
 from __future__ import annotations
@@ -23,11 +25,13 @@ from repro.backend.registry import (
     register_backend,
     unregister_backend,
 )
+from repro.backend.remote import RemoteBackend, shutdown_remote_backend
 from repro.backend.threads import ThreadsBackend
 
 __all__ = [
     "ExecBackend",
     "ProcessBackend",
+    "RemoteBackend",
     "ThreadsBackend",
     "available_backends",
     "create_backend",
@@ -38,16 +42,19 @@ __all__ = [
 
 register_backend("threads", ThreadsBackend)
 register_backend("process", ProcessBackend)
+register_backend("remote", RemoteBackend)
 
 
 def shutdown_all(drain_timeout: float = 5.0) -> None:
-    """Drain shared thread executors and stop the worker pool (idempotent).
+    """Drain executors, stop the worker pool, close fleet connections.
 
     Runs automatically at interpreter exit; anything shut down here is
-    respawned lazily if an engine keeps executing afterwards.
+    respawned or reconnected lazily if an engine keeps executing
+    afterwards.  Idempotent.
     """
     from repro.core.shard import shutdown_executors
 
+    shutdown_remote_backend()
     shutdown_process_backend()
     shutdown_executors(drain_timeout=drain_timeout)
 

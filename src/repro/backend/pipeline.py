@@ -36,29 +36,45 @@ This module is imported on both sides of the pipe and depends only on
 NumPy-level machinery (:mod:`repro.core.reduction`,
 :mod:`repro.core.normalization`, :mod:`repro.core.combine`,
 :mod:`repro.backend.shm`) -- never on the plan/evaluator.
+
+Both session coordinators -- :class:`~repro.backend.process.ProcessBackend`
+over pipes and :class:`~repro.backend.remote.client.RemoteBackend` over
+TCP -- drive their rounds through the helpers here
+(:func:`gather_round`, :func:`resolve_level`, :func:`round_message`,
+:func:`node_columns_from_buffer`), so the round algebra exists exactly
+once and a transport cannot diverge from the in-process semantics.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
 from repro.backend.shm import attach_block
 from repro.core.combine import CombinationRule, combine_columns
-from repro.core.normalization import apply_normalization
+from repro.core.normalization import apply_normalization, reduced_bounds
 from repro.core.reduction import (
+    EMPTY_SHARD_SUMMARY,
     distance_bounds_partial,
+    merge_distance_bounds_many,
+    resolve_distance_bounds,
     shard_summary,
+    summaries_from_partials,
     topk_candidates,
 )
 
 __all__ = [
     "PIPELINE_OPS",
     "WorkerPipeline",
+    "fill_node_summary",
+    "gather_round",
     "next_pipeline_token",
+    "node_columns_from_buffer",
     "pipeline_layout",
+    "resolve_level",
+    "round_message",
 ]
 
 #: Op codes served by :func:`repro.backend.worker.worker_main`.
@@ -108,15 +124,128 @@ def pipeline_layout(nodes: list[dict[str, Any]],
     return max(1, cursor), offsets
 
 
+# --------------------------------------------------------------------------- #
+# Coordinator-side round algebra (shared by the process and remote backends)
+# --------------------------------------------------------------------------- #
+def gather_round(replies: list[dict[str, Any]], partials: dict,
+                 popcounts: dict, summaries: dict) -> dict:
+    """Merge one round's per-worker payloads (disjoint shard subsets)."""
+    topk: dict[int, Any] = {}
+    for reply in replies:
+        for node_id, per_shard in reply.get("partials", {}).items():
+            partials.setdefault(node_id, {}).update(per_shard)
+        for node_id, per_shard in reply.get("popcounts", {}).items():
+            popcounts.setdefault(node_id, {}).update(per_shard)
+        for node_id, per_shard in reply.get("summaries", {}).items():
+            summaries.setdefault(node_id, {}).update(per_shard)
+        topk.update(reply.get("topk", {}))
+    return topk
+
+
+def resolve_level(level_ids: list[int], nodes: dict, spec: dict,
+                  shard_count: int, partials: dict,
+                  read_raw: Callable[[int], np.ndarray],
+                  result_nodes: dict) -> tuple[dict, list[int]]:
+    """Resolve one level's bounds exactly as the in-process path does.
+
+    Partial-path nodes merge their per-shard bounds partials (shard
+    order, associative algebra) and derive their summaries from them;
+    direct-path nodes run one :func:`reduced_bounds` partition over the
+    raw column -- handed to us by ``read_raw(node_id)``, which the
+    process backend serves as a zero-copy view over the shared block and
+    the remote backend as the (possibly fetched) assembled column -- and
+    have the workers count their summaries next round.
+    """
+    partial_ids = set(spec["partial_nodes"])
+    resolved_msg: dict[int, tuple | None] = {}
+    summary_ids: list[int] = []
+    for node_id in level_ids:
+        keep = nodes[node_id]["keep"]
+        if node_id in partial_ids:
+            per_shard = [partials[node_id][s] for s in range(shard_count)]
+            resolved = resolve_distance_bounds(
+                merge_distance_bounds_many(per_shard))
+            node_summaries = summaries_from_partials(per_shard, resolved)
+        else:
+            resolved = reduced_bounds(read_raw(node_id), keep)
+            node_summaries = None
+            if resolved is not None:
+                summary_ids.append(node_id)
+        resolved_msg[node_id] = resolved
+        result_nodes[node_id] = {
+            "resolved": resolved, "summaries": node_summaries}
+    return resolved_msg, summary_ids
+
+
+def round_message(spec: dict, levels: list[list[int]], level_no: int,
+                  resolved_msg: dict, summary_ids: list[int]) -> dict[str, Any]:
+    """The ``pipeline_level`` / ``pipeline_finish`` message for one round."""
+    finish = level_no == len(levels)
+    msg: dict[str, Any] = {
+        "op": "pipeline_finish" if finish else "pipeline_level",
+        "token": spec["token"],
+        "resolved": resolved_msg,
+        "summaries_for": summary_ids,
+    }
+    if finish:
+        target = spec.get("topk_target")
+        msg["topk"] = (levels[-1][0], target) if target is not None else None
+    else:
+        msg["combine"] = levels[level_no]
+    return msg
+
+
+def fill_node_summary(entry: dict, per_shard: dict | None,
+                      shard_count: int) -> None:
+    """Materialise a node's summary matrix from worker-counted rows.
+
+    Partial-path nodes already carry theirs (derived from the merged
+    partials in :func:`resolve_level`); direct-path nodes get the
+    per-shard counting-pass rows here, or the empty-summary rows when the
+    node's bounds never resolved (degenerate column).
+    """
+    if entry["summaries"] is not None:
+        return
+    if per_shard is None:
+        entry["summaries"] = np.asarray(
+            [EMPTY_SHARD_SUMMARY] * shard_count, dtype=float)
+    else:
+        entry["summaries"] = np.asarray(
+            [per_shard[s] for s in range(shard_count)], dtype=float)
+
+
+def node_columns_from_buffer(buf, offs: dict[str, int],
+                             rows: int) -> dict[str, np.ndarray]:
+    """Copy one node's assembled columns out of a session output buffer."""
+    columns = {
+        "raw": np.ndarray(rows, dtype=np.float64, buffer=buf,
+                          offset=offs["raw"]).copy(),
+        "normalized": np.ndarray(rows, dtype=np.float64, buffer=buf,
+                                 offset=offs["normalized"]).copy(),
+        "mask": np.ndarray(rows, dtype=np.bool_, buffer=buf,
+                           offset=offs["mask"]).copy(),
+    }
+    if "signed" in offs:
+        columns["signed"] = np.ndarray(rows, dtype=np.float64, buffer=buf,
+                                       offset=offs["signed"]).copy()
+    return columns
+
+
 class WorkerPipeline:
     """Worker-side state of one pipeline session.
 
     Holds the attached output block and the per-node column views over
     it; each round method returns the reply payload (partials, popcounts,
     summaries) for this worker's shards.
+
+    ``block`` overrides the default shared-memory attach of ``msg["out"]``
+    with any object exposing a writable ``buf`` and a ``close()`` -- the
+    remote worker server passes a process-local buffer when it cannot
+    reach the coordinator's shared memory, and the session's columns are
+    then fetched over the wire instead.
     """
 
-    def __init__(self, table, msg: dict[str, Any]):
+    def __init__(self, table, msg: dict[str, Any], block=None):
         spec = msg["spec"]
         self.token: str = spec["token"]
         self.rows: int = spec["rows"]
@@ -130,7 +259,7 @@ class WorkerPipeline:
         self.shards: list[tuple[int, int, int]] = [
             (int(i), int(start), int(stop)) for i, start, stop in msg["shards"]
         ]
-        self.block = attach_block(msg["out"])
+        self.block = attach_block(msg["out"]) if block is None else block
         _, offsets = pipeline_layout(spec["nodes"], self.rows)
         self.views: dict[int, dict[str, np.ndarray]] = {}
         for node_id, offs in offsets.items():

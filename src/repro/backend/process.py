@@ -39,15 +39,16 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.backend.base import ExecBackend
-from repro.backend.pipeline import next_pipeline_token, pipeline_layout
-from repro.backend.shm import PublishedTable, ShmColumnStore
-from repro.core.normalization import reduced_bounds
-from repro.core.reduction import (
-    EMPTY_SHARD_SUMMARY,
-    merge_distance_bounds_many,
-    resolve_distance_bounds,
-    summaries_from_partials,
+from repro.backend.pipeline import (
+    fill_node_summary,
+    gather_round,
+    next_pipeline_token,
+    node_columns_from_buffer,
+    pipeline_layout,
+    resolve_level,
+    round_message,
 )
+from repro.backend.shm import PublishedTable, ShmColumnStore
 from repro.obs import trace as obs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -529,61 +530,38 @@ class ProcessBackend(ExecBackend):
                 partials: dict[int, dict] = {}
                 popcounts: dict[int, dict] = {}
                 summaries: dict[int, dict] = {}
-                topk_parts = self._gather(
+                topk_parts = gather_round(
                     replies, partials, popcounts, summaries)
                 result_nodes: dict[int, dict] = {}
+
+                def read_raw(node_id: int) -> np.ndarray:
+                    # Direct-path bounds partition straight over the
+                    # block-mapped raw column: zero pipe bytes.
+                    return np.ndarray(rows, dtype=np.float64,
+                                      buffer=block.buf,
+                                      offset=offsets[node_id]["raw"])
+
                 for level_no in range(1, len(levels) + 1):
-                    resolved_msg, summary_ids = self._resolve_level(
+                    resolved_msg, summary_ids = resolve_level(
                         levels[level_no - 1], nodes, spec, shard_count,
-                        partials, block, offsets, rows, result_nodes)
-                    finish = level_no == len(levels)
-                    msg: dict[str, Any] = {
-                        "op": "pipeline_finish" if finish else "pipeline_level",
-                        "token": spec["token"],
-                        "resolved": resolved_msg,
-                        "summaries_for": summary_ids,
-                    }
-                    if finish:
-                        target = spec.get("topk_target")
-                        msg["topk"] = ((levels[-1][0], target)
-                                       if target is not None else None)
-                    else:
-                        msg["combine"] = levels[level_no]
+                        partials, read_raw, result_nodes)
+                    msg = round_message(spec, levels, level_no,
+                                        resolved_msg, summary_ids)
                     replies, bytes_out, bytes_in = self._broadcast(
                         pool, [msg] * pool.size, "pipeline.round",
                         op=msg["op"])
                     reply_bytes += bytes_in
                     traffic += bytes_out + bytes_in
-                    topk_parts = self._gather(
+                    topk_parts = gather_round(
                         replies, partials, popcounts, summaries)
                 # The finish round ran on every worker: sessions are gone.
                 started = False
                 for node_id in nodes:
                     entry = result_nodes[node_id]
-                    if entry["summaries"] is None:
-                        per_shard = summaries.get(node_id)
-                        if per_shard is None:
-                            entry["summaries"] = np.asarray(
-                                [EMPTY_SHARD_SUMMARY] * shard_count,
-                                dtype=float)
-                        else:
-                            entry["summaries"] = np.asarray(
-                                [per_shard[s] for s in range(shard_count)],
-                                dtype=float)
-                    offs = offsets[node_id]
-                    entry["raw"] = np.ndarray(
-                        rows, dtype=np.float64, buffer=block.buf,
-                        offset=offs["raw"]).copy()
-                    entry["normalized"] = np.ndarray(
-                        rows, dtype=np.float64, buffer=block.buf,
-                        offset=offs["normalized"]).copy()
-                    entry["mask"] = np.ndarray(
-                        rows, dtype=np.bool_, buffer=block.buf,
-                        offset=offs["mask"]).copy()
-                    if "signed" in offs:
-                        entry["signed"] = np.ndarray(
-                            rows, dtype=np.float64, buffer=block.buf,
-                            offset=offs["signed"]).copy()
+                    fill_node_summary(entry, summaries.get(node_id),
+                                      shard_count)
+                    entry.update(node_columns_from_buffer(
+                        block.buf, offsets[node_id], rows))
                     entry["popcounts"] = [
                         int(popcounts[node_id][s]) for s in range(shard_count)]
                 topk = None
@@ -610,57 +588,6 @@ class ProcessBackend(ExecBackend):
                     block.unlink()
                 except Exception:  # pragma: no cover
                     pass
-
-    @staticmethod
-    def _gather(replies: list[dict[str, Any]], partials: dict,
-                popcounts: dict, summaries: dict) -> dict:
-        """Merge one round's per-worker payloads (disjoint shard subsets)."""
-        topk: dict[int, Any] = {}
-        for reply in replies:
-            for node_id, per_shard in reply.get("partials", {}).items():
-                partials.setdefault(node_id, {}).update(per_shard)
-            for node_id, per_shard in reply.get("popcounts", {}).items():
-                popcounts.setdefault(node_id, {}).update(per_shard)
-            for node_id, per_shard in reply.get("summaries", {}).items():
-                summaries.setdefault(node_id, {}).update(per_shard)
-            topk.update(reply.get("topk", {}))
-        return topk
-
-    @staticmethod
-    def _resolve_level(level_ids: list[int], nodes: dict, spec: dict,
-                       shard_count: int, partials: dict, block,
-                       offsets: dict, rows: int,
-                       result_nodes: dict) -> tuple[dict, list[int]]:
-        """Resolve one level's bounds exactly as the in-process path does.
-
-        Partial-path nodes merge their per-shard bounds partials (shard
-        order, associative algebra) and derive their summaries from them;
-        direct-path nodes run one :func:`reduced_bounds` partition over
-        the raw column -- read locally from the shared block, zero pipe
-        bytes -- and have the workers count their summaries next round.
-        """
-        partial_ids = set(spec["partial_nodes"])
-        resolved_msg: dict[int, tuple | None] = {}
-        summary_ids: list[int] = []
-        for node_id in level_ids:
-            keep = nodes[node_id]["keep"]
-            if node_id in partial_ids:
-                per_shard = [partials[node_id][s] for s in range(shard_count)]
-                resolved = resolve_distance_bounds(
-                    merge_distance_bounds_many(per_shard))
-                node_summaries = summaries_from_partials(per_shard, resolved)
-            else:
-                raw_view = np.ndarray(rows, dtype=np.float64,
-                                      buffer=block.buf,
-                                      offset=offsets[node_id]["raw"])
-                resolved = reduced_bounds(raw_view, keep)
-                node_summaries = None
-                if resolved is not None:
-                    summary_ids.append(node_id)
-            resolved_msg[node_id] = resolved
-            result_nodes[node_id] = {
-                "resolved": resolved, "summaries": node_summaries}
-        return resolved_msg, summary_ids
 
     def _count_fallback(self, restart: bool = False,
                         pipeline: bool = False) -> None:

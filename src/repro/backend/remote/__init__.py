@@ -1,0 +1,30 @@
+"""``remote`` backend package: shard execution over TCP worker fleets.
+
+Three modules, mirroring the process backend's split:
+
+* :mod:`~repro.backend.remote.wire` -- length-prefixed binary framing
+  with a protocol-version handshake.
+* :mod:`~repro.backend.remote.server` -- the standalone worker server
+  (``python -m repro.backend.remote.server --listen HOST:PORT``).
+* :mod:`~repro.backend.remote.client` -- the coordinator-side
+  :class:`~repro.backend.remote.client.RemoteBackend`, configured via
+  ``REPRO_REMOTE_WORKERS=host:port,host:port``.
+
+The server module is intentionally *not* imported here: the package
+import stays cheap on the coordinator, and the server pulls it in itself
+when launched.
+"""
+
+from repro.backend.remote.client import (
+    ENV_WORKERS,
+    RemoteBackend,
+    parse_remote_workers,
+    shutdown_remote_backend,
+)
+
+__all__ = [
+    "ENV_WORKERS",
+    "RemoteBackend",
+    "parse_remote_workers",
+    "shutdown_remote_backend",
+]

@@ -1,0 +1,935 @@
+"""``remote`` backend: shard execution on a TCP worker fleet.
+
+The fleet is configured by ``REPRO_REMOTE_WORKERS=host:port,host:port``
+(re-read on every op, so endpoints can be added or dropped between
+events) and selected per engine via ``PipelineConfig(backend="remote")``
+or ``REPRO_BACKEND=remote``.  Each endpoint is one
+:class:`~repro.backend.remote.server.RemoteWorkerServer`; the client
+keeps a small pool of framed TCP connections per endpoint
+(:mod:`repro.backend.remote.wire`), with connect/read timeouts, an
+idle-connection heartbeat, and a version handshake on every connect.
+
+Column data moves over a *negotiated data plane*, once per
+``Table.export_id``: tables are published into the coordinator's
+shared-memory store exactly as for the ``process`` backend, and each
+endpoint either attaches the published blocks directly (a co-located
+server: zero column bytes on the socket) or has the columns chunk-
+streamed to it once at attach time (a cross-host server).  Either way,
+per-event wire traffic stays predicates, span lists and partials --
+the ``remote_traffic_ratio`` headline in
+``benchmarks/bench_backend.py``.
+
+Failure taxonomy (the standing degrade-to-correct contract -- a backend
+failure can make an event slower, never wrong):
+
+* any transport fault -- connection refused, reset mid-round, read
+  timeout, protocol version mismatch -- fails the whole op, marks the
+  endpoint unhealthy (``remote_fallbacks``; re-probed lazily after
+  ``reprobe_interval``, successful re-connects counted in
+  ``endpoint_reconnects``) and falls back to the bit-identical
+  in-process path.  A fault mid-``shard_pipeline`` closes every
+  connection the session borrowed -- replies may be pending on any of
+  them, and reusing one would pair a request with a stale reply (wrong
+  data, not an error); the server drops its session state with the
+  connection.
+* an op rejected by a healthy server (error reply; e.g. an evicted
+  table publication) keeps the endpoint and its connections -- the op
+  is retried once after re-attaching for the idempotent cases, then
+  falls back.
+
+Configuration errors (a malformed ``REPRO_REMOTE_WORKERS``) raise
+``ValueError`` loudly -- the same fail-fast contract as ``REPRO_SHARDS``
+-- rather than being swallowed as fallbacks.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.backend.base import ExecBackend
+from repro.backend.pipeline import (
+    fill_node_summary,
+    gather_round,
+    next_pipeline_token,
+    node_columns_from_buffer,
+    pipeline_layout,
+    resolve_level,
+    round_message,
+)
+from repro.backend.remote import wire
+from repro.backend.shm import PublishedTable, ShmColumnStore
+from repro.obs import trace as obs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.shard import ShardedTable
+
+__all__ = [
+    "ENV_WORKERS",
+    "RemoteBackend",
+    "parse_remote_workers",
+    "shutdown_remote_backend",
+]
+
+ENV_WORKERS = "REPRO_REMOTE_WORKERS"
+
+#: Idle connections kept per endpoint; extras are closed on return.
+MAX_IDLE_CONNS = 4
+
+_FIELD_DTYPES = {
+    "raw": np.float64,
+    "normalized": np.float64,
+    "signed": np.float64,
+    "mask": np.bool_,
+}
+
+
+class RemoteFaultError(RuntimeError):
+    """Transport-level failure: the named endpoint can no longer be trusted."""
+
+    def __init__(self, message: str, endpoint: "_Endpoint | None" = None):
+        super().__init__(message)
+        self.endpoint = endpoint
+
+
+class RemoteOpError(RuntimeError):
+    """A healthy server rejected an op; connections stay usable."""
+
+    def __init__(self, message: str, code: str | None = None):
+        super().__init__(message)
+        self.code = code
+
+
+def parse_remote_workers(value: str) -> tuple[tuple[str, int], ...]:
+    """Parse ``host:port,host:port`` (empty -> no fleet configured)."""
+    value = value.strip()
+    if not value:
+        return ()
+    endpoints: list[tuple[str, int]] = []
+    for item in value.split(","):
+        item = item.strip()
+        host, _, port = item.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(
+                f"{ENV_WORKERS} entries must be host:port, got {item!r}")
+        endpoints.append((host, int(port)))
+    return tuple(endpoints)
+
+
+class _Connection:
+    """One framed, handshaken TCP connection to a worker server."""
+
+    def __init__(self, sock: socket.socket, endpoint_key: str):
+        self.sock = sock
+        self.endpoint_key = endpoint_key
+        self.last_used = time.monotonic()
+        self.server_pid: int | None = None
+        self.server_shm = True
+
+    def handshake(self, deadline: float) -> None:
+        wire.send_obj(self.sock, {"op": "hello",
+                                  "version": wire.PROTOCOL_VERSION,
+                                  "pid": os.getpid()})
+        reply, _ = wire.read_obj(self.sock, deadline)
+        theirs = reply.get("version")
+        if theirs != wire.PROTOCOL_VERSION:
+            raise wire.VersionMismatch(theirs)
+        if not reply.get("ok"):
+            raise wire.WireError(str(reply.get("error", "handshake refused")))
+        self.server_pid = reply.get("pid")
+        self.server_shm = bool(reply.get("shm", True))
+
+    def send(self, msg: dict[str, Any]) -> int:
+        self.last_used = time.monotonic()
+        return wire.send_obj(self.sock, msg)
+
+    def recv(self, deadline: float) -> tuple[dict[str, Any], int]:
+        reply, nbytes = wire.read_obj(self.sock, deadline)
+        self.last_used = time.monotonic()
+        return reply, nbytes
+
+    def request(self, msg: dict[str, Any],
+                deadline: float) -> tuple[dict[str, Any], int]:
+        """One request/reply; raises :class:`RemoteOpError` on error replies.
+
+        Returns ``(reply, wire_bytes)``.  An error reply leaves the
+        connection request/reply aligned -- only :class:`wire.WireError`
+        means the transport itself failed.
+        """
+        nbytes = self.send(msg)
+        reply, reply_bytes = self.recv(deadline)
+        nbytes += reply_bytes
+        if not reply.get("ok"):
+            raise RemoteOpError(str(reply.get("error", "remote op failed")),
+                                code=reply.get("code"))
+        return reply, nbytes
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+
+
+class _Endpoint:
+    """Client-side state of one fleet endpoint (health + idle connections)."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self.key = f"{host}:{port}"
+        self.lock = threading.Lock()
+        self.idle: list[_Connection] = []
+        self.healthy = True
+        self.last_probe = 0.0
+        self.ever_connected = False
+        #: None until the first attach decides the data plane; True when
+        #: this endpoint reaches the coordinator's shared memory.
+        self.shm_ok: bool | None = None
+        #: Publication key -> negotiated mode ("shm" / "stream").
+        self.attached: dict[str, str] = {}
+
+    def connect(self, connect_timeout: float) -> _Connection:
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=connect_timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn = _Connection(sock, self.key)
+        try:
+            conn.handshake(time.monotonic() + connect_timeout)
+        except BaseException:
+            conn.close()
+            raise
+        if not conn.server_shm:
+            self.shm_ok = False
+        return conn
+
+    def borrow(self, connect_timeout: float, heartbeat_interval: float,
+               op_timeout: float) -> tuple[_Connection, int]:
+        """An aligned connection, freshly heartbeaten when it sat idle.
+
+        Returns ``(conn, reconnects)`` where ``reconnects`` counts new
+        TCP connections established beyond this endpoint's first -- the
+        dead-peer replacements and lazy re-probes the
+        ``endpoint_reconnects`` stat reports.
+        """
+        reconnects = 0
+        while True:
+            with self.lock:
+                conn = self.idle.pop() if self.idle else None
+            if conn is None:
+                break
+            if time.monotonic() - conn.last_used < heartbeat_interval:
+                return conn, reconnects
+            # Heartbeat a stale connection before trusting it: a dead
+            # peer is detected here, not mid-op.
+            try:
+                conn.request({"op": "ping"},
+                             time.monotonic() + min(op_timeout, 10.0))
+                return conn, reconnects
+            except (wire.WireError, RemoteOpError):
+                conn.close()
+        try:
+            conn = self.connect(connect_timeout)
+        except (OSError, wire.WireError) as exc:
+            self.mark_down()
+            raise RemoteFaultError(
+                f"endpoint {self.key} unreachable: {exc}",
+                endpoint=self) from exc
+        if self.ever_connected:
+            reconnects += 1
+        self.ever_connected = True
+        if not self.healthy:
+            self.healthy = True
+        return conn, reconnects
+
+    def give_back(self, conn: _Connection) -> None:
+        with self.lock:
+            if len(self.idle) < MAX_IDLE_CONNS:
+                self.idle.append(conn)
+                return
+        conn.close()
+
+    def mark_down(self) -> None:
+        """Endpoint failed: drop pooled connections, await lazy re-probe."""
+        self.healthy = False
+        self.last_probe = time.monotonic()
+        # A fresh connection will have to re-negotiate attachments: the
+        # server may have restarted with an empty table store.
+        self.attached.clear()
+        with self.lock:
+            conns, self.idle = self.idle, []
+        for conn in conns:
+            conn.close()
+
+    def close_all(self) -> None:
+        with self.lock:
+            conns, self.idle = self.idle, []
+        for conn in conns:
+            conn.close()
+
+
+# --------------------------------------------------------------------------- #
+# Process-wide fleet state
+# --------------------------------------------------------------------------- #
+_FLEET_LOCK = threading.RLock()
+_ENDPOINTS: dict[str, _Endpoint] = {}
+_CONFIG: tuple[str, tuple[tuple[str, int], ...]] | None = None
+
+
+def _current_endpoints() -> list[_Endpoint]:
+    """The configured fleet, re-parsed whenever the env value changes.
+
+    Endpoints dropped from ``REPRO_REMOTE_WORKERS`` have their pooled
+    connections closed immediately; new entries join cold and connect on
+    first use.
+    """
+    global _CONFIG
+    raw = os.environ.get(ENV_WORKERS, "")
+    with _FLEET_LOCK:
+        if _CONFIG is None or _CONFIG[0] != raw:
+            parsed = parse_remote_workers(raw)
+            keys = {f"{host}:{port}" for host, port in parsed}
+            for key in [k for k in _ENDPOINTS if k not in keys]:
+                _ENDPOINTS.pop(key).close_all()
+            for host, port in parsed:
+                key = f"{host}:{port}"
+                if key not in _ENDPOINTS:
+                    _ENDPOINTS[key] = _Endpoint(host, port)
+            _CONFIG = (raw, parsed)
+        return [_ENDPOINTS[f"{host}:{port}"] for host, port in _CONFIG[1]]
+
+
+def _notify_drop(published: PublishedTable) -> None:
+    """Tell endpoints to drop an evicted publication (best effort)."""
+    with _FLEET_LOCK:
+        endpoints = list(_ENDPOINTS.values())
+    for endpoint in endpoints:
+        if published.key not in endpoint.attached:
+            continue
+        endpoint.attached.pop(published.key, None)
+        if not endpoint.healthy:
+            continue
+        try:
+            conn, _ = endpoint.borrow(5.0, 30.0, 30.0)
+        except RemoteFaultError:
+            continue
+        try:
+            conn.request({"op": "drop", "table_id": published.key},
+                         time.monotonic() + 30.0)
+            endpoint.give_back(conn)
+        except (wire.WireError, RemoteOpError):
+            conn.close()
+
+
+_RSTORE = ShmColumnStore(on_evict=_notify_drop)
+
+
+def shutdown_remote_backend() -> None:
+    """Close every fleet connection and destroy published tables.
+
+    Registered ``atexit`` (see :mod:`repro.backend`); safe any time --
+    live backends reconnect lazily on their next op.
+    """
+    global _CONFIG
+    with _FLEET_LOCK:
+        endpoints = list(_ENDPOINTS.values())
+        _ENDPOINTS.clear()
+        _CONFIG = None
+    for endpoint in endpoints:
+        endpoint.close_all()
+    _RSTORE.close()
+
+
+class _LocalBuffer:
+    """Session output buffer when no endpoint reaches shared memory."""
+
+    def __init__(self, nbytes: int):
+        self.buf = memoryview(bytearray(max(1, nbytes)))
+
+    def close(self) -> None:
+        self.buf = None
+
+    def unlink(self) -> None:
+        pass
+
+
+# --------------------------------------------------------------------------- #
+# The backend
+# --------------------------------------------------------------------------- #
+class RemoteBackend(ExecBackend):
+    """Run shard kernels and pipeline sessions on the TCP worker fleet.
+
+    With no ``REPRO_REMOTE_WORKERS`` configured every hook declines
+    instantly (no sockets, no counters) -- the backend is then
+    behaviourally the ``threads`` backend, which keeps the differential
+    suite meaningful without live servers.
+    """
+
+    name = "remote"
+
+    #: Read deadline per request round, seconds (same rationale as the
+    #: process backend's broadcast timeout).
+    op_timeout = 120.0
+    #: TCP connect + handshake budget, seconds.
+    connect_timeout = 10.0
+    #: Idle age beyond which a pooled connection is pinged before reuse.
+    heartbeat_interval = 30.0
+    #: How long an unhealthy endpoint sits out before a lazy re-probe.
+    reprobe_interval = 5.0
+    #: Bounded retries for the idempotent attach/publish negotiation.
+    attach_retries = 2
+    #: Backoff between attach retries, seconds (doubles per attempt).
+    retry_backoff = 0.05
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max_workers
+        self._lock = threading.Lock()
+        self._counters = {
+            "offloaded_ops": 0,
+            "fallbacks": 0,
+            "worker_restarts": 0,
+            "traffic_bytes": 0,
+            "pipeline_ops": 0,
+            "pipeline_fallbacks": 0,
+            "reply_bytes": 0,
+            "remote_fallbacks": 0,
+            "endpoint_reconnects": 0,
+            "column_bytes": 0,
+            "remote_published_bytes": 0,
+        }
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def prepare(self, sharded: "ShardedTable") -> None:
+        """Publish the table ahead of the first op (idempotent)."""
+        if (self._closed or sharded.shard_count <= 1
+                or len(sharded.table) == 0):
+            return
+        if not _current_endpoints():
+            return
+        try:
+            _RSTORE.publish(sharded.table)
+        except Exception:
+            # Not fatal: ops retry the publish and fall back in-process
+            # if it keeps failing.
+            pass
+
+    def close(self) -> None:
+        self._closed = True
+
+    def local_executor(self, shard_count: int, max_workers: int | None):
+        from repro.core.shard import resolve_worker_count, shared_executor
+        return shared_executor(resolve_worker_count(max_workers, shard_count))
+
+    # ------------------------------------------------------------------ #
+    # Endpoint selection
+    # ------------------------------------------------------------------ #
+    def _usable_endpoints(self) -> tuple[bool, list[_Endpoint]]:
+        """``(configured, endpoints worth trying right now)``.
+
+        Unhealthy endpoints rejoin the candidate list once their
+        re-probe cooldown has elapsed; the connect attempt inside
+        ``borrow`` is the probe.
+        """
+        endpoints = _current_endpoints()
+        if not endpoints:
+            return False, []
+        now = time.monotonic()
+        usable = [
+            ep for ep in endpoints
+            if ep.healthy or now - ep.last_probe >= self.reprobe_interval
+        ]
+        return True, usable
+
+    def _count(self, **deltas: int) -> None:
+        with self._lock:
+            for key, delta in deltas.items():
+                self._counters[key] += delta
+
+    def _count_fallback(self, pipeline: bool = False) -> None:
+        self._count(fallbacks=1, remote_fallbacks=1,
+                    **({"pipeline_fallbacks": 1} if pipeline else {}))
+        obs.annotate(backend_fallbacks=1, remote_fallbacks=1)
+
+    # ------------------------------------------------------------------ #
+    # Publish / attach negotiation
+    # ------------------------------------------------------------------ #
+    def _ensure_attached(self, endpoint: _Endpoint, conn: _Connection,
+                         published: PublishedTable) -> int:
+        """Negotiate the data plane for one publication on one endpoint.
+
+        Idempotent, so transport faults here are retried with backoff on
+        a fresh connection by the caller.  Returns wire bytes spent.
+        """
+        if published.key in endpoint.attached:
+            return 0
+        manifest = published.manifest
+        msg = {"op": "attach", "manifest": manifest}
+        if endpoint.shm_ok is False:
+            msg["mode_hint"] = "stream"
+        reply, nbytes = conn.request(msg, self._deadline())
+        mode = reply.get("mode", "stream")
+        if mode == "shm":
+            endpoint.shm_ok = True
+        else:
+            if endpoint.shm_ok is None:
+                endpoint.shm_ok = False
+            # "have" marks the server's contains fast path: it kept the
+            # table from an earlier connection, so skip the upload.
+            if not reply.get("have"):
+                nbytes += self._stream_columns(conn, published)
+                _, done_bytes = conn.request(
+                    {"op": "attach_done", "manifest": manifest},
+                    self._deadline())
+                nbytes += done_bytes
+        endpoint.attached[published.key] = mode
+        return nbytes
+
+    def _stream_columns(self, conn: _Connection,
+                        published: PublishedTable) -> int:
+        """Ship the published column bytes once, chunk-streamed.
+
+        The source is the publication's own shared-memory blocks, so a
+        stream-plane endpoint sees exactly the bits a shm-plane endpoint
+        maps -- bit-identity cannot depend on the plane.
+        """
+        manifest = published.manifest
+        rows = manifest["rows"]
+        total = 0
+        column_bytes = 0
+        for spec, block in zip(manifest["columns"], published.blocks):
+            nbytes = spec.get("nbytes", rows * 8)
+            total += conn.send({"op": "column_data",
+                                "table_id": manifest["table_id"],
+                                "name": spec["name"],
+                                "kind": spec["kind"],
+                                "nbytes": nbytes})
+            total += wire.send_raw(conn.sock, block.buf[:nbytes])
+            reply, reply_bytes = conn.recv(self._deadline())
+            total += reply_bytes
+            if not reply.get("ok"):
+                raise RemoteOpError(
+                    str(reply.get("error", "column upload rejected")))
+            column_bytes += nbytes
+        self._count(remote_published_bytes=column_bytes)
+        return total
+
+    def _deadline(self) -> float:
+        return time.monotonic() + self.op_timeout
+
+    def _borrow_all(self, endpoints: list[_Endpoint],
+                    published: PublishedTable | None
+                    ) -> list[tuple[_Endpoint, _Connection]]:
+        """Borrow one connection per endpoint, attach the table on each.
+
+        A failing endpoint fails the whole op (the caller falls back) --
+        the span assignment is fixed before the borrow, and re-planning
+        around a missing endpoint mid-op is how replies get paired with
+        the wrong requests.  Attach is idempotent and retried with
+        backoff on a fresh connection before giving up.
+        """
+        pairs: list[tuple[_Endpoint, _Connection]] = []
+        try:
+            for endpoint in endpoints:
+                attempt = 0
+                while True:
+                    conn, reconnects = endpoint.borrow(
+                        self.connect_timeout, self.heartbeat_interval,
+                        self.op_timeout)
+                    if reconnects:
+                        self._count(endpoint_reconnects=reconnects)
+                    if published is None:
+                        pairs.append((endpoint, conn))
+                        break
+                    try:
+                        nbytes = self._ensure_attached(
+                            endpoint, conn, published)
+                        self._count(traffic_bytes=nbytes)
+                        pairs.append((endpoint, conn))
+                        break
+                    except (wire.WireError, RemoteOpError) as exc:
+                        conn.close()
+                        attempt += 1
+                        if attempt > self.attach_retries:
+                            raise RemoteFaultError(
+                                f"attach failed on {endpoint.key}: {exc}",
+                                endpoint=endpoint) from exc
+                        time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+        except BaseException:
+            for _, conn in pairs:
+                conn.close()
+            raise
+        return pairs
+
+    # ------------------------------------------------------------------ #
+    # Broadcast round
+    # ------------------------------------------------------------------ #
+    def _round(self, pairs: list[tuple[_Endpoint, _Connection]],
+               messages: list[dict[str, Any]], name: str,
+               **attrs: Any) -> tuple[list[dict[str, Any]], int, int]:
+        """Send ``messages[i]`` to endpoint ``i``, collect one reply each.
+
+        All requests go out before any reply is read, so the servers
+        compute in parallel.  A transport fault raises
+        :class:`RemoteFaultError` naming the endpoint (the caller closes
+        every borrowed connection: replies may be pending anywhere); an
+        error reply is raised as :class:`RemoteOpError` only after every
+        reply is drained, keeping all connections aligned.
+        """
+        trace = obs.trace_active()
+        if trace:
+            for msg in messages:
+                msg["trace"] = True
+        span_ctx = (obs.span(name, workers=len(pairs), **attrs)
+                    if trace else None)
+        deadline = self._deadline()
+        bytes_out = bytes_in = 0
+        replies: list[dict[str, Any]] = []
+        op_error: RemoteOpError | None = None
+        with span_ctx if span_ctx is not None else _null_context() as round_span:
+            for (endpoint, conn), msg in zip(pairs, messages):
+                try:
+                    bytes_out += conn.send(msg)
+                except wire.WireError as exc:
+                    raise RemoteFaultError(
+                        f"send to {endpoint.key} failed: {exc}",
+                        endpoint=endpoint) from exc
+            for endpoint, conn in pairs:
+                try:
+                    reply, nbytes = conn.recv(deadline)
+                except wire.WireError as exc:
+                    raise RemoteFaultError(
+                        f"reply from {endpoint.key} failed: {exc}",
+                        endpoint=endpoint) from exc
+                bytes_in += nbytes
+                if not reply.get("ok") and op_error is None:
+                    op_error = RemoteOpError(
+                        str(reply.get("error", "remote op failed")),
+                        code=reply.get("code"))
+                replies.append(reply)
+                if round_span is not None and reply.get("spans"):
+                    round_span.trace.add_remote_spans(
+                        round_span.span_id, reply["spans"],
+                        tid=f"worker-{endpoint.key}")
+            if round_span is not None:
+                round_span.annotate(bytes_out=bytes_out, bytes_in=bytes_in)
+        if op_error is not None:
+            raise op_error
+        return replies, bytes_out, bytes_in
+
+    # ------------------------------------------------------------------ #
+    # Leaf ops
+    # ------------------------------------------------------------------ #
+    def leaf_signed(self, predicate, sharded: "ShardedTable"):
+        return self._leaf(predicate, sharded, "signed")
+
+    def leaf_mask(self, predicate, sharded: "ShardedTable"):
+        return self._leaf(predicate, sharded, "mask")
+
+    def _leaf(self, predicate, sharded: "ShardedTable",
+              kind: str) -> np.ndarray | None:
+        if self._closed:
+            return None
+        rows = len(sharded.table)
+        if rows == 0 or sharded.shard_count <= 1:
+            return None
+        configured, endpoints = self._usable_endpoints()
+        if not configured:
+            return None
+        if not endpoints:
+            self._count_fallback()
+            return None
+        for retry in (False, True):
+            try:
+                return self._leaf_once(predicate, sharded, kind, rows,
+                                       endpoints)
+            except RemoteOpError as exc:
+                if exc.code == "unknown-table" and not retry:
+                    # The server evicted the publication between events;
+                    # attach again (idempotent) and retry once.
+                    for endpoint in endpoints:
+                        endpoint.attached.clear()
+                    continue
+                self._count_fallback()
+                return None
+            except Exception:
+                self._count_fallback()
+                return None
+        return None  # pragma: no cover - loop always returns
+
+    def _leaf_once(self, predicate, sharded: "ShardedTable", kind: str,
+                   rows: int, endpoints: list[_Endpoint]) -> np.ndarray:
+        published = _RSTORE.publish(sharded.table)
+        _RSTORE.pin(published)
+        pairs: list[tuple[_Endpoint, _Connection]] = []
+        out = None
+        ok = False
+        try:
+            spans: list[list[tuple[int, int]]] = [[] for _ in endpoints]
+            for i, (start, stop) in enumerate(sharded.bounds):
+                if stop > start:
+                    spans[i % len(endpoints)].append((start, stop))
+            active = [(ep, sp) for ep, sp in zip(endpoints, spans) if sp]
+            pairs = self._borrow_all([ep for ep, _ in active], published)
+            dtype = np.float64 if kind == "signed" else np.bool_
+            shm_side = any(ep.shm_ok for ep, _ in active)
+            if shm_side:
+                out = shared_memory.SharedMemory(
+                    create=True, size=max(1, rows * dtype().itemsize))
+            messages = [
+                {
+                    "op": "leaf",
+                    "table_id": published.key,
+                    "kind": kind,
+                    "predicate": predicate,
+                    "spans": span_list,
+                    "out": out.name if (out is not None and ep.shm_ok)
+                           else None,
+                    "out_mode": "shm" if (out is not None and ep.shm_ok)
+                                else "inline",
+                }
+                for (ep, span_list) in active
+            ]
+            replies, bytes_out, bytes_in = self._round(
+                pairs, messages, "backend.broadcast", op="leaf", kind=kind)
+            if out is not None:
+                result = np.ndarray(rows, dtype=dtype, buffer=out.buf).copy()
+            else:
+                result = np.empty(rows, dtype=dtype)
+            column_bytes = 0
+            for reply in replies:
+                for start, stop, payload in reply.get("data", ()):
+                    result[start:stop] = np.frombuffer(payload, dtype=dtype)
+                    column_bytes += len(payload)
+            self._count(offloaded_ops=1,
+                        traffic_bytes=bytes_out + bytes_in,
+                        column_bytes=column_bytes)
+            ok = True
+            return result
+        except RemoteFaultError as exc:
+            if exc.endpoint is not None:
+                exc.endpoint.mark_down()
+            raise
+        finally:
+            if pairs:
+                for endpoint, conn in pairs:
+                    if ok:
+                        endpoint.give_back(conn)
+                    else:
+                        conn.close()
+            if out is not None:
+                try:
+                    out.close()
+                    out.unlink()
+                except Exception:  # pragma: no cover
+                    pass
+            _RSTORE.unpin(published)
+
+    # ------------------------------------------------------------------ #
+    # Whole-pipeline offload
+    # ------------------------------------------------------------------ #
+    def shard_pipeline(self, sharded: "ShardedTable",
+                       spec: dict) -> dict | None:
+        """Run a plan's pipeline session across the fleet (see base class).
+
+        The session pins one connection per endpoint for all rounds; the
+        round algebra is :mod:`repro.backend.pipeline`'s, shared with the
+        process backend.  Any fault aborts the whole session and declines
+        the op -- the evaluator reruns in-process, bit-identically.
+        """
+        if self._closed:
+            return None
+        rows = len(sharded.table)
+        if rows == 0 or sharded.shard_count <= 1:
+            return None
+        configured, endpoints = self._usable_endpoints()
+        if not configured:
+            return None
+        if not endpoints:
+            self._count_fallback(pipeline=True)
+            return None
+        for retry in (False, True):
+            try:
+                result, traffic, reply_bytes, column_bytes = \
+                    self._pipeline_once(sharded, spec, rows, endpoints)
+                self._count(offloaded_ops=1, pipeline_ops=1,
+                            traffic_bytes=traffic, reply_bytes=reply_bytes,
+                            column_bytes=column_bytes)
+                return result
+            except RemoteOpError as exc:
+                if exc.code == "unknown-table" and not retry:
+                    for endpoint in endpoints:
+                        endpoint.attached.clear()
+                    continue
+                self._count_fallback(pipeline=True)
+                return None
+            except Exception:
+                self._count_fallback(pipeline=True)
+                return None
+        return None  # pragma: no cover - loop always returns
+
+    def _pipeline_once(self, sharded: "ShardedTable", spec: dict, rows: int,
+                       endpoints: list[_Endpoint]
+                       ) -> tuple[dict, int, int, int]:
+        spec = dict(spec, token=next_pipeline_token())
+        nodes = {node["id"]: node for node in spec["nodes"]}
+        levels = spec["levels"]
+        shard_count = sharded.shard_count
+        published = _RSTORE.publish(sharded.table)
+        _RSTORE.pin(published)
+        pairs: list[tuple[_Endpoint, _Connection]] = []
+        block = None
+        ok = False
+        traffic = reply_bytes = column_bytes = 0
+        try:
+            shards: list[list[tuple[int, int, int]]] = [[] for _ in endpoints]
+            for i, (start, stop) in enumerate(sharded.bounds):
+                shards[i % len(endpoints)].append((i, start, stop))
+            active = [(ep, sh) for ep, sh in zip(endpoints, shards) if sh]
+            pairs = self._borrow_all([ep for ep, _ in active], published)
+            total_bytes, offsets = pipeline_layout(spec["nodes"], rows)
+            if any(ep.shm_ok for ep, _ in active):
+                block = shared_memory.SharedMemory(create=True,
+                                                   size=total_bytes)
+            else:
+                block = _LocalBuffer(total_bytes)
+            out_name = getattr(block, "name", None)
+            messages = [
+                {
+                    "op": "pipeline_start",
+                    "table_id": published.key,
+                    "spec": spec,
+                    "out": out_name if ep.shm_ok else None,
+                    "out_mode": "shm" if ep.shm_ok else "local",
+                    "shards": shard_list,
+                }
+                for (ep, shard_list) in active
+            ]
+            replies, bytes_out, bytes_in = self._round(
+                pairs, messages, "pipeline.round", op="pipeline_start")
+            traffic += bytes_out + bytes_in
+            reply_bytes += bytes_in
+            #: Endpoints whose session columns live server-side and must
+            #: be fetched into our buffer (the stream plane).
+            fetch_pairs = [
+                (ep, conn) for (ep, conn), reply in zip(pairs, replies)
+                if reply.get("mode") != "shm"
+            ]
+            fetched: set[tuple[str, int, str]] = set()
+
+            def fetch_field(node_id: int, field: str) -> None:
+                nonlocal traffic, column_bytes
+                dtype = _FIELD_DTYPES[field]
+                dest = np.ndarray(rows, dtype=dtype, buffer=block.buf,
+                                  offset=offsets[node_id][field])
+                for endpoint, conn in fetch_pairs:
+                    if (endpoint.key, node_id, field) in fetched:
+                        continue
+                    reply, nbytes = conn.request(
+                        {"op": "pipeline_fetch", "token": spec["token"],
+                         "node": node_id, "field": field},
+                        self._deadline())
+                    traffic += nbytes
+                    for start, stop, payload in reply["data"]:
+                        dest[start:stop] = np.frombuffer(payload, dtype=dtype)
+                        column_bytes += len(payload)
+                    fetched.add((endpoint.key, node_id, field))
+
+            def read_raw(node_id: int) -> np.ndarray:
+                fetch_field(node_id, "raw")
+                return np.ndarray(rows, dtype=np.float64, buffer=block.buf,
+                                  offset=offsets[node_id]["raw"])
+
+            partials: dict[int, dict] = {}
+            popcounts: dict[int, dict] = {}
+            summaries: dict[int, dict] = {}
+            topk_parts = gather_round(replies, partials, popcounts, summaries)
+            result_nodes: dict[int, dict] = {}
+            for level_no in range(1, len(levels) + 1):
+                resolved_msg, summary_ids = resolve_level(
+                    levels[level_no - 1], nodes, spec, shard_count,
+                    partials, read_raw, result_nodes)
+                msg = round_message(spec, levels, level_no,
+                                    resolved_msg, summary_ids)
+                replies, bytes_out, bytes_in = self._round(
+                    pairs, [dict(msg) for _ in pairs], "pipeline.round",
+                    op=msg["op"])
+                traffic += bytes_out + bytes_in
+                reply_bytes += bytes_in
+                topk_parts = gather_round(
+                    replies, partials, popcounts, summaries)
+            # Stream-plane endpoints still hold their session: pull every
+            # remaining column span, then release the sessions.
+            if fetch_pairs:
+                for node_id, offs in offsets.items():
+                    for field in offs:
+                        fetch_field(node_id, field)
+                for endpoint, conn in fetch_pairs:
+                    _, nbytes = conn.request(
+                        {"op": "pipeline_release", "token": spec["token"]},
+                        self._deadline())
+                    traffic += nbytes
+            for node_id in nodes:
+                entry = result_nodes[node_id]
+                fill_node_summary(entry, summaries.get(node_id), shard_count)
+                entry.update(node_columns_from_buffer(
+                    block.buf, offsets[node_id], rows))
+                entry["popcounts"] = [
+                    int(popcounts[node_id][s]) for s in range(shard_count)]
+            topk = None
+            if spec.get("topk_target") is not None:
+                topk = [topk_parts[s] for s in range(shard_count)]
+            ok = True
+            return ({"nodes": result_nodes, "topk": topk},
+                    traffic, reply_bytes, column_bytes)
+        except RemoteFaultError as exc:
+            if exc.endpoint is not None:
+                exc.endpoint.mark_down()
+            raise
+        finally:
+            if pairs:
+                for endpoint, conn in pairs:
+                    if ok:
+                        endpoint.give_back(conn)
+                    else:
+                        # A session may be half-open with replies pending:
+                        # closing the connection is the only way to
+                        # guarantee no request ever pairs with a stale
+                        # reply; the server drops its session state with
+                        # the connection.
+                        conn.close()
+            if block is not None:
+                try:
+                    block.close()
+                    block.unlink()
+                except Exception:  # pragma: no cover
+                    pass
+            _RSTORE.unpin(published)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            counters = dict(self._counters)
+        endpoints = _current_endpoints()
+        counters["worker_count"] = len(endpoints)
+        counters["workers_alive"] = sum(1 for ep in endpoints if ep.healthy)
+        counters.update(_RSTORE.stats())
+        return counters
+
+
+class _null_context:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False

@@ -458,11 +458,16 @@ class ShardedPlanEvaluator(PlanEvaluator):
         """The picklable pipeline spec, or None when the plan is ineligible.
 
         Eligibility keeps the offload where it wins and cannot diverge:
-        pure predicate plans only (range leaves keep the coordinator's
-        index/prefetch delta machinery, subquery distances may read
-        whole-table state), a root the node LRU cannot serve wholesale,
-        and at least one leaf whose raw column actually needs computing
-        (weight-only moves patch in-process from clean slices).
+        pure predicate plans only (subquery distances may read whole-table
+        state), a root the node LRU cannot serve wholesale, and at least
+        one leaf whose raw column actually needs computing (weight-only
+        moves patch in-process from clean slices).  Range leaves offload
+        only while *cold* -- once an attribute has range history backed by
+        sorted shard indexes, a micro-move patches O(changed rows)
+        in-process, which no full per-shard recompute on a worker can
+        beat; a cold range leaf recomputes from scratch either way, so it
+        ships with the rest of the plan (and seeds the history for the
+        next move, see :meth:`_try_pipeline`).
         """
         n = len(self.table)
         meta: list[tuple[object, NodePath, int]] = []
@@ -471,7 +476,12 @@ class ShardedPlanEvaluator(PlanEvaluator):
             if isinstance(node, LeafPlan):
                 if not isinstance(node.node, PredicateLeaf):
                     return None
-                if isinstance(node.node.predicate, RangePredicate):
+                predicate = node.node.predicate
+                if (isinstance(predicate, RangePredicate)
+                        and self.cache.range_history(predicate.attribute)
+                            is not None
+                        and self.sharded.shard_indexes(predicate.attribute)
+                            is not None):
                     return None
                 meta.append((node, path, 0))
                 return 0
@@ -569,6 +579,14 @@ class ShardedPlanEvaluator(PlanEvaluator):
                     supports_direction=predicate.supports_direction,
                 )
                 self.cache.put_raw(pnode.raw_key, raw)
+                if isinstance(predicate, RangePredicate):
+                    # Same seeding _range_leaf_raw does after a cold run:
+                    # the next micro-move on this attribute finds history
+                    # (and, once the engine builds indexes, patches
+                    # in-process instead of offloading).
+                    self.cache.set_range_history(
+                        predicate.attribute, predicate.low, predicate.high,
+                        raw, pnode.raw_key)
                 columns = _NodeColumns(
                     normalized=data["normalized"],
                     signed=data["signed"] if predicate.supports_direction

@@ -106,7 +106,39 @@ def wait_until(predicate, timeout=10.0, interval=0.05):
 # --------------------------------------------------------------------------- #
 def test_builtin_backends_registered():
     names = available_backends()
-    assert "threads" in names and "process" in names
+    assert {"threads", "process", "remote"} <= set(names)
+
+
+def test_available_backends_sorted():
+    """The listing is sorted, so error messages and docs are deterministic."""
+    names = available_backends()
+    assert names == tuple(sorted(names))
+
+
+def test_unknown_backend_messages_exact():
+    """All three validation sites name the registered backends, sorted."""
+    known = ", ".join(available_backends())
+    with pytest.raises(ValueError) as err:
+        create_backend("nope")
+    assert str(err.value) == (
+        f"unknown execution backend 'nope'; registered backends: {known}")
+    with pytest.raises(ValueError) as err:
+        PipelineConfig(backend="nope")
+    assert str(err.value) == (
+        f"unknown execution backend 'nope'; registered backends: {known}")
+    before = os.environ.get("REPRO_BACKEND")
+    os.environ["REPRO_BACKEND"] = "nope"
+    try:
+        with pytest.raises(ValueError) as err:
+            default_backend_name()
+        assert str(err.value) == (
+            f"REPRO_BACKEND names an unknown execution backend 'nope'; "
+            f"registered backends: {known}")
+    finally:
+        if before is None:
+            del os.environ["REPRO_BACKEND"]
+        else:
+            os.environ["REPRO_BACKEND"] = before
 
 
 def test_register_duplicate_raises_unless_replace():

@@ -99,16 +99,30 @@ def test_pipeline_offload_matches_cold_many_shards():
         engine.close()
 
 
-def test_range_leaves_stay_in_process():
-    """Plans with range leaves decline the pipeline (prefetch/index path)."""
+def test_range_leaves_offload_cold_then_decline_warm():
+    """Cold range plans ship with the pipeline; warm ones decline it.
+
+    A first execution has no range history, so the leaf recomputes from
+    scratch either way -- it offloads with the rest of the plan and seeds
+    the history.  Once that history is backed by sorted shard indexes
+    (what the engine builds for a hot slider attribute), a micro-move
+    patches O(changed rows) in-process and the plan declines the offload.
+    """
     from repro import between
     cond = AndNode([between("a", -5.0, 15.0), condition("b", ">=", 3.0)])
     engine, table, prepared = build_pipeline_prepared(4, cond=cond)
     try:
         frame = prepared.execute()
         assert_frames_identical(cold_frame(table, prepared), frame,
-                                "range plan")
-        assert engine.stats()["backend"]["pipeline_ops"] == 0
+                                "cold range plan")
+        assert engine.stats()["backend"]["pipeline_ops"] == 1
+
+        engine.ensure_range_index(table, "a", shard_count=4)
+        prepared.condition.children[0].predicate.low = -4.0
+        frame = prepared.execute()
+        assert_frames_identical(cold_frame(table, prepared), frame,
+                                "warm range plan")
+        assert engine.stats()["backend"]["pipeline_ops"] == 1
     finally:
         engine.close()
 
